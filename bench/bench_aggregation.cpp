@@ -1,0 +1,93 @@
+// E13 (Theorem 1's mechanism): measured aggregation rounds track shortcut
+// quality q = b*d + c. Same network and parts, different shortcut
+// constructions — the framework's promise is that q predicts rounds.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "congest/aggregation.hpp"
+#include "congest/distributed_shortcut.hpp"
+#include "gen/basic.hpp"
+#include "gen/planar.hpp"
+
+using namespace mns;
+
+namespace {
+
+void run_variant(const char* name, const Graph& g, const RootedTree& t,
+                 const Partition& parts, Shortcut sc) {
+  ShortcutMetrics m = measure_shortcut(g, t, parts, sc);
+  congest::PartwiseAggregator agg(g, parts, sc);
+  congest::Simulator sim(g);
+  std::vector<congest::AggValue> init(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    init[v] = {static_cast<Weight>((v * 2654435761u) % 100000), v};
+  auto res = agg.aggregate_min(sim, init);
+  std::printf("%-26s  q=%8lld (b=%4d c=%5d)  measured rounds=%6lld  "
+              "msgs=%9lld\n",
+              name, m.quality, m.block, m.congestion, res.rounds,
+              sim.messages_sent());
+}
+
+}  // namespace
+
+int main() {
+  bench::header("E13: quality -> rounds correlation (Theorem 1 mechanism)");
+
+  std::printf("-- wheel, 8 ring sectors (apex pathology) --\n");
+  {
+    const VertexId n = 4002;
+    Graph g = gen::wheel(n);
+    RootedTree t = RootedTree::from_bfs(bfs(g, 0), 0);
+    Partition parts = ring_sectors(n, 1, n - 1, 8);
+    Shortcut none;
+    none.edges_of_part.resize(parts.num_parts());
+    run_variant("none (flooding)", g, t, parts, std::move(none));
+    run_variant("ancestor climb h=4", g, t, parts,
+                build_ancestor_shortcut(g, t, parts, 4));
+    run_variant("steiner", g, t, parts, build_steiner_shortcut(g, t, parts));
+    run_variant("greedy [HIZ16a]", g, t, parts,
+                build_greedy_shortcut(g, t, parts));
+    run_variant("apex-aware (Lemma 9)", g, t, parts,
+                build_apex_shortcut(g, t, parts, {0}, make_greedy_oracle()));
+  }
+
+  std::printf("\n-- 48x48 grid, serpentine zones --\n");
+  {
+    const int s = 48;
+    EmbeddedGraph eg = gen::grid(s, s);
+    const Graph& g = eg.graph();
+    RootedTree t = bench::center_tree(g);
+    Partition parts = grid_serpentines(s, s, 6);
+    Shortcut none;
+    none.edges_of_part.resize(parts.num_parts());
+    run_variant("none (flooding)", g, t, parts, std::move(none));
+    run_variant("ancestor climb h=8", g, t, parts,
+                build_ancestor_shortcut(g, t, parts, 8));
+    run_variant("steiner", g, t, parts, build_steiner_shortcut(g, t, parts));
+    run_variant("greedy [HIZ16a]", g, t, parts,
+                build_greedy_shortcut(g, t, parts));
+  }
+
+  std::printf("\n-- fully distributed: construction itself simulated --\n");
+  {
+    const VertexId n = 4002;
+    Graph g = gen::wheel(n);
+    RootedTree t = RootedTree::from_bfs(bfs(g, 0), 0);
+    Partition parts = ring_sectors(n, 1, n - 1, 8);
+    congest::Simulator sim(g);
+    congest::DistributedShortcutResult built =
+        congest::distributed_capped_greedy(sim, t, parts, 8);
+    long long construction = sim.rounds();
+    congest::PartwiseAggregator agg(g, parts, built.shortcut);
+    std::vector<congest::AggValue> init(n);
+    for (VertexId v = 0; v < n; ++v)
+      init[v] = {static_cast<Weight>((v * 2654435761u) % 100000), v};
+    auto res = agg.aggregate_min(sim, init);
+    ShortcutMetrics m = measure_shortcut(g, t, parts, built.shortcut);
+    std::printf("%-26s  q=%8lld (b=%4d c=%5d)  construction=%lld rounds, "
+                "aggregation=%lld rounds\n",
+                "distributed greedy cap=8", m.quality, m.block, m.congestion,
+                construction, res.rounds);
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// E9 (Lemma 9, Theorem 8): apex graphs — the hard case where the diameter
+// collapses (wheel: Theta(1)) while parts stay long. Measures apex-aware
+// shortcut quality on wheels, planar+apex, and full almost-embeddable graphs,
+// against the post-apex diameter and the structure-oblivious greedy.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "gen/almost_embeddable.hpp"
+#include "gen/apex.hpp"
+#include "gen/basic.hpp"
+#include "gen/planar.hpp"
+
+using namespace mns;
+
+namespace {
+
+void compare(const char* family, const Graph& g,
+             const std::vector<VertexId>& apices, const Partition& parts) {
+  RootedTree t = bench::center_tree(g);
+  // Ablation over the inner (within-cell) oracle of Lemma 9.
+  struct Inner {
+    const char* name;
+    BagOracle oracle;
+  };
+  Inner inners[] = {
+      {"apex+greedy (L9)", make_greedy_oracle()},
+      {"apex+steiner", make_steiner_oracle()},
+      {"apex+trivial", make_trivial_oracle()},
+  };
+  for (auto& inner : inners) {
+    Shortcut sc = build_apex_shortcut(g, t, parts, apices, inner.oracle);
+    bench::metrics_row(family, g.num_vertices(), inner.name,
+                       measure_shortcut(g, t, parts, sc));
+  }
+  Shortcut greedy = build_greedy_shortcut(g, t, parts);
+  bench::metrics_row(family, g.num_vertices(), "oblivious greedy",
+                     measure_shortcut(g, t, parts, greedy));
+}
+
+}  // namespace
+
+int main() {
+  bench::header("E9: apex graphs (Lemma 9 / Theorem 8 targets)");
+
+  for (int n : {1002, 4002, 16002}) {
+    Graph w = gen::wheel(n);
+    Partition sectors = ring_sectors(n, 1, n - 1, 8);
+    compare("wheel/8 sectors", w, {0}, sectors);
+  }
+
+  for (int s : {24, 48}) {
+    EmbeddedGraph eg = gen::grid(s, s);
+    gen::ApexResult ar = gen::add_universal_apex(eg.graph());
+    Partition serp = grid_serpentines(s, s, std::max(2, s / 8));
+    // Extend part_of with kNoPart for the apex vertex.
+    std::vector<PartId> part_of(ar.graph.num_vertices(), kNoPart);
+    for (VertexId v = 0; v < eg.graph().num_vertices(); ++v)
+      part_of[v] = serp.part_of(v);
+    compare("grid+apex/serpent", ar.graph, ar.apices, Partition(part_of));
+  }
+
+  for (int q : {1, 2, 3}) {
+    Rng rng(static_cast<unsigned>(q));
+    gen::AlmostEmbeddableParams p;
+    p.apices = q;
+    p.genus = 1;
+    p.num_vortices = 1;
+    p.vortex_depth = 2;
+    p.rows = 14;
+    p.cols = 14;
+    p.apex_attach_prob = 0.5;
+    gen::AlmostEmbeddable ae = gen::random_almost_embeddable(p, rng);
+    Partition parts = voronoi_partition(ae.graph, 12, rng);
+    char label[48];
+    std::snprintf(label, sizeof label, "almost-emb q=%d", q);
+    compare(label, ae.graph, ae.apices, parts);
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// E8 (Lemmas 4-6): cell-assignability — every part misses at most 2 of the
+// cells it intersects, and no cell serves more than beta parts where the
+// gate parameter s bounds beta <= 2s. Planar cells + adversarial parts.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "gen/planar.hpp"
+#include "structure/cells.hpp"
+#include "structure/gates.hpp"
+
+using namespace mns;
+
+int main() {
+  bench::header("E8: cell assignment (Lemmas 4-6 targets)");
+  std::printf("%8s %7s %7s %8s %8s %10s %12s\n", "n", "cells", "parts",
+              "beta", "2s ref", "miss>2?", "max missing");
+  for (int n : {2000, 8000}) {
+    for (int cell_seeds : {16, 64}) {
+      for (int part_seeds : {8, 32, 128}) {
+        Rng rng(static_cast<unsigned>(n + cell_seeds * 7 + part_seeds));
+        EmbeddedGraph eg = gen::random_maximal_planar(n, rng);
+        const Graph& g = eg.graph();
+        Partition cells_as_parts = voronoi_partition(g, cell_seeds, rng);
+        std::vector<CellId> cell_of(g.num_vertices());
+        for (VertexId v = 0; v < g.num_vertices(); ++v)
+          cell_of[v] = cells_as_parts.part_of(v);
+        CellPartition cells(cell_of);
+        Partition parts = voronoi_partition(g, part_seeds, rng);
+
+        std::vector<std::vector<CellId>> inter =
+            cell_intersections(cells, parts.all_members());
+        CellAssignment a = assign_cells(inter, cells.num_cells());
+        std::size_t worst_missing = 0;
+        int violations = 0;
+        for (const auto& miss : a.missing_cells_of_part) {
+          worst_missing = std::max(worst_missing, miss.size());
+          if (miss.size() > 2) ++violations;
+        }
+        GateSystem gs = build_boundary_gates(g, cells);
+        double s = 0;
+        std::string err = validate_gates(g, cells, gs, &s);
+        require(err.empty(), "E8: gate validation failed");
+        std::printf("%8d %7d %7d %8d %8.1f %10d %12zu\n", n,
+                    cells.num_cells(), parts.num_parts(), a.beta, 2 * s,
+                    violations, worst_missing);
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// E4 (Lemma 1 vs Theorem 7, Figure 4): the unfolded construction pays
+// congestion ~ k * depth(DT); heavy-light folding compresses the
+// decomposition tree to depth O(log^2 B) and removes that dependence.
+// Chain-shaped decompositions make the contrast extremal.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "gen/basic.hpp"
+#include "structure/clique_sum.hpp"
+
+using namespace mns;
+
+int main() {
+  bench::header("E4: folding ablation (Lemma 1 depth term vs folded)");
+  std::printf("%6s %10s %12s %14s %12s %14s\n", "bags", "depth(DT)",
+              "folded depth", "ref O(lg^2 B)", "c unfolded", "c folded");
+  for (int chain : {64, 256, 1024}) {
+    // Path graph with its natural chain decomposition {v, v+1}.
+    Graph g = gen::path(chain + 1);
+    std::vector<std::vector<VertexId>> bags;
+    std::vector<BagId> parent;
+    for (VertexId v = 0; v < chain; ++v) {
+      bags.push_back({v, v + 1});
+      parent.push_back(v == 0 ? kInvalidBag : v - 1);
+    }
+    TreeDecomposition td(bags, parent);
+    CliqueSumDecomposition csd = clique_sum_from_tree_decomposition(td, g);
+    FoldedDecomposition fd = fold_decomposition(csd);
+
+    RootedTree t = bench::center_tree(g);
+    Rng rng(3);
+    Partition parts = voronoi_partition(g, 8, rng);
+
+    CliqueSumShortcutOptions unfolded;
+    unfolded.fold = false;
+    Shortcut su = build_cliquesum_shortcut(g, t, parts, csd, std::move(unfolded));
+    CliqueSumShortcutOptions folded;
+    folded.fold = true;
+    Shortcut sf = build_cliquesum_shortcut(g, t, parts, csd, std::move(folded));
+    ShortcutMetrics mu = measure_shortcut(g, t, parts, su);
+    ShortcutMetrics mf = measure_shortcut(g, t, parts, sf);
+    double lg = std::log2(static_cast<double>(chain));
+    std::printf("%6d %10d %12d %14.0f %12d %14d\n", chain, csd.depth(),
+                fd.depth, lg * lg, mu.congestion, mf.congestion);
+  }
+  return 0;
+}

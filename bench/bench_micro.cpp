@@ -1,0 +1,111 @@
+// Micro-benchmarks (google-benchmark): construction and measurement
+// throughput of the library's hot paths — generator, BFS tree, the three
+// shortcut constructors, metrics, folding, and one aggregation round.
+#include <benchmark/benchmark.h>
+
+#include "congest/aggregation.hpp"
+#include "core/engine.hpp"
+#include "gen/ktree.hpp"
+#include "gen/planar.hpp"
+#include "graph/algorithms.hpp"
+
+namespace {
+
+using namespace mns;
+
+void BM_RandomMaximalPlanar(benchmark::State& state) {
+  const VertexId n = static_cast<VertexId>(state.range(0));
+  for (auto _ : state) {
+    Rng rng(7);
+    benchmark::DoNotOptimize(gen::random_maximal_planar(n, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RandomMaximalPlanar)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 15);
+
+void BM_BfsTree(benchmark::State& state) {
+  Rng rng(7);
+  EmbeddedGraph eg = gen::random_maximal_planar(
+      static_cast<VertexId>(state.range(0)), rng);
+  for (auto _ : state) {
+    BfsResult r = bfs(eg.graph(), 0);
+    benchmark::DoNotOptimize(RootedTree::from_bfs(r, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BfsTree)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_GreedyShortcut(benchmark::State& state) {
+  Rng rng(7);
+  EmbeddedGraph eg = gen::random_maximal_planar(
+      static_cast<VertexId>(state.range(0)), rng);
+  const Graph& g = eg.graph();
+  RootedTree t = RootedTree::from_bfs(bfs(g, 0), 0);
+  Partition parts = voronoi_partition(g, 32, rng);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(build_greedy_shortcut(g, t, parts));
+}
+BENCHMARK(BM_GreedyShortcut)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_SteinerShortcut(benchmark::State& state) {
+  Rng rng(7);
+  EmbeddedGraph eg = gen::random_maximal_planar(
+      static_cast<VertexId>(state.range(0)), rng);
+  const Graph& g = eg.graph();
+  RootedTree t = RootedTree::from_bfs(bfs(g, 0), 0);
+  Partition parts = voronoi_partition(g, 32, rng);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(build_steiner_shortcut(g, t, parts));
+}
+BENCHMARK(BM_SteinerShortcut)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_TreewidthShortcut(benchmark::State& state) {
+  Rng rng(7);
+  gen::KTreeResult kt =
+      gen::random_ktree(static_cast<VertexId>(state.range(0)), 3, rng);
+  RootedTree t = RootedTree::from_bfs(bfs(kt.graph, 0), 0);
+  Partition parts = voronoi_partition(kt.graph, 32, rng);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        build_treewidth_shortcut(kt.graph, t, parts, kt.decomposition));
+}
+BENCHMARK(BM_TreewidthShortcut)->Arg(1 << 11)->Arg(1 << 13);
+
+void BM_MeasureShortcut(benchmark::State& state) {
+  Rng rng(7);
+  EmbeddedGraph eg = gen::random_maximal_planar(
+      static_cast<VertexId>(state.range(0)), rng);
+  const Graph& g = eg.graph();
+  RootedTree t = RootedTree::from_bfs(bfs(g, 0), 0);
+  Partition parts = voronoi_partition(g, 32, rng);
+  Shortcut sc = build_greedy_shortcut(g, t, parts);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(measure_shortcut(g, t, parts, sc));
+}
+BENCHMARK(BM_MeasureShortcut)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_AggregationWheel(benchmark::State& state) {
+  using namespace mns::congest;
+  const VertexId n = static_cast<VertexId>(state.range(0));
+  GraphBuilder b(n);
+  for (VertexId v = 1; v < n; ++v) {
+    b.add_edge(0, v);
+    b.add_edge(v, v == n - 1 ? 1 : v + 1);
+  }
+  Graph g = b.build();
+  RootedTree t = RootedTree::from_bfs(bfs(g, 0), 0);
+  Partition parts = ring_sectors(n, 1, n - 1, 8);
+  Shortcut sc = build_apex_shortcut(g, t, parts, {0}, make_greedy_oracle());
+  PartwiseAggregator agg(g, parts, sc);
+  std::vector<AggValue> init(n);
+  for (VertexId v = 0; v < n; ++v) init[v] = {v, v};
+  for (auto _ : state) {
+    Simulator sim(g);
+    benchmark::DoNotOptimize(agg.aggregate_min(sim, init));
+  }
+}
+BENCHMARK(BM_AggregationWheel)->Arg(1 << 10)->Arg(1 << 12);
+
+}  // namespace
+
+BENCHMARK_MAIN();

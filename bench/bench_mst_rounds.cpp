@@ -1,0 +1,123 @@
+// E11 (Corollary 1): Õ(D^2)-round MST on excluded-minor networks of small
+// diameter, versus the Õ(D + sqrt(n)) controlled-GHS baseline and naive
+// no-shortcut Boruvka. Two instance families:
+//   (a) the paper's motivating instance — grid + apex attached to every
+//       other node (diameter ~4) with adversarial serpentine weights, and
+//   (b) the [SHK+12]-style lower-bound graph (diameter O(log n)) where no
+//       algorithm can beat ~sqrt(n) — the instance minor-freeness excludes.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "congest/mincut.hpp"
+#include "gen/lower_bound.hpp"
+#include "gen/planar.hpp"
+#include "gen/weights.hpp"
+
+using namespace mns;
+
+namespace {
+
+struct Instance {
+  Graph graph;
+  std::vector<Weight> weights;
+  std::vector<VertexId> apices;
+  int diameter = 0;
+};
+
+/// Paper instance: rows x cols grid + apex on every other node; lightest
+/// edges trace the serpentine so Boruvka fragments become snakes.
+Instance paper_instance(int rows, int cols, unsigned seed) {
+  EmbeddedGraph eg = gen::grid(rows, cols);
+  const VertexId grid_n = eg.graph().num_vertices();
+  GraphBuilder b(grid_n + 1);
+  for (EdgeId e = 0; e < eg.graph().num_edges(); ++e)
+    b.add_edge(eg.graph().edge(e).u, eg.graph().edge(e).v);
+  for (VertexId v = 0; v < grid_n; v += 2) b.add_edge(grid_n, v);
+  Instance inst;
+  inst.graph = b.build();
+  inst.apices = {grid_n};
+  auto id = [&](int r, int c) { return static_cast<VertexId>(r * cols + c); };
+  std::vector<char> on_path(inst.graph.num_edges(), 0);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c + 1 < cols; ++c)
+      on_path[inst.graph.find_edge(id(r, c), id(r, c + 1))] = 1;
+    if (r + 1 < rows) {
+      int turn = (r % 2 == 0) ? cols - 1 : 0;
+      on_path[inst.graph.find_edge(id(r, turn), id(r + 1, turn))] = 1;
+    }
+  }
+  std::vector<Weight> light;
+  for (Weight x = 1; x <= grid_n; ++x) light.push_back(x);
+  Rng rng(seed);
+  std::shuffle(light.begin(), light.end(), rng);
+  std::size_t li = 0;
+  Weight heavy = 10 * static_cast<Weight>(inst.graph.num_vertices());
+  inst.weights.assign(inst.graph.num_edges(), 0);
+  for (EdgeId e = 0; e < inst.graph.num_edges(); ++e)
+    inst.weights[e] = on_path[e] ? light[li++] : heavy++;
+  inst.diameter = diameter_exact(inst.graph);
+  return inst;
+}
+
+void run_instance(const char* family, const Instance& inst) {
+  const Graph& g = inst.graph;
+  std::vector<EdgeId> ref = congest::kruskal_mst(g, inst.weights);
+  std::sort(ref.begin(), ref.end());
+
+  auto run = [&](const char* method, congest::MstOptions opt) {
+    congest::Simulator sim(g);
+    congest::MstResult res = congest::boruvka_mst(sim, inst.weights, opt);
+    bool ok = res.edges == ref;
+    std::printf("%-18s n=%6d D=%3d sqrt(n)=%5.0f  %-22s rounds=%8lld "
+                "phases=%2d %s\n",
+                family, g.num_vertices(), inst.diameter,
+                std::sqrt(static_cast<double>(g.num_vertices())), method,
+                res.rounds, res.phases, ok ? "" : "MISMATCH");
+  };
+
+  congest::MstOptions shortcuts;
+  shortcuts.provider = inst.apices.empty()
+                           ? bench::greedy_provider()
+                           : bench::apex_provider(inst.apices);
+  run("shortcut Boruvka", shortcuts);
+  congest::MstOptions naive;
+  naive.provider = congest::empty_shortcut_provider();
+  naive.charge_construction = false;
+  run("naive Boruvka", naive);
+
+  // Controlled-GHS baseline.
+  congest::Simulator sim(g);
+  RootedTree t = bench::center_tree(g);
+  congest::MstResult ghs = congest::controlled_ghs_mst(sim, t, inst.weights);
+  bool ok = ghs.edges == ref;
+  std::printf("%-18s n=%6d D=%3d sqrt(n)=%5.0f  %-22s rounds=%8lld "
+              "phases=%2d %s\n",
+              family, g.num_vertices(), inst.diameter,
+              std::sqrt(static_cast<double>(g.num_vertices())), "controlled-GHS",
+              ghs.rounds, ghs.phases, ok ? "" : "MISMATCH");
+}
+
+}  // namespace
+
+int main() {
+  bench::header("E11: MST rounds (Corollary 1 vs baselines)");
+  std::printf("methods per instance: shortcut Boruvka (construction charged), "
+              "naive Boruvka, controlled-GHS\n\n");
+  std::printf("-- (a) paper instance: grid + apex, adversarial weights --\n");
+  for (auto [rows, cols] : {std::pair{32, 16}, {32, 32}, {64, 32}, {64, 64}}) {
+    run_instance("grid+apex", paper_instance(rows, cols, 3));
+  }
+  std::printf("\n-- (b) lower-bound family (NOT minor-free) --\n");
+  for (int p : {8, 12, 16}) {
+    gen::LowerBoundGraph lb = gen::lower_bound_graph(p);
+    Instance inst;
+    inst.graph = lb.graph;
+    Rng rng(static_cast<unsigned>(p));
+    inst.weights = gen::unique_random_weights(inst.graph, rng);
+    inst.diameter = diameter_exact(inst.graph);
+    run_instance("lower-bound", inst);
+  }
+  return 0;
+}

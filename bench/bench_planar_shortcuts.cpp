@@ -1,0 +1,72 @@
+// E1 (Theorem 4): planar graphs admit tree-restricted shortcuts with
+// b = O(log d), c = O(d log d). Sweeps planar families and part shapes,
+// reporting measured block/congestion/quality per construction next to the
+// reference bounds. See EXPERIMENTS.md.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/engine.hpp"
+#include "gen/planar.hpp"
+#include "structure/surface_decomposition.hpp"
+
+using namespace mns;
+
+namespace {
+
+void run_case(const char* family, const Graph& g, const RootedTree& t,
+              const Partition& parts, bool with_treewidth_route,
+              const EmbeddedGraph* embedded) {
+  const int d = tree_diameter(t);
+  {
+    Shortcut sc = build_greedy_shortcut(g, t, parts);
+    bench::metrics_row(family, g.num_vertices(), "greedy",
+                       measure_shortcut(g, t, parts, sc));
+  }
+  {
+    Shortcut sc = build_steiner_shortcut(g, t, parts);
+    bench::metrics_row(family, g.num_vertices(), "steiner",
+                       measure_shortcut(g, t, parts, sc));
+  }
+  if (with_treewidth_route && embedded != nullptr) {
+    // The paper's own Genus+Vortex route (Lemma 2 with g=0, no vortices):
+    // width-O(D) decomposition, then Theorem 5.
+    TreeDecomposition td = surface_bfs_decomposition(*embedded, t.root());
+    Shortcut sc = build_treewidth_shortcut(g, t, parts, td);
+    bench::metrics_row(family, g.num_vertices(), "treewidth-route",
+                       measure_shortcut(g, t, parts, sc));
+  }
+  std::printf("%-22s %7s  reference: O(log d)=%.1f  O(d log d)=%.0f\n", "",
+              "", std::log2(std::max(2, d)),
+              d * std::log2(std::max(2, d)));
+}
+
+}  // namespace
+
+int main() {
+  bench::header("E1: planar shortcuts (Theorem 4 / [GH16] targets)");
+  std::printf("part shapes: voronoi(sqrt n) and serpentines (adversarial)\n");
+
+  for (int s : {16, 32, 48, 64}) {
+    EmbeddedGraph eg = gen::grid(s, s);
+    const Graph& g = eg.graph();
+    RootedTree t = bench::center_tree(g);
+    Rng rng(11);
+    Partition voronoi = voronoi_partition(
+        g, std::max(2, static_cast<int>(std::sqrt(g.num_vertices()))), rng);
+    run_case("grid/voronoi", g, t, voronoi, s <= 24, &eg);
+    Partition serp = grid_serpentines(s, s, std::max(2, s / 8));
+    run_case("grid/serpentine", g, t, serp, false, &eg);
+  }
+
+  for (int n : {1000, 4000, 16000}) {
+    Rng rng(n);
+    EmbeddedGraph eg = gen::random_maximal_planar(n, rng);
+    const Graph& g = eg.graph();
+    RootedTree t = bench::center_tree(g);
+    Partition voronoi = voronoi_partition(
+        g, std::max(2, static_cast<int>(std::sqrt(n))), rng);
+    run_case("maxplanar/voronoi", g, t, voronoi, false, &eg);
+  }
+  return 0;
+}

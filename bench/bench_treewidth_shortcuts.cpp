@@ -1,0 +1,32 @@
+// E2 (Theorem 5): treewidth-k graphs admit shortcuts with b = O(k),
+// c = O(k log n). Sweeps k and n on random k-trees using their recorded
+// width-k decompositions.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "gen/ktree.hpp"
+
+using namespace mns;
+
+int main() {
+  bench::header("E2: treewidth shortcuts (Theorem 5 / [HIZ16b] targets)");
+  std::printf("%4s %7s %6s %6s %8s %12s %14s\n", "k", "n", "b", "c", "q",
+              "ref b=O(k)", "ref c=O(k lg n)");
+  for (int k : {1, 2, 3, 4, 6, 8}) {
+    for (int n : {1000, 4000, 16000}) {
+      Rng rng(static_cast<unsigned>(k * 1000 + n));
+      gen::KTreeResult kt = gen::random_ktree(n, k, rng);
+      RootedTree t = bench::center_tree(kt.graph);
+      Partition parts = voronoi_partition(
+          kt.graph, std::max(2, static_cast<int>(std::sqrt(n))), rng);
+      Shortcut sc =
+          build_treewidth_shortcut(kt.graph, t, parts, kt.decomposition);
+      ShortcutMetrics m = measure_shortcut(kt.graph, t, parts, sc);
+      std::printf("%4d %7d %6d %6d %8lld %12d %14.1f\n", k, n, m.block,
+                  m.congestion, m.quality, k + 1,
+                  (k + 1) * std::log2(static_cast<double>(n)));
+    }
+  }
+  return 0;
+}

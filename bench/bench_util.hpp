@@ -1,0 +1,49 @@
+// Shared helpers for the experiment harnesses (DESIGN.md §6). Each bench
+// binary prints a self-contained table regenerating one claim of the paper;
+// they are deterministic (fixed seeds) so EXPERIMENTS.md numbers reproduce.
+#pragma once
+
+#include <cstdio>
+
+#include "congest/mst.hpp"
+#include "core/engine.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/rooted_tree.hpp"
+
+namespace mns::bench {
+
+/// BFS tree rooted near the graph center (height <= D).
+inline RootedTree center_tree(const Graph& g, unsigned seed = 1) {
+  Rng rng(seed);
+  VertexId c = approximate_center(g, rng);
+  return RootedTree::from_bfs(bfs(g, c), c);
+}
+
+/// Shortcut provider: uniform greedy on a center BFS tree.
+inline congest::ShortcutProvider greedy_provider() {
+  return [](const Graph& g, const Partition& parts) {
+    RootedTree t = center_tree(g);
+    return build_greedy_shortcut(g, t, parts);
+  };
+}
+
+/// Shortcut provider: apex-aware (Lemma 9) with greedy inner oracle.
+inline congest::ShortcutProvider apex_provider(std::vector<VertexId> apices) {
+  return [apices = std::move(apices)](const Graph& g, const Partition& parts) {
+    RootedTree t = center_tree(g);
+    return build_apex_shortcut(g, t, parts, apices, make_greedy_oracle());
+  };
+}
+
+inline void header(const char* title) {
+  std::printf("\n==== %s ====\n", title);
+}
+
+/// Prints one row of shortcut metrics.
+inline void metrics_row(const char* family, int n, const char* method,
+                        const ShortcutMetrics& m) {
+  std::printf("%-22s %7d  %-18s  d_T=%5d  b=%4d  c=%5d  q=%7lld\n", family, n,
+              method, m.tree_diameter, m.block, m.congestion, m.quality);
+}
+
+}  // namespace mns::bench

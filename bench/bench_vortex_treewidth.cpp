@@ -1,0 +1,61 @@
+// E5 (Lemmas 2-3): a genus-g, diameter-D graph with l vortices of depth k
+// has treewidth O((g+1) k l D) — measured width of the constructed
+// decompositions (surface BFS + dual tree + vortex augmentation) against the
+// bound's shape.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "gen/surfaces.hpp"
+#include "gen/vortex.hpp"
+#include "structure/surface_decomposition.hpp"
+
+using namespace mns;
+
+int main() {
+  bench::header("E5: Genus+Vortex treewidth (Lemmas 2-3 targets)");
+  std::printf("%3s %3s %3s %4s %6s %7s %7s %18s\n", "g", "k", "l", "s", "n",
+              "height", "width", "ref (g+1)*k*l*h");
+  for (int genus : {0, 1, 2}) {
+    for (int s : {8, 12, 16}) {
+      for (int l : {0, 1, 2}) {
+        for (int depth : {1, 2, 3}) {
+          if (l == 0 && depth > 1) continue;  // duplicate row
+          Rng rng(static_cast<unsigned>(genus * 100 + s * 10 + l + depth));
+          EmbeddedGraph base = gen::surface_grid(s, s, genus, rng);
+
+          // Attach l vortices on disjoint simple faces.
+          Graph current = base.graph();
+          std::vector<VortexSpec> specs;
+          std::vector<char> used(base.graph().num_vertices(), 0);
+          for (int f = 0; f < base.num_faces() &&
+                          static_cast<int>(specs.size()) < l;
+               ++f) {
+            if (!base.face_is_simple_cycle(f)) continue;
+            auto fv = base.face_vertices(f);
+            bool ok = true;
+            for (VertexId v : fv)
+              if (used[v]) ok = false;
+            if (!ok) continue;
+            for (VertexId v : fv) used[v] = 1;
+            gen::VortexResult vr = gen::add_vortex(current, fv, depth, 4, rng);
+            current = std::move(vr.graph);
+            specs.push_back(std::move(vr.vortex));
+          }
+          if (static_cast<int>(specs.size()) < l) continue;
+
+          TreeDecomposition td_base = surface_bfs_decomposition(base, 0);
+          TreeDecomposition td =
+              specs.empty() ? std::move(td_base)
+                            : augment_with_vortices(td_base, current, specs);
+          std::string err = td.validate(current);
+          require(err.empty(), "E5: invalid decomposition");
+          int height = bfs(base.graph(), 0).max_distance();
+          std::printf("%3d %3d %3d %4d %6d %7d %7d %18d\n", genus, depth, l, s,
+                      current.num_vertices(), height, td.width(),
+                      (genus + 1) * depth * std::max(1, l) * height);
+        }
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,184 @@
+#include "congest/aggregation.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace mns::congest {
+
+namespace {
+constexpr AggValue kInfinity{std::numeric_limits<std::int64_t>::max(),
+                             std::numeric_limits<std::int32_t>::max()};
+}  // namespace
+
+PartwiseAggregator::PartwiseAggregator(const Graph& g, const Partition& parts,
+                                       const Shortcut& shortcut)
+    : g_(&g), parts_(&parts) {
+  require(static_cast<PartId>(shortcut.edges_of_part.size()) ==
+              parts.num_parts(),
+          "PartwiseAggregator: shortcut size mismatch");
+  parts_of_edge_.assign(g.num_edges(), {});
+  // Intra-part graph edges.
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    PartId pu = parts.part_of(g.edge(e).u);
+    PartId pv = parts.part_of(g.edge(e).v);
+    if (pu != kNoPart && pu == pv) parts_of_edge_[e].push_back(pu);
+  }
+  // Shortcut edges.
+  for (PartId p = 0; p < parts.num_parts(); ++p)
+    for (EdgeId e : shortcut.edges_of_part[p]) parts_of_edge_[e].push_back(p);
+  for (auto& ps : parts_of_edge_) {
+    std::sort(ps.begin(), ps.end());
+    ps.erase(std::unique(ps.begin(), ps.end()), ps.end());
+  }
+  // Node participations: part membership plus incident communication edges.
+  parts_of_node_.assign(g.num_vertices(), {});
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    if (parts.part_of(v) != kNoPart)
+      parts_of_node_[v].push_back(parts.part_of(v));
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    for (PartId p : parts_of_edge_[e]) {
+      parts_of_node_[g.edge(e).u].push_back(p);
+      parts_of_node_[g.edge(e).v].push_back(p);
+    }
+  for (auto& ps : parts_of_node_) {
+    std::sort(ps.begin(), ps.end());
+    ps.erase(std::unique(ps.begin(), ps.end()), ps.end());
+    participations_ += ps.size();
+  }
+}
+
+AggregationResult PartwiseAggregator::aggregate_min(
+    Simulator& sim, const std::vector<AggValue>& initial) {
+  const Graph& g = *g_;
+  const Partition& parts = *parts_;
+  const VertexId n = g.num_vertices();
+  require(static_cast<VertexId>(initial.size()) == n,
+          "aggregate_min: initial size mismatch");
+
+  // Flat per-(node, part) state.
+  std::vector<std::size_t> state_offset(static_cast<std::size_t>(n) + 1, 0);
+  for (VertexId v = 0; v < n; ++v)
+    state_offset[static_cast<std::size_t>(v) + 1] =
+        state_offset[v] + parts_of_node_[v].size();
+  std::vector<AggValue> state(state_offset[n], kInfinity);
+  auto slot = [&](VertexId v, PartId p) -> std::size_t {
+    const auto& ps = parts_of_node_[v];
+    auto it = std::lower_bound(ps.begin(), ps.end(), p);
+    require(it != ps.end() && *it == p, "aggregate_min: missing slot");
+    return state_offset[v] + static_cast<std::size_t>(it - ps.begin());
+  };
+  for (VertexId v = 0; v < n; ++v)
+    if (parts.part_of(v) != kNoPart)
+      state[slot(v, parts.part_of(v))] = initial[v];
+
+  // Dirty tracking per directed edge: parallel bitmask over parts_of_edge_.
+  // Directed edge d = 2e + side (side 0: u -> v).
+  std::vector<std::vector<char>> dirty(static_cast<std::size_t>(g.num_edges())
+                                       * 2);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    dirty[2 * e].assign(parts_of_edge_[e].size(), 0);
+    dirty[2 * e + 1].assign(parts_of_edge_[e].size(), 0);
+  }
+  std::vector<std::size_t> cursor(static_cast<std::size_t>(g.num_edges()) * 2,
+                                  0);
+  std::vector<EdgeId> active;  // directed edges with any dirty part
+  std::vector<char> in_active(static_cast<std::size_t>(g.num_edges()) * 2, 0);
+  auto mark_dirty = [&](EdgeId e, int side, std::size_t idx) {
+    std::size_t d = 2 * static_cast<std::size_t>(e) + side;
+    if (!dirty[d][idx]) dirty[d][idx] = 1;
+    if (!in_active[d]) {
+      in_active[d] = 1;
+      active.push_back(static_cast<EdgeId>(d));
+    }
+  };
+  // Initially every participating (node, edge, part) with a finite value is
+  // dirty outward.
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& ed = g.edge(e);
+    for (std::size_t i = 0; i < parts_of_edge_[e].size(); ++i) {
+      PartId p = parts_of_edge_[e][i];
+      if (!(state[slot(ed.u, p)] == kInfinity)) mark_dirty(e, 0, i);
+      if (!(state[slot(ed.v, p)] == kInfinity)) mark_dirty(e, 1, i);
+    }
+  }
+
+  long long start = sim.rounds();
+  while (!active.empty()) {
+    std::vector<EdgeId> snapshot;
+    snapshot.swap(active);
+    for (EdgeId d : snapshot) in_active[d] = 0;
+    // Each active directed edge transmits ONE part's value (round-robin).
+    for (EdgeId d : snapshot) {
+      EdgeId e = d / 2;
+      int side = d % 2;
+      const Edge& ed = g.edge(e);
+      VertexId from = side == 0 ? ed.u : ed.v;
+      auto& dbits = dirty[d];
+      std::size_t k = dbits.size();
+      std::size_t sent = k;  // index of the part sent, k = none
+      for (std::size_t step = 0; step < k; ++step) {
+        std::size_t i = (cursor[d] + step) % k;
+        if (dbits[i]) {
+          PartId p = parts_of_edge_[e][i];
+          AggValue val = state[slot(from, p)];
+          sim.send(from, e, Message{p, val.aux, val.value});
+          dbits[i] = 0;
+          sent = i;
+          break;
+        }
+      }
+      if (sent != k) {
+        cursor[d] = (sent + 1) % k;
+        // Still-dirty parts keep the edge active.
+        for (std::size_t i = 0; i < k; ++i)
+          if (dbits[i]) {
+            if (!in_active[d]) {
+              in_active[d] = 1;
+              active.push_back(d);
+            }
+            break;
+          }
+      }
+    }
+    sim.finish_round();
+    // Deliver: improvements re-dirty the receiving node's outgoing edges.
+    for (VertexId v = 0; v < n; ++v) {
+      for (const Delivery& del : sim.inbox(v)) {
+        PartId p = del.msg.tag;
+        AggValue incoming{del.msg.value, del.msg.aux};
+        std::size_t s = slot(v, p);
+        if (incoming < state[s]) {
+          state[s] = incoming;
+          auto eids = g.incident_edges(v);
+          for (EdgeId e2 : eids) {
+            const auto& ps = parts_of_edge_[e2];
+            auto it = std::lower_bound(ps.begin(), ps.end(), p);
+            if (it == ps.end() || *it != p) continue;
+            std::size_t idx = static_cast<std::size_t>(it - ps.begin());
+            int side2 = (g.edge(e2).u == v) ? 0 : 1;
+            mark_dirty(e2, side2, idx);
+          }
+        }
+      }
+    }
+  }
+
+  AggregationResult out;
+  out.rounds = sim.rounds() - start;
+  out.min_of_part.assign(parts.num_parts(), kInfinity);
+  for (VertexId v = 0; v < n; ++v) {
+    PartId p = parts.part_of(v);
+    if (p != kNoPart)
+      out.min_of_part[p] = std::min(out.min_of_part[p], state[slot(v, p)]);
+  }
+  // Convergence check: every member must hold the part minimum.
+  for (VertexId v = 0; v < n; ++v) {
+    PartId p = parts.part_of(v);
+    if (p != kNoPart)
+      require(state[slot(v, p)] == out.min_of_part[p],
+              "aggregate_min: member did not converge to the part minimum");
+  }
+  return out;
+}
+
+}  // namespace mns::congest

@@ -1,0 +1,64 @@
+// Part-wise aggregation — the primitive Theorem 1 accelerates. Every part
+// must compute (and disseminate to all its members) the minimum of its
+// members' values. Communication of part p flows over G[P_p] plus p's
+// shortcut edges H_p, with the CONGEST capacity of one message per directed
+// edge per round honestly simulated: parts sharing a tree edge queue behind
+// each other, so congestion shows up as real measured rounds. With an empty
+// shortcut this degrades to intra-part flooding — the naive baseline whose
+// round count is the isolated part diameter.
+#pragma once
+
+#include <utility>
+
+#include "congest/simulator.hpp"
+#include "core/partition.hpp"
+#include "core/shortcut.hpp"
+
+namespace mns::congest {
+
+/// A value with a tiebreaker, compared lexicographically.
+struct AggValue {
+  std::int64_t value = 0;
+  std::int32_t aux = 0;
+  friend bool operator<(const AggValue& a, const AggValue& b) {
+    return std::pair(a.value, a.aux) < std::pair(b.value, b.aux);
+  }
+  friend bool operator==(const AggValue&, const AggValue&) = default;
+};
+
+struct AggregationResult {
+  std::vector<AggValue> min_of_part;
+  long long rounds = 0;
+};
+
+class PartwiseAggregator {
+ public:
+  /// Precomputes the per-part communication graphs. `shortcut` may be empty
+  /// (edges_of_part all empty) for the no-shortcut baseline.
+  PartwiseAggregator(const Graph& g, const Partition& parts,
+                     const Shortcut& shortcut);
+
+  /// Distributed min: `initial[v]` is v's input (only read for vertices that
+  /// belong to a part). On return every member of part p holds
+  /// min_of_part[p]; the simulator's round counter advances by the measured
+  /// number of communication rounds.
+  [[nodiscard]] AggregationResult aggregate_min(
+      Simulator& sim, const std::vector<AggValue>& initial);
+
+  /// Number of (node, part) participation pairs — a size/memory metric.
+  [[nodiscard]] std::size_t participations() const noexcept {
+    return participations_;
+  }
+
+ private:
+  const Graph* g_;
+  const Partition* parts_;
+  // Directed-edge-indexed communication structure: for directed edge d
+  // (= 2e + side), the parts that may use it.
+  std::vector<std::vector<PartId>> parts_of_edge_;  // indexed by edge id
+  // Per node: sorted list of parts it participates in.
+  std::vector<std::vector<PartId>> parts_of_node_;
+  std::size_t participations_ = 0;
+};
+
+}  // namespace mns::congest

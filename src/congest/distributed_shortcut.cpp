@@ -1,0 +1,123 @@
+#include "congest/distributed_shortcut.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace mns::congest {
+
+namespace {
+
+// Message tags (Message::tag carries the part id; aux carries the verb).
+constexpr std::int32_t kClaim = 1;    // child -> parent: admit part?
+constexpr std::int32_t kAccept = 2;   // parent -> child
+constexpr std::int32_t kReject = 3;   // parent -> child
+
+}  // namespace
+
+DistributedShortcutResult distributed_capped_greedy(Simulator& sim,
+                                                    const RootedTree& tree,
+                                                    const Partition& parts,
+                                                    int cap) {
+  if (cap < 1)
+    throw std::invalid_argument("distributed_capped_greedy: cap < 1");
+  const Graph& g = sim.graph();
+  const VertexId n = g.num_vertices();
+  require(tree.num_vertices() == n, "distributed shortcut: tree mismatch");
+  long long start = sim.rounds();
+
+  DistributedShortcutResult out;
+  out.shortcut.edges_of_part.resize(parts.num_parts());
+
+  // Local state per node: which parts own this node (territory), pending
+  // outgoing claims on the parent edge (FIFO; one message per round), and
+  // per-node admitted-part sets for each child edge (capacity enforcement is
+  // local to the edge's upper endpoint, as in a real implementation).
+  std::vector<std::set<PartId>> owned(n);
+  std::vector<std::deque<PartId>> claim_queue(n);  // keyed by child vertex
+  std::vector<std::set<PartId>> admitted(n);       // keyed by child vertex
+  std::vector<std::deque<std::pair<PartId, std::int32_t>>> verdict_queue(n);
+  // keyed by child vertex: verdicts the parent still owes that child.
+
+  // Seed: every part member is territory and (if not the root) a head.
+  long long active = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    PartId p = parts.part_of(v);
+    if (p == kNoPart) continue;
+    owned[v].insert(p);
+    if (v != tree.root()) {
+      claim_queue[v].push_back(p);
+      ++active;
+    }
+  }
+
+  while (active > 0) {
+    // Send phase: each node forwards one claim per parent edge and one
+    // verdict per child edge (distinct directed edges, so both fit).
+    for (VertexId v = 0; v < n; ++v) {
+      if (!claim_queue[v].empty()) {
+        sim.send(v, tree.parent_edge(v),
+                 Message{claim_queue[v].front(), kClaim, v});
+        claim_queue[v].pop_front();
+      }
+      if (!verdict_queue[v].empty()) {
+        auto [p, verb] = verdict_queue[v].front();
+        verdict_queue[v].pop_front();
+        sim.send(tree.parent(v), tree.parent_edge(v), Message{p, verb, v});
+      }
+    }
+    sim.finish_round();
+    // Receive phase.
+    for (VertexId v = 0; v < n; ++v) {
+      for (const Delivery& d : sim.inbox(v)) {
+        PartId p = d.msg.tag;
+        if (d.msg.aux == kClaim) {
+          // v is the parent endpoint; child is d.from.
+          VertexId child = d.from;
+          if (admitted[child].count(p)) {
+            // Duplicate claim (same part, same edge): treat as accepted
+            // without new bookkeeping.
+            verdict_queue[child].push_back({p, kAccept});
+            continue;
+          }
+          if (static_cast<int>(admitted[child].size()) < cap) {
+            admitted[child].insert(p);
+            out.shortcut.edges_of_part[p].push_back(tree.parent_edge(child));
+            verdict_queue[child].push_back({p, kAccept});
+          } else {
+            verdict_queue[child].push_back({p, kReject});
+          }
+        } else if (d.msg.aux == kAccept) {
+          // v is the child; its head moves onto the parent vertex.
+          VertexId parent = d.from;
+          --active;
+          if (!owned[parent].count(p)) {
+            owned[parent].insert(p);
+            if (parent != tree.root()) {
+              claim_queue[parent].push_back(p);
+              ++active;
+            }
+          }
+          // else: merged into own territory; the head dissolves.
+        } else {  // kReject
+          --active;
+          ++out.frozen_heads;
+        }
+      }
+    }
+  }
+
+  // De-duplicate (a part can re-claim an edge it already owns via the
+  // duplicate-claim path; ownership bookkeeping above prevents double
+  // insertion, but keep the invariant explicit).
+  for (auto& es : out.shortcut.edges_of_part) {
+    std::sort(es.begin(), es.end());
+    es.erase(std::unique(es.begin(), es.end()), es.end());
+  }
+  out.rounds = sim.rounds() - start;
+  return out;
+}
+
+}  // namespace mns::congest

@@ -1,0 +1,35 @@
+// Distributed tree-restricted shortcut construction — the uniform
+// [HIZ16a]-style algorithm Theorem 1 assumes. Nothing here looks at graph
+// structure: every part's climbing heads walk up the BFS tree one claim at a
+// time, each tree edge admits at most `cap` distinct parts over the whole
+// run, and all coordination flows through O(log n)-bit messages in the
+// simulator (claims up, verdicts down, per-edge pipelining when several
+// parts contend — so congestion costs real measured rounds).
+//
+// The local stopping rule is purely local, as a real uniform algorithm's
+// must be: a head climbs until it merges into territory its part already
+// claimed, is rejected (freezing into a block root), or reaches the root.
+// This is the distributed counterpart of core's capped_greedy; block
+// parameter and congestion of the produced shortcut are measured by the
+// usual metrics.
+#pragma once
+
+#include "congest/simulator.hpp"
+#include "core/partition.hpp"
+#include "core/shortcut.hpp"
+#include "graph/rooted_tree.hpp"
+
+namespace mns::congest {
+
+struct DistributedShortcutResult {
+  Shortcut shortcut;
+  long long rounds = 0;   ///< simulated construction rounds
+  int frozen_heads = 0;   ///< total rejected climbs (block roots created)
+};
+
+/// Runs the construction on `sim`'s graph over the rooted BFS tree `tree`.
+/// `cap` is the per-edge part capacity (congestion bound of the result).
+[[nodiscard]] DistributedShortcutResult distributed_capped_greedy(
+    Simulator& sim, const RootedTree& tree, const Partition& parts, int cap);
+
+}  // namespace mns::congest

@@ -1,0 +1,258 @@
+#include "congest/mst.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <numeric>
+
+#include "graph/union_find.hpp"
+
+namespace mns::congest {
+
+namespace {
+constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max();
+}  // namespace
+
+std::vector<EdgeId> kruskal_mst(const Graph& g, const std::vector<Weight>& w) {
+  require(static_cast<EdgeId>(w.size()) == g.num_edges(),
+          "kruskal: weight size mismatch");
+  std::vector<EdgeId> order(g.num_edges());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+    return std::pair(w[a], a) < std::pair(w[b], b);
+  });
+  UnionFind uf(g.num_vertices());
+  std::vector<EdgeId> mst;
+  for (EdgeId e : order)
+    if (uf.unite(g.edge(e).u, g.edge(e).v)) mst.push_back(e);
+  return mst;
+}
+
+ShortcutProvider empty_shortcut_provider() {
+  return [](const Graph&, const Partition& parts) {
+    Shortcut sc;
+    sc.edges_of_part.resize(parts.num_parts());
+    return sc;
+  };
+}
+
+MstResult boruvka_mst(Simulator& sim, const std::vector<Weight>& w,
+                      const MstOptions& options) {
+  const Graph& g = sim.graph();
+  const VertexId n = g.num_vertices();
+  require(static_cast<bool>(options.provider), "boruvka_mst: no provider");
+  require(static_cast<EdgeId>(w.size()) == g.num_edges(),
+          "boruvka_mst: weight size mismatch");
+
+  MstResult out;
+  std::vector<PartId> frag(n);
+  std::iota(frag.begin(), frag.end(), 0);
+  long long start = sim.rounds();
+
+  // Fragment ids every node knows for each neighbour (refreshed per phase).
+  while (true) {
+    Partition parts(std::vector<PartId>(frag.begin(), frag.end()));
+    if (parts.num_parts() == 1) break;
+    if (options.stop_at_fragment_size > 0) {
+      VertexId smallest = n;
+      for (PartId p = 0; p < parts.num_parts(); ++p)
+        smallest = std::min(smallest,
+                            static_cast<VertexId>(parts.members(p).size()));
+      if (smallest >= options.stop_at_fragment_size) break;
+    }
+    ++out.phases;
+
+    // 1 round: every node tells each neighbour its fragment id.
+    for (VertexId v = 0; v < n; ++v)
+      for (EdgeId e : g.incident_edges(v))
+        sim.send(v, e, Message{0, 0, frag[v]});
+    sim.finish_round();
+    std::vector<std::map<EdgeId, PartId>> nbr_frag(n);
+    for (VertexId v = 0; v < n; ++v)
+      for (const Delivery& d : sim.inbox(v))
+        nbr_frag[v][d.edge] = static_cast<PartId>(d.msg.value);
+
+    // Local min outgoing edge per node.
+    std::vector<AggValue> initial(n, AggValue{kInf, 0});
+    for (VertexId v = 0; v < n; ++v) {
+      for (EdgeId e : g.incident_edges(v)) {
+        if (nbr_frag[v][e] == frag[v]) continue;
+        AggValue cand{w[e], e};
+        if (cand < initial[v]) initial[v] = cand;
+      }
+    }
+
+    // Build this phase's shortcut and aggregate fragment minima.
+    Shortcut sc = options.provider(g, parts);
+    PartwiseAggregator agg(g, parts, sc);
+    AggregationResult res = agg.aggregate_min(sim, initial);
+    if (options.charge_construction) sim.skip_rounds(res.rounds);
+
+    // Merge along chosen edges (star contraction via DSU).
+    bool merged_any = false;
+    UnionFind uf(parts.num_parts());
+    std::vector<EdgeId> chosen;
+    for (PartId p = 0; p < parts.num_parts(); ++p) {
+      if (res.min_of_part[p].value == kInf) continue;  // no outgoing edge
+      EdgeId e = res.min_of_part[p].aux;
+      chosen.push_back(e);
+      if (uf.unite(frag[g.edge(e).u], frag[g.edge(e).v])) merged_any = true;
+    }
+    std::sort(chosen.begin(), chosen.end());
+    chosen.erase(std::unique(chosen.begin(), chosen.end()), chosen.end());
+    out.edges.insert(out.edges.end(), chosen.begin(), chosen.end());
+    if (!merged_any) break;  // disconnected graph or done
+
+    std::vector<PartId> relabel = uf.dense_labels();
+    std::vector<PartId> new_frag(n);
+    for (VertexId v = 0; v < n; ++v) new_frag[v] = relabel[frag[v]];
+
+    // Label dissemination: one aggregation on the NEW partition (members
+    // flood the minimum old label; rounds measured; result label irrelevant
+    // beyond synchronization).
+    Partition new_parts(std::vector<PartId>(new_frag.begin(), new_frag.end()));
+    Shortcut new_sc = options.provider(g, new_parts);
+    PartwiseAggregator agg2(g, new_parts, new_sc);
+    std::vector<AggValue> labels(n);
+    for (VertexId v = 0; v < n; ++v) labels[v] = AggValue{frag[v], 0};
+    (void)agg2.aggregate_min(sim, labels);
+
+    frag = std::move(new_frag);
+  }
+
+  std::sort(out.edges.begin(), out.edges.end());
+  out.edges.erase(std::unique(out.edges.begin(), out.edges.end()),
+                  out.edges.end());
+  out.rounds = sim.rounds() - start;
+  out.fragment_of = std::move(frag);
+  return out;
+}
+
+MstResult controlled_ghs_mst(Simulator& sim, const RootedTree& bfs_tree,
+                             const std::vector<Weight>& w) {
+  const Graph& g = sim.graph();
+  const VertexId n = g.num_vertices();
+  long long start = sim.rounds();
+
+  // Phase 1: shortcut-free Boruvka until fragments reach sqrt(n).
+  MstOptions opt;
+  opt.provider = empty_shortcut_provider();
+  opt.charge_construction = false;
+  opt.stop_at_fragment_size =
+      static_cast<VertexId>(std::ceil(std::sqrt(static_cast<double>(n))));
+  MstResult phase1 = boruvka_mst(sim, w, opt);
+
+  MstResult out;
+  out.edges = phase1.edges;
+  out.phases = phase1.phases;
+  std::vector<PartId> frag = phase1.fragment_of;
+
+  // Phase 2: pipelined upcast/downcast over the BFS tree.
+  while (true) {
+    PartId num_frag = *std::max_element(frag.begin(), frag.end()) + 1;
+    if (num_frag <= 1) break;
+    ++out.phases;
+
+    // One round of fragment exchange with neighbours; local candidates.
+    for (VertexId v = 0; v < n; ++v)
+      for (EdgeId e : g.incident_edges(v))
+        sim.send(v, e, Message{0, 0, frag[v]});
+    sim.finish_round();
+    std::vector<std::map<PartId, AggValue>> table(n);
+    for (VertexId v = 0; v < n; ++v) {
+      AggValue best{kInf, 0};
+      for (const Delivery& d : sim.inbox(v))
+        if (static_cast<PartId>(d.msg.value) != frag[v]) {
+          AggValue cand{w[d.edge], d.edge};
+          best = std::min(best, cand);
+        }
+      if (best.value != kInf) table[v][frag[v]] = best;
+    }
+
+    // Pipelined upcast: each node sends one improved (fragment, candidate)
+    // pair to its parent per round until quiescent.
+    std::vector<std::map<PartId, AggValue>> unsent = table;
+    while (true) {
+      bool any = false;
+      std::vector<std::pair<VertexId, std::pair<PartId, AggValue>>> sent;
+      for (VertexId v = 0; v < n; ++v) {
+        if (v == bfs_tree.root() || unsent[v].empty()) continue;
+        auto it = unsent[v].begin();
+        sim.send(v, bfs_tree.parent_edge(v),
+                 Message{it->first, it->second.aux, it->second.value});
+        sent.push_back({v, *it});
+        unsent[v].erase(it);
+        any = true;
+      }
+      if (!any) break;
+      sim.finish_round();
+      for (VertexId v = 0; v < n; ++v) {
+        for (const Delivery& d : sim.inbox(v)) {
+          PartId p = d.msg.tag;
+          AggValue cand{d.msg.value, d.msg.aux};
+          auto it = table[v].find(p);
+          if (it == table[v].end() || cand < it->second) {
+            table[v][p] = cand;
+            unsent[v][p] = cand;
+          }
+        }
+      }
+    }
+
+    // Root merges centrally.
+    UnionFind uf(num_frag);
+    bool merged_any = false;
+    std::vector<EdgeId> chosen;
+    for (const auto& [p, cand] : table[bfs_tree.root()]) {
+      EdgeId e = cand.aux;
+      chosen.push_back(e);
+      if (uf.unite(frag[g.edge(e).u], frag[g.edge(e).v])) merged_any = true;
+    }
+    // Fragments whose candidates never reached the root cannot exist at
+    // quiescence: every fragment with an outgoing edge has a candidate at
+    // the root. If nothing merged, we are done (single fragment per
+    // component).
+    std::sort(chosen.begin(), chosen.end());
+    chosen.erase(std::unique(chosen.begin(), chosen.end()), chosen.end());
+    out.edges.insert(out.edges.end(), chosen.begin(), chosen.end());
+    if (!merged_any) break;
+    std::vector<PartId> relabel = uf.dense_labels();
+
+    // Pipelined downcast of the relabel table (old fragment -> new id).
+    std::vector<std::vector<std::pair<PartId, PartId>>> to_send(n);
+    {
+      std::vector<std::pair<PartId, PartId>> pairs;
+      for (PartId p = 0; p < num_frag; ++p) pairs.push_back({p, relabel[p]});
+      to_send[bfs_tree.root()] = std::move(pairs);
+    }
+    std::vector<std::size_t> cursor(n, 0);
+    while (true) {
+      bool any = false;
+      for (VertexId v = 0; v < n; ++v) {
+        if (cursor[v] >= to_send[v].size()) continue;
+        auto [p, label] = to_send[v][cursor[v]];
+        ++cursor[v];
+        for (VertexId c : bfs_tree.children(v))
+          sim.send(v, bfs_tree.parent_edge(c), Message{p, 0, label});
+        any = true;
+      }
+      if (!any) break;
+      sim.finish_round();
+      for (VertexId v = 0; v < n; ++v)
+        for (const Delivery& d : sim.inbox(v))
+          to_send[v].push_back(
+              {d.msg.tag, static_cast<PartId>(d.msg.value)});
+    }
+    for (VertexId v = 0; v < n; ++v) frag[v] = relabel[frag[v]];
+  }
+
+  std::sort(out.edges.begin(), out.edges.end());
+  out.edges.erase(std::unique(out.edges.begin(), out.edges.end()),
+                  out.edges.end());
+  out.rounds = sim.rounds() - start;
+  out.fragment_of = std::move(frag);
+  return out;
+}
+
+}  // namespace mns::congest

@@ -1,0 +1,63 @@
+// Distributed MST.
+//
+// boruvka_mst(): Boruvka phases on top of part-wise aggregation — the
+// algorithm Theorem 1 accelerates. Each phase: one round of fragment-label
+// exchange with neighbours, a part-wise min aggregation to pick each
+// fragment's lightest outgoing edge (over the fragment's shortcut), a star-
+// contraction merge, and one more aggregation on the new partition that
+// disseminates the merged labels. Shortcuts are rebuilt per phase by the
+// injected provider; by default their construction is charged as an extra
+// aggregation pass (see DESIGN.md on the [HIZ16a] substitution).
+//
+// controlled_ghs_mst(): the classical O~(D + sqrt(n)) baseline [GKP98]:
+// fragment growth capped at sqrt(n), then pipelined upcast/downcast of
+// fragment candidates over the BFS tree.
+#pragma once
+
+#include <functional>
+
+#include "congest/aggregation.hpp"
+#include "congest/simulator.hpp"
+#include "graph/rooted_tree.hpp"
+
+namespace mns::congest {
+
+/// Kruskal reference (centralized) for verification.
+[[nodiscard]] std::vector<EdgeId> kruskal_mst(const Graph& g,
+                                              const std::vector<Weight>& w);
+
+using ShortcutProvider =
+    std::function<Shortcut(const Graph&, const Partition&)>;
+
+/// Provider returning empty shortcuts (the no-shortcut baseline).
+[[nodiscard]] ShortcutProvider empty_shortcut_provider();
+
+struct MstOptions {
+  ShortcutProvider provider;
+  /// Charge shortcut construction as one extra aggregation's worth of rounds
+  /// per phase (approximating the distributed [HIZ16a] construction cost).
+  bool charge_construction = true;
+  /// Stop early once every fragment has at least this many vertices
+  /// (controlled-GHS phase 1); 0 = run to a single fragment.
+  VertexId stop_at_fragment_size = 0;
+};
+
+struct MstResult {
+  std::vector<EdgeId> edges;
+  long long rounds = 0;
+  int phases = 0;
+  /// Fragment labels after the run (dense; for phase-1 handoff).
+  std::vector<PartId> fragment_of;
+};
+
+[[nodiscard]] MstResult boruvka_mst(Simulator& sim,
+                                    const std::vector<Weight>& w,
+                                    const MstOptions& options);
+
+/// Controlled-GHS: Boruvka without shortcuts until fragments reach sqrt(n),
+/// then pipelined candidate upcast/downcast over the given BFS tree.
+[[nodiscard]] MstResult controlled_ghs_mst(Simulator& sim,
+                                           const RootedTree& bfs_tree,
+                                           const std::vector<Weight>& w);
+
+}  // namespace mns::congest

@@ -1,0 +1,123 @@
+#include "congest/primitives.hpp"
+
+#include <algorithm>
+
+#include "congest/bfs.hpp"
+
+namespace mns::congest {
+
+BroadcastResult broadcast(Simulator& sim, const RootedTree& tree,
+                          std::int64_t value) {
+  const VertexId n = tree.num_vertices();
+  BroadcastResult out;
+  out.received.assign(n, 0);
+  std::vector<char> has(n, 0);
+  out.received[tree.root()] = value;
+  has[tree.root()] = 1;
+  long long start = sim.rounds();
+  std::vector<VertexId> frontier{tree.root()};
+  while (!frontier.empty()) {
+    bool any = false;
+    for (VertexId v : frontier)
+      for (VertexId c : tree.children(v)) {
+        sim.send(v, tree.parent_edge(c), Message{0, 0, out.received[v]});
+        any = true;
+      }
+    if (!any) break;
+    sim.finish_round();
+    std::vector<VertexId> next;
+    for (VertexId v : frontier)
+      for (VertexId c : tree.children(v)) {
+        for (const Delivery& d : sim.inbox(c))
+          if (d.from == v && !has[c]) {
+            has[c] = 1;
+            out.received[c] = d.msg.value;
+            next.push_back(c);
+          }
+      }
+    frontier = std::move(next);
+  }
+  out.rounds = sim.rounds() - start;
+  return out;
+}
+
+ConvergecastResult convergecast_min(Simulator& sim, const RootedTree& tree,
+                                    const std::vector<std::int64_t>& values) {
+  const VertexId n = tree.num_vertices();
+  require(static_cast<VertexId>(values.size()) == n,
+          "convergecast_min: size mismatch");
+  // Each node sends once all children reported; leaves start immediately.
+  std::vector<int> waiting(n, 0);
+  std::vector<std::int64_t> best(values);
+  for (VertexId v = 0; v < n; ++v)
+    waiting[v] = static_cast<int>(tree.children(v).size());
+  long long start = sim.rounds();
+  std::vector<char> sent(n, 0);
+  bool done = false;
+  while (!done) {
+    bool any = false;
+    for (VertexId v = 0; v < n; ++v) {
+      if (v == tree.root() || sent[v] || waiting[v] > 0) continue;
+      sim.send(v, tree.parent_edge(v), Message{0, 0, best[v]});
+      sent[v] = 1;
+      any = true;
+    }
+    if (!any) {
+      done = true;
+      break;
+    }
+    sim.finish_round();
+    for (VertexId v = 0; v < n; ++v)
+      for (const Delivery& d : sim.inbox(v)) {
+        best[v] = std::min(best[v], d.msg.value);
+        --waiting[v];
+      }
+  }
+  ConvergecastResult out;
+  out.min_at_root = best[tree.root()];
+  out.rounds = sim.rounds() - start;
+  return out;
+}
+
+LeaderResult elect_leader(Simulator& sim) {
+  const Graph& g = sim.graph();
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> best(n);
+  for (VertexId v = 0; v < n; ++v) best[v] = v;
+  long long start = sim.rounds();
+  bool changed = true;
+  while (changed) {
+    for (VertexId v = 0; v < n; ++v)
+      for (EdgeId e : g.incident_edges(v))
+        sim.send(v, e, Message{0, 0, best[v]});
+    sim.finish_round();
+    changed = false;
+    for (VertexId v = 0; v < n; ++v)
+      for (const Delivery& d : sim.inbox(v))
+        if (d.msg.value < best[v]) {
+          best[v] = static_cast<VertexId>(d.msg.value);
+          changed = true;
+        }
+  }
+  LeaderResult out;
+  out.leader = best[0];
+  out.rounds = sim.rounds() - start;
+  return out;
+}
+
+DiameterEstimate estimate_diameter(Simulator& sim, VertexId start) {
+  long long r0 = sim.rounds();
+  DistributedBfsResult first = distributed_bfs(sim, start);
+  VertexId far = start;
+  for (VertexId v = 0; v < sim.graph().num_vertices(); ++v)
+    if (first.dist[v] > first.dist[far]) far = v;
+  DistributedBfsResult second = distributed_bfs(sim, far);
+  int ecc = 0;
+  for (int d : second.dist) ecc = std::max(ecc, d);
+  DiameterEstimate out;
+  out.estimate = ecc;
+  out.rounds = sim.rounds() - r0;
+  return out;
+}
+
+}  // namespace mns::congest

@@ -1,0 +1,54 @@
+#include "congest/simulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mns::congest {
+
+Simulator::Simulator(const Graph& g) : g_(&g) {
+  used_.assign(static_cast<std::size_t>(g.num_edges()) * 2, 0);
+  inbox_offset_.assign(static_cast<std::size_t>(g.num_vertices()) + 1, 0);
+}
+
+void Simulator::send(VertexId from, EdgeId edge, const Message& msg) {
+  const Edge& e = g_->edge(edge);
+  if (e.u != from && e.v != from)
+    throw std::invalid_argument("Simulator::send: from not on edge");
+  const std::size_t dir = 2 * static_cast<std::size_t>(edge) +
+                          (from == e.u ? 0 : 1);
+  if (used_[dir])
+    throw std::invalid_argument(
+        "Simulator::send: directed edge already used this round (CONGEST "
+        "capacity violated)");
+  used_[dir] = 1;
+  used_list_.push_back(static_cast<EdgeId>(dir));
+  VertexId to = (from == e.u) ? e.v : e.u;
+  pending_.push_back({to, Delivery{from, edge, msg}});
+  ++messages_;
+}
+
+void Simulator::finish_round() {
+  ++rounds_;
+  // Rebuild inboxes from pending messages.
+  const VertexId n = g_->num_vertices();
+  std::vector<std::size_t> count(static_cast<std::size_t>(n) + 1, 0);
+  for (const auto& [to, d] : pending_) ++count[static_cast<std::size_t>(to) + 1];
+  inbox_offset_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (VertexId v = 0; v < n; ++v)
+    inbox_offset_[static_cast<std::size_t>(v) + 1] =
+        inbox_offset_[v] + count[static_cast<std::size_t>(v) + 1];
+  inbox_data_.resize(pending_.size());
+  std::vector<std::size_t> cursor(inbox_offset_.begin(),
+                                  inbox_offset_.end() - 1);
+  for (const auto& [to, d] : pending_) inbox_data_[cursor[to]++] = d;
+  pending_.clear();
+  for (EdgeId dir : used_list_) used_[dir] = 0;
+  used_list_.clear();
+}
+
+void Simulator::skip_rounds(long long rounds) {
+  if (rounds < 0) throw std::invalid_argument("skip_rounds: negative");
+  rounds_ += rounds;
+}
+
+}  // namespace mns::congest

@@ -1,0 +1,71 @@
+// Synchronous CONGEST-model simulator (paper §1.3.1).
+//
+// Communication proceeds in rounds; per round each node may send one message
+// per incident edge per direction. Message payloads are fixed small PODs
+// (128 bits ≈ O(log n) for any realistic n), enforced by the type. The
+// simulator counts rounds and messages — rounds are the quantity every
+// theorem in the paper bounds.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mns::congest {
+
+/// O(log n)-bit message: 128 bits of payload.
+struct Message {
+  std::int32_t tag = 0;    ///< algorithm-defined (e.g. part id)
+  std::int32_t aux = 0;    ///< algorithm-defined (e.g. edge id)
+  std::int64_t value = 0;  ///< algorithm-defined (e.g. weight / label)
+};
+
+struct Delivery {
+  VertexId from = kInvalidVertex;
+  EdgeId edge = kInvalidEdge;
+  Message msg;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(const Graph& g);
+
+  [[nodiscard]] const Graph& graph() const noexcept { return *g_; }
+
+  /// Queues a message from `from` across `edge` for delivery next round.
+  /// Throws if `from` is not an endpoint of `edge` or if this directed edge
+  /// was already used this round (CONGEST capacity).
+  void send(VertexId from, EdgeId edge, const Message& msg);
+
+  /// Ends the round: delivers queued messages into inboxes.
+  void finish_round();
+
+  /// Messages delivered to v in the round that just finished.
+  [[nodiscard]] std::span<const Delivery> inbox(VertexId v) const {
+    return {inbox_data_.data() + inbox_offset_[v],
+            inbox_data_.data() + inbox_offset_[v + 1]};
+  }
+
+  /// Advances the round counter by `rounds` without communication (used to
+  /// account for idle/waiting rounds in lock-step algorithms).
+  void skip_rounds(long long rounds);
+
+  [[nodiscard]] long long rounds() const noexcept { return rounds_; }
+  [[nodiscard]] long long messages_sent() const noexcept { return messages_; }
+
+ private:
+  const Graph* g_;
+  // Pending sends for the current round.
+  std::vector<std::pair<VertexId, Delivery>> pending_;  // (to, delivery)
+  std::vector<char> used_;  // directed edge used this round: 2e + side
+  std::vector<EdgeId> used_list_;
+  // Delivered inboxes (CSR).
+  std::vector<std::size_t> inbox_offset_;
+  std::vector<Delivery> inbox_data_;
+  long long rounds_ = 0;
+  long long messages_ = 0;
+};
+
+}  // namespace mns::congest

@@ -1,0 +1,182 @@
+#include "core/construct_cliquesum.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/local_tree.hpp"
+
+namespace mns {
+
+Shortcut build_cliquesum_shortcut(const Graph& g, const RootedTree& tree,
+                                  const Partition& parts,
+                                  const CliqueSumDecomposition& csd,
+                                  CliqueSumShortcutOptions options) {
+  if (!options.local_oracle) options.local_oracle = make_greedy_oracle();
+
+  // 1. Fold (or wrap each bag as its own node).
+  FoldedDecomposition fd;
+  if (options.fold) {
+    fd = fold_decomposition(csd);
+  } else {
+    fd.groups.resize(csd.num_bags());
+    fd.parent.resize(csd.num_bags());
+    fd.parent_separator_bags.resize(csd.num_bags());
+    for (BagId b = 0; b < csd.num_bags(); ++b) {
+      fd.groups[b] = {b};
+      fd.parent[b] = csd.parent(b);
+      if (csd.parent(b) != kInvalidBag) fd.parent_separator_bags[b] = {b};
+    }
+    fd.depth = csd.depth();
+  }
+  const BagId N = fd.num_nodes();
+
+  // 2. Per-node data.
+  std::vector<char> is_tree_edge(g.num_edges(), 0);
+  for (VertexId v = 0; v < tree.num_vertices(); ++v)
+    if (v != tree.root()) is_tree_edge[tree.parent_edge(v)] = 1;
+
+  std::vector<std::vector<VertexId>> node_vertices(N);
+  std::vector<std::vector<EdgeId>> node_tree_edges(N);   // sorted
+  std::vector<std::vector<VertexId>> node_separator(N);  // sorted
+  for (BagId x = 0; x < N; ++x) {
+    for (BagId b : fd.groups[x]) {
+      auto bv = csd.bag_vertices(b);
+      node_vertices[x].insert(node_vertices[x].end(), bv.begin(), bv.end());
+      for (EdgeId e : csd.bag_edges(b))
+        if (is_tree_edge[e]) node_tree_edges[x].push_back(e);
+    }
+    for (BagId b : fd.parent_separator_bags[x]) {
+      auto pc = csd.parent_clique(b);
+      node_separator[x].insert(node_separator[x].end(), pc.begin(), pc.end());
+    }
+    auto sort_unique = [](auto& v) {
+      std::sort(v.begin(), v.end());
+      v.erase(std::unique(v.begin(), v.end()), v.end());
+    };
+    sort_unique(node_vertices[x]);
+    sort_unique(node_tree_edges[x]);
+    sort_unique(node_separator[x]);
+  }
+
+  // Node tree with LCA support.
+  BagId node_root = kInvalidBag;
+  for (BagId x = 0; x < N; ++x)
+    if (fd.parent[x] == kInvalidBag) node_root = x;
+  RootedTree node_tree(node_root,
+                       std::vector<VertexId>(fd.parent.begin(), fd.parent.end()));
+
+  // 3. Vertex -> nodes containing it.
+  std::vector<std::vector<BagId>> holders(g.num_vertices());
+  for (BagId x = 0; x < N; ++x)
+    for (VertexId v : node_vertices[x]) holders[v].push_back(x);
+
+  // 4. Per part: S_P and its LCA node.
+  const PartId P = parts.num_parts();
+  std::vector<std::vector<BagId>> nodes_of_part(P);
+  std::vector<BagId> lca_node(P, kInvalidBag);
+  for (PartId p = 0; p < P; ++p) {
+    std::vector<BagId> s;
+    for (VertexId v : parts.members(p))
+      s.insert(s.end(), holders[v].begin(), holders[v].end());
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+    require(!s.empty(), "cliquesum shortcut: part hits no node");
+    BagId h = s[0];
+    for (BagId x : s) h = node_tree.lca(h, x);
+    nodes_of_part[p] = std::move(s);
+    lca_node[p] = h;
+  }
+
+  Shortcut sc;
+  sc.edges_of_part.resize(P);
+
+  // 5. Global shortcuts.
+  std::vector<int> edge_stamp(g.num_edges(), -1);
+  std::vector<std::vector<BagId>> node_children(N);
+  for (BagId x = 0; x < N; ++x)
+    if (fd.parent[x] != kInvalidBag) node_children[fd.parent[x]].push_back(x);
+  for (PartId p = 0; p < P; ++p) {
+    BagId h = lca_node[p];
+    // Children of h whose subtree holds part nodes.
+    std::vector<BagId> roots;
+    for (BagId x : nodes_of_part[p]) {
+      if (x == h) continue;
+      BagId c = node_tree.kth_ancestor(x, node_tree.depth(x) -
+                                              node_tree.depth(h) - 1);
+      roots.push_back(c);
+    }
+    std::sort(roots.begin(), roots.end());
+    roots.erase(std::unique(roots.begin(), roots.end()), roots.end());
+    // Stamp h's own edges as excluded, then collect descendant edges.
+    for (EdgeId e : node_tree_edges[h]) edge_stamp[e] = p;
+    std::vector<BagId> stack(roots);
+    while (!stack.empty()) {
+      BagId x = stack.back();
+      stack.pop_back();
+      for (EdgeId e : node_tree_edges[x])
+        if (edge_stamp[e] != p) {
+          edge_stamp[e] = p;
+          sc.edges_of_part[p].push_back(e);
+        }
+      for (BagId c : node_children[x]) stack.push_back(c);
+    }
+  }
+
+  // 6. Local shortcuts per node.
+  std::vector<std::vector<PartId>> parts_at_node(N);
+  for (PartId p = 0; p < P; ++p) parts_at_node[lca_node[p]].push_back(p);
+  std::vector<VertexId> global_to_local(g.num_vertices(), kInvalidVertex);
+  for (BagId x = 0; x < N; ++x) {
+    if (parts_at_node[x].empty()) continue;
+    LocalTree lt = steiner_minor(tree, node_vertices[x]);
+    for (VertexId i = 0; i < static_cast<VertexId>(lt.to_global.size()); ++i)
+      global_to_local[lt.to_global[i]] = i;
+
+    LocalInstance inst{std::move(lt.tree), {}, {}};
+    for (PartId p : parts_at_node[x]) {
+      std::vector<VertexId> terms;
+      for (VertexId v : parts.members(p))
+        if (std::binary_search(node_vertices[x].begin(),
+                               node_vertices[x].end(), v))
+          terms.push_back(global_to_local[v]);
+      inst.terminal_sets.push_back(std::move(terms));
+    }
+    if (!options.bag_apices.empty())
+      for (BagId b : fd.groups[x])
+        if (b < static_cast<BagId>(options.bag_apices.size()))
+          for (VertexId a : options.bag_apices[b])
+            if (global_to_local[a] != kInvalidVertex &&
+                std::binary_search(node_vertices[x].begin(),
+                                   node_vertices[x].end(), a))
+              inst.apices.push_back(global_to_local[a]);
+
+    std::vector<TreeEdgeSet> local = options.local_oracle(inst);
+    require(local.size() == inst.terminal_sets.size(),
+            "cliquesum shortcut: oracle returned wrong set count");
+    for (std::size_t i = 0; i < parts_at_node[x].size(); ++i) {
+      PartId p = parts_at_node[x][i];
+      for (VertexId child_local : local[i]) {
+        EdgeId e = lt.real_parent_edge[child_local];
+        if (e == kInvalidEdge) continue;  // virtual (contracted) edge
+        const Edge& ed = g.edge(e);
+        // Discard edges inside the parent separator: they belong higher up.
+        if (std::binary_search(node_separator[x].begin(),
+                               node_separator[x].end(), ed.u) &&
+            std::binary_search(node_separator[x].begin(),
+                               node_separator[x].end(), ed.v))
+          continue;
+        sc.edges_of_part[p].push_back(e);
+      }
+    }
+    for (VertexId v : lt.to_global) global_to_local[v] = kInvalidVertex;
+  }
+
+  // 7. De-duplicate per part.
+  for (auto& es : sc.edges_of_part) {
+    std::sort(es.begin(), es.end());
+    es.erase(std::unique(es.begin(), es.end()), es.end());
+  }
+  return sc;
+}
+
+}  // namespace mns

@@ -1,0 +1,37 @@
+// Theorem 7: shortcut construction on k-clique-sums. Implements Lemma 1's
+// local/global split on the (optionally folded, §2.2) decomposition tree:
+//
+//  * global shortcuts — for part P with LCA node h_P, all spanning-tree edges
+//    inside the descendant subtrees of h_P that P reaches, minus h_P's own
+//    edges; block roots collapse into B_{h_P}.
+//  * local shortcuts — per node, the bag oracle runs on the repaired tree
+//    T^2_h (Steiner minor, src/core/local_tree.hpp) for the parts whose LCA
+//    is that node; only "real" T edges survive, and edges inside the parent
+//    separator are discarded (they belong to an ancestor bag).
+#pragma once
+
+#include <optional>
+
+#include "core/oracle.hpp"
+#include "core/partition.hpp"
+#include "core/shortcut.hpp"
+#include "structure/clique_sum.hpp"
+
+namespace mns {
+
+struct CliqueSumShortcutOptions {
+  /// Apply the §2.2 heavy-light folding (depth O(log^2 n)). Disable to
+  /// reproduce Lemma 1's dependence on depth(DT) (bench E4).
+  bool fold = true;
+  /// Local constructor within each node; defaults to the tuned greedy oracle.
+  BagOracle local_oracle;
+  /// Optional per-ORIGINAL-bag apex vertices (global ids) forwarded into the
+  /// local instances (consumed by make_apex_oracle).
+  std::vector<std::vector<VertexId>> bag_apices;
+};
+
+[[nodiscard]] Shortcut build_cliquesum_shortcut(
+    const Graph& g, const RootedTree& tree, const Partition& parts,
+    const CliqueSumDecomposition& csd, CliqueSumShortcutOptions options = {});
+
+}  // namespace mns

@@ -1,0 +1,53 @@
+#include "core/engine.hpp"
+
+namespace mns {
+
+namespace {
+
+std::vector<std::vector<VertexId>> member_sets(const Partition& parts) {
+  std::vector<std::vector<VertexId>> out;
+  out.reserve(parts.num_parts());
+  for (PartId p = 0; p < parts.num_parts(); ++p) {
+    auto m = parts.members(p);
+    out.emplace_back(m.begin(), m.end());
+  }
+  return out;
+}
+
+}  // namespace
+
+Shortcut build_greedy_shortcut(const Graph&, const RootedTree& tree,
+                               const Partition& parts) {
+  return to_shortcut(tree, tuned_greedy(tree, member_sets(parts)).sets);
+}
+
+Shortcut build_steiner_shortcut(const Graph&, const RootedTree& tree,
+                                const Partition& parts) {
+  return to_shortcut(tree, steiner_subtrees(tree, member_sets(parts)));
+}
+
+Shortcut build_ancestor_shortcut(const Graph&, const RootedTree& tree,
+                                 const Partition& parts, int levels) {
+  return to_shortcut(tree, ancestor_climb(tree, member_sets(parts), levels));
+}
+
+Shortcut build_treewidth_shortcut(const Graph& g, const RootedTree& tree,
+                                  const Partition& parts,
+                                  const TreeDecomposition& td) {
+  CliqueSumDecomposition csd = clique_sum_from_tree_decomposition(td, g);
+  CliqueSumShortcutOptions opt;
+  opt.fold = true;
+  opt.local_oracle = make_trivial_oracle();
+  return build_cliquesum_shortcut(g, tree, parts, csd, std::move(opt));
+}
+
+Shortcut build_apex_shortcut(const Graph&, const RootedTree& tree,
+                             const Partition& parts,
+                             const std::vector<VertexId>& apices,
+                             BagOracle inner) {
+  LocalInstance inst{tree, member_sets(parts), apices};
+  BagOracle oracle = make_apex_oracle(std::move(inner));
+  return to_shortcut(tree, oracle(inst));
+}
+
+}  // namespace mns

@@ -1,0 +1,96 @@
+#include "core/local_tree.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace mns {
+
+LocalTree steiner_minor(const RootedTree& T,
+                        std::span<const VertexId> vertices) {
+  if (vertices.empty())
+    throw std::invalid_argument("steiner_minor: empty vertex set");
+
+  // tin order (preorder position) for virtual-tree construction.
+  const auto& pre = T.preorder();
+  std::vector<int> tin(T.num_vertices());
+  for (int i = 0; i < static_cast<int>(pre.size()); ++i) tin[pre[i]] = i;
+
+  std::vector<VertexId> terms(vertices.begin(), vertices.end());
+  std::sort(terms.begin(), terms.end(),
+            [&](VertexId a, VertexId b) { return tin[a] < tin[b]; });
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+
+  // Candidates: terminals plus consecutive LCAs.
+  std::vector<VertexId> cand = terms;
+  for (std::size_t i = 0; i + 1 < terms.size(); ++i)
+    cand.push_back(T.lca(terms[i], terms[i + 1]));
+  std::sort(cand.begin(), cand.end(),
+            [&](VertexId a, VertexId b) { return tin[a] < tin[b]; });
+  cand.erase(std::unique(cand.begin(), cand.end()), cand.end());
+
+  // Stack-based virtual tree: candidates in tin order; an element's virtual
+  // parent is the nearest open ancestor.
+  std::map<VertexId, std::vector<VertexId>> vchildren;
+  std::map<VertexId, VertexId> vparent;
+  std::vector<VertexId> stack;
+  for (VertexId v : cand) {
+    while (!stack.empty() && !T.is_ancestor(stack.back(), v)) stack.pop_back();
+    if (!stack.empty()) {
+      vparent[v] = stack.back();
+      vchildren[stack.back()].push_back(v);
+    }
+    stack.push_back(v);
+  }
+
+  // Contract non-terminal candidates bottom-up (reverse tin order is a valid
+  // bottom-up order for the virtual tree).
+  std::vector<char> is_term(T.num_vertices(), 0);
+  for (VertexId t : terms) is_term[t] = 1;
+
+  LocalTree out{RootedTree(0, {kInvalidVertex}), {}, {}};
+  out.to_global = terms;
+  std::map<VertexId, VertexId> local_of;
+  for (std::size_t i = 0; i < terms.size(); ++i)
+    local_of[terms[i]] = static_cast<VertexId>(i);
+
+  std::vector<VertexId> parent_local(terms.size(), kInvalidVertex);
+  std::vector<EdgeId> real_edge(terms.size(), kInvalidEdge);
+  std::map<VertexId, VertexId> rep;  // candidate -> terminal representative
+
+  auto attach = [&](VertexId child_term, VertexId parent_term,
+                    bool straight_up) {
+    VertexId cl = local_of.at(child_term);
+    require(parent_local[cl] == kInvalidVertex, "steiner_minor: reattach");
+    parent_local[cl] = local_of.at(parent_term);
+    if (straight_up && T.parent(child_term) == parent_term)
+      real_edge[cl] = T.parent_edge(child_term);
+  };
+
+  for (auto it = cand.rbegin(); it != cand.rend(); ++it) {
+    VertexId v = *it;
+    std::vector<VertexId> child_reps;
+    auto ch = vchildren.find(v);
+    if (ch != vchildren.end())
+      for (VertexId c : ch->second)
+        if (rep.count(c)) child_reps.push_back(rep[c]);
+    if (is_term[v]) {
+      for (VertexId r : child_reps) attach(r, v, /*straight_up=*/true);
+      rep[v] = v;
+    } else if (!child_reps.empty()) {
+      rep[v] = child_reps[0];
+      for (std::size_t i = 1; i < child_reps.size(); ++i)
+        attach(child_reps[i], child_reps[0], /*straight_up=*/false);
+    }
+  }
+
+  // Root of the local tree: rep of the top candidate.
+  VertexId top = cand.front();  // smallest tin = ancestor of all candidates
+  require(rep.count(top) > 0, "steiner_minor: no representative at top");
+  VertexId root_local = local_of.at(rep.at(top));
+  out.tree = RootedTree(root_local, std::move(parent_local));
+  out.real_parent_edge = std::move(real_edge);
+  return out;
+}
+
+}  // namespace mns

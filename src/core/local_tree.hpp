@@ -1,0 +1,31 @@
+// The "repaired tree" T^2_h of Theorem 7's proof: the minor of the global
+// spanning tree T induced on a bag's vertex set (path contraction of
+// Figure 3). Edges whose contracted path is a single T edge are "real" — only
+// those may enter the final shortcut; the rest exist so the local oracle sees
+// a connected tree of diameter O(d_T).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/rooted_tree.hpp"
+
+namespace mns {
+
+struct LocalTree {
+  /// Tree on local indices 0..s-1 (s = number of bag vertices).
+  RootedTree tree;
+  /// local index -> global vertex id.
+  std::vector<VertexId> to_global;
+  /// Per local vertex: the global T edge realizing its parent edge, or
+  /// kInvalidEdge when the parent edge is a contracted (virtual) path.
+  std::vector<EdgeId> real_parent_edge;
+};
+
+/// Builds the Steiner minor of `T` on `vertices` (must be non-empty, global
+/// ids, duplicates allowed). Runs in O(s log s) using tin-ordered virtual
+/// trees.
+[[nodiscard]] LocalTree steiner_minor(const RootedTree& T,
+                                      std::span<const VertexId> vertices);
+
+}  // namespace mns

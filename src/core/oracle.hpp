@@ -1,0 +1,35 @@
+// Bag oracles: pluggable local shortcut constructors used by the clique-sum
+// builder (Theorem 7) for the per-bag "local shortcut" step. Each oracle sees
+// an instance-local tree plus terminal sets and returns, per set, the tree
+// edges taken (identified by their child vertex).
+//
+//  - trivial:   nothing (the right choice for width-k bags; Theorem 5)
+//  - steiner:   full Steiner subtrees (block 1, congestion unbounded)
+//  - greedy:    [HIZ16a]-style tuned capped climbing
+//  - apex:      Lemmas 9-10 — handles the bag's apices via cells +
+//               cell-assignment, delegating within cells to an inner oracle.
+#pragma once
+
+#include <functional>
+
+#include "core/construct_tree.hpp"
+#include "graph/rooted_tree.hpp"
+
+namespace mns {
+
+struct LocalInstance {
+  RootedTree tree;
+  std::vector<std::vector<VertexId>> terminal_sets;  ///< instance-local ids
+  std::vector<VertexId> apices;                      ///< instance-local ids
+};
+
+using BagOracle =
+    std::function<std::vector<TreeEdgeSet>(const LocalInstance&)>;
+
+[[nodiscard]] BagOracle make_trivial_oracle();
+[[nodiscard]] BagOracle make_steiner_oracle();
+[[nodiscard]] BagOracle make_greedy_oracle();
+/// Lemma 9/10 construction; `inner` builds the within-cell local shortcuts.
+[[nodiscard]] BagOracle make_apex_oracle(BagOracle inner);
+
+}  // namespace mns

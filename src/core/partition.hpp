@@ -1,0 +1,68 @@
+// Parts (Definition 9): pairwise-disjoint, individually-connected vertex
+// subsets for which part-wise aggregation must be solved. Includes the part
+// generators used by tests and benches (BFS/Voronoi parts, ring sectors,
+// grid stripes) — Boruvka fragments arrive from src/congest at runtime.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mns {
+
+using PartId = std::int32_t;
+inline constexpr PartId kNoPart = -1;
+
+class Partition {
+ public:
+  /// `part_of[v]` = part id in [0, num_parts) or kNoPart. Part ids must be
+  /// dense (every id below the max occurs).
+  explicit Partition(std::vector<PartId> part_of);
+
+  /// Builds from explicit member lists (unlisted vertices get kNoPart).
+  static Partition from_parts(VertexId n,
+                              const std::vector<std::vector<VertexId>>& parts);
+
+  [[nodiscard]] PartId num_parts() const noexcept {
+    return static_cast<PartId>(members_.size());
+  }
+  [[nodiscard]] PartId part_of(VertexId v) const { return part_of_[v]; }
+  [[nodiscard]] std::span<const VertexId> members(PartId p) const {
+    return members_[p];
+  }
+  [[nodiscard]] const std::vector<std::vector<VertexId>>& all_members()
+      const noexcept {
+    return members_;
+  }
+
+  /// "" iff every part is non-empty and G[P_i] is connected (Definition 9).
+  [[nodiscard]] std::string validate(const Graph& g) const;
+
+ private:
+  std::vector<PartId> part_of_;
+  std::vector<std::vector<VertexId>> members_;
+};
+
+/// Voronoi parts: multi-source BFS from `num_seeds` random vertices; each
+/// vertex joins its closest seed. Parts are connected by construction.
+[[nodiscard]] Partition voronoi_partition(const Graph& g, int num_seeds,
+                                          Rng& rng);
+
+/// Splits a cycle-like vertex range [first, first+count) into `sectors`
+/// contiguous arcs (the wheel adversarial case: long skinny ring parts).
+[[nodiscard]] Partition ring_sectors(VertexId n, VertexId first,
+                                     VertexId count, int sectors);
+
+/// Horizontal stripes of a rows x cols grid, each `band` rows tall — long
+/// parts whose isolated diameter is cols >> grid diameter when band is small.
+[[nodiscard]] Partition grid_stripes(int rows, int cols, int band);
+
+/// Serpentine ("boustrophedon") parts of a rows x cols grid: part k snakes
+/// through the column band [k*width, (k+1)*width), giving isolated part
+/// diameter Theta(rows * width) on a grid of diameter Theta(rows + cols) —
+/// the grid analogue of the wheel pathology, where shortcuts are essential.
+[[nodiscard]] Partition grid_serpentines(int rows, int cols, int width);
+
+}  // namespace mns

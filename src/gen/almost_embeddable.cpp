@@ -1,0 +1,58 @@
+#include "gen/almost_embeddable.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "gen/apex.hpp"
+#include "gen/surfaces.hpp"
+#include "gen/vortex.hpp"
+
+namespace mns::gen {
+
+AlmostEmbeddable random_almost_embeddable(const AlmostEmbeddableParams& params,
+                                          Rng& rng) {
+  if (params.num_vortices < 0 || params.apices < 0 || params.genus < 0)
+    throw std::invalid_argument("random_almost_embeddable: bad params");
+  EmbeddedGraph base =
+      surface_grid(params.rows, params.cols, params.genus, rng);
+
+  // Candidate vortex faces: simple cycles, vertex-disjoint from one another.
+  std::vector<std::vector<VertexId>> chosen_faces;
+  if (params.num_vortices > 0) {
+    std::vector<int> face_ids;
+    for (int f = 0; f < base.num_faces(); ++f)
+      if (base.face_is_simple_cycle(f)) face_ids.push_back(f);
+    std::shuffle(face_ids.begin(), face_ids.end(), rng);
+    std::set<VertexId> used;
+    for (int f : face_ids) {
+      if (static_cast<int>(chosen_faces.size()) == params.num_vortices) break;
+      auto fv = base.face_vertices(f);
+      bool ok = true;
+      for (VertexId v : fv)
+        if (used.count(v)) ok = false;
+      if (!ok) continue;
+      for (VertexId v : fv) used.insert(v);
+      chosen_faces.push_back(std::move(fv));
+    }
+    if (static_cast<int>(chosen_faces.size()) < params.num_vortices)
+      throw std::invalid_argument(
+          "random_almost_embeddable: not enough disjoint vortex faces");
+  }
+
+  Graph current = base.graph();
+  std::vector<VortexSpec> vortices;
+  for (const auto& face : chosen_faces) {
+    VortexResult vr = add_vortex(current, face, params.vortex_depth,
+                                 params.internal_per_vortex, rng);
+    current = std::move(vr.graph);
+    vortices.push_back(std::move(vr.vortex));
+  }
+
+  ApexResult ar = add_apices(current, params.apices, params.apex_attach_prob,
+                             rng);
+  return AlmostEmbeddable{std::move(ar.graph), std::move(base),
+                          std::move(vortices), std::move(ar.apices), params};
+}
+
+}  // namespace mns::gen

@@ -1,0 +1,38 @@
+// (q, g, k, l)-almost-embeddable graphs (Definition 5): a bounded-genus base
+// (step i), l vortices of depth k on faces (step ii), q apices (step iii) —
+// generated with the full structure recorded so shortcut constructions and
+// validators can consume it.
+#pragma once
+
+#include <vector>
+
+#include "graph/embedding.hpp"
+#include "structure/surface_decomposition.hpp"
+
+namespace mns::gen {
+
+struct AlmostEmbeddableParams {
+  int apices = 0;        ///< q
+  int genus = 0;         ///< g
+  int vortex_depth = 1;  ///< k
+  int num_vortices = 0;  ///< l
+  int rows = 8;          ///< base surface-grid rows
+  int cols = 8;          ///< base surface-grid cols
+  int internal_per_vortex = 4;
+  double apex_attach_prob = 0.3;
+};
+
+struct AlmostEmbeddable {
+  Graph graph;                      ///< the full almost-embeddable graph
+  EmbeddedGraph base;               ///< step (i): genus-<=g embedded base
+  std::vector<VortexSpec> vortices; ///< step (ii); ids refer to `graph`
+  std::vector<VertexId> apices;     ///< step (iii); ids refer to `graph`
+  AlmostEmbeddableParams params;
+};
+
+/// Builds a random almost-embeddable graph per Definition 5. Vertex ids:
+/// base vertices first, then vortex internals (per vortex), then apices.
+[[nodiscard]] AlmostEmbeddable random_almost_embeddable(
+    const AlmostEmbeddableParams& params, Rng& rng);
+
+}  // namespace mns::gen

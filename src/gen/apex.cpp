@@ -1,0 +1,49 @@
+#include "gen/apex.hpp"
+
+#include <stdexcept>
+
+namespace mns::gen {
+
+ApexResult add_apices(const Graph& g, int q, double attach_prob, Rng& rng) {
+  if (q < 0) throw std::invalid_argument("add_apices: q < 0");
+  if (attach_prob < 0.0 || attach_prob > 1.0)
+    throw std::invalid_argument("add_apices: bad probability");
+  const VertexId n = g.num_vertices();
+  ApexResult out;
+  GraphBuilder builder(n + q);
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    builder.add_edge(g.edge(e).u, g.edge(e).v);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  for (int i = 0; i < q; ++i) {
+    VertexId apex = n + i;
+    out.apices.push_back(apex);
+    bool any = false;
+    for (VertexId v = 0; v < n; ++v)
+      if (coin(rng) < attach_prob) {
+        builder.add_edge(apex, v);
+        any = true;
+      }
+    if (!any && n > 0) {
+      std::uniform_int_distribution<VertexId> pick(0, n - 1);
+      builder.add_edge(apex, pick(rng));
+    }
+    for (int j = 0; j < i; ++j)
+      if (coin(rng) < 0.5) builder.add_edge(apex, n + j);
+  }
+  out.graph = builder.build();
+  return out;
+}
+
+ApexResult add_universal_apex(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  ApexResult out;
+  out.apices.push_back(n);
+  GraphBuilder builder(n + 1);
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    builder.add_edge(g.edge(e).u, g.edge(e).v);
+  for (VertexId v = 0; v < n; ++v) builder.add_edge(n, v);
+  out.graph = builder.build();
+  return out;
+}
+
+}  // namespace mns::gen

@@ -1,0 +1,28 @@
+// Apex addition (Definition 2): new vertices connected to arbitrary subsets
+// of the existing graph (and optionally to each other), Definition 5 step
+// (iii). Apices can shrink the diameter arbitrarily — the hard case of
+// Section 2.3.2.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mns::gen {
+
+struct ApexResult {
+  Graph graph;
+  std::vector<VertexId> apices;  ///< ids of the added apex vertices.
+};
+
+/// Adds `q` apices; each connects to every prior vertex independently with
+/// probability `attach_prob` (at least one attachment is forced so the graph
+/// stays connected) and to each earlier apex with probability 1/2.
+[[nodiscard]] ApexResult add_apices(const Graph& g, int q, double attach_prob,
+                                    Rng& rng);
+
+/// Adds a single "universal" apex adjacent to every vertex (the wheel-style
+/// worst case: diameter collapses to <= 2).
+[[nodiscard]] ApexResult add_universal_apex(const Graph& g);
+
+}  // namespace mns::gen

@@ -1,0 +1,73 @@
+#include "gen/basic.hpp"
+
+#include <set>
+#include <stdexcept>
+
+namespace mns::gen {
+
+Graph path(VertexId n) {
+  GraphBuilder b(n);
+  for (VertexId v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  return b.build();
+}
+
+Graph cycle(VertexId n) {
+  if (n < 3) throw std::invalid_argument("cycle: need n >= 3");
+  GraphBuilder b(n);
+  for (VertexId v = 0; v < n; ++v) b.add_edge(v, (v + 1) % n);
+  return b.build();
+}
+
+Graph star(VertexId leaves) {
+  GraphBuilder b(leaves + 1);
+  for (VertexId v = 1; v <= leaves; ++v) b.add_edge(0, v);
+  return b.build();
+}
+
+Graph wheel(VertexId n) {
+  if (n < 4) throw std::invalid_argument("wheel: need n >= 4");
+  GraphBuilder b(n);
+  for (VertexId v = 1; v < n; ++v) {
+    b.add_edge(0, v);
+    b.add_edge(v, v == n - 1 ? 1 : v + 1);
+  }
+  return b.build();
+}
+
+Graph complete(VertexId n) {
+  GraphBuilder b(n);
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId v = u + 1; v < n; ++v) b.add_edge(u, v);
+  return b.build();
+}
+
+Graph random_tree(VertexId n, Rng& rng) {
+  GraphBuilder b(n);
+  for (VertexId v = 1; v < n; ++v) {
+    std::uniform_int_distribution<VertexId> pick(0, v - 1);
+    b.add_edge(pick(rng), v);
+  }
+  return b.build();
+}
+
+Graph erdos_renyi(VertexId n, EdgeId m, bool ensure_connected, Rng& rng) {
+  GraphBuilder b(n);
+  if (ensure_connected)
+    for (VertexId v = 1; v < n; ++v) {
+      std::uniform_int_distribution<VertexId> pick(0, v - 1);
+      b.add_edge(pick(rng), v);
+    }
+  std::uniform_int_distribution<VertexId> pick(0, n - 1);
+  std::set<std::pair<VertexId, VertexId>> seen;
+  int attempts = 0;
+  while (static_cast<EdgeId>(seen.size()) < m && attempts < 20 * m + 100) {
+    ++attempts;
+    VertexId u = pick(rng), v = pick(rng);
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (seen.insert({u, v}).second) b.add_edge(u, v);
+  }
+  return b.build();
+}
+
+}  // namespace mns::gen

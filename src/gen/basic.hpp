@@ -1,0 +1,22 @@
+// Elementary graph families used across tests, examples and benches.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace mns::gen {
+
+[[nodiscard]] Graph path(VertexId n);
+[[nodiscard]] Graph cycle(VertexId n);
+[[nodiscard]] Graph star(VertexId leaves);
+/// Hub 0 plus a ring 1..n-1 (the paper's recurring apex example: Θ(1)
+/// diameter, ring parts of Θ(n) isolated diameter).
+[[nodiscard]] Graph wheel(VertexId n);
+[[nodiscard]] Graph complete(VertexId n);
+/// Uniform random tree (each vertex attaches to a random predecessor).
+[[nodiscard]] Graph random_tree(VertexId n, Rng& rng);
+/// G(n, m) Erdős–Rényi-style: m distinct uniform edges plus, if
+/// `ensure_connected`, a random spanning tree.
+[[nodiscard]] Graph erdos_renyi(VertexId n, EdgeId m, bool ensure_connected,
+                                Rng& rng);
+
+}  // namespace mns::gen

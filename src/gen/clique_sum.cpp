@@ -1,0 +1,128 @@
+#include "gen/clique_sum.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "graph/algorithms.hpp"
+
+namespace mns::gen {
+
+std::vector<std::vector<VertexId>> default_glue_cliques(const Graph& g,
+                                                        int max_size) {
+  std::vector<std::vector<VertexId>> out;
+  if (max_size >= 1)
+    for (VertexId v = 0; v < g.num_vertices(); ++v) out.push_back({v});
+  if (max_size >= 2)
+    for (EdgeId e = 0; e < g.num_edges(); ++e)
+      out.push_back({g.edge(e).u, g.edge(e).v});
+  return out;
+}
+
+CliqueSumResult compose_clique_sum(const std::vector<BagInput>& bags, int k,
+                                   double drop_edge_prob, Rng& rng) {
+  if (bags.empty())
+    throw std::invalid_argument("compose_clique_sum: no bags");
+  if (k < 1) throw std::invalid_argument("compose_clique_sum: k < 1");
+  const std::size_t B = bags.size();
+
+  // Verify glue cliques really are cliques of size <= k.
+  for (const BagInput& bi : bags)
+    for (const auto& c : bi.glue_cliques) {
+      if (c.empty() || static_cast<int>(c.size()) > k)
+        throw std::invalid_argument("compose_clique_sum: bad clique size");
+      for (std::size_t i = 0; i < c.size(); ++i)
+        for (std::size_t j = i + 1; j < c.size(); ++j)
+          if (!bi.graph.has_edge(c[i], c[j]))
+            throw std::invalid_argument(
+                "compose_clique_sum: glue tuple is not a clique");
+    }
+
+  std::vector<std::vector<VertexId>> local_to_global(B);
+  std::vector<BagId> parent(B, kInvalidBag);
+  std::vector<std::vector<VertexId>> parent_clique(B);
+
+  VertexId next_global = bags[0].graph.num_vertices();
+  local_to_global[0].resize(next_global);
+  for (VertexId v = 0; v < next_global; ++v) local_to_global[0][v] = v;
+
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::set<std::pair<VertexId, VertexId>> dropped;
+
+  for (std::size_t i = 1; i < B; ++i) {
+    std::uniform_int_distribution<std::size_t> pick_parent(0, i - 1);
+    std::size_t p = pick_parent(rng);
+    // Compatible glue pair: same size <= k on both sides.
+    std::vector<std::pair<std::size_t, std::size_t>> pairs;
+    for (std::size_t a = 0; a < bags[i].glue_cliques.size(); ++a)
+      for (std::size_t b = 0; b < bags[p].glue_cliques.size(); ++b)
+        if (bags[i].glue_cliques[a].size() == bags[p].glue_cliques[b].size())
+          pairs.push_back({a, b});
+    if (pairs.empty())
+      throw std::invalid_argument(
+          "compose_clique_sum: no compatible glue cliques");
+    std::uniform_int_distribution<std::size_t> pick_pair(0, pairs.size() - 1);
+    auto [ca, cb] = pairs[pick_pair(rng)];
+    const auto& child_clique = bags[i].glue_cliques[ca];
+    const auto& parent_clique_local = bags[p].glue_cliques[cb];
+
+    auto& map = local_to_global[i];
+    map.assign(bags[i].graph.num_vertices(), kInvalidVertex);
+    std::vector<VertexId> clique_global;
+    for (std::size_t j = 0; j < child_clique.size(); ++j) {
+      VertexId g = local_to_global[p][parent_clique_local[j]];
+      map[child_clique[j]] = g;
+      clique_global.push_back(g);
+    }
+    for (VertexId v = 0; v < bags[i].graph.num_vertices(); ++v)
+      if (map[v] == kInvalidVertex) map[v] = next_global++;
+    parent[i] = static_cast<BagId>(p);
+    parent_clique[i] = clique_global;
+    // Optional deletions among the identified clique's edges.
+    for (std::size_t a = 0; a < clique_global.size(); ++a)
+      for (std::size_t b = a + 1; b < clique_global.size(); ++b)
+        if (coin(rng) < drop_edge_prob) {
+          VertexId x = clique_global[a], y = clique_global[b];
+          if (x > y) std::swap(x, y);
+          dropped.insert({x, y});
+        }
+  }
+
+  // Union all bag edges in global coordinates.
+  auto build_graph = [&](const std::set<std::pair<VertexId, VertexId>>& drop) {
+    GraphBuilder builder(next_global);
+    for (std::size_t i = 0; i < B; ++i)
+      for (EdgeId e = 0; e < bags[i].graph.num_edges(); ++e) {
+        VertexId u = local_to_global[i][bags[i].graph.edge(e).u];
+        VertexId v = local_to_global[i][bags[i].graph.edge(e).v];
+        if (u > v) std::swap(u, v);
+        if (!drop.count({u, v})) builder.add_edge(u, v);
+      }
+    return builder.build();
+  };
+  Graph graph = build_graph(dropped);
+  if (!is_connected(graph)) {
+    dropped.clear();  // roll back deletions (rare)
+    graph = build_graph(dropped);
+  }
+
+  // Assemble the decomposition record.
+  std::vector<std::vector<VertexId>> bag_vertices(B);
+  std::vector<std::vector<EdgeId>> bag_edges(B);
+  for (std::size_t i = 0; i < B; ++i) {
+    bag_vertices[i] = local_to_global[i];
+    for (EdgeId e = 0; e < bags[i].graph.num_edges(); ++e) {
+      VertexId u = local_to_global[i][bags[i].graph.edge(e).u];
+      VertexId v = local_to_global[i][bags[i].graph.edge(e).v];
+      EdgeId ge = graph.find_edge(u, v);
+      if (ge != kInvalidEdge) bag_edges[i].push_back(ge);
+    }
+  }
+  CliqueSumDecomposition decomposition(std::move(bag_vertices),
+                                       std::move(bag_edges), std::move(parent),
+                                       std::move(parent_clique));
+  return CliqueSumResult{std::move(graph), std::move(decomposition),
+                         std::move(local_to_global)};
+}
+
+}  // namespace mns::gen

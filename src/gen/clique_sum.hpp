@@ -1,0 +1,40 @@
+// k-clique-sum composition (Definitions 1 and 8): glues component graphs
+// ("bags") into one network by identifying cliques, optionally deleting some
+// identified-clique edges, and records the resulting decomposition tree.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "structure/clique_sum.hpp"
+
+namespace mns::gen {
+
+/// One component to glue: its graph plus candidate attachment cliques
+/// (local vertex ids; every listed tuple must be a clique in `graph`).
+struct BagInput {
+  Graph graph;
+  std::vector<std::vector<VertexId>> glue_cliques;
+};
+
+struct CliqueSumResult {
+  Graph graph;
+  CliqueSumDecomposition decomposition;
+  /// per bag: local vertex id -> global vertex id.
+  std::vector<std::vector<VertexId>> local_to_global;
+};
+
+/// Composes the bags into a k-clique-sum: bag 0 seeds the graph; every later
+/// bag attaches to a uniformly random earlier bag by identifying one of its
+/// glue cliques (of size <= k) with an equal-sized glue clique of the parent.
+/// Each identified-clique edge is deleted with probability `drop_edge_prob`
+/// (Definition 1's optional deletions); if the deletions happen to disconnect
+/// the graph, they are rolled back.
+[[nodiscard]] CliqueSumResult compose_clique_sum(
+    const std::vector<BagInput>& bags, int k, double drop_edge_prob, Rng& rng);
+
+/// All single vertices and edge endpoints of g as glue cliques of size 1 / 2.
+[[nodiscard]] std::vector<std::vector<VertexId>> default_glue_cliques(
+    const Graph& g, int max_size);
+
+}  // namespace mns::gen

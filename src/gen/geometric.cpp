@@ -1,0 +1,57 @@
+#include "gen/geometric.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "graph/algorithms.hpp"
+#include "graph/union_find.hpp"
+
+namespace mns::gen {
+
+UnitDiskGraph unit_disk(VertexId n, double radius, Rng& rng) {
+  if (n < 1) throw std::invalid_argument("unit_disk: n < 1");
+  if (radius <= 0.0) throw std::invalid_argument("unit_disk: radius <= 0");
+  UnitDiskGraph out;
+  out.x.resize(n);
+  out.y.resize(n);
+  std::uniform_real_distribution<double> coord(0.0, 1.0);
+  for (VertexId v = 0; v < n; ++v) {
+    out.x[v] = coord(rng);
+    out.y[v] = coord(rng);
+  }
+  auto dist2 = [&](VertexId a, VertexId b) {
+    double dx = out.x[a] - out.x[b], dy = out.y[a] - out.y[b];
+    return dx * dx + dy * dy;
+  };
+  GraphBuilder b(n);
+  UnionFind uf(n);
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId v = u + 1; v < n; ++v)
+      if (dist2(u, v) <= radius * radius) {
+        b.add_edge(u, v);
+        uf.unite(u, v);
+      }
+  // Stitch remaining components through their closest cross pair.
+  while (uf.num_sets() > 1) {
+    VertexId best_u = kInvalidVertex, best_v = kInvalidVertex;
+    double best = std::numeric_limits<double>::max();
+    for (VertexId u = 0; u < n; ++u)
+      for (VertexId v = u + 1; v < n; ++v)
+        if (!uf.same(u, v) && dist2(u, v) < best) {
+          best = dist2(u, v);
+          best_u = u;
+          best_v = v;
+        }
+    b.add_edge(best_u, best_v);
+    uf.unite(best_u, best_v);
+  }
+  out.graph = b.build();
+  out.distances.resize(out.graph.num_edges());
+  for (EdgeId e = 0; e < out.graph.num_edges(); ++e)
+    out.distances[e] = static_cast<Weight>(
+        std::sqrt(dist2(out.graph.edge(e).u, out.graph.edge(e).v)) * 1e6);
+  return out;
+}
+
+}  // namespace mns::gen

@@ -1,0 +1,24 @@
+// Unit-disk graphs: the wireless-network family of Khan-Pandurangan [KP08]
+// discussed in the paper's related work (§1.2). Random points in the unit
+// square, edges between pairs within the radius; edge weights can be the
+// (scaled) Euclidean distances, matching [KP08]'s "weights = distances".
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mns::gen {
+
+struct UnitDiskGraph {
+  Graph graph;
+  std::vector<double> x, y;       ///< point coordinates in [0, 1]
+  std::vector<Weight> distances;  ///< per edge: Euclidean distance * 10^6
+};
+
+/// n random points, edges within `radius`. Keeps only the largest connected
+/// component's topology intact by connecting stranded components to their
+/// nearest neighbour (so the result is always connected).
+[[nodiscard]] UnitDiskGraph unit_disk(VertexId n, double radius, Rng& rng);
+
+}  // namespace mns::gen

@@ -1,0 +1,100 @@
+#include "gen/ktree.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/algorithms.hpp"
+#include "graph/union_find.hpp"
+
+namespace mns::gen {
+
+namespace {
+
+struct RawKTree {
+  std::vector<Edge> edges;
+  std::vector<std::vector<VertexId>> bags;
+  std::vector<BagId> parent;
+};
+
+RawKTree build_raw(VertexId n, int k, Rng& rng) {
+  if (k < 1) throw std::invalid_argument("random_ktree: k < 1");
+  if (n < k + 1) throw std::invalid_argument("random_ktree: n < k+1");
+  RawKTree out;
+  // Bag 0: the initial clique {0..k}.
+  std::vector<VertexId> base(k + 1);
+  for (int i = 0; i <= k; ++i) base[i] = i;
+  out.bags.push_back(base);
+  out.parent.push_back(kInvalidBag);
+  for (int i = 0; i <= k; ++i)
+    for (int j = i + 1; j <= k; ++j)
+      out.edges.push_back({static_cast<VertexId>(i), static_cast<VertexId>(j)});
+
+  // Candidate k-cliques with the bag that contains them.
+  struct Candidate {
+    std::vector<VertexId> clique;
+    BagId home;
+  };
+  std::vector<Candidate> cliques;
+  for (int skip = 0; skip <= k; ++skip) {
+    std::vector<VertexId> c;
+    for (int i = 0; i <= k; ++i)
+      if (i != skip) c.push_back(i);
+    cliques.push_back({std::move(c), 0});
+  }
+
+  for (VertexId v = k + 1; v < n; ++v) {
+    std::uniform_int_distribution<std::size_t> pick(0, cliques.size() - 1);
+    const Candidate chosen = cliques[pick(rng)];
+    for (VertexId u : chosen.clique) out.edges.push_back({u, v});
+    std::vector<VertexId> bag = chosen.clique;
+    bag.push_back(v);
+    std::sort(bag.begin(), bag.end());
+    BagId bid = static_cast<BagId>(out.bags.size());
+    out.bags.push_back(bag);
+    out.parent.push_back(chosen.home);
+    for (std::size_t skip = 0; skip < chosen.clique.size(); ++skip) {
+      std::vector<VertexId> c;
+      for (std::size_t i = 0; i < chosen.clique.size(); ++i)
+        if (i != skip) c.push_back(chosen.clique[i]);
+      c.push_back(v);
+      cliques.push_back({std::move(c), bid});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+KTreeResult random_ktree(VertexId n, int k, Rng& rng) {
+  RawKTree raw = build_raw(n, k, rng);
+  GraphBuilder b(n);
+  for (const Edge& e : raw.edges) b.add_edge(e.u, e.v);
+  return {b.build(),
+          TreeDecomposition(std::move(raw.bags), std::move(raw.parent))};
+}
+
+KTreeResult random_partial_ktree(VertexId n, int k, double drop_prob,
+                                 Rng& rng) {
+  if (drop_prob < 0.0 || drop_prob > 1.0)
+    throw std::invalid_argument("random_partial_ktree: bad probability");
+  RawKTree raw = build_raw(n, k, rng);
+  // Keep a spanning tree: process edges in random order through a DSU; edges
+  // that merge components are always kept.
+  std::vector<std::size_t> order(raw.edges.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::shuffle(order.begin(), order.end(), rng);
+  UnionFind uf(n);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::vector<char> keep(raw.edges.size(), 0);
+  for (std::size_t i : order) {
+    const Edge& e = raw.edges[i];
+    if (uf.unite(e.u, e.v) || coin(rng) >= drop_prob) keep[i] = 1;
+  }
+  GraphBuilder b(n);
+  for (std::size_t i = 0; i < raw.edges.size(); ++i)
+    if (keep[i]) b.add_edge(raw.edges[i].u, raw.edges[i].v);
+  return {b.build(),
+          TreeDecomposition(std::move(raw.bags), std::move(raw.parent))};
+}
+
+}  // namespace mns::gen

@@ -1,0 +1,25 @@
+// Random k-trees and partial k-trees: the canonical treewidth-k family for
+// Theorem 5, generated together with their exact width-k tree decomposition.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "structure/tree_decomposition.hpp"
+
+namespace mns::gen {
+
+struct KTreeResult {
+  Graph graph;
+  TreeDecomposition decomposition;  ///< valid, width exactly k.
+};
+
+/// Random k-tree on n >= k+1 vertices: start from a (k+1)-clique; every new
+/// vertex attaches to a uniformly random existing k-clique.
+[[nodiscard]] KTreeResult random_ktree(VertexId n, int k, Rng& rng);
+
+/// Partial k-tree: random k-tree with every edge removed independently with
+/// probability `drop_prob`; a random spanning tree of the k-tree is kept so
+/// the result stays connected. The recorded decomposition remains valid.
+[[nodiscard]] KTreeResult random_partial_ktree(VertexId n, int k,
+                                               double drop_prob, Rng& rng);
+
+}  // namespace mns::gen

@@ -1,0 +1,60 @@
+#include "gen/lk_family.hpp"
+
+#include <stdexcept>
+
+namespace mns::gen {
+
+LkSample random_lk_graph(int num_bags,
+                         const AlmostEmbeddableParams& bag_params,
+                         int glue_size, double drop_edge_prob, Rng& rng) {
+  if (num_bags < 1) throw std::invalid_argument("random_lk_graph: no bags");
+  if (glue_size < 1 || glue_size > 2)
+    throw std::invalid_argument("random_lk_graph: glue_size must be 1 or 2");
+
+  std::vector<AlmostEmbeddable> metas;
+  std::vector<BagInput> inputs;
+  metas.reserve(num_bags);
+  for (int i = 0; i < num_bags; ++i) {
+    metas.push_back(random_almost_embeddable(bag_params, rng));
+    const AlmostEmbeddable& ae = metas.back();
+    // Glue only on base vertices/edges: apices and vortex internals stay
+    // private to their bag.
+    std::vector<std::vector<VertexId>> cliques;
+    const Graph& base_graph = ae.base.graph();
+    for (VertexId v = 0; v < base_graph.num_vertices(); ++v)
+      cliques.push_back({v});
+    if (glue_size >= 2)
+      for (EdgeId e = 0; e < base_graph.num_edges(); ++e)
+        if (ae.graph.has_edge(base_graph.edge(e).u, base_graph.edge(e).v))
+          cliques.push_back({base_graph.edge(e).u, base_graph.edge(e).v});
+    inputs.push_back(BagInput{ae.graph, std::move(cliques)});
+  }
+
+  CliqueSumResult comp =
+      compose_clique_sum(inputs, glue_size, drop_edge_prob, rng);
+
+  LkSample out{std::move(comp.graph), std::move(comp.decomposition),
+               std::move(metas), std::move(comp.local_to_global),
+               {}, {}};
+  out.global_apices.resize(num_bags);
+  out.global_vortices.resize(num_bags);
+  for (int i = 0; i < num_bags; ++i) {
+    const auto& map = out.local_to_global[i];
+    for (VertexId a : out.bag_meta[i].apices)
+      out.global_apices[i].push_back(map[a]);
+    for (const VortexSpec& vs : out.bag_meta[i].vortices) {
+      VortexSpec g;
+      for (VertexId v : vs.internal_nodes) g.internal_nodes.push_back(map[v]);
+      for (const auto& arc : vs.arcs) {
+        std::vector<VertexId> garc;
+        for (VertexId v : arc) garc.push_back(map[v]);
+        g.arcs.push_back(std::move(garc));
+      }
+      for (VertexId v : vs.boundary_cycle) g.boundary_cycle.push_back(map[v]);
+      out.global_vortices[i].push_back(std::move(g));
+    }
+  }
+  return out;
+}
+
+}  // namespace mns::gen

@@ -1,0 +1,35 @@
+// Random members of L_k (Definition 6): k-clique-sums of k-almost-embeddable
+// graphs. By the Graph Structure Theorem (Theorem 3), every H-minor-free
+// graph lies in some L_k; sampling L_k directly exercises every construction
+// of the paper with the decomposition known by construction (see DESIGN.md on
+// why generation replaces decomposition).
+#pragma once
+
+#include <vector>
+
+#include "gen/almost_embeddable.hpp"
+#include "gen/clique_sum.hpp"
+
+namespace mns::gen {
+
+struct LkSample {
+  Graph graph;
+  CliqueSumDecomposition decomposition;
+  /// Per bag: the almost-embeddable structure in *local* ids plus the map.
+  std::vector<AlmostEmbeddable> bag_meta;
+  std::vector<std::vector<VertexId>> local_to_global;
+  /// Per bag, in *global* ids: apex vertices and vortex records.
+  std::vector<std::vector<VertexId>> global_apices;
+  std::vector<std::vector<VortexSpec>> global_vortices;
+};
+
+/// Samples a random graph of L_k: `num_bags` almost-embeddable graphs built
+/// with `bag_params`, glued by cliques of size <= glue_size (1 or 2) chosen
+/// among base vertices/edges. Identified-clique edges are deleted with
+/// probability `drop_edge_prob`.
+[[nodiscard]] LkSample random_lk_graph(int num_bags,
+                                       const AlmostEmbeddableParams& bag_params,
+                                       int glue_size, double drop_edge_prob,
+                                       Rng& rng);
+
+}  // namespace mns::gen

@@ -1,0 +1,40 @@
+#include "gen/lower_bound.hpp"
+
+#include <stdexcept>
+
+namespace mns::gen {
+
+LowerBoundGraph lower_bound_graph(int p) {
+  if (p < 2) throw std::invalid_argument("lower_bound_graph: p < 2");
+  // Layout: p*p path vertices, then a complete binary tree whose p leaves sit
+  // above the p columns. Tree stored heap-style with `tree_size` nodes; we
+  // round p up to a power of two for the tree shape and connect only the
+  // first p leaves.
+  int leaves = 1;
+  while (leaves < p) leaves *= 2;
+  const int tree_size = 2 * leaves - 1;
+  const VertexId n = static_cast<VertexId>(p) * p + tree_size;
+  LowerBoundGraph out;
+  out.num_paths = p;
+  out.path_length = p;
+  out.first_tree_vertex = static_cast<VertexId>(p) * p;
+
+  GraphBuilder b(n);
+  for (int i = 0; i < p; ++i)
+    for (int j = 0; j + 1 < p; ++j)
+      b.add_edge(out.path_vertex(i, j), out.path_vertex(i, j + 1));
+  auto tree_id = [&](int heap_index) {  // heap_index in [0, tree_size)
+    return out.first_tree_vertex + heap_index;
+  };
+  for (int h = 1; h < tree_size; ++h)
+    b.add_edge(tree_id(h), tree_id((h - 1) / 2));
+  // Leaf l (heap index leaves-1+l) connects to every path vertex in column l
+  // for l < p; spare leaves attach only to the tree.
+  for (int l = 0; l < p; ++l)
+    for (int i = 0; i < p; ++i)
+      b.add_edge(tree_id(leaves - 1 + l), out.path_vertex(i, l));
+  out.graph = b.build();
+  return out;
+}
+
+}  // namespace mns::gen

@@ -1,0 +1,28 @@
+// The Ω(√n) CONGEST lower-bound family of Das Sarma et al. [SHK+12] /
+// Elkin [Elk06] in its standard simplified form: p parallel paths of length
+// p, bridged column-wise by a complete binary tree. Diameter O(log n), yet
+// MST needs Ω~(√n) rounds. This graph contains large clique minors — it is
+// exactly the pathological instance excluded-minor families rule out, and the
+// adversarial baseline for bench E11.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace mns::gen {
+
+struct LowerBoundGraph {
+  Graph graph;
+  int num_paths = 0;    ///< p
+  int path_length = 0;  ///< vertices per path (== p)
+  /// vertex id of path i, column j.
+  [[nodiscard]] VertexId path_vertex(int i, int j) const {
+    return static_cast<VertexId>(i * path_length + j);
+  }
+  /// id of tree leaf above column j.
+  VertexId first_tree_vertex = 0;
+};
+
+/// Builds the instance with p paths of p vertices each. n ~ p^2 + 2p.
+[[nodiscard]] LowerBoundGraph lower_bound_graph(int p);
+
+}  // namespace mns::gen

@@ -1,0 +1,119 @@
+#include "gen/planar.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+namespace mns::gen {
+
+namespace {
+
+/// Builds an EmbeddedGraph from per-vertex neighbor orders (cyclic).
+EmbeddedGraph from_neighbor_rotation(
+    Graph g, const std::vector<std::vector<VertexId>>& nbr_rot) {
+  std::vector<std::vector<EdgeId>> rot(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    rot[v].reserve(nbr_rot[v].size());
+    for (VertexId w : nbr_rot[v]) {
+      EdgeId e = g.find_edge(v, w);
+      require(e != kInvalidEdge, "rotation references a missing edge");
+      rot[v].push_back(e);
+    }
+  }
+  return EmbeddedGraph(std::move(g), std::move(rot));
+}
+
+}  // namespace
+
+EmbeddedGraph grid(int rows, int cols) {
+  if (rows < 1 || cols < 1) throw std::invalid_argument("grid: bad dims");
+  const VertexId n = static_cast<VertexId>(rows) * cols;
+  auto id = [&](int r, int c) { return static_cast<VertexId>(r * cols + c); };
+  GraphBuilder b(n);
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c));
+    }
+  Graph g = b.build();
+  // CCW neighbor order (x = c, y = -r): E, N, W, S.
+  std::vector<std::vector<VertexId>> rot(n);
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) {
+      auto& o = rot[id(r, c)];
+      if (c + 1 < cols) o.push_back(id(r, c + 1));  // E
+      if (r - 1 >= 0) o.push_back(id(r - 1, c));    // N
+      if (c - 1 >= 0) o.push_back(id(r, c - 1));    // W
+      if (r + 1 < rows) o.push_back(id(r + 1, c));  // S
+    }
+  return from_neighbor_rotation(std::move(g), rot);
+}
+
+EmbeddedGraph triangulated_grid(int rows, int cols) {
+  if (rows < 2 || cols < 2)
+    throw std::invalid_argument("triangulated_grid: bad dims");
+  const VertexId n = static_cast<VertexId>(rows) * cols;
+  auto id = [&](int r, int c) { return static_cast<VertexId>(r * cols + c); };
+  GraphBuilder b(n);
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c));
+      if (r + 1 < rows && c + 1 < cols) b.add_edge(id(r, c), id(r + 1, c + 1));
+    }
+  Graph g = b.build();
+  // CCW: E(0°), N(90°), NW(135°), W(180°), S(270°), SE(315°).
+  std::vector<std::vector<VertexId>> rot(n);
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) {
+      auto& o = rot[id(r, c)];
+      if (c + 1 < cols) o.push_back(id(r, c + 1));                    // E
+      if (r - 1 >= 0) o.push_back(id(r - 1, c));                      // N
+      if (r - 1 >= 0 && c - 1 >= 0) o.push_back(id(r - 1, c - 1));    // NW
+      if (c - 1 >= 0) o.push_back(id(r, c - 1));                      // W
+      if (r + 1 < rows) o.push_back(id(r + 1, c));                    // S
+      if (r + 1 < rows && c + 1 < cols) o.push_back(id(r + 1, c + 1));// SE
+    }
+  return from_neighbor_rotation(std::move(g), rot);
+}
+
+EmbeddedGraph random_maximal_planar(VertexId n, Rng& rng) {
+  if (n < 3) throw std::invalid_argument("random_maximal_planar: n >= 3");
+  // Neighbor rotations maintained incrementally; faces as directed triples.
+  std::vector<std::vector<VertexId>> rot(n);
+  rot[0] = {1, 2};
+  rot[1] = {2, 0};
+  rot[2] = {0, 1};
+  std::vector<std::array<VertexId, 3>> faces{{0, 1, 2}, {0, 2, 1}};
+
+  auto insert_after = [&](VertexId at, VertexId after, VertexId novel) {
+    auto& o = rot[at];
+    auto it = std::find(o.begin(), o.end(), after);
+    require(it != o.end(), "random_maximal_planar: rotation corrupted");
+    o.insert(it + 1, novel);
+  };
+
+  for (VertexId v = 3; v < n; ++v) {
+    std::uniform_int_distribution<std::size_t> pick(0, faces.size() - 1);
+    std::size_t fi = pick(rng);
+    auto [a, b, c] = faces[fi];
+    // New vertex v inside face (a -> b -> c -> a): rotation of v is the
+    // reversed face order; at each corner the edge to v goes right after the
+    // face's arrival edge.
+    rot[v] = {a, c, b};
+    insert_after(a, c, v);  // arrival at a is via edge {c, a}
+    insert_after(b, a, v);
+    insert_after(c, b, v);
+    faces[fi] = {a, b, v};
+    faces.push_back({b, c, v});
+    faces.push_back({c, a, v});
+  }
+
+  GraphBuilder builder(n);
+  for (VertexId v = 0; v < n; ++v)
+    for (VertexId w : rot[v])
+      if (v < w) builder.add_edge(v, w);
+  return from_neighbor_rotation(builder.build(), rot);
+}
+
+}  // namespace mns::gen

@@ -1,0 +1,23 @@
+// Planar generators with maintained combinatorial embeddings: grids,
+// triangulated grids, and random maximal planar graphs (random Apollonian
+// triangulations). Planar graphs are the (0,0,0,0)-almost-embeddable base
+// case of the paper's constructions.
+#pragma once
+
+#include "graph/embedding.hpp"
+
+namespace mns::gen {
+
+/// rows x cols grid with its planar embedding. Vertex (r, c) = r*cols + c.
+[[nodiscard]] EmbeddedGraph grid(int rows, int cols);
+
+/// Grid plus the (r,c)-(r+1,c+1) diagonals, embedded. All inner faces are
+/// triangles.
+[[nodiscard]] EmbeddedGraph triangulated_grid(int rows, int cols);
+
+/// Random maximal planar graph ("stacked triangulation"): start from a
+/// triangle and repeatedly insert a vertex into a uniformly random face.
+/// n >= 3; the result has exactly 3n - 6 edges and genus 0.
+[[nodiscard]] EmbeddedGraph random_maximal_planar(VertexId n, Rng& rng);
+
+}  // namespace mns::gen

@@ -1,0 +1,35 @@
+#include "gen/series_parallel.hpp"
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace mns::gen {
+
+Graph random_series_parallel(int ops, Rng& rng) {
+  if (ops < 0) throw std::invalid_argument("random_series_parallel: ops < 0");
+  std::vector<std::pair<VertexId, VertexId>> edges{{0, 1}};
+  VertexId next = 2;
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  for (int i = 0; i < ops; ++i) {
+    std::uniform_int_distribution<std::size_t> pick(0, edges.size() - 1);
+    std::size_t ei = pick(rng);
+    auto [u, v] = edges[ei];
+    if (coin(rng) < 0.5) {
+      // Series: subdivide (u,v) with a new vertex w.
+      VertexId w = next++;
+      edges[ei] = {u, w};
+      edges.push_back({w, v});
+    } else {
+      // Parallel: add a second u-w-v path (keeps the graph simple).
+      VertexId w = next++;
+      edges.push_back({u, w});
+      edges.push_back({w, v});
+    }
+  }
+  GraphBuilder b(next);
+  for (auto [u, v] : edges) b.add_edge(u, v);
+  return b.build();
+}
+
+}  // namespace mns::gen

@@ -1,0 +1,14 @@
+// Random series-parallel graphs (K4-minor-free, treewidth <= 2) — the
+// "network backbone" family the paper's introduction motivates [FL03].
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace mns::gen {
+
+/// Random two-terminal series-parallel graph grown from a single edge by
+/// `ops` random compositions (series subdivision or parallel path insertion).
+/// Terminals are vertices 0 and 1.
+[[nodiscard]] Graph random_series_parallel(int ops, Rng& rng);
+
+}  // namespace mns::gen

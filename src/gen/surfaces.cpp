@@ -1,0 +1,129 @@
+#include "gen/surfaces.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "gen/planar.hpp"
+
+namespace mns::gen {
+
+EmbeddedGraph torus_grid(int rows, int cols) {
+  if (rows < 3 || cols < 3)
+    throw std::invalid_argument("torus_grid: need rows, cols >= 3");
+  const VertexId n = static_cast<VertexId>(rows) * cols;
+  auto id = [&](int r, int c) {
+    return static_cast<VertexId>(((r + rows) % rows) * cols +
+                                 (c + cols) % cols);
+  };
+  GraphBuilder b(n);
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) {
+      b.add_edge(id(r, c), id(r, c + 1));
+      b.add_edge(id(r, c), id(r + 1, c));
+    }
+  Graph g = b.build();
+  std::vector<std::vector<EdgeId>> rot(n);
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) {
+      VertexId v = id(r, c);
+      rot[v] = {g.find_edge(v, id(r, c + 1)), g.find_edge(v, id(r + 1, c)),
+                g.find_edge(v, id(r, c - 1)), g.find_edge(v, id(r - 1, c))};
+    }
+  return EmbeddedGraph(std::move(g), std::move(rot));
+}
+
+EmbeddedGraph add_handles(const EmbeddedGraph& base, int handles, Rng& rng) {
+  const Graph& g0 = base.graph();
+  const VertexId n = g0.num_vertices();
+
+  // Candidate faces: simple 4-cycles, as vertex sequences in face order.
+  std::vector<std::array<VertexId, 4>> quads;
+  for (int f = 0; f < base.num_faces(); ++f) {
+    if (base.faces()[f].size() != 4 || !base.face_is_simple_cycle(f)) continue;
+    auto fv = base.face_vertices(f);
+    quads.push_back({fv[0], fv[1], fv[2], fv[3]});
+  }
+  std::shuffle(quads.begin(), quads.end(), rng);
+
+  // Pick `handles` pairs of quads: all chosen faces vertex-disjoint and
+  // pairwise non-adjacent in g0 (so the 4 new edges per handle are fresh).
+  std::vector<std::pair<std::array<VertexId, 4>, std::array<VertexId, 4>>>
+      chosen;
+  std::set<VertexId> used;
+  auto usable = [&](const std::array<VertexId, 4>& q) {
+    for (VertexId v : q) {
+      if (used.count(v)) return false;
+      for (VertexId w : g0.neighbors(v))
+        if (used.count(w)) return false;
+    }
+    return true;
+  };
+  std::vector<std::array<VertexId, 4>> picked;
+  for (const auto& q : quads) {
+    if (static_cast<int>(picked.size()) == 2 * handles) break;
+    if (!usable(q)) continue;
+    picked.push_back(q);
+    for (VertexId v : q) used.insert(v);
+  }
+  if (static_cast<int>(picked.size()) < 2 * handles)
+    throw std::invalid_argument("add_handles: not enough disjoint quad faces");
+  for (int h = 0; h < handles; ++h)
+    chosen.push_back({picked[2 * h], picked[2 * h + 1]});
+
+  // Neighbor rotations of the base, to be edited in place.
+  std::vector<std::vector<VertexId>> rot(n);
+  for (VertexId v = 0; v < n; ++v)
+    for (EdgeId e : base.rotation()[v]) rot[v].push_back(g0.other_endpoint(e, v));
+
+  GraphBuilder builder(n);
+  for (EdgeId e = 0; e < g0.num_edges(); ++e)
+    builder.add_edge(g0.edge(e).u, g0.edge(e).v);
+
+  // Insert `novel` into rot[at] between consecutive neighbors prev -> next
+  // (face arrival edge {prev, at}, departure edge {at, next}).
+  auto insert_between = [&](VertexId at, VertexId prev, VertexId novel) {
+    auto& o = rot[at];
+    auto it = std::find(o.begin(), o.end(), prev);
+    require(it != o.end(), "add_handles: rotation corrupted");
+    o.insert(it + 1, novel);
+  };
+
+  for (auto& [A, B] : chosen) {
+    // Pair a_i with b_{(-i) mod 4}; both faces keep their own face order.
+    for (int i = 0; i < 4; ++i) {
+      VertexId ai = A[i];
+      VertexId bj = B[((4 - i) % 4)];
+      builder.add_edge(ai, bj);
+      // At a_i: tube edge goes between arrival {a_{i-1}, a_i} and departure
+      // {a_i, a_{i+1}} of the destroyed face A.
+      insert_between(ai, A[(i + 3) % 4], bj);
+      // At b_j (j = -i): between arrival {b_{j-1}, b_j} and departure
+      // {b_j, b_{j+1}} of the destroyed face B.
+      int j = (4 - i) % 4;
+      insert_between(bj, B[(j + 3) % 4], ai);
+    }
+  }
+
+  Graph g1 = builder.build();
+  std::vector<std::vector<EdgeId>> erot(n);
+  for (VertexId v = 0; v < n; ++v) {
+    erot[v].reserve(rot[v].size());
+    for (VertexId w : rot[v]) {
+      EdgeId e = g1.find_edge(v, w);
+      require(e != kInvalidEdge, "add_handles: missing edge after rebuild");
+      erot[v].push_back(e);
+    }
+  }
+  return EmbeddedGraph(std::move(g1), std::move(erot));
+}
+
+EmbeddedGraph surface_grid(int rows, int cols, int genus, Rng& rng) {
+  if (genus < 0) throw std::invalid_argument("surface_grid: genus < 0");
+  if (genus == 0) return grid(rows, cols);
+  EmbeddedGraph t = torus_grid(rows, cols);
+  if (genus == 1) return t;
+  return add_handles(t, genus - 1, rng);
+}
+
+}  // namespace mns::gen

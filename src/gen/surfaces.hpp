@@ -1,0 +1,26 @@
+// Bounded-genus generators: torus grids and generic handle attachment.
+// These realize the "(0, g, 0, 0)-almost-embeddable" base graphs of
+// Definition 5 step (i).
+#pragma once
+
+#include "graph/embedding.hpp"
+
+namespace mns::gen {
+
+/// rows x cols grid with wrap-around in both directions, embedded on the
+/// torus (genus 1). Requires rows, cols >= 3 to stay a simple graph.
+[[nodiscard]] EmbeddedGraph torus_grid(int rows, int cols);
+
+/// Attaches `handles` tubes between pairs of disjoint quadrilateral faces,
+/// raising the genus by exactly `handles`. Faces are chosen at random among
+/// simple 4-faces that are vertex-disjoint and non-adjacent; throws if not
+/// enough suitable faces exist.
+[[nodiscard]] EmbeddedGraph add_handles(const EmbeddedGraph& base, int handles,
+                                        Rng& rng);
+
+/// Convenience: genus-g surface graph built from a grid (g == 0), a torus
+/// grid (g == 1), or a torus grid plus g-1 handles.
+[[nodiscard]] EmbeddedGraph surface_grid(int rows, int cols, int genus,
+                                         Rng& rng);
+
+}  // namespace mns::gen

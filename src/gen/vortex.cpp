@@ -1,0 +1,85 @@
+#include "gen/vortex.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace mns::gen {
+
+VortexResult add_vortex(const Graph& g, std::span<const VertexId> face_cycle,
+                        int depth, int num_internal, Rng& rng) {
+  const int L = static_cast<int>(face_cycle.size());
+  if (L < 3) throw std::invalid_argument("add_vortex: cycle too short");
+  if (depth < 1) throw std::invalid_argument("add_vortex: depth < 1");
+  if (num_internal < 1)
+    throw std::invalid_argument("add_vortex: need >= 1 internal node");
+  {
+    std::set<VertexId> uniq(face_cycle.begin(), face_cycle.end());
+    if (static_cast<int>(uniq.size()) != L)
+      throw std::invalid_argument("add_vortex: cycle has repeated vertices");
+  }
+
+  const VertexId n = g.num_vertices();
+  const int t = num_internal;
+
+  // Segment s covers cycle positions [s*L/t, (s+1)*L/t).
+  auto seg_begin = [&](int s) { return static_cast<int>((static_cast<long long>(s % t) * L) / t); };
+  std::uniform_int_distribution<int> ext_dist(0, depth - 1);
+
+  VortexResult out;
+  out.vortex.boundary_cycle.assign(face_cycle.begin(), face_cycle.end());
+  GraphBuilder builder(n + t);
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    builder.add_edge(g.edge(e).u, g.edge(e).v);
+
+  std::vector<std::pair<int, int>> arc_pos(t);  // [begin, end) segment span
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  for (int i = 0; i < t; ++i) {
+    VertexId node = n + i;
+    out.vortex.internal_nodes.push_back(node);
+    int ext = ext_dist(rng);  // extra segments; keeps coverage <= depth
+    int seg_count = std::min(1 + ext, t);
+    int begin_pos = seg_begin(i);
+    int end_idx = i + seg_count;
+    int end_pos = seg_count == t ? begin_pos + L
+                  : end_idx >= t ? seg_begin(end_idx - t) + L
+                                 : seg_begin(end_idx);
+    require(end_pos > begin_pos && end_pos <= begin_pos + L,
+            "add_vortex: bad arc window");
+    std::vector<VertexId> arc;
+    for (int p = begin_pos; p < end_pos; ++p) arc.push_back(face_cycle[p % L]);
+    arc_pos[i] = {begin_pos, end_pos};
+    // Connect to a random non-empty subset of the arc.
+    bool any = false;
+    for (VertexId v : arc)
+      if (coin(rng) < 0.7) {
+        builder.add_edge(node, v);
+        any = true;
+      }
+    if (!any) {
+      std::uniform_int_distribution<std::size_t> pick(0, arc.size() - 1);
+      builder.add_edge(node, arc[pick(rng)]);
+    }
+    out.vortex.arcs.push_back(std::move(arc));
+  }
+
+  // Optional internal-internal edges between overlapping arcs.
+  auto overlaps = [&](int i, int j) {
+    // Positions modulo L; arcs are intervals of length <= L.
+    auto [b1, e1] = arc_pos[i];
+    auto [b2, e2] = arc_pos[j];
+    for (int shift : {-L, 0, L}) {
+      if (std::max(b1, b2 + shift) < std::min(e1, e2 + shift)) return true;
+    }
+    return false;
+  };
+  for (int i = 0; i < t; ++i)
+    for (int j = i + 1; j < t; ++j)
+      if (overlaps(i, j) && coin(rng) < 0.5)
+        builder.add_edge(n + i, n + j);
+
+  out.graph = builder.build();
+  return out;
+}
+
+}  // namespace mns::gen

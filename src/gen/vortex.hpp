@@ -1,0 +1,29 @@
+// Vortex construction (Definition 4): given a face cycle of an embedded
+// graph, attach internal vortex nodes along arcs of the cycle so that no
+// boundary vertex lies in more than `depth` arcs.
+#pragma once
+
+#include <span>
+
+#include "graph/graph.hpp"
+#include "structure/surface_decomposition.hpp"
+
+namespace mns::gen {
+
+struct VortexResult {
+  Graph graph;        ///< base graph plus the internal vortex nodes.
+  VortexSpec vortex;  ///< arcs / internal node record (global vertex ids).
+};
+
+/// Adds a depth-`depth` vortex with `num_internal` internal nodes to the
+/// cycle `face_cycle` of `g`. Arcs are contiguous windows: the cycle is cut
+/// into `num_internal` segments and arc i spans segment i plus up to
+/// `depth - 1` following segments, so each boundary vertex is covered by at
+/// most `depth` arcs. Each internal node connects to a random non-empty
+/// subset of its arc; internal nodes of overlapping arcs are joined by an
+/// edge with probability 1/2 (Definition 4's optional edges).
+[[nodiscard]] VortexResult add_vortex(const Graph& g,
+                                      std::span<const VertexId> face_cycle,
+                                      int depth, int num_internal, Rng& rng);
+
+}  // namespace mns::gen

@@ -1,0 +1,25 @@
+#include "gen/weights.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace mns::gen {
+
+std::vector<Weight> random_weights(const Graph& g, Weight lo, Weight hi,
+                                   Rng& rng) {
+  if (lo > hi) throw std::invalid_argument("random_weights: lo > hi");
+  std::uniform_int_distribution<Weight> dist(lo, hi);
+  std::vector<Weight> w(g.num_edges());
+  for (auto& x : w) x = dist(rng);
+  return w;
+}
+
+std::vector<Weight> unique_random_weights(const Graph& g, Rng& rng) {
+  std::vector<Weight> w(g.num_edges());
+  std::iota(w.begin(), w.end(), 1);
+  std::shuffle(w.begin(), w.end(), rng);
+  return w;
+}
+
+}  // namespace mns::gen

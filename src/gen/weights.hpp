@@ -1,0 +1,18 @@
+// Edge weight assignment helpers for weighted problems (MST, min-cut).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mns::gen {
+
+/// Uniform integer weights in [lo, hi].
+[[nodiscard]] std::vector<Weight> random_weights(const Graph& g, Weight lo,
+                                                 Weight hi, Rng& rng);
+
+/// A random permutation of 1..m — all weights distinct, so the MST is unique.
+[[nodiscard]] std::vector<Weight> unique_random_weights(const Graph& g,
+                                                        Rng& rng);
+
+}  // namespace mns::gen

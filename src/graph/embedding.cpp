@@ -1,0 +1,96 @@
+#include "graph/embedding.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/algorithms.hpp"
+
+namespace mns {
+
+EmbeddedGraph::EmbeddedGraph(Graph graph,
+                             std::vector<std::vector<EdgeId>> rotation)
+    : graph_(std::move(graph)), rotation_(std::move(rotation)) {
+  const VertexId n = graph_.num_vertices();
+  if (static_cast<VertexId>(rotation_.size()) != n)
+    throw std::invalid_argument("EmbeddedGraph: rotation size mismatch");
+
+  pos_in_rotation_.assign(static_cast<std::size_t>(graph_.num_edges()) * 2, -1);
+  for (VertexId v = 0; v < n; ++v) {
+    auto incident = graph_.incident_edges(v);
+    if (rotation_[v].size() != incident.size())
+      throw std::invalid_argument(
+          "EmbeddedGraph: rotation of wrong length at a vertex");
+    std::vector<EdgeId> sorted_rot = rotation_[v];
+    std::sort(sorted_rot.begin(), sorted_rot.end());
+    std::vector<EdgeId> sorted_inc(incident.begin(), incident.end());
+    std::sort(sorted_inc.begin(), sorted_inc.end());
+    if (sorted_rot != sorted_inc)
+      throw std::invalid_argument(
+          "EmbeddedGraph: rotation is not a permutation of incident edges");
+    for (int i = 0; i < static_cast<int>(rotation_[v].size()); ++i) {
+      EdgeId e = rotation_[v][i];
+      pos_in_rotation_[half_edge(e, v)] = i;
+    }
+  }
+  trace_faces();
+}
+
+HalfEdgeId EmbeddedGraph::half_edge(EdgeId e, VertexId from) const {
+  const Edge& ed = graph_.edge(e);
+  require(ed.u == from || ed.v == from, "half_edge: vertex not on edge");
+  return static_cast<HalfEdgeId>(2 * e + (ed.u == from ? 0 : 1));
+}
+
+HalfEdgeId EmbeddedGraph::face_next(HalfEdgeId h) const {
+  HalfEdgeId t = twin(h);
+  VertexId v = tail(t);  // == head(h)
+  const auto& rot = rotation_[v];
+  int pos = pos_in_rotation_[t];
+  int next_pos = (pos + 1) % static_cast<int>(rot.size());
+  return half_edge(rot[next_pos], v);
+}
+
+void EmbeddedGraph::trace_faces() {
+  const std::size_t num_half = static_cast<std::size_t>(graph_.num_edges()) * 2;
+  std::vector<char> visited(num_half, 0);
+  faces_.clear();
+  for (HalfEdgeId h0 = 0; h0 < static_cast<HalfEdgeId>(num_half); ++h0) {
+    if (visited[h0]) continue;
+    std::vector<HalfEdgeId> face;
+    HalfEdgeId h = h0;
+    do {
+      visited[h] = 1;
+      face.push_back(h);
+      h = face_next(h);
+    } while (h != h0);
+    faces_.push_back(std::move(face));
+  }
+}
+
+std::vector<VertexId> EmbeddedGraph::face_vertices(int f) const {
+  std::vector<VertexId> out;
+  out.reserve(faces_[f].size());
+  for (HalfEdgeId h : faces_[f]) out.push_back(tail(h));
+  return out;
+}
+
+int EmbeddedGraph::genus() const {
+  if (!is_connected(graph_))
+    throw std::invalid_argument("EmbeddedGraph::genus: graph disconnected");
+  const long long n = graph_.num_vertices();
+  const long long m = graph_.num_edges();
+  const long long f = num_faces();
+  const long long euler = n - m + f;  // == 2 - 2g
+  require((2 - euler) % 2 == 0, "genus: odd Euler defect");
+  return static_cast<int>((2 - euler) / 2);
+}
+
+bool EmbeddedGraph::face_is_simple_cycle(int f) const {
+  std::vector<VertexId> verts = face_vertices(f);
+  std::vector<VertexId> sorted = verts;
+  std::sort(sorted.begin(), sorted.end());
+  return std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end() &&
+         verts.size() >= 3;
+}
+
+}  // namespace mns

@@ -1,0 +1,81 @@
+// Combinatorial (rotation-system) embeddings of graphs on orientable
+// surfaces, with face tracing and Euler-genus accounting (Definition 3).
+//
+// A rotation system fixes, for every vertex, the cyclic order of incident
+// edges on the surface. Faces are recovered as orbits of the standard
+// face-tracing permutation; the Euler characteristic n - m + f = 2 - 2g then
+// yields the genus. Generators in src/gen produce these embeddings for planar
+// grids, maximal planar graphs, and torus grids, and the vortex construction
+// (Definition 4) consumes face cycles from here.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mns {
+
+/// A half-edge (directed occurrence of an undirected edge).
+/// Encoding: half-edge of edge e with tail edge(e).u is 2e; tail edge(e).v is
+/// 2e+1.
+using HalfEdgeId = std::int32_t;
+
+class EmbeddedGraph {
+ public:
+  /// `rotation[v]` lists v's incident edge ids in cyclic order around v.
+  /// Throws unless every rotation is a permutation of incident_edges(v).
+  EmbeddedGraph(Graph graph, std::vector<std::vector<EdgeId>> rotation);
+
+  [[nodiscard]] const Graph& graph() const noexcept { return graph_; }
+  [[nodiscard]] const std::vector<std::vector<EdgeId>>& rotation()
+      const noexcept {
+    return rotation_;
+  }
+
+  [[nodiscard]] HalfEdgeId twin(HalfEdgeId h) const noexcept { return h ^ 1; }
+  [[nodiscard]] VertexId tail(HalfEdgeId h) const {
+    const Edge& e = graph_.edge(h >> 1);
+    return (h & 1) ? e.v : e.u;
+  }
+  [[nodiscard]] VertexId head(HalfEdgeId h) const {
+    const Edge& e = graph_.edge(h >> 1);
+    return (h & 1) ? e.u : e.v;
+  }
+  /// Half-edge along edge e leaving vertex `from` (an endpoint of e).
+  [[nodiscard]] HalfEdgeId half_edge(EdgeId e, VertexId from) const;
+
+  /// Next half-edge when tracing the face to the left of h:
+  /// rotation-successor of twin(h) around head(h).
+  [[nodiscard]] HalfEdgeId face_next(HalfEdgeId h) const;
+
+  /// All faces, each as the cyclic sequence of half-edges along its boundary.
+  [[nodiscard]] const std::vector<std::vector<HalfEdgeId>>& faces()
+      const noexcept {
+    return faces_;
+  }
+  [[nodiscard]] int num_faces() const noexcept {
+    return static_cast<int>(faces_.size());
+  }
+
+  /// Vertex sequence around face f (tails of its half-edges).
+  [[nodiscard]] std::vector<VertexId> face_vertices(int f) const;
+
+  /// Genus from Euler's formula (graph must be connected):
+  /// g = (2 - n + m - f) / 2.
+  [[nodiscard]] int genus() const;
+
+  /// True if every face of f is a simple cycle (no repeated vertices); such
+  /// faces are valid vortex attachment sites (Definition 4 requires a cycle).
+  [[nodiscard]] bool face_is_simple_cycle(int f) const;
+
+ private:
+  void trace_faces();
+
+  Graph graph_;
+  std::vector<std::vector<EdgeId>> rotation_;
+  // Position of the edge of half-edge h in rotation_[tail(h)].
+  std::vector<int> pos_in_rotation_;
+  std::vector<std::vector<HalfEdgeId>> faces_;
+};
+
+}  // namespace mns

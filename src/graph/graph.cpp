@@ -1,0 +1,74 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mns {
+
+bool Graph::has_edge(VertexId u, VertexId v) const {
+  return find_edge(u, v) != kInvalidEdge;
+}
+
+EdgeId Graph::find_edge(VertexId u, VertexId v) const {
+  if (u < 0 || u >= num_vertices() || v < 0 || v >= num_vertices())
+    return kInvalidEdge;
+  auto nbrs = neighbors(u);
+  auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  if (it == nbrs.end() || *it != v) return kInvalidEdge;
+  return incident_edges(u)[static_cast<std::size_t>(it - nbrs.begin())];
+}
+
+GraphBuilder::GraphBuilder(VertexId n) : n_(n) {
+  if (n < 0) throw std::invalid_argument("GraphBuilder: negative vertex count");
+}
+
+void GraphBuilder::add_edge(VertexId u, VertexId v) {
+  if (u < 0 || u >= n_ || v < 0 || v >= n_)
+    throw std::invalid_argument("GraphBuilder::add_edge: vertex out of range");
+  if (u == v)
+    throw std::invalid_argument("GraphBuilder::add_edge: self-loop rejected");
+  if (u > v) std::swap(u, v);
+  pending_.push_back({u, v});
+}
+
+Graph GraphBuilder::build() {
+  if (built_) throw std::logic_error("GraphBuilder::build called twice");
+  built_ = true;
+
+  std::sort(pending_.begin(), pending_.end(),
+            [](const Edge& a, const Edge& b) {
+              return std::pair(a.u, a.v) < std::pair(b.u, b.v);
+            });
+  pending_.erase(std::unique(pending_.begin(), pending_.end()),
+                 pending_.end());
+
+  Graph g;
+  g.edges_ = std::move(pending_);
+
+  // Degree counting pass, then prefix sums, then fill.
+  std::vector<std::size_t> degree(static_cast<std::size_t>(n_) + 1, 0);
+  for (const Edge& e : g.edges_) {
+    ++degree[static_cast<std::size_t>(e.u) + 1];
+    ++degree[static_cast<std::size_t>(e.v) + 1];
+  }
+  g.offsets_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (VertexId v = 0; v < n_; ++v)
+    g.offsets_[static_cast<std::size_t>(v) + 1] =
+        g.offsets_[v] + degree[static_cast<std::size_t>(v) + 1];
+
+  g.adj_targets_.resize(g.offsets_[static_cast<std::size_t>(n_)]);
+  g.adj_edges_.resize(g.adj_targets_.size());
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& ed = g.edges_[e];
+    g.adj_targets_[cursor[ed.u]] = ed.v;
+    g.adj_edges_[cursor[ed.u]++] = e;
+    g.adj_targets_[cursor[ed.v]] = ed.u;
+    g.adj_edges_[cursor[ed.v]++] = e;
+  }
+  // Edges were inserted in (u, v)-sorted order, so each adjacency list is
+  // already sorted by target; binary search in find_edge relies on this.
+  return g;
+}
+
+}  // namespace mns

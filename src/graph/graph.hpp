@@ -1,0 +1,105 @@
+// Immutable simple undirected graph in CSR (compressed sparse row) layout.
+//
+// Graphs are assembled through GraphBuilder and frozen on build(); all
+// algorithms in this library take `const Graph&`. Self-loops are rejected
+// (the CONGEST model ignores them, paper §1.3) and parallel edges are merged,
+// which makes composition operations such as clique-sum identification
+// (Definition 1) safe to express as plain edge insertion.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace mns {
+
+/// An undirected edge as an ordered pair (u < v after normalization).
+struct Edge {
+  VertexId u = kInvalidVertex;
+  VertexId v = kInvalidVertex;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Number of vertices.
+  [[nodiscard]] VertexId num_vertices() const noexcept {
+    return static_cast<VertexId>(offsets_.size()) - 1;
+  }
+  /// Number of (undirected, de-duplicated) edges.
+  [[nodiscard]] EdgeId num_edges() const noexcept {
+    return static_cast<EdgeId>(edges_.size());
+  }
+
+  [[nodiscard]] const Edge& edge(EdgeId e) const { return edges_[e]; }
+
+  /// The endpoint of `e` that is not `v`. Requires v to be an endpoint of e.
+  [[nodiscard]] VertexId other_endpoint(EdgeId e, VertexId v) const {
+    const Edge& ed = edges_[e];
+    require(ed.u == v || ed.v == v, "other_endpoint: v not on edge");
+    return ed.u == v ? ed.v : ed.u;
+  }
+
+  [[nodiscard]] int degree(VertexId v) const {
+    return static_cast<int>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Neighbors of v, sorted ascending.
+  [[nodiscard]] std::span<const VertexId> neighbors(VertexId v) const {
+    return {adj_targets_.data() + offsets_[v],
+            adj_targets_.data() + offsets_[v + 1]};
+  }
+
+  /// Edge ids incident to v, parallel to neighbors(v).
+  [[nodiscard]] std::span<const EdgeId> incident_edges(VertexId v) const {
+    return {adj_edges_.data() + offsets_[v],
+            adj_edges_.data() + offsets_[v + 1]};
+  }
+
+  /// True if the (undirected) edge {u, v} exists. O(log deg(u)).
+  [[nodiscard]] bool has_edge(VertexId u, VertexId v) const;
+
+  /// Edge id of {u, v}, or kInvalidEdge. O(log deg(u)).
+  [[nodiscard]] EdgeId find_edge(VertexId u, VertexId v) const;
+
+  [[nodiscard]] const std::vector<Edge>& edges() const noexcept {
+    return edges_;
+  }
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<Edge> edges_;
+  // CSR adjacency: half-edges of vertex v occupy [offsets_[v], offsets_[v+1]).
+  std::vector<std::size_t> offsets_;
+  std::vector<VertexId> adj_targets_;
+  std::vector<EdgeId> adj_edges_;
+};
+
+/// Accumulates edges, then freezes them into a Graph.
+class GraphBuilder {
+ public:
+  /// Creates a builder for a graph with `n` vertices (n >= 0).
+  explicit GraphBuilder(VertexId n);
+
+  /// Adds undirected edge {u, v}. Throws on self-loops or out-of-range ids.
+  /// Duplicate edges are merged at build() time.
+  void add_edge(VertexId u, VertexId v);
+
+  [[nodiscard]] VertexId num_vertices() const noexcept { return n_; }
+
+  /// Freezes into an immutable Graph. The builder may not be reused.
+  [[nodiscard]] Graph build();
+
+ private:
+  VertexId n_ = 0;
+  std::vector<Edge> pending_;
+  bool built_ = false;
+};
+
+}  // namespace mns

@@ -1,0 +1,37 @@
+// Fundamental identifier and numeric types shared by every module.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <stdexcept>
+#include <string>
+
+namespace mns {
+
+/// Vertex identifier: dense 0-based index into a Graph.
+using VertexId = std::int32_t;
+/// Edge identifier: dense 0-based index into a Graph's edge list.
+using EdgeId = std::int32_t;
+/// Edge weight. Integral weights keep distributed comparisons exact.
+using Weight = std::int64_t;
+
+inline constexpr VertexId kInvalidVertex = -1;
+inline constexpr EdgeId kInvalidEdge = -1;
+
+/// Random engine threaded explicitly through every randomized component so
+/// that all generators and algorithms are reproducible from a single seed.
+using Rng = std::mt19937_64;
+
+/// Internal invariant check. Unlike assert(), stays on in release builds and
+/// throws (so tests can observe violations) rather than aborting.
+class InvariantViolation : public std::logic_error {
+ public:
+  explicit InvariantViolation(const std::string& what)
+      : std::logic_error(what) {}
+};
+
+inline void require(bool condition, const char* message) {
+  if (!condition) throw InvariantViolation(message);
+}
+
+}  // namespace mns

@@ -1,0 +1,51 @@
+#include "graph/union_find.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace mns {
+
+UnionFind::UnionFind(VertexId n) : num_sets_(n) {
+  if (n < 0) throw std::invalid_argument("UnionFind: negative size");
+  parent_.resize(static_cast<std::size_t>(n));
+  std::iota(parent_.begin(), parent_.end(), 0);
+  size_.assign(static_cast<std::size_t>(n), 1);
+}
+
+VertexId UnionFind::find(VertexId v) {
+  VertexId root = v;
+  while (parent_[root] != root) root = parent_[root];
+  while (parent_[v] != root) {
+    VertexId next = parent_[v];
+    parent_[v] = root;
+    v = next;
+  }
+  return root;
+}
+
+bool UnionFind::unite(VertexId a, VertexId b) {
+  a = find(a);
+  b = find(b);
+  if (a == b) return false;
+  if (size_[a] < size_[b]) std::swap(a, b);
+  parent_[b] = a;
+  size_[a] += size_[b];
+  --num_sets_;
+  return true;
+}
+
+VertexId UnionFind::set_size(VertexId v) { return size_[find(v)]; }
+
+std::vector<VertexId> UnionFind::dense_labels() {
+  std::vector<VertexId> label(parent_.size(), kInvalidVertex);
+  VertexId next = 0;
+  std::vector<VertexId> out(parent_.size());
+  for (VertexId v = 0; v < static_cast<VertexId>(parent_.size()); ++v) {
+    VertexId r = find(v);
+    if (label[r] == kInvalidVertex) label[r] = next++;
+    out[v] = label[r];
+  }
+  return out;
+}
+
+}  // namespace mns

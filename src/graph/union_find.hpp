@@ -1,0 +1,36 @@
+// Disjoint-set union with union by size and path compression.
+#pragma once
+
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace mns {
+
+class UnionFind {
+ public:
+  explicit UnionFind(VertexId n);
+
+  /// Representative of v's set.
+  [[nodiscard]] VertexId find(VertexId v);
+
+  /// Merges the sets of a and b; returns false if already merged.
+  bool unite(VertexId a, VertexId b);
+
+  [[nodiscard]] bool same(VertexId a, VertexId b) { return find(a) == find(b); }
+
+  [[nodiscard]] VertexId num_sets() const noexcept { return num_sets_; }
+
+  /// Size of v's set.
+  [[nodiscard]] VertexId set_size(VertexId v);
+
+  /// Relabels sets as dense ids 0..num_sets-1; returns per-vertex labels.
+  [[nodiscard]] std::vector<VertexId> dense_labels();
+
+ private:
+  std::vector<VertexId> parent_;
+  std::vector<VertexId> size_;
+  VertexId num_sets_ = 0;
+};
+
+}  // namespace mns

@@ -1,0 +1,84 @@
+// Cell partitions (Definition 14) and β-cell-assignment (Definition 15).
+//
+// Cells are disjoint, connected, low-diameter vertex groups. The canonical
+// construction for apex graphs (Lemma 9): remove the apices from the spanning
+// tree T; every surviving subtree is one cell. The assignment relation R
+// pairs cells with parts so that (i) every part misses at most 2 of the cells
+// it intersects and (ii) no cell serves more than β parts; it is computed by
+// the elimination procedure from the proofs of Lemmas 4-6.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/rooted_tree.hpp"
+
+namespace mns {
+
+using CellId = std::int32_t;
+inline constexpr CellId kInvalidCell = -1;
+
+class CellPartition {
+ public:
+  /// `cell_of[v]` = cell id or kInvalidCell for excluded vertices (apices).
+  explicit CellPartition(std::vector<CellId> cell_of);
+
+  [[nodiscard]] CellId num_cells() const noexcept {
+    return static_cast<CellId>(members_.size());
+  }
+  [[nodiscard]] CellId cell_of(VertexId v) const { return cell_of_[v]; }
+  [[nodiscard]] std::span<const VertexId> members(CellId c) const {
+    return members_[c];
+  }
+
+  /// Valid iff every cell is non-empty and connected in g and the cell
+  /// diameters (within the cell subgraph) are bounded as promised. Returns ""
+  /// or a description of the violation. `max_diameter < 0` skips that check.
+  [[nodiscard]] std::string validate(const Graph& g, int max_diameter) const;
+
+ private:
+  std::vector<CellId> cell_of_;
+  std::vector<std::vector<VertexId>> members_;
+};
+
+/// Lemma 9's cell construction: delete `removed` (the apices) from the
+/// spanning tree; each connected subtree of T - removed is a cell. Also
+/// reports each cell's root (its shallowest vertex) and the root's tree
+/// parent ("uplink" target — an apex or the tree root's parent, i.e. none).
+struct TreeCells {
+  CellPartition partition;
+  /// cell -> shallowest vertex of the cell in T.
+  std::vector<VertexId> cell_root;
+  /// cell -> T-parent of cell_root (an element of `removed`), or
+  /// kInvalidVertex if cell_root is the tree root.
+  std::vector<VertexId> uplink_target;
+};
+[[nodiscard]] TreeCells cells_from_tree_minus_vertices(
+    const RootedTree& tree, std::span<const VertexId> removed);
+
+/// The relation R of Definition 15 plus bookkeeping.
+struct CellAssignment {
+  /// part -> cells assigned to it in R.
+  std::vector<std::vector<CellId>> cells_of_part;
+  /// part -> cells it intersects but was NOT assigned (must be <= 2 each for
+  /// the construction below).
+  std::vector<std::vector<CellId>> missing_cells_of_part;
+  /// max over cells of the number of parts assigned to it (the measured β).
+  int beta = 0;
+};
+
+/// Greedy elimination from Lemmas 4-6: repeatedly drop any part intersecting
+/// at most two remaining cells (it is assigned every other cell it touched
+/// already — none here, so those two cells become its "missing" cells), else
+/// assign the remaining cell with fewest incident parts to all of them and
+/// remove it. `intersects[p]` lists the cells part p intersects.
+[[nodiscard]] CellAssignment assign_cells(
+    const std::vector<std::vector<CellId>>& intersects, CellId num_cells);
+
+/// Convenience: builds the intersection lists for parts over a partition.
+[[nodiscard]] std::vector<std::vector<CellId>> cell_intersections(
+    const CellPartition& cells, const std::vector<std::vector<VertexId>>& parts);
+
+}  // namespace mns

@@ -1,0 +1,294 @@
+#include "structure/clique_sum.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace mns {
+
+namespace {
+
+void sort_unique(std::vector<VertexId>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+}  // namespace
+
+CliqueSumDecomposition::CliqueSumDecomposition(
+    std::vector<std::vector<VertexId>> bag_vertices,
+    std::vector<std::vector<EdgeId>> bag_edges, std::vector<BagId> parent,
+    std::vector<std::vector<VertexId>> parent_clique)
+    : bag_vertices_(std::move(bag_vertices)),
+      bag_edges_(std::move(bag_edges)),
+      parent_(std::move(parent)),
+      parent_clique_(std::move(parent_clique)) {
+  const std::size_t B = bag_vertices_.size();
+  if (bag_edges_.size() != B || parent_.size() != B ||
+      parent_clique_.size() != B)
+    throw std::invalid_argument("CliqueSumDecomposition: size mismatch");
+  if (B == 0) throw std::invalid_argument("CliqueSumDecomposition: no bags");
+  for (auto& b : bag_vertices_) sort_unique(b);
+  for (auto& c : parent_clique_) sort_unique(c);
+  for (auto& e : bag_edges_) {
+    std::sort(e.begin(), e.end());
+    e.erase(std::unique(e.begin(), e.end()), e.end());
+  }
+  children_.assign(B, {});
+  for (BagId b = 0; b < num_bags(); ++b) {
+    if (parent_[b] == kInvalidBag) {
+      if (root_ != kInvalidBag)
+        throw std::invalid_argument("CliqueSumDecomposition: multiple roots");
+      root_ = b;
+    } else {
+      if (parent_[b] < 0 || parent_[b] >= num_bags())
+        throw std::invalid_argument("CliqueSumDecomposition: bad parent");
+      children_[parent_[b]].push_back(b);
+    }
+  }
+  if (root_ == kInvalidBag)
+    throw std::invalid_argument("CliqueSumDecomposition: no root");
+  std::vector<int> dist(B, -1);
+  std::vector<BagId> queue{root_};
+  dist[root_] = 0;
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    BagId b = queue[head++];
+    depth_ = std::max(depth_, dist[b]);
+    for (BagId c : children_[b]) {
+      if (dist[c] != -1)
+        throw std::invalid_argument("CliqueSumDecomposition: cycle");
+      dist[c] = dist[b] + 1;
+      queue.push_back(c);
+    }
+  }
+  if (queue.size() != B)
+    throw std::invalid_argument("CliqueSumDecomposition: disconnected tree");
+}
+
+int CliqueSumDecomposition::max_clique_size() const {
+  std::size_t k = 0;
+  for (const auto& c : parent_clique_) k = std::max(k, c.size());
+  return static_cast<int>(k);
+}
+
+std::string CliqueSumDecomposition::validate(const Graph& g) const {
+  const VertexId n = g.num_vertices();
+  std::vector<std::vector<BagId>> holders(n);
+  for (BagId b = 0; b < num_bags(); ++b)
+    for (VertexId v : bag_vertices_[b]) {
+      if (v < 0 || v >= n) return "bag vertex out of range";
+      holders[v].push_back(b);
+    }
+  // Property 1: bags cover V(G).
+  for (VertexId v = 0; v < n; ++v)
+    if (holders[v].empty()) {
+      std::ostringstream os;
+      os << "property 1: vertex " << v << " in no bag";
+      return os.str();
+    }
+  // Property 2: every bag is a subgraph of G (edges exist, endpoints inside).
+  for (BagId b = 0; b < num_bags(); ++b)
+    for (EdgeId e : bag_edges_[b]) {
+      if (e < 0 || e >= g.num_edges()) return "property 2: bad bag edge id";
+      const Edge& ed = g.edge(e);
+      if (!std::binary_search(bag_vertices_[b].begin(),
+                              bag_vertices_[b].end(), ed.u) ||
+          !std::binary_search(bag_vertices_[b].begin(),
+                              bag_vertices_[b].end(), ed.v))
+        return "property 2: bag edge endpoint outside bag";
+    }
+  // Property 3: Bi ∩ Bparent == Cf for every tree edge.
+  for (BagId b = 0; b < num_bags(); ++b) {
+    if (parent_[b] == kInvalidBag) {
+      if (!parent_clique_[b].empty())
+        return "property 3: root has a parent clique";
+      continue;
+    }
+    std::vector<VertexId> inter;
+    std::set_intersection(bag_vertices_[b].begin(), bag_vertices_[b].end(),
+                          bag_vertices_[parent_[b]].begin(),
+                          bag_vertices_[parent_[b]].end(),
+                          std::back_inserter(inter));
+    if (inter != parent_clique_[b]) {
+      std::ostringstream os;
+      os << "property 3: bag " << b
+         << " intersection with parent differs from its partial clique";
+      return os.str();
+    }
+  }
+  // Property 4: per-vertex bag sets are connected in the bag tree.
+  for (VertexId v = 0; v < n; ++v) {
+    std::set<BagId> hs(holders[v].begin(), holders[v].end());
+    int roots = 0;
+    for (BagId b : hs)
+      if (parent_[b] == kInvalidBag || !hs.count(parent_[b])) ++roots;
+    if (roots != 1) {
+      std::ostringstream os;
+      os << "property 4: bag set of vertex " << v << " disconnected";
+      return os.str();
+    }
+  }
+  // Property 5: every edge of G appears in some bag.
+  std::vector<char> covered(g.num_edges(), 0);
+  for (BagId b = 0; b < num_bags(); ++b)
+    for (EdgeId e : bag_edges_[b]) covered[e] = 1;
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    if (!covered[e]) {
+      std::ostringstream os;
+      os << "property 5: edge " << e << " in no bag";
+      return os.str();
+    }
+  return {};
+}
+
+CliqueSumDecomposition clique_sum_from_tree_decomposition(
+    const TreeDecomposition& td, const Graph& g) {
+  const BagId B = td.num_bags();
+  std::vector<std::vector<VertexId>> verts(B);
+  std::vector<std::vector<EdgeId>> edges(B);
+  std::vector<BagId> parent(B);
+  std::vector<std::vector<VertexId>> cliques(B);
+  for (BagId b = 0; b < B; ++b) {
+    verts[b].assign(td.bag(b).begin(), td.bag(b).end());
+    parent[b] = td.parent(b);
+    // Bag edges: all edges of G induced inside the bag.
+    for (std::size_t i = 0; i < verts[b].size(); ++i)
+      for (std::size_t j = i + 1; j < verts[b].size(); ++j) {
+        EdgeId e = g.find_edge(verts[b][i], verts[b][j]);
+        if (e != kInvalidEdge) edges[b].push_back(e);
+      }
+    if (td.parent(b) != kInvalidBag) {
+      std::set_intersection(td.bag(b).begin(), td.bag(b).end(),
+                            td.bag(td.parent(b)).begin(),
+                            td.bag(td.parent(b)).end(),
+                            std::back_inserter(cliques[b]));
+    }
+  }
+  return CliqueSumDecomposition(std::move(verts), std::move(edges),
+                                std::move(parent), std::move(cliques));
+}
+
+FoldedDecomposition fold_decomposition(const CliqueSumDecomposition& csd) {
+  const BagId B = csd.num_bags();
+  // Subtree sizes (children lists are available; process reverse-BFS).
+  std::vector<BagId> order;
+  order.reserve(B);
+  order.push_back(csd.root());
+  for (std::size_t i = 0; i < order.size(); ++i)
+    for (BagId c : csd.children(order[i])) order.push_back(c);
+  std::vector<int> subtree(B, 1);
+  for (auto it = order.rbegin(); it != order.rend(); ++it)
+    if (csd.parent(*it) != kInvalidBag) subtree[csd.parent(*it)] += subtree[*it];
+  std::vector<BagId> heavy(B, kInvalidBag);
+  for (BagId b = 0; b < B; ++b) {
+    int best = 0;
+    for (BagId c : csd.children(b))
+      if (subtree[c] > best) {
+        best = subtree[c];
+        heavy[b] = c;
+      }
+  }
+  // Chains: heads are the root and every non-heavy child.
+  std::vector<std::vector<BagId>> chains;
+  std::vector<BagId> chain_of(B, kInvalidBag);
+  for (BagId b : order) {
+    bool is_head = (csd.parent(b) == kInvalidBag) ||
+                   (heavy[csd.parent(b)] != b);
+    if (!is_head) continue;
+    std::vector<BagId> chain;
+    for (BagId x = b; x != kInvalidBag; x = heavy[x]) {
+      chain_of[x] = static_cast<BagId>(chains.size());
+      chain.push_back(x);
+    }
+    chains.push_back(std::move(chain));
+  }
+
+  FoldedDecomposition out;
+  std::vector<BagId> node_of(B, kInvalidBag);
+  std::vector<BagId> fold_root_of_chain(chains.size(), kInvalidBag);
+
+  auto new_node = [&](std::initializer_list<BagId> bags) {
+    BagId id = static_cast<BagId>(out.groups.size());
+    std::vector<BagId> group;
+    for (BagId b : bags)
+      if (b != kInvalidBag &&
+          std::find(group.begin(), group.end(), b) == group.end()) {
+        group.push_back(b);
+        node_of[b] = id;
+      }
+    out.groups.push_back(std::move(group));
+    out.parent.push_back(kInvalidBag);
+    out.parent_separator_bags.push_back({});
+    return id;
+  };
+
+  // Balanced fold of chain[l..r]; returns the fold-subtree root node.
+  auto fold_range = [&](const std::vector<BagId>& chain, int l, int r,
+                        auto&& self) -> BagId {
+    if (l > r) return kInvalidBag;
+    if (r - l + 1 <= 3) {
+      // Small ranges collapse to a single node (new_node de-duplicates).
+      return new_node({chain[l], chain[(l + r) / 2], chain[r]});
+    }
+    int mid = (l + r) / 2;
+    BagId node = new_node({chain[l], chain[mid], chain[r]});
+    BagId left = self(chain, l + 1, mid - 1, self);
+    if (left != kInvalidBag) {
+      out.parent[left] = node;
+      // Double edge: partial cliques of the two crossing original edges,
+      // identified by their child-side bags.
+      out.parent_separator_bags[left] = {chain[l + 1], chain[mid]};
+    }
+    BagId right = self(chain, mid + 1, r - 1, self);
+    if (right != kInvalidBag) {
+      out.parent[right] = node;
+      out.parent_separator_bags[right] = {chain[mid + 1], chain[r]};
+    }
+    return node;
+  };
+
+  for (std::size_t ci = 0; ci < chains.size(); ++ci)
+    fold_root_of_chain[ci] = fold_range(
+        chains[ci], 0, static_cast<int>(chains[ci].size()) - 1, fold_range);
+
+  // Attach each chain's fold root under the node holding the chain head's
+  // original parent (a single partial clique; not a double edge).
+  for (std::size_t ci = 0; ci < chains.size(); ++ci) {
+    BagId head = chains[ci][0];
+    BagId p = csd.parent(head);
+    if (p == kInvalidBag) continue;  // the root chain
+    BagId attach = node_of[p];
+    BagId fr = fold_root_of_chain[ci];
+    require(attach != kInvalidBag && fr != kInvalidBag,
+            "fold: dangling chain attachment");
+    out.parent[fr] = attach;
+    out.parent_separator_bags[fr] = {head};
+  }
+
+  // Depth by BFS over the folded tree.
+  const BagId N = out.num_nodes();
+  std::vector<std::vector<BagId>> kids(N);
+  BagId root = kInvalidBag;
+  for (BagId v = 0; v < N; ++v) {
+    if (out.parent[v] == kInvalidBag)
+      root = v;
+    else
+      kids[out.parent[v]].push_back(v);
+  }
+  require(root != kInvalidBag, "fold: no root");
+  std::vector<std::pair<BagId, int>> stack{{root, 0}};
+  int seen = 0;
+  while (!stack.empty()) {
+    auto [v, d] = stack.back();
+    stack.pop_back();
+    ++seen;
+    out.depth = std::max(out.depth, d);
+    for (BagId c : kids[v]) stack.push_back({c, d + 1});
+  }
+  require(seen == N, "fold: folded structure is not a tree");
+  return out;
+}
+
+}  // namespace mns

@@ -1,0 +1,97 @@
+// k-clique-sum decomposition trees (Definitions 1, 7, 8) and the depth
+// compression ("folding") of Theorem 7's proof (§2.2, Figure 4).
+//
+// A CliqueSumDecomposition records how a graph G was glued from bags
+// B_1..B_l: the bag tree, each bag's vertices and edges (as subsets of G),
+// and the partial clique C_f shared across each tree edge. validate() checks
+// the five properties of Definition 8. fold_decomposition() compresses the
+// tree to depth O(log^2 n) via heavy-light chains + balanced path folding;
+// the folded tree's separators are unions of at most two partial cliques
+// ("double edges" in the paper).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "structure/tree_decomposition.hpp"
+
+namespace mns {
+
+class CliqueSumDecomposition {
+ public:
+  /// `bag_vertices[i]` / `bag_edges[i]`: vertex and edge ids of bag i in G.
+  /// `parent`: bag-tree structure, kInvalidBag for the single root.
+  /// `parent_clique[i]`: the partial clique shared with the parent bag
+  /// (empty for the root). Lists are sorted and de-duplicated on construction.
+  CliqueSumDecomposition(std::vector<std::vector<VertexId>> bag_vertices,
+                         std::vector<std::vector<EdgeId>> bag_edges,
+                         std::vector<BagId> parent,
+                         std::vector<std::vector<VertexId>> parent_clique);
+
+  [[nodiscard]] BagId num_bags() const noexcept {
+    return static_cast<BagId>(bag_vertices_.size());
+  }
+  [[nodiscard]] std::span<const VertexId> bag_vertices(BagId b) const {
+    return bag_vertices_[b];
+  }
+  [[nodiscard]] std::span<const EdgeId> bag_edges(BagId b) const {
+    return bag_edges_[b];
+  }
+  [[nodiscard]] BagId parent(BagId b) const { return parent_[b]; }
+  [[nodiscard]] BagId root() const noexcept { return root_; }
+  [[nodiscard]] std::span<const BagId> children(BagId b) const {
+    return children_[b];
+  }
+  [[nodiscard]] std::span<const VertexId> parent_clique(BagId b) const {
+    return parent_clique_[b];
+  }
+  /// Depth of the bag tree.
+  [[nodiscard]] int depth() const noexcept { return depth_; }
+  /// Max partial-clique size (the "k" of the k-clique-sum).
+  [[nodiscard]] int max_clique_size() const;
+
+  /// Checks Definition 8's properties (1)-(5) plus Bi ∩ Bparent == Cf.
+  /// Returns empty string if valid, else a description of the violation.
+  [[nodiscard]] std::string validate(const Graph& g) const;
+
+ private:
+  std::vector<std::vector<VertexId>> bag_vertices_;
+  std::vector<std::vector<EdgeId>> bag_edges_;
+  std::vector<BagId> parent_;
+  std::vector<std::vector<VertexId>> parent_clique_;
+  std::vector<std::vector<BagId>> children_;
+  BagId root_ = kInvalidBag;
+  int depth_ = 0;
+};
+
+/// Converts a tree decomposition into the equivalent clique-sum view: bag i
+/// keeps its vertex set; bag edges are the edges of G with both endpoints in
+/// the bag (assigned to the shallowest such bag); C_f = B_i ∩ B_parent.
+[[nodiscard]] CliqueSumDecomposition clique_sum_from_tree_decomposition(
+    const TreeDecomposition& td, const Graph& g);
+
+/// Result of folding: a shallow tree whose nodes group original bags.
+struct FoldedDecomposition {
+  /// node -> original bags merged into it (1 or 3 per path-folding step).
+  std::vector<std::vector<BagId>> groups;
+  /// node tree (kInvalidBag for root).
+  std::vector<BagId> parent;
+  /// node -> original partial cliques crossing to the parent node (<= 2;
+  /// two entries form a "double edge").
+  std::vector<std::vector<BagId>> parent_separator_bags;
+  int depth = 0;
+
+  [[nodiscard]] BagId num_nodes() const {
+    return static_cast<BagId>(groups.size());
+  }
+};
+
+/// §2.2: heavy-light decomposition of the bag tree, then balanced folding of
+/// every heavy chain. Resulting depth is O(log^2 B) for B bags; every node
+/// has at most two children attached through double edges.
+[[nodiscard]] FoldedDecomposition fold_decomposition(
+    const CliqueSumDecomposition& csd);
+
+}  // namespace mns

@@ -1,0 +1,108 @@
+#include "structure/gates.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace mns {
+
+std::string validate_gates(const Graph& g, const CellPartition& cells,
+                           const GateSystem& gs, double* s_out) {
+  if (gs.fences.size() != gs.gates.size())
+    return "fence/gate count mismatch";
+  const VertexId n = g.num_vertices();
+  for (std::size_t i = 0; i < gs.size(); ++i) {
+    const auto& fence = gs.fences[i];
+    const auto& gate = gs.gates[i];
+    if (!std::is_sorted(fence.begin(), fence.end()) ||
+        !std::is_sorted(gate.begin(), gate.end()))
+      return "fence/gate lists must be sorted";
+    // Property 1: F ⊆ S.
+    if (!std::includes(gate.begin(), gate.end(), fence.begin(), fence.end()))
+      return "property 1: fence not inside gate";
+    // Property 2: ∂S ⊆ F.
+    for (VertexId v : gate) {
+      if (v < 0 || v >= n) return "gate vertex out of range";
+      bool boundary = false;
+      for (VertexId w : g.neighbors(v))
+        if (!std::binary_search(gate.begin(), gate.end(), w)) boundary = true;
+      if (boundary && !std::binary_search(fence.begin(), fence.end(), v)) {
+        std::ostringstream os;
+        os << "property 2: boundary vertex " << v << " of gate " << i
+           << " missing from its fence";
+        return os.str();
+      }
+    }
+    // Property 4: gate intersects at most two cells.
+    std::set<CellId> touched;
+    for (VertexId v : gate)
+      if (cells.cell_of(v) != kInvalidCell) touched.insert(cells.cell_of(v));
+    if (touched.size() > 2) {
+      std::ostringstream os;
+      os << "property 4: gate " << i << " touches " << touched.size()
+         << " cells";
+      return os.str();
+    }
+  }
+  // Property 3: every inter-cell edge is covered by some gate.
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    VertexId a = g.edge(e).u, b = g.edge(e).v;
+    CellId ca = cells.cell_of(a), cb = cells.cell_of(b);
+    if (ca == cb || ca == kInvalidCell || cb == kInvalidCell) continue;
+    bool covered = false;
+    for (std::size_t i = 0; i < gs.size() && !covered; ++i)
+      covered = std::binary_search(gs.gates[i].begin(), gs.gates[i].end(), a) &&
+                std::binary_search(gs.gates[i].begin(), gs.gates[i].end(), b);
+    if (!covered) {
+      std::ostringstream os;
+      os << "property 3: inter-cell edge {" << a << "," << b << "} uncovered";
+      return os.str();
+    }
+  }
+  // Property 5: non-fence gate vertices are private to one gate.
+  {
+    std::vector<int> owner(n, -1);
+    for (std::size_t i = 0; i < gs.size(); ++i)
+      for (VertexId v : gs.gates[i]) {
+        if (std::binary_search(gs.fences[i].begin(), gs.fences[i].end(), v))
+          continue;
+        if (owner[v] != -1) {
+          std::ostringstream os;
+          os << "property 5: vertex " << v << " is non-fence in two gates";
+          return os.str();
+        }
+        owner[v] = static_cast<int>(i);
+      }
+  }
+  if (s_out != nullptr) {
+    std::size_t total = 0;
+    for (const auto& f : gs.fences) total += f.size();
+    *s_out = cells.num_cells() == 0
+                 ? 0.0
+                 : static_cast<double>(total) / cells.num_cells();
+  }
+  return {};
+}
+
+GateSystem build_boundary_gates(const Graph& g, const CellPartition& cells) {
+  std::map<std::pair<CellId, CellId>, std::set<VertexId>> pair_vertices;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    VertexId a = g.edge(e).u, b = g.edge(e).v;
+    CellId ca = cells.cell_of(a), cb = cells.cell_of(b);
+    if (ca == cb || ca == kInvalidCell || cb == kInvalidCell) continue;
+    auto key = std::minmax(ca, cb);
+    auto& s = pair_vertices[{key.first, key.second}];
+    s.insert(a);
+    s.insert(b);
+  }
+  GateSystem gs;
+  for (auto& [key, verts] : pair_vertices) {
+    std::vector<VertexId> v(verts.begin(), verts.end());
+    gs.fences.push_back(v);
+    gs.gates.push_back(std::move(v));
+  }
+  return gs;
+}
+
+}  // namespace mns

@@ -1,0 +1,43 @@
+// Combinatorial gates (Definition 17): per pair of adjacent cells, a gate
+// S covering all inter-cell edges with a fence F controlling its boundary.
+// Lemma 7 shows planar cell partitions of diameter d admit 36d-gates via
+// extremal edges and laminar cycle regions; Lemmas 4-6 convert an
+// s-combinatorial gate into 2s-cell-assignability.
+//
+// This module provides the gate data type, the full 6-property validator
+// (the test oracle), and a boundary construction for embedded planar cells:
+// gate(i,j) = endpoints of all (i,j) inter-cell edges with F = S. Properties
+// (1)-(5) hold by construction; property (6)'s parameter s = Σ|F| / |C| is
+// *measured* and reported (bench E7 compares it against Lemma 7's 36d), per
+// DESIGN.md's substitution for the extremal-edge construction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "structure/cells.hpp"
+
+namespace mns {
+
+struct GateSystem {
+  /// Parallel arrays: fences[i] ⊆ gates[i] (sorted vertex lists).
+  std::vector<std::vector<VertexId>> fences;
+  std::vector<std::vector<VertexId>> gates;
+
+  [[nodiscard]] std::size_t size() const noexcept { return gates.size(); }
+};
+
+/// Checks Definition 17's properties (1)-(5); on success writes the measured
+/// s = (sum of fence sizes) / (number of cells) to `s_out` (property 6).
+/// Returns "" or a description of the first violation.
+[[nodiscard]] std::string validate_gates(const Graph& g,
+                                         const CellPartition& cells,
+                                         const GateSystem& gs, double* s_out);
+
+/// Boundary gate construction for a cell partition of any graph: one gate
+/// per adjacent cell pair consisting of the inter-cell edge endpoints.
+[[nodiscard]] GateSystem build_boundary_gates(const Graph& g,
+                                              const CellPartition& cells);
+
+}  // namespace mns

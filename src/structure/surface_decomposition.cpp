@@ -1,0 +1,256 @@
+#include "structure/surface_decomposition.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "graph/algorithms.hpp"
+#include "graph/rooted_tree.hpp"
+
+namespace mns {
+
+StarTriangulation star_triangulate(const EmbeddedGraph& base) {
+  const Graph& g = base.graph();
+  const VertexId n = g.num_vertices();
+
+  // Identify big faces and their vertex cycles.
+  std::vector<std::vector<VertexId>> big_faces;
+  for (int f = 0; f < base.num_faces(); ++f) {
+    if (base.faces()[f].size() <= 3) continue;
+    if (!base.face_is_simple_cycle(f))
+      throw std::invalid_argument(
+          "star_triangulate: face of size > 3 is not a simple cycle");
+    big_faces.push_back(base.face_vertices(f));
+  }
+
+  const VertexId first_center = n;
+  GraphBuilder builder(n + static_cast<VertexId>(big_faces.size()));
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    builder.add_edge(g.edge(e).u, g.edge(e).v);
+  for (std::size_t i = 0; i < big_faces.size(); ++i) {
+    VertexId center = first_center + static_cast<VertexId>(i);
+    for (VertexId v : big_faces[i]) builder.add_edge(center, v);
+  }
+  Graph g1 = builder.build();
+
+  // Rotations, expressed as neighbor sequences first, then mapped to edges.
+  // For the face cycle v_0..v_{L-1}: the star edge at v_{i+1} goes right
+  // after the face's arrival edge {v_i, v_{i+1}}; rotation of the center
+  // lists the face in reverse order.
+  std::vector<std::vector<VertexId>> nbr_rot(g1.num_vertices());
+  // per original vertex: arrival edge id -> center to insert after it.
+  std::vector<std::map<EdgeId, VertexId>> insert_after(n);
+  for (std::size_t i = 0; i < big_faces.size(); ++i) {
+    const auto& cyc = big_faces[i];
+    VertexId center = first_center + static_cast<VertexId>(i);
+    const std::size_t L = cyc.size();
+    for (std::size_t j = 0; j < L; ++j) {
+      VertexId from = cyc[j];
+      VertexId to = cyc[(j + 1) % L];
+      EdgeId arrival = g.find_edge(from, to);
+      require(arrival != kInvalidEdge, "star_triangulate: missing face edge");
+      insert_after[to].emplace(arrival, center);
+    }
+    // rotation of center: reverse face order.
+    for (std::size_t j = 0; j < L; ++j)
+      nbr_rot[center].push_back(cyc[L - 1 - j]);
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    for (EdgeId e : base.rotation()[v]) {
+      nbr_rot[v].push_back(g.other_endpoint(e, v));
+      auto it = insert_after[v].find(e);
+      if (it != insert_after[v].end()) nbr_rot[v].push_back(it->second);
+    }
+  }
+
+  std::vector<std::vector<EdgeId>> rot(g1.num_vertices());
+  for (VertexId v = 0; v < g1.num_vertices(); ++v) {
+    rot[v].reserve(nbr_rot[v].size());
+    for (VertexId w : nbr_rot[v]) {
+      EdgeId e = g1.find_edge(v, w);
+      require(e != kInvalidEdge, "star_triangulate: rotation edge missing");
+      rot[v].push_back(e);
+    }
+  }
+  return StarTriangulation{EmbeddedGraph(std::move(g1), std::move(rot)),
+                           first_center};
+}
+
+namespace {
+
+/// Enforces the connectedness axiom by closing each vertex's holder set under
+/// Steiner paths in the bag tree, then returns the decomposition.
+TreeDecomposition repair_and_build(std::vector<std::vector<VertexId>> bags,
+                                   std::vector<BagId> parent,
+                                   VertexId num_graph_vertices) {
+  const BagId B = static_cast<BagId>(bags.size());
+  std::vector<VertexId> tree_parent(parent.begin(), parent.end());
+  BagId root = kInvalidBag;
+  for (BagId b = 0; b < B; ++b)
+    if (parent[b] == kInvalidBag) root = b;
+  require(root != kInvalidBag, "repair_and_build: no root bag");
+  RootedTree bag_tree(root, std::vector<VertexId>(tree_parent.begin(),
+                                                  tree_parent.end()));
+
+  std::vector<std::vector<BagId>> holders(num_graph_vertices);
+  for (BagId b = 0; b < B; ++b) {
+    std::sort(bags[b].begin(), bags[b].end());
+    bags[b].erase(std::unique(bags[b].begin(), bags[b].end()), bags[b].end());
+    for (VertexId v : bags[b]) holders[v].push_back(b);
+  }
+
+  // DFS-order positions of bags for Steiner closure.
+  std::vector<int> tin(B);
+  {
+    const auto& pre = bag_tree.preorder();
+    for (int i = 0; i < static_cast<int>(pre.size()); ++i) tin[pre[i]] = i;
+  }
+  for (VertexId v = 0; v < num_graph_vertices; ++v) {
+    auto& hs = holders[v];
+    if (hs.size() <= 1) continue;
+    std::sort(hs.begin(), hs.end(),
+              [&](BagId a, BagId b) { return tin[a] < tin[b]; });
+    std::set<BagId> holder_set(hs.begin(), hs.end());
+    std::vector<BagId> to_add;
+    for (std::size_t i = 0; i + 1 < hs.size(); ++i) {
+      // Add all bags strictly inside the tree path hs[i] .. hs[i+1].
+      BagId a = hs[i], b = hs[i + 1];
+      BagId l = bag_tree.lca(a, b);
+      for (BagId x = a; x != l; x = bag_tree.parent(x))
+        if (!holder_set.count(x)) to_add.push_back(x);
+      for (BagId x = b; x != l; x = bag_tree.parent(x))
+        if (!holder_set.count(x)) to_add.push_back(x);
+      if (!holder_set.count(l)) to_add.push_back(l);
+      for (BagId x : to_add) holder_set.insert(x);
+      for (BagId x : to_add) bags[x].push_back(v);
+      to_add.clear();
+    }
+  }
+  return TreeDecomposition(std::move(bags), std::move(parent));
+}
+
+}  // namespace
+
+TreeDecomposition surface_bfs_decomposition(const EmbeddedGraph& base,
+                                            VertexId root) {
+  StarTriangulation st = star_triangulate(base);
+  const EmbeddedGraph& emb = st.embedded;
+  const Graph& g1 = emb.graph();
+
+  BfsResult bfsres = bfs(g1, root);
+  for (VertexId v = 0; v < g1.num_vertices(); ++v)
+    if (!bfsres.reached(v))
+      throw std::invalid_argument("surface_bfs_decomposition: disconnected");
+  RootedTree tree = RootedTree::from_bfs(bfsres, root);
+  std::vector<char> is_tree_edge(g1.num_edges(), 0);
+  for (VertexId v = 0; v < g1.num_vertices(); ++v)
+    if (v != root) is_tree_edge[tree.parent_edge(v)] = 1;
+
+  // Face of each half-edge.
+  const int F = emb.num_faces();
+  std::vector<int> face_of(static_cast<std::size_t>(g1.num_edges()) * 2, -1);
+  for (int f = 0; f < F; ++f)
+    for (HalfEdgeId h : emb.faces()[f]) face_of[h] = f;
+
+  // Dual BFS over non-tree edges -> dual spanning tree (the bag tree) and the
+  // leftover "generator" edges (2g of them).
+  std::vector<BagId> parent(F, kInvalidBag);
+  std::vector<char> dual_seen(F, 0);
+  std::vector<EdgeId> used_dual_edge(F, kInvalidEdge);
+  std::vector<int> queue{0};
+  dual_seen[0] = 1;
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    int f = queue[head++];
+    for (HalfEdgeId h : emb.faces()[f]) {
+      EdgeId e = h >> 1;
+      if (is_tree_edge[e]) continue;
+      int nf = face_of[emb.twin(h)];
+      if (nf == f || dual_seen[nf]) continue;
+      dual_seen[nf] = 1;
+      parent[nf] = f;
+      used_dual_edge[nf] = e;
+      queue.push_back(nf);
+    }
+  }
+  require(queue.size() == static_cast<std::size_t>(F),
+          "surface_bfs_decomposition: dual graph over non-tree edges is "
+          "disconnected");
+
+  // Leftover non-tree edges (not used by the dual spanning tree).
+  std::vector<char> used(g1.num_edges(), 0);
+  for (int f = 0; f < F; ++f)
+    if (used_dual_edge[f] != kInvalidEdge) used[used_dual_edge[f]] = 1;
+  std::vector<VertexId> generator_path_vertices;
+  for (EdgeId e = 0; e < g1.num_edges(); ++e) {
+    if (is_tree_edge[e] || used[e]) continue;
+    for (VertexId x : {g1.edge(e).u, g1.edge(e).v})
+      for (VertexId y = x;; y = tree.parent(y)) {
+        generator_path_vertices.push_back(y);
+        if (y == root) break;
+      }
+  }
+  std::sort(generator_path_vertices.begin(), generator_path_vertices.end());
+  generator_path_vertices.erase(std::unique(generator_path_vertices.begin(),
+                                            generator_path_vertices.end()),
+                                generator_path_vertices.end());
+
+  // Bags: root paths of each face's corners + all generator path vertices.
+  std::vector<std::vector<VertexId>> bags(F);
+  for (int f = 0; f < F; ++f) {
+    std::vector<VertexId>& bag = bags[f];
+    for (HalfEdgeId h : emb.faces()[f])
+      for (VertexId y = emb.tail(h);; y = tree.parent(y)) {
+        bag.push_back(y);
+        if (y == root) break;
+      }
+    bag.insert(bag.end(), generator_path_vertices.begin(),
+               generator_path_vertices.end());
+  }
+
+  TreeDecomposition td =
+      repair_and_build(std::move(bags), std::move(parent), g1.num_vertices());
+
+  // Strip the triangulation centers: they are not vertices of the base graph.
+  if (st.first_center == g1.num_vertices()) return td;
+  std::vector<std::vector<VertexId>> stripped(td.num_bags());
+  std::vector<BagId> par(td.num_bags());
+  for (BagId b = 0; b < td.num_bags(); ++b) {
+    par[b] = td.parent(b);
+    for (VertexId v : td.bag(b))
+      if (v < st.first_center) stripped[b].push_back(v);
+    if (stripped[b].empty())
+      stripped[b].push_back(root);  // keep bags non-empty
+  }
+  return TreeDecomposition(std::move(stripped), std::move(par));
+}
+
+TreeDecomposition augment_with_vortices(const TreeDecomposition& td,
+                                        const Graph& full_graph,
+                                        std::span<const VortexSpec> vortices) {
+  std::vector<std::vector<VertexId>> bags(td.num_bags());
+  std::vector<BagId> parent(td.num_bags());
+  for (BagId b = 0; b < td.num_bags(); ++b) {
+    bags[b].assign(td.bag(b).begin(), td.bag(b).end());
+    parent[b] = td.parent(b);
+  }
+  // For each internal node, add it to every bag holding one of its arc's
+  // boundary vertices (Lemma 2's augmentation).
+  std::vector<std::vector<BagId>> holders(full_graph.num_vertices());
+  for (BagId b = 0; b < td.num_bags(); ++b)
+    for (VertexId v : td.bag(b)) holders[v].push_back(b);
+  for (const VortexSpec& vx : vortices) {
+    if (vx.internal_nodes.size() != vx.arcs.size())
+      throw std::invalid_argument("augment_with_vortices: arcs size mismatch");
+    for (std::size_t i = 0; i < vx.internal_nodes.size(); ++i) {
+      std::set<BagId> target;
+      for (VertexId b_vertex : vx.arcs[i])
+        for (BagId b : holders[b_vertex]) target.insert(b);
+      for (BagId b : target) bags[b].push_back(vx.internal_nodes[i]);
+    }
+  }
+  return TreeDecomposition(std::move(bags), std::move(parent));
+}
+
+}  // namespace mns

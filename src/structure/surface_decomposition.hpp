@@ -1,0 +1,61 @@
+// Constructive treewidth bounds for embedded graphs (Lemmas 2-3).
+//
+// The paper's route to shortcuts in Genus+Vortex graphs first bounds their
+// treewidth: a genus-g, diameter-D graph has treewidth O((g+1)D) (Eppstein),
+// and adding l vortices of depth k multiplies this by O(kl). This module
+// makes those bounds constructive:
+//
+//   1. star_triangulate(): subdivides every face of size > 3 with a fresh
+//      center vertex (keeps the embedding valid and the genus unchanged).
+//   2. surface_bfs_decomposition(): BFS tree T from a root, dual spanning
+//      tree over non-tree edges; bag(face) = root paths of the face corners,
+//      plus the root paths of the <= 2g leftover ("generator") edges added to
+//      every bag; a Steiner repair pass then enforces the connectedness axiom
+//      so the result is always a valid TreeDecomposition.
+//   3. augment_with_vortices(): Lemma 2's bag augmentation — each internal
+//      vortex node joins every bag holding a boundary vertex of its arc.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/embedding.hpp"
+#include "structure/tree_decomposition.hpp"
+
+namespace mns {
+
+/// One vortex (Definition 4) as recorded by the generator: internal node i
+/// attaches to the boundary vertices arcs[i] (a contiguous arc of the vortex
+/// boundary cycle).
+struct VortexSpec {
+  std::vector<VertexId> internal_nodes;
+  std::vector<std::vector<VertexId>> arcs;
+  std::vector<VertexId> boundary_cycle;
+};
+
+/// Embedding with star centers added inside every face of size > 3. Original
+/// vertices keep their ids; centers are the vertices >= first_center. Throws
+/// if a face of size > 3 is not a simple cycle (never happens for this
+/// library's generators, which produce 2-connected embedded bases).
+struct StarTriangulation {
+  EmbeddedGraph embedded;
+  VertexId first_center;
+};
+[[nodiscard]] StarTriangulation star_triangulate(const EmbeddedGraph& base);
+
+/// Valid tree decomposition of the *base* graph of `base` via the BFS +
+/// dual-tree construction. Width is O((g+1) * height(BFS tree)) by Eppstein's
+/// argument; the validator-backed repair pass keeps the output valid on every
+/// input. Centers added during triangulation are stripped from the bags.
+[[nodiscard]] TreeDecomposition surface_bfs_decomposition(
+    const EmbeddedGraph& base, VertexId root);
+
+/// Lemma 2/3: extends a decomposition of the embedded base graph to the graph
+/// with vortex internal nodes added. `full_graph` is the base plus all vortex
+/// internals/edges. The result is a valid decomposition of `full_graph` of
+/// width O(k * l * width(td)).
+[[nodiscard]] TreeDecomposition augment_with_vortices(
+    const TreeDecomposition& td, const Graph& full_graph,
+    std::span<const VortexSpec> vortices);
+
+}  // namespace mns

@@ -1,0 +1,184 @@
+#include "structure/tree_decomposition.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/algorithms.hpp"
+
+namespace mns {
+
+TreeDecomposition::TreeDecomposition(std::vector<std::vector<VertexId>> bags,
+                                     std::vector<BagId> parent)
+    : bags_(std::move(bags)), parent_(std::move(parent)) {
+  if (bags_.size() != parent_.size())
+    throw std::invalid_argument("TreeDecomposition: bags/parent size mismatch");
+  if (bags_.empty())
+    throw std::invalid_argument("TreeDecomposition: no bags");
+  for (auto& b : bags_) {
+    std::sort(b.begin(), b.end());
+    b.erase(std::unique(b.begin(), b.end()), b.end());
+  }
+  children_.assign(bags_.size(), {});
+  for (BagId b = 0; b < num_bags(); ++b) {
+    if (parent_[b] == kInvalidBag) {
+      if (root_ != kInvalidBag)
+        throw std::invalid_argument("TreeDecomposition: multiple roots");
+      root_ = b;
+    } else {
+      if (parent_[b] < 0 || parent_[b] >= num_bags())
+        throw std::invalid_argument("TreeDecomposition: bad parent");
+      children_[parent_[b]].push_back(b);
+    }
+  }
+  if (root_ == kInvalidBag)
+    throw std::invalid_argument("TreeDecomposition: no root");
+  // Verify tree-ness (connected, acyclic) and compute depth by BFS from root.
+  std::vector<int> dist(bags_.size(), -1);
+  std::vector<BagId> queue{root_};
+  dist[root_] = 0;
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    BagId b = queue[head++];
+    depth_ = std::max(depth_, dist[b]);
+    for (BagId c : children_[b]) {
+      if (dist[c] != -1)
+        throw std::invalid_argument("TreeDecomposition: cycle in bag tree");
+      dist[c] = dist[b] + 1;
+      queue.push_back(c);
+    }
+  }
+  if (queue.size() != bags_.size())
+    throw std::invalid_argument("TreeDecomposition: bag tree disconnected");
+}
+
+int TreeDecomposition::width() const {
+  std::size_t w = 0;
+  for (const auto& b : bags_) w = std::max(w, b.size());
+  return static_cast<int>(w) - 1;
+}
+
+std::string TreeDecomposition::validate(const Graph& g) const {
+  const VertexId n = g.num_vertices();
+  // Axiom (i): bags cover V; also collect, per vertex, the bags holding it.
+  std::vector<std::vector<BagId>> holders(n);
+  for (BagId b = 0; b < num_bags(); ++b)
+    for (VertexId v : bags_[b]) {
+      if (v < 0 || v >= n) return "bag contains out-of-range vertex";
+      holders[v].push_back(b);
+    }
+  for (VertexId v = 0; v < n; ++v)
+    if (holders[v].empty()) {
+      std::ostringstream os;
+      os << "vertex " << v << " is in no bag";
+      return os.str();
+    }
+  // Axiom (ii): holders of each vertex form a connected subtree. Check: the
+  // number of holder bags whose parent is NOT a holder must be exactly 1.
+  for (VertexId v = 0; v < n; ++v) {
+    std::set<BagId> hs(holders[v].begin(), holders[v].end());
+    int roots = 0;
+    for (BagId b : hs)
+      if (parent_[b] == kInvalidBag || !hs.count(parent_[b])) ++roots;
+    if (roots != 1) {
+      std::ostringstream os;
+      os << "bags containing vertex " << v << " are not connected";
+      return os.str();
+    }
+  }
+  // Axiom (iii): every edge is inside some bag.
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& ed = g.edge(e);
+    bool found = false;
+    for (BagId b : holders[ed.u]) {
+      if (std::binary_search(bags_[b].begin(), bags_[b].end(), ed.v)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::ostringstream os;
+      os << "edge {" << ed.u << "," << ed.v << "} is covered by no bag";
+      return os.str();
+    }
+  }
+  return {};
+}
+
+std::vector<BagId> TreeDecomposition::bags_containing(VertexId v) const {
+  std::vector<BagId> out;
+  for (BagId b = 0; b < num_bags(); ++b)
+    if (std::binary_search(bags_[b].begin(), bags_[b].end(), v))
+      out.push_back(b);
+  return out;
+}
+
+TreeDecomposition min_degree_decomposition(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  if (n == 0) throw std::invalid_argument("min_degree_decomposition: empty");
+  // Work on adjacency sets; eliminate min-degree vertex, fill its neighbors.
+  std::vector<std::set<VertexId>> adj(n);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    adj[g.edge(e).u].insert(g.edge(e).v);
+    adj[g.edge(e).v].insert(g.edge(e).u);
+  }
+  std::vector<char> eliminated(n, 0);
+  std::vector<VertexId> order;
+  order.reserve(n);
+  std::vector<std::vector<VertexId>> bag_of(n);
+  for (VertexId step = 0; step < n; ++step) {
+    VertexId best = kInvalidVertex;
+    std::size_t best_deg = static_cast<std::size_t>(n) + 1;
+    for (VertexId v = 0; v < n; ++v)
+      if (!eliminated[v] && adj[v].size() < best_deg) {
+        best_deg = adj[v].size();
+        best = v;
+      }
+    eliminated[best] = 1;
+    order.push_back(best);
+    bag_of[best].assign(adj[best].begin(), adj[best].end());
+    bag_of[best].push_back(best);
+    std::sort(bag_of[best].begin(), bag_of[best].end());
+    // Fill: neighbors of best become a clique.
+    std::vector<VertexId> nbrs(adj[best].begin(), adj[best].end());
+    for (std::size_t i = 0; i < nbrs.size(); ++i)
+      for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+        adj[nbrs[i]].insert(nbrs[j]);
+        adj[nbrs[j]].insert(nbrs[i]);
+      }
+    for (VertexId w : nbrs) adj[w].erase(best);
+    adj[best].clear();
+  }
+  // Bag tree: parent of bag(v) = bag(u) where u = earliest-eliminated vertex
+  // of bag(v) \ {v} in elimination order after v. Last eliminated is root.
+  std::vector<VertexId> elim_pos(n);
+  for (VertexId i = 0; i < n; ++i) elim_pos[order[i]] = i;
+  std::vector<BagId> parent(n, kInvalidBag);
+  std::vector<std::vector<VertexId>> bags(n);
+  for (VertexId i = 0; i < n; ++i) {
+    VertexId v = order[i];
+    bags[i] = bag_of[v];
+    VertexId succ = kInvalidVertex;
+    VertexId succ_pos = n;
+    for (VertexId w : bag_of[v])
+      if (w != v && elim_pos[w] > i && elim_pos[w] < succ_pos) {
+        succ_pos = elim_pos[w];
+        succ = w;
+      }
+    if (succ != kInvalidVertex) parent[i] = succ_pos;
+  }
+  // Disconnected graphs produce several roots; chain extra roots under the
+  // last bag so the structure is a single tree (bags may be shared freely).
+  BagId main_root = kInvalidBag;
+  for (BagId b = n - 1; b >= 0; --b)
+    if (parent[b] == kInvalidBag) {
+      if (main_root == kInvalidBag)
+        main_root = b;
+      else
+        parent[b] = main_root;
+    }
+  return TreeDecomposition(std::move(bags), std::move(parent));
+}
+
+}  // namespace mns

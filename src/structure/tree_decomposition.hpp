@@ -1,0 +1,67 @@
+// Tree decompositions (paper §2.3.1): the substrate for the treewidth-based
+// shortcut construction (Theorem 5) and for the Genus+Vortex treewidth bound
+// (Lemmas 2-3).
+//
+// A TreeDecomposition is a rooted tree of bags (vertex subsets) satisfying the
+// three axioms: (i) bags cover V, (ii) the bags containing any vertex form a
+// connected subtree, (iii) every edge has both endpoints in some bag. Width =
+// max bag size - 1.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mns {
+
+using BagId = std::int32_t;
+inline constexpr BagId kInvalidBag = -1;
+
+class TreeDecomposition {
+ public:
+  /// Builds a decomposition with the given bags and bag-tree parent pointers
+  /// (parent[root] == kInvalidBag, exactly one root). Bag vertex lists are
+  /// sorted and de-duplicated. Structural tree-ness is validated eagerly;
+  /// decomposition axioms are checked by validate().
+  TreeDecomposition(std::vector<std::vector<VertexId>> bags,
+                    std::vector<BagId> parent);
+
+  [[nodiscard]] BagId num_bags() const noexcept {
+    return static_cast<BagId>(bags_.size());
+  }
+  [[nodiscard]] std::span<const VertexId> bag(BagId b) const {
+    return bags_[b];
+  }
+  [[nodiscard]] BagId parent(BagId b) const { return parent_[b]; }
+  [[nodiscard]] BagId root() const noexcept { return root_; }
+  [[nodiscard]] std::span<const BagId> children(BagId b) const {
+    return children_[b];
+  }
+  /// Depth of the bag tree (root = 0).
+  [[nodiscard]] int depth() const noexcept { return depth_; }
+
+  /// Width = max bag size - 1.
+  [[nodiscard]] int width() const;
+
+  /// Checks the three decomposition axioms against g. Returns an empty string
+  /// if valid, else a human-readable description of the first violation.
+  [[nodiscard]] std::string validate(const Graph& g) const;
+
+  /// All bags containing v (sorted ascending).
+  [[nodiscard]] std::vector<BagId> bags_containing(VertexId v) const;
+
+ private:
+  std::vector<std::vector<VertexId>> bags_;
+  std::vector<BagId> parent_;
+  std::vector<std::vector<BagId>> children_;
+  BagId root_ = kInvalidBag;
+  int depth_ = 0;
+};
+
+/// Greedy min-degree heuristic tree decomposition. Returns a valid
+/// decomposition of any connected graph; width is heuristic (not optimal) but
+/// matches the true treewidth on chordal graphs such as k-trees.
+[[nodiscard]] TreeDecomposition min_degree_decomposition(const Graph& g);
+
+}  // namespace mns

@@ -1,0 +1,237 @@
+// Tests for the Theorem 7 / Theorem 5 / Theorem 6 construction pipeline:
+// clique-sum shortcut building with folding, treewidth bags, apex oracles,
+// and the end-to-end excluded-minor (L_k) path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/engine.hpp"
+#include "gen/basic.hpp"
+#include "gen/clique_sum.hpp"
+#include "gen/ktree.hpp"
+#include "gen/lk_family.hpp"
+#include "gen/planar.hpp"
+#include "graph/algorithms.hpp"
+
+namespace mns {
+namespace {
+
+RootedTree bfs_tree(const Graph& g, VertexId root) {
+  return RootedTree::from_bfs(bfs(g, root), root);
+}
+
+TEST(TreewidthShortcut, ValidOnKTreeWithSmallBlock) {
+  Rng rng(1);
+  const int k = 3;
+  gen::KTreeResult kt = gen::random_ktree(300, k, rng);
+  RootedTree t = bfs_tree(kt.graph, 0);
+  Partition p = voronoi_partition(kt.graph, 12, rng);
+  ASSERT_EQ(p.validate(kt.graph), "");
+  Shortcut sc = build_treewidth_shortcut(kt.graph, t, p, kt.decomposition);
+  EXPECT_EQ(validate_tree_restricted(kt.graph, t, sc), "");
+  ShortcutMetrics m = measure_shortcut(kt.graph, t, p, sc);
+  // Theorem 5 shape: block O(k) (folding groups <= 3 bags, plus the parent
+  // clique), congestion O(k log n).
+  EXPECT_LE(m.block, 8 * (k + 1));
+  EXPECT_LE(m.congestion, 20 * (k + 1) * 10);  // k log^2(n) slack
+}
+
+TEST(TreewidthShortcut, PathDecompositionLongChain) {
+  // Worst case for unfolded construction: path-shaped decomposition tree.
+  Rng rng(2);
+  Graph g = gen::path(400);
+  RootedTree t = bfs_tree(g, 0);
+  TreeDecomposition td = min_degree_decomposition(g);
+  Partition p = voronoi_partition(g, 10, rng);
+  Shortcut sc = build_treewidth_shortcut(g, t, p, td);
+  EXPECT_EQ(validate_tree_restricted(g, t, sc), "");
+  ShortcutMetrics m = measure_shortcut(g, t, p, sc);
+  EXPECT_LE(m.block, 12);
+  // Folding keeps congestion polylogarithmic instead of Theta(depth) = 400.
+  EXPECT_LE(m.congestion, 60);
+}
+
+TEST(FoldAblation, FoldingReducesCongestionOnDeepTrees) {
+  // Long path of triangle bags: decomposition depth Theta(B). Parts span the
+  // whole path so the unfolded global shortcut pays k * depth congestion.
+  Rng rng(3);
+  std::vector<gen::BagInput> bags;
+  Graph tri = gen::complete(3);
+  const int B = 120;
+  for (int i = 0; i < B; ++i) bags.push_back({tri, {{0, 1}, {1, 2}}});
+  // Chain the bags: each attaches to the previous one. compose_clique_sum
+  // picks random parents, so build a chain by composing pairs incrementally
+  // is not supported; instead rely on random attachment but measure both
+  // variants on the SAME instance.
+  gen::CliqueSumResult r = gen::compose_clique_sum(bags, 2, 0.0, rng);
+  ASSERT_EQ(r.decomposition.validate(r.graph), "");
+  RootedTree t = bfs_tree(r.graph, 0);
+  Partition p = voronoi_partition(r.graph, 8, rng);
+
+  CliqueSumShortcutOptions folded;
+  folded.fold = true;
+  CliqueSumShortcutOptions unfolded;
+  unfolded.fold = false;
+  Shortcut sc_f =
+      build_cliquesum_shortcut(r.graph, t, p, r.decomposition, std::move(folded));
+  Shortcut sc_u = build_cliquesum_shortcut(r.graph, t, p, r.decomposition,
+                                           std::move(unfolded));
+  EXPECT_EQ(validate_tree_restricted(r.graph, t, sc_f), "");
+  EXPECT_EQ(validate_tree_restricted(r.graph, t, sc_u), "");
+  ShortcutMetrics mf = measure_shortcut(r.graph, t, p, sc_f);
+  ShortcutMetrics mu = measure_shortcut(r.graph, t, p, sc_u);
+  // Folding never loses validity; congestion should not be (much) worse.
+  EXPECT_LE(mf.congestion, std::max(20, 2 * mu.congestion));
+}
+
+class CliqueSumShortcutSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CliqueSumShortcutSweep, ValidOnMixedBagCompositions) {
+  Rng rng(GetParam());
+  std::vector<gen::BagInput> bags;
+  for (int i = 0; i < 10; ++i) {
+    Graph g = (i % 2 == 0) ? gen::triangulated_grid(4, 4).graph()
+                           : gen::random_ktree(20, 2, rng).graph;
+    bags.push_back({g, gen::default_glue_cliques(g, 2)});
+  }
+  gen::CliqueSumResult r = gen::compose_clique_sum(bags, 2, 0.2, rng);
+  ASSERT_EQ(r.decomposition.validate(r.graph), "");
+  RootedTree t = bfs_tree(r.graph, 0);
+  Partition p = voronoi_partition(r.graph, 9, rng);
+  ASSERT_EQ(p.validate(r.graph), "");
+
+  for (bool fold : {true, false}) {
+    CliqueSumShortcutOptions opt;
+    opt.fold = fold;
+    Shortcut sc =
+        build_cliquesum_shortcut(r.graph, t, p, r.decomposition, std::move(opt));
+    EXPECT_EQ(validate_tree_restricted(r.graph, t, sc), "")
+        << "fold=" << fold << " seed=" << GetParam();
+    ShortcutMetrics m = measure_shortcut(r.graph, t, p, sc);
+    // Parts must be far better connected than without shortcuts: compare
+    // block count against the no-shortcut baseline (= part sizes).
+    Shortcut empty;
+    empty.edges_of_part.resize(p.num_parts());
+    ShortcutMetrics m0 = measure_shortcut(r.graph, t, p, empty);
+    EXPECT_LE(m.block, m0.block);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CliqueSumShortcutSweep,
+                         ::testing::Values(4, 9, 16, 25, 36));
+
+class FoldValiditySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FoldValiditySweep, FoldedTreesKeepPerVertexConnectivity) {
+  // The §2.2 folding must preserve the "bags containing v are connected"
+  // property on arbitrary (random) clique-sum decomposition trees — the
+  // invariant the global shortcut's LCA argument relies on.
+  Rng rng(GetParam());
+  std::vector<gen::BagInput> bags;
+  for (int i = 0; i < 40; ++i) {
+    Graph g = (i % 2 == 0) ? gen::complete(4)
+                           : gen::random_ktree(8, 2, rng).graph;
+    bags.push_back({g, gen::default_glue_cliques(g, 2)});
+  }
+  gen::CliqueSumResult r = gen::compose_clique_sum(bags, 2, 0.25, rng);
+  ASSERT_EQ(r.decomposition.validate(r.graph), "");
+  FoldedDecomposition fd = fold_decomposition(r.decomposition);
+
+  // Every original bag lands in exactly one group.
+  std::vector<int> seen(r.decomposition.num_bags(), 0);
+  for (const auto& grp : fd.groups)
+    for (BagId b : grp) ++seen[b];
+  for (BagId b = 0; b < r.decomposition.num_bags(); ++b) EXPECT_EQ(seen[b], 1);
+
+  // Separators are at most double edges and reference real cliques.
+  for (BagId v = 0; v < fd.num_nodes(); ++v) {
+    EXPECT_LE(fd.parent_separator_bags[v].size(), 2u);
+    for (BagId b : fd.parent_separator_bags[v])
+      EXPECT_FALSE(r.decomposition.parent_clique(b).empty());
+  }
+
+  // Per-vertex node sets connected in the folded tree.
+  std::vector<std::set<BagId>> nodes_of_vertex(r.graph.num_vertices());
+  for (BagId node = 0; node < fd.num_nodes(); ++node)
+    for (BagId b : fd.groups[node])
+      for (VertexId v : r.decomposition.bag_vertices(b))
+        nodes_of_vertex[v].insert(node);
+  for (VertexId v = 0; v < r.graph.num_vertices(); ++v) {
+    const auto& hs = nodes_of_vertex[v];
+    int roots = 0;
+    for (BagId x : hs)
+      if (fd.parent[x] == kInvalidBag || !hs.count(fd.parent[x])) ++roots;
+    EXPECT_EQ(roots, 1) << "vertex " << v << " seed " << GetParam();
+  }
+
+  // Folded depth is polylogarithmic in the bag count.
+  double lg = std::log2(static_cast<double>(r.decomposition.num_bags()));
+  EXPECT_LE(fd.depth, static_cast<int>(2 * lg * lg) + 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FoldValiditySweep,
+                         ::testing::Values(3, 7, 11, 19, 23, 42));
+
+TEST(ExcludedMinorPipeline, EndToEndOnLkSample) {
+  Rng rng(7);
+  gen::AlmostEmbeddableParams bp;
+  bp.apices = 1;
+  bp.genus = 1;
+  bp.vortex_depth = 2;
+  bp.num_vortices = 1;
+  bp.rows = 6;
+  bp.cols = 6;
+  bp.internal_per_vortex = 3;
+  gen::LkSample s = gen::random_lk_graph(5, bp, 2, 0.1, rng);
+  ASSERT_EQ(s.decomposition.validate(s.graph), "");
+
+  RootedTree t = bfs_tree(s.graph, 0);
+  Partition p = voronoi_partition(s.graph, 10, rng);
+  ASSERT_EQ(p.validate(s.graph), "");
+
+  CliqueSumShortcutOptions opt;
+  opt.fold = true;
+  opt.bag_apices = s.global_apices;
+  opt.local_oracle = make_apex_oracle(make_greedy_oracle());
+  Shortcut sc =
+      build_cliquesum_shortcut(s.graph, t, p, s.decomposition, std::move(opt));
+  EXPECT_EQ(validate_tree_restricted(s.graph, t, sc), "");
+  ShortcutMetrics m = measure_shortcut(s.graph, t, p, sc);
+  Shortcut empty;
+  empty.edges_of_part.resize(p.num_parts());
+  ShortcutMetrics m0 = measure_shortcut(s.graph, t, p, empty);
+  EXPECT_LT(m.block, m0.block);
+  EXPECT_GE(m.congestion, 1);
+}
+
+TEST(ApexOracle, DelegatesWhenNoApices) {
+  // Without apices the apex oracle must behave exactly like its inner oracle.
+  Rng rng(9);
+  Graph g = gen::grid(6, 6).graph();
+  RootedTree t = bfs_tree(g, 0);
+  Partition p = voronoi_partition(g, 4, rng);
+  Shortcut a = build_apex_shortcut(g, t, p, {}, make_steiner_oracle());
+  Shortcut b = build_steiner_shortcut(g, t, p);
+  ASSERT_EQ(a.edges_of_part.size(), b.edges_of_part.size());
+  for (std::size_t i = 0; i < a.edges_of_part.size(); ++i) {
+    auto ea = a.edges_of_part[i];
+    auto eb = b.edges_of_part[i];
+    std::sort(ea.begin(), ea.end());
+    std::sort(eb.begin(), eb.end());
+    EXPECT_EQ(ea, eb);
+  }
+}
+
+TEST(ApexOracle, PartContainingApexGetsWholeTree) {
+  Graph g = gen::wheel(10);
+  RootedTree t = bfs_tree(g, 0);
+  // Part 0 contains the hub (apex).
+  Partition p = Partition::from_parts(10, {{0, 1}, {4, 5, 6}});
+  Shortcut sc = build_apex_shortcut(g, t, p, {0}, make_greedy_oracle());
+  EXPECT_EQ(sc.edges_of_part[0].size(), 9u);  // all tree edges
+}
+
+}  // namespace
+}  // namespace mns

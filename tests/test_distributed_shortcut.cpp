@@ -1,0 +1,159 @@
+// Tests for the distributed (message-passing) shortcut construction: the
+// uniform algorithm that never looks at graph structure — validity, capacity
+// enforcement, usefulness of the result, and measured construction rounds.
+#include <gtest/gtest.h>
+
+#include "congest/aggregation.hpp"
+#include "congest/distributed_shortcut.hpp"
+#include "congest/simulator.hpp"
+#include "core/engine.hpp"
+#include "gen/basic.hpp"
+#include "gen/lk_family.hpp"
+#include "gen/planar.hpp"
+#include "graph/algorithms.hpp"
+
+namespace mns {
+namespace {
+
+using congest::DistributedShortcutResult;
+using congest::Simulator;
+
+RootedTree bfs_tree(const Graph& g, VertexId root) {
+  return RootedTree::from_bfs(bfs(g, root), root);
+}
+
+TEST(DistributedShortcut, ValidOnWheel) {
+  const VertexId n = 102;
+  Graph g = gen::wheel(n);
+  RootedTree t = bfs_tree(g, 0);
+  Partition p = ring_sectors(n, 1, n - 1, 4);
+  Simulator sim(g);
+  DistributedShortcutResult r =
+      congest::distributed_capped_greedy(sim, t, p, 4);
+  EXPECT_EQ(validate_tree_restricted(g, t, r.shortcut), "");
+  EXPECT_GE(r.rounds, 1);
+  ShortcutMetrics m = measure_shortcut(g, t, p, r.shortcut);
+  EXPECT_LE(m.congestion, 4);  // the cap is a hard promise
+}
+
+TEST(DistributedShortcut, CapOneSerializesEdges) {
+  Rng rng(2);
+  Graph g = gen::grid(8, 8).graph();
+  RootedTree t = bfs_tree(g, 0);
+  Partition p = voronoi_partition(g, 10, rng);
+  Simulator sim(g);
+  DistributedShortcutResult r =
+      congest::distributed_capped_greedy(sim, t, p, 1);
+  EXPECT_EQ(validate_tree_restricted(g, t, r.shortcut), "");
+  ShortcutMetrics m = measure_shortcut(g, t, p, r.shortcut);
+  EXPECT_LE(m.congestion, 1);
+}
+
+TEST(DistributedShortcut, RejectsBadCap) {
+  Graph g = gen::path(4);
+  RootedTree t = bfs_tree(g, 0);
+  Partition p = Partition::from_parts(4, {{0, 1}});
+  Simulator sim(g);
+  EXPECT_THROW(congest::distributed_capped_greedy(sim, t, p, 0),
+               std::invalid_argument);
+}
+
+TEST(DistributedShortcut, ResultAcceleratesAggregation) {
+  // Construct distributively, then aggregate with the result: total rounds
+  // (construction + use) must beat no-shortcut flooding on the wheel.
+  const VertexId n = 1002;
+  Graph g = gen::wheel(n);
+  RootedTree t = bfs_tree(g, 0);
+  Partition p = ring_sectors(n, 1, n - 1, 4);
+
+  std::vector<congest::AggValue> init(n);
+  for (VertexId v = 0; v < n; ++v) init[v] = {1000 + v, v};
+
+  Simulator sim(g);
+  DistributedShortcutResult built =
+      congest::distributed_capped_greedy(sim, t, p, 8);
+  congest::PartwiseAggregator agg(g, p, built.shortcut);
+  auto res = agg.aggregate_min(sim, init);
+  long long total_with = sim.rounds();
+
+  Shortcut none;
+  none.edges_of_part.resize(p.num_parts());
+  congest::PartwiseAggregator slow(g, p, none);
+  Simulator sim2(g);
+  auto res2 = slow.aggregate_min(sim2, init);
+
+  EXPECT_EQ(res.min_of_part[0], res2.min_of_part[0]);
+  EXPECT_LT(total_with, sim2.rounds());
+}
+
+TEST(DistributedShortcut, HeadsMergeToSingleBlockWhenUncontended) {
+  // A single part on a path rooted at one end: all heads climb to the root
+  // and merge; block parameter must be 1.
+  Graph g = gen::path(20);
+  RootedTree t = bfs_tree(g, 0);
+  Partition p = Partition::from_parts(20, {{5, 6, 7, 12, 13}});
+  Simulator sim(g);
+  DistributedShortcutResult r =
+      congest::distributed_capped_greedy(sim, t, p, 2);
+  ShortcutMetrics m = measure_shortcut(g, t, p, r.shortcut);
+  EXPECT_EQ(m.block, 1);
+  EXPECT_EQ(r.frozen_heads, 0);
+}
+
+class DistributedShortcutSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistributedShortcutSweep, MatchesCentralizedQualityClass) {
+  Rng rng(GetParam());
+  EmbeddedGraph eg = gen::random_maximal_planar(200, rng);
+  const Graph& g = eg.graph();
+  RootedTree t = bfs_tree(g, 0);
+  Partition p = voronoi_partition(g, 8, rng);
+
+  Simulator sim(g);
+  DistributedShortcutResult dist =
+      congest::distributed_capped_greedy(sim, t, p, 8);
+  EXPECT_EQ(validate_tree_restricted(g, t, dist.shortcut), "");
+  ShortcutMetrics md = measure_shortcut(g, t, p, dist.shortcut);
+  EXPECT_LE(md.congestion, 8);
+
+  // Centralized greedy on the same instance: the distributed variant should
+  // be in the same quality class (within a constant factor here).
+  Shortcut central = build_greedy_shortcut(g, t, p);
+  ShortcutMetrics mc = measure_shortcut(g, t, p, central);
+  EXPECT_LE(md.quality, 20 * std::max<long long>(1, mc.quality));
+
+  // Construction rounds: bounded by height * (cap + queueing slack).
+  EXPECT_LE(dist.rounds, 4LL * (t.height() + 1) * (8 + p.num_parts()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DistributedShortcutSweep,
+                         ::testing::Values(1, 4, 9, 25));
+
+TEST(DistributedShortcut, EndToEndOnExcludedMinorSample) {
+  // The uniform distributed construction on a random L_k member — the
+  // "never looks at structure" algorithm the paper's introduction stresses.
+  Rng rng(77);
+  gen::AlmostEmbeddableParams bp;
+  bp.apices = 1;
+  bp.genus = 1;
+  bp.rows = 5;
+  bp.cols = 5;
+  gen::LkSample s = gen::random_lk_graph(4, bp, 2, 0.1, rng);
+  RootedTree t = bfs_tree(s.graph, 0);
+  Partition p = voronoi_partition(s.graph, 8, rng);
+
+  Simulator sim(s.graph);
+  DistributedShortcutResult built =
+      congest::distributed_capped_greedy(sim, t, p, 8);
+  EXPECT_EQ(validate_tree_restricted(s.graph, t, built.shortcut), "");
+  ShortcutMetrics m = measure_shortcut(s.graph, t, p, built.shortcut);
+  EXPECT_LE(m.congestion, 8);
+  // Usable end to end: aggregation over the built shortcut converges.
+  congest::PartwiseAggregator agg(s.graph, p, built.shortcut);
+  std::vector<congest::AggValue> init(s.graph.num_vertices());
+  for (VertexId v = 0; v < s.graph.num_vertices(); ++v) init[v] = {v, v};
+  (void)agg.aggregate_min(sim, init);  // built-in convergence check
+}
+
+}  // namespace
+}  // namespace mns

@@ -1,0 +1,163 @@
+// Tests for rotation-system embeddings: face tracing and Euler genus on
+// hand-constructed planar and toroidal embeddings.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/embedding.hpp"
+
+namespace mns {
+namespace {
+
+// Triangle embedded in the plane: 2 faces (inside + outer), genus 0.
+EmbeddedGraph triangle() {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);  // edge 0
+  b.add_edge(0, 2);  // edge 1
+  b.add_edge(1, 2);  // edge 2
+  Graph g = b.build();
+  std::vector<std::vector<EdgeId>> rot{
+      {0, 1},  // around 0: to 1, to 2 (counterclockwise)
+      {2, 0},  // around 1: to 2, to 0
+      {1, 2},  // around 2: to 0, to 1
+  };
+  return EmbeddedGraph(std::move(g), std::move(rot));
+}
+
+TEST(Embedding, TriangleIsPlanar) {
+  EmbeddedGraph e = triangle();
+  EXPECT_EQ(e.num_faces(), 2);
+  EXPECT_EQ(e.genus(), 0);
+  for (int f = 0; f < e.num_faces(); ++f) {
+    EXPECT_TRUE(e.face_is_simple_cycle(f));
+    EXPECT_EQ(e.faces()[f].size(), 3u);
+  }
+}
+
+TEST(Embedding, HalfEdgeBasics) {
+  EmbeddedGraph e = triangle();
+  const Graph& g = e.graph();
+  for (EdgeId ed = 0; ed < g.num_edges(); ++ed) {
+    HalfEdgeId h = e.half_edge(ed, g.edge(ed).u);
+    EXPECT_EQ(e.tail(h), g.edge(ed).u);
+    EXPECT_EQ(e.head(h), g.edge(ed).v);
+    EXPECT_EQ(e.twin(h), e.half_edge(ed, g.edge(ed).v));
+    EXPECT_EQ(e.tail(e.twin(h)), g.edge(ed).v);
+  }
+}
+
+TEST(Embedding, FaceVerticesMatchTails) {
+  EmbeddedGraph e = triangle();
+  for (int f = 0; f < e.num_faces(); ++f) {
+    auto verts = e.face_vertices(f);
+    ASSERT_EQ(verts.size(), e.faces()[f].size());
+    for (std::size_t i = 0; i < verts.size(); ++i)
+      EXPECT_EQ(verts[i], e.tail(e.faces()[f][i]));
+  }
+}
+
+TEST(Embedding, RejectsBadRotation) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  Graph g = b.build();
+  // Wrong length at vertex 1.
+  std::vector<std::vector<EdgeId>> rot{{0}, {0}, {1}};
+  EXPECT_THROW(EmbeddedGraph(g, rot), std::invalid_argument);
+}
+
+TEST(Embedding, RejectsWrongEdgesInRotation) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  Graph g = b.build();
+  // Vertex 0 lists edge 1 which is not incident to it.
+  std::vector<std::vector<EdgeId>> rot{{1}, {0, 1}, {1}};
+  EXPECT_THROW(EmbeddedGraph(g, rot), std::invalid_argument);
+}
+
+// K4 embedded in the plane: f = 4, genus 0.
+TEST(Embedding, K4Planar) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);  // 0
+  b.add_edge(0, 2);  // 1
+  b.add_edge(0, 3);  // 2
+  b.add_edge(1, 2);  // 3
+  b.add_edge(1, 3);  // 4
+  b.add_edge(2, 3);  // 5
+  Graph g = b.build();
+  // Standard planar embedding: vertex 3 in the center of triangle 0-1-2.
+  std::vector<std::vector<EdgeId>> rot{
+      {0, 2, 1},  // around 0: 1, 3, 2
+      {0, 3, 4},  // around 1: 0(to 0), then to 2, then to 3
+      {1, 5, 3},  // around 2
+      {2, 4, 5},  // around 3 (center)
+  };
+  EmbeddedGraph e(std::move(g), std::move(rot));
+  EXPECT_EQ(e.num_faces(), 4);
+  EXPECT_EQ(e.genus(), 0);
+}
+
+// K4 with a "bad" rotation that embeds it on the torus instead.
+TEST(Embedding, K4NonPlanarRotationHasHigherGenus) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(0, 3);
+  b.add_edge(1, 2);
+  b.add_edge(1, 3);
+  b.add_edge(2, 3);
+  Graph g = b.build();
+  // Swap two edges in the rotation of vertex 3: genus becomes 1.
+  std::vector<std::vector<EdgeId>> rot{
+      {0, 2, 1},
+      {0, 3, 4},
+      {1, 5, 3},
+      {4, 2, 5},
+  };
+  EmbeddedGraph e(std::move(g), std::move(rot));
+  EXPECT_GT(e.genus(), 0);
+}
+
+// 3x3 torus grid (wrap-around both ways): n=9, m=18, f=9 -> genus 1.
+TEST(Embedding, TorusGridHasGenusOne) {
+  const int k = 3;
+  GraphBuilder b(k * k);
+  auto id = [&](int r, int c) {
+    return static_cast<VertexId>(((r + k) % k) * k + (c + k) % k);
+  };
+  for (int r = 0; r < k; ++r)
+    for (int c = 0; c < k; ++c) {
+      b.add_edge(id(r, c), id(r, c + 1));
+      b.add_edge(id(r, c), id(r + 1, c));
+    }
+  Graph g = b.build();
+  ASSERT_EQ(g.num_edges(), 2 * k * k);
+  // Rotation at each vertex: right, down, left, up — consistent orientation.
+  std::vector<std::vector<EdgeId>> rot(static_cast<std::size_t>(k * k));
+  for (int r = 0; r < k; ++r)
+    for (int c = 0; c < k; ++c) {
+      VertexId v = id(r, c);
+      EdgeId right = g.find_edge(v, id(r, c + 1));
+      EdgeId down = g.find_edge(v, id(r + 1, c));
+      EdgeId left = g.find_edge(v, id(r, c - 1));
+      EdgeId up = g.find_edge(v, id(r - 1, c));
+      rot[v] = {right, down, left, up};
+    }
+  EmbeddedGraph e(std::move(g), std::move(rot));
+  EXPECT_EQ(e.num_faces(), k * k);
+  EXPECT_EQ(e.genus(), 1);
+}
+
+TEST(Embedding, GenusThrowsOnDisconnected) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  Graph g = b.build();
+  std::vector<std::vector<EdgeId>> rot{{0}, {0}, {1}, {1}};
+  EmbeddedGraph e(std::move(g), std::move(rot));
+  EXPECT_THROW((void)e.genus(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mns

@@ -1,0 +1,108 @@
+// Tests for combinatorial gates (Definition 17): validator behaviour on
+// hand-built systems and the boundary construction on planar cell partitions.
+#include <gtest/gtest.h>
+
+#include "gen/basic.hpp"
+#include "gen/planar.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/rooted_tree.hpp"
+#include "structure/cells.hpp"
+#include "structure/gates.hpp"
+
+namespace mns {
+namespace {
+
+// Path 0-1-2-3: two cells {0,1} and {2,3}; inter-cell edge {1,2}.
+struct PathFixture {
+  Graph g = gen::path(4);
+  CellPartition cells{std::vector<CellId>{0, 0, 1, 1}};
+};
+
+TEST(Gates, ValidatorAcceptsCorrectSystem) {
+  PathFixture f;
+  GateSystem gs;
+  gs.gates = {{1, 2}};
+  gs.fences = {{1, 2}};
+  double s = -1;
+  EXPECT_EQ(validate_gates(f.g, f.cells, gs, &s), "");
+  EXPECT_DOUBLE_EQ(s, 1.0);  // 2 fence vertices / 2 cells
+}
+
+TEST(Gates, ValidatorRejectsFenceOutsideGate) {
+  PathFixture f;
+  GateSystem gs;
+  gs.gates = {{1, 2}};
+  gs.fences = {{0, 1, 2}};
+  EXPECT_NE(validate_gates(f.g, f.cells, gs, nullptr), "");
+}
+
+TEST(Gates, ValidatorRejectsUncoveredInterCellEdge) {
+  PathFixture f;
+  GateSystem gs;  // empty system misses edge {1,2}
+  std::string err = validate_gates(f.g, f.cells, gs, nullptr);
+  EXPECT_NE(err.find("property 3"), std::string::npos);
+}
+
+TEST(Gates, ValidatorRejectsBoundaryNotInFence) {
+  PathFixture f;
+  GateSystem gs;
+  gs.gates = {{1, 2}};
+  gs.fences = {{1}};  // vertex 2 borders vertex 3 outside the gate
+  std::string err = validate_gates(f.g, f.cells, gs, nullptr);
+  EXPECT_NE(err.find("property 2"), std::string::npos);
+}
+
+TEST(Gates, ValidatorRejectsThreeCellGate) {
+  Graph g = gen::path(6);
+  CellPartition cells(std::vector<CellId>{0, 0, 1, 1, 2, 2});
+  GateSystem gs;
+  gs.gates = {{1, 2, 3, 4}};
+  gs.fences = {{1, 2, 3, 4}};
+  std::string err = validate_gates(g, cells, gs, nullptr);
+  EXPECT_NE(err.find("property 4"), std::string::npos);
+}
+
+TEST(Gates, ValidatorRejectsSharedNonFenceVertex) {
+  Graph g = gen::path(6);
+  CellPartition cells(std::vector<CellId>{0, 0, 1, 1, 2, 2});
+  GateSystem gs;
+  // Vertex 2 is non-fence in both gates.
+  gs.gates = {{1, 2, 3}, {2, 3, 4}};
+  gs.fences = {{1, 3}, {3, 4}};
+  std::string err = validate_gates(g, cells, gs, nullptr);
+  // Either property 2 or 5 must fire; both gates misuse vertex 2.
+  EXPECT_NE(err, "");
+}
+
+TEST(Gates, BoundaryConstructionValidOnPath) {
+  PathFixture f;
+  GateSystem gs = build_boundary_gates(f.g, f.cells);
+  ASSERT_EQ(gs.size(), 1u);
+  EXPECT_EQ(gs.gates[0], (std::vector<VertexId>{1, 2}));
+  double s = 0;
+  EXPECT_EQ(validate_gates(f.g, f.cells, gs, &s), "");
+}
+
+class GateSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GateSweep, BoundaryGatesValidOnPlanarVoronoiCells) {
+  Rng rng(GetParam());
+  EmbeddedGraph eg = gen::random_maximal_planar(300, rng);
+  const Graph& g = eg.graph();
+  // Cells from BFS-tree subtree split (the canonical cell construction).
+  RootedTree t = RootedTree::from_bfs(bfs(g, 0), 0);
+  TreeCells tc = cells_from_tree_minus_vertices(t, std::vector<VertexId>{0});
+  GateSystem gs = build_boundary_gates(g, tc.partition);
+  double s = 0;
+  EXPECT_EQ(validate_gates(g, tc.partition, gs, &s), "")
+      << "seed " << GetParam();
+  EXPECT_GT(s, 0.0);
+  // Planarity keeps the total fence mass linear in the cell count times a
+  // diameter-ish factor; sanity: far below n.
+  EXPECT_LT(s, g.num_vertices());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GateSweep, ::testing::Values(1, 5, 9, 13));
+
+}  // namespace
+}  // namespace mns

@@ -1,0 +1,351 @@
+// Tests for the generator suite: every family is checked against the
+// structural invariants it promises (planarity/genus via Euler's formula,
+// recorded tree decompositions via the validator, clique-sum records via
+// Definition 8's properties, vortex depth bounds, apex metadata).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "gen/almost_embeddable.hpp"
+#include "gen/apex.hpp"
+#include "gen/basic.hpp"
+#include "gen/clique_sum.hpp"
+#include "gen/ktree.hpp"
+#include "gen/lk_family.hpp"
+#include "gen/lower_bound.hpp"
+#include "gen/planar.hpp"
+#include "gen/series_parallel.hpp"
+#include "gen/surfaces.hpp"
+#include "gen/vortex.hpp"
+#include "gen/weights.hpp"
+#include "graph/algorithms.hpp"
+
+namespace mns {
+namespace {
+
+TEST(Basic, PathCycleStarWheelComplete) {
+  EXPECT_EQ(gen::path(5).num_edges(), 4);
+  EXPECT_EQ(gen::cycle(5).num_edges(), 5);
+  EXPECT_EQ(gen::star(6).num_edges(), 6);
+  Graph w = gen::wheel(7);
+  EXPECT_EQ(w.num_edges(), 12);  // 6 spokes + 6 ring edges
+  EXPECT_EQ(diameter_exact(w), 2);
+  EXPECT_EQ(gen::complete(6).num_edges(), 15);
+  EXPECT_THROW(gen::cycle(2), std::invalid_argument);
+  EXPECT_THROW(gen::wheel(3), std::invalid_argument);
+}
+
+TEST(Basic, RandomTreeIsTree) {
+  Rng rng(1);
+  Graph t = gen::random_tree(50, rng);
+  EXPECT_EQ(t.num_edges(), 49);
+  EXPECT_TRUE(is_connected(t));
+}
+
+TEST(Basic, ErdosRenyiConnectivity) {
+  Rng rng(2);
+  Graph g = gen::erdos_renyi(60, 30, /*ensure_connected=*/true, rng);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_GE(g.num_edges(), 59);
+}
+
+TEST(Planar, GridEmbeddingIsPlanar) {
+  EmbeddedGraph g = gen::grid(5, 7);
+  EXPECT_EQ(g.graph().num_vertices(), 35);
+  EXPECT_EQ(g.genus(), 0);
+  EXPECT_EQ(g.num_faces(), 4 * 6 + 1);  // inner quads + outer face
+  EXPECT_EQ(diameter_exact(g.graph()), 4 + 6);
+}
+
+TEST(Planar, TriangulatedGridIsPlanar) {
+  EmbeddedGraph g = gen::triangulated_grid(5, 5);
+  EXPECT_EQ(g.genus(), 0);
+  // All inner faces are triangles: f = 2*(rows-1)*(cols-1) + 1.
+  EXPECT_EQ(g.num_faces(), 2 * 4 * 4 + 1);
+}
+
+class MaximalPlanarSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaximalPlanarSweep, IsMaximalPlanarWithValidEmbedding) {
+  Rng rng(GetParam());
+  const VertexId n = 200;
+  EmbeddedGraph g = gen::random_maximal_planar(n, rng);
+  EXPECT_EQ(g.graph().num_edges(), 3 * n - 6);
+  EXPECT_EQ(g.genus(), 0);
+  EXPECT_EQ(g.num_faces(), 2 * n - 4);
+  for (int f = 0; f < g.num_faces(); ++f)
+    EXPECT_EQ(g.faces()[f].size(), 3u);
+  EXPECT_TRUE(is_connected(g.graph()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaximalPlanarSweep,
+                         ::testing::Values(1, 7, 19, 42));
+
+TEST(Surfaces, TorusGridGenusOne) {
+  EmbeddedGraph t = gen::torus_grid(6, 8);
+  EXPECT_EQ(t.graph().num_vertices(), 48);
+  EXPECT_EQ(t.graph().num_edges(), 96);
+  EXPECT_EQ(t.genus(), 1);
+  for (int f = 0; f < t.num_faces(); ++f)
+    EXPECT_EQ(t.faces()[f].size(), 4u);
+}
+
+TEST(Surfaces, HandleRaisesGenus) {
+  Rng rng(3);
+  EmbeddedGraph base = gen::grid(10, 10);
+  EmbeddedGraph h1 = gen::add_handles(base, 1, rng);
+  EXPECT_EQ(h1.genus(), 1);
+  EXPECT_EQ(h1.graph().num_edges(), base.graph().num_edges() + 4);
+  EmbeddedGraph h2 = gen::add_handles(base, 2, rng);
+  EXPECT_EQ(h2.genus(), 2);
+}
+
+TEST(Surfaces, SurfaceGridGenusSweep) {
+  Rng rng(4);
+  for (int genus = 0; genus <= 3; ++genus) {
+    EmbeddedGraph g = gen::surface_grid(9, 9, genus, rng);
+    EXPECT_EQ(g.genus(), genus) << "genus " << genus;
+    EXPECT_TRUE(is_connected(g.graph()));
+  }
+}
+
+TEST(Vortex, DepthBoundHolds) {
+  Rng rng(5);
+  EmbeddedGraph base = gen::grid(8, 8);
+  // Use the outer face (a long simple cycle) as the vortex cycle.
+  int outer = -1;
+  for (int f = 0; f < base.num_faces(); ++f)
+    if (base.faces()[f].size() > 4) outer = f;
+  ASSERT_NE(outer, -1);
+  auto cycle = base.face_vertices(outer);
+  const int depth = 3, internals = 6;
+  gen::VortexResult vr =
+      gen::add_vortex(base.graph(), cycle, depth, internals, rng);
+  EXPECT_EQ(vr.graph.num_vertices(),
+            base.graph().num_vertices() + internals);
+  ASSERT_EQ(vr.vortex.internal_nodes.size(),
+            static_cast<std::size_t>(internals));
+  // Each boundary vertex lies in at most `depth` arcs (Definition 4).
+  std::vector<int> coverage(vr.graph.num_vertices(), 0);
+  for (const auto& arc : vr.vortex.arcs)
+    for (VertexId v : arc) ++coverage[v];
+  for (VertexId v = 0; v < vr.graph.num_vertices(); ++v)
+    EXPECT_LE(coverage[v], depth);
+  // Internal nodes connect only within their arcs (plus internal-internal).
+  std::set<VertexId> internal_set(vr.vortex.internal_nodes.begin(),
+                                  vr.vortex.internal_nodes.end());
+  for (std::size_t i = 0; i < vr.vortex.internal_nodes.size(); ++i) {
+    VertexId node = vr.vortex.internal_nodes[i];
+    std::set<VertexId> arc(vr.vortex.arcs[i].begin(), vr.vortex.arcs[i].end());
+    for (VertexId nb : vr.graph.neighbors(node))
+      EXPECT_TRUE(arc.count(nb) || internal_set.count(nb))
+          << "internal node reaches outside its arc";
+  }
+}
+
+TEST(Vortex, RejectsBadInput) {
+  Rng rng(6);
+  Graph g = gen::cycle(6);
+  std::vector<VertexId> cyc{0, 1, 2, 3, 4, 5};
+  EXPECT_THROW(gen::add_vortex(g, cyc, 0, 2, rng), std::invalid_argument);
+  EXPECT_THROW(gen::add_vortex(g, cyc, 2, 0, rng), std::invalid_argument);
+  std::vector<VertexId> dup{0, 1, 2, 1};
+  EXPECT_THROW(gen::add_vortex(g, dup, 2, 2, rng), std::invalid_argument);
+}
+
+TEST(Apex, AttachesAndRecords) {
+  Rng rng(7);
+  Graph base = gen::grid(6, 6).graph();
+  gen::ApexResult ar = gen::add_apices(base, 3, 0.4, rng);
+  EXPECT_EQ(ar.graph.num_vertices(), base.num_vertices() + 3);
+  EXPECT_EQ(ar.apices.size(), 3u);
+  for (VertexId a : ar.apices) EXPECT_GE(ar.graph.degree(a), 1);
+  EXPECT_TRUE(is_connected(ar.graph));
+}
+
+TEST(Apex, UniversalApexShrinksDiameter) {
+  Graph base = gen::path(50);
+  gen::ApexResult ar = gen::add_universal_apex(base);
+  EXPECT_EQ(diameter_exact(ar.graph), 2);
+  EXPECT_EQ(ar.graph.degree(ar.apices[0]), 50);
+}
+
+class KTreeSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(KTreeSweep, DecompositionValidAndWidthK) {
+  auto [k, seed] = GetParam();
+  Rng rng(seed);
+  const VertexId n = 80;
+  gen::KTreeResult kt = gen::random_ktree(n, k, rng);
+  EXPECT_EQ(kt.decomposition.validate(kt.graph), "");
+  EXPECT_EQ(kt.decomposition.width(), k);
+  EXPECT_TRUE(is_connected(kt.graph));
+  // k-trees have exactly k*n - k(k+1)/2 edges.
+  EXPECT_EQ(kt.graph.num_edges(), k * n - k * (k + 1) / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, KTreeSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5),
+                       ::testing::Values(11, 29)));
+
+TEST(KTree, PartialKTreeStaysValidAndConnected) {
+  Rng rng(8);
+  gen::KTreeResult kt = gen::random_partial_ktree(100, 3, 0.4, rng);
+  EXPECT_EQ(kt.decomposition.validate(kt.graph), "");
+  EXPECT_LE(kt.decomposition.width(), 3);
+  EXPECT_TRUE(is_connected(kt.graph));
+}
+
+TEST(SeriesParallel, GrowsConnectedSimple) {
+  Rng rng(9);
+  Graph sp = gen::random_series_parallel(200, rng);
+  EXPECT_TRUE(is_connected(sp));
+  EXPECT_GE(sp.num_vertices(), 3);
+}
+
+TEST(CliqueSumComposer, TwoTriangleBagsShareEdge) {
+  Rng rng(10);
+  Graph tri = gen::complete(3);
+  std::vector<gen::BagInput> bags;
+  bags.push_back({tri, {{0, 1}}});
+  bags.push_back({tri, {{0, 1}}});
+  gen::CliqueSumResult r = gen::compose_clique_sum(bags, 2, 0.0, rng);
+  EXPECT_EQ(r.graph.num_vertices(), 4);
+  EXPECT_EQ(r.graph.num_edges(), 5);
+  EXPECT_EQ(r.decomposition.validate(r.graph), "");
+  EXPECT_EQ(r.decomposition.max_clique_size(), 2);
+}
+
+TEST(CliqueSumComposer, RejectsNonClique) {
+  Rng rng(11);
+  Graph p = gen::path(3);  // 0-1-2; {0,2} is not an edge
+  std::vector<gen::BagInput> bags;
+  bags.push_back({p, {{0, 2}}});
+  bags.push_back({p, {{0, 1}}});
+  EXPECT_THROW(gen::compose_clique_sum(bags, 2, 0.0, rng),
+               std::invalid_argument);
+}
+
+class CliqueSumSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CliqueSumSweep, RandomCompositionsSatisfyDefinition8) {
+  Rng rng(GetParam());
+  std::vector<gen::BagInput> bags;
+  const int B = 12;
+  for (int i = 0; i < B; ++i) {
+    Graph g = (i % 3 == 0) ? gen::complete(4)
+              : (i % 3 == 1)
+                  ? gen::random_ktree(10, 2, rng).graph
+                  : gen::triangulated_grid(3, 3).graph();
+    bags.push_back({g, gen::default_glue_cliques(g, 2)});
+  }
+  gen::CliqueSumResult r = gen::compose_clique_sum(bags, 2, 0.3, rng);
+  EXPECT_EQ(r.decomposition.validate(r.graph), "") << "seed " << GetParam();
+  EXPECT_TRUE(is_connected(r.graph));
+  // Every local->global map is injective.
+  for (const auto& map : r.local_to_global) {
+    std::set<VertexId> uniq(map.begin(), map.end());
+    EXPECT_EQ(uniq.size(), map.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CliqueSumSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21));
+
+TEST(AlmostEmbeddable, StructureRecorded) {
+  Rng rng(12);
+  gen::AlmostEmbeddableParams p;
+  p.apices = 2;
+  p.genus = 1;
+  p.vortex_depth = 2;
+  p.num_vortices = 2;
+  p.rows = 6;
+  p.cols = 6;
+  p.internal_per_vortex = 3;
+  gen::AlmostEmbeddable ae = gen::random_almost_embeddable(p, rng);
+  EXPECT_EQ(ae.base.genus(), 1);
+  EXPECT_EQ(ae.vortices.size(), 2u);
+  EXPECT_EQ(ae.apices.size(), 2u);
+  EXPECT_EQ(ae.graph.num_vertices(),
+            ae.base.graph().num_vertices() + 2 * 3 + 2);
+  EXPECT_TRUE(is_connected(ae.graph));
+  // Base edges survive into the full graph.
+  for (EdgeId e = 0; e < ae.base.graph().num_edges(); ++e)
+    EXPECT_TRUE(ae.graph.has_edge(ae.base.graph().edge(e).u,
+                                  ae.base.graph().edge(e).v));
+}
+
+TEST(AlmostEmbeddable, PlanarBaseNoExtras) {
+  Rng rng(13);
+  gen::AlmostEmbeddableParams p;  // all defaults: plain 8x8 grid
+  gen::AlmostEmbeddable ae = gen::random_almost_embeddable(p, rng);
+  EXPECT_EQ(ae.base.genus(), 0);
+  EXPECT_TRUE(ae.vortices.empty());
+  EXPECT_TRUE(ae.apices.empty());
+  EXPECT_EQ(ae.graph.num_vertices(), 64);
+}
+
+class LkSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LkSweep, SamplesAreValidCliqueSumsWithGlobalMetadata) {
+  Rng rng(GetParam());
+  gen::AlmostEmbeddableParams p;
+  p.apices = 1;
+  p.genus = 1;
+  p.vortex_depth = 2;
+  p.num_vortices = 1;
+  p.rows = 5;
+  p.cols = 5;
+  p.internal_per_vortex = 3;
+  gen::LkSample s = gen::random_lk_graph(6, p, 2, 0.2, rng);
+  EXPECT_EQ(s.decomposition.validate(s.graph), "") << "seed " << GetParam();
+  EXPECT_TRUE(is_connected(s.graph));
+  ASSERT_EQ(s.global_apices.size(), 6u);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(s.global_apices[i].size(), 1u);
+    ASSERT_EQ(s.global_vortices[i].size(), 1u);
+    // Global vortex internals really are vertices of the global graph and
+    // they appear in bag i.
+    for (VertexId v : s.global_vortices[i][0].internal_nodes) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, s.graph.num_vertices());
+      auto bag = s.decomposition.bag_vertices(i);
+      EXPECT_TRUE(std::binary_search(bag.begin(), bag.end(), v));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LkSweep, ::testing::Values(3, 14, 15, 92));
+
+TEST(LowerBound, ShapeAndDiameter) {
+  gen::LowerBoundGraph lb = gen::lower_bound_graph(8);
+  EXPECT_TRUE(is_connected(lb.graph));
+  // Diameter is logarithmic despite ~p^2 path vertices.
+  EXPECT_LE(diameter_exact(lb.graph), 2 * 5 + 2);
+  EXPECT_EQ(lb.path_vertex(3, 4), 3 * 8 + 4);
+}
+
+TEST(Weights, UniqueWeightsAreAPermutation) {
+  Rng rng(14);
+  Graph g = gen::grid(4, 4).graph();
+  std::vector<Weight> w = gen::unique_random_weights(g, rng);
+  std::vector<Weight> sorted = w;
+  std::sort(sorted.begin(), sorted.end());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) EXPECT_EQ(sorted[e], e + 1);
+}
+
+TEST(Weights, RangeRespected) {
+  Rng rng(15);
+  Graph g = gen::cycle(20);
+  std::vector<Weight> w = gen::random_weights(g, 5, 9, rng);
+  for (Weight x : w) {
+    EXPECT_GE(x, 5);
+    EXPECT_LE(x, 9);
+  }
+  EXPECT_THROW(gen::random_weights(g, 9, 5, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mns

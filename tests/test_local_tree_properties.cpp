@@ -1,0 +1,98 @@
+// Property suite for steiner_minor (the "repaired tree" T^2_h of Theorem 7):
+// on random trees and random bag subsets, the output must be a tree on
+// exactly the bag vertices, real edges must be genuine T edges with no
+// intermediate bag vertex skipped, and every T-edge inside the bag must
+// surface as a real local edge.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/local_tree.hpp"
+#include "gen/basic.hpp"
+#include "graph/algorithms.hpp"
+
+namespace mns {
+namespace {
+
+class SteinerMinorSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SteinerMinorSweep, StructuralInvariants) {
+  auto [seed, bag_size] = GetParam();
+  Rng rng(seed);
+  const VertexId n = 200;
+  Graph g = gen::random_tree(n, rng);
+  RootedTree t = RootedTree::from_bfs(bfs(g, 0), 0);
+
+  std::uniform_int_distribution<VertexId> pick(0, n - 1);
+  std::vector<VertexId> bag;
+  for (int i = 0; i < bag_size; ++i) bag.push_back(pick(rng));
+  std::set<VertexId> bag_set(bag.begin(), bag.end());
+
+  LocalTree lt = steiner_minor(t, bag);
+
+  // Exactly the (distinct) bag vertices, each mapped once.
+  EXPECT_EQ(lt.to_global.size(), bag_set.size());
+  std::set<VertexId> mapped(lt.to_global.begin(), lt.to_global.end());
+  EXPECT_EQ(mapped, bag_set);
+  EXPECT_EQ(lt.tree.num_vertices(),
+            static_cast<VertexId>(bag_set.size()));
+
+  for (VertexId lv = 0; lv < lt.tree.num_vertices(); ++lv) {
+    if (lv == lt.tree.root()) {
+      EXPECT_EQ(lt.real_parent_edge[lv], kInvalidEdge);
+      continue;
+    }
+    VertexId child_g = lt.to_global[lv];
+    VertexId parent_g = lt.to_global[lt.tree.parent(lv)];
+    if (lt.real_parent_edge[lv] != kInvalidEdge) {
+      // Real edge: genuine T edge between the two global endpoints.
+      EXPECT_EQ(t.parent(child_g), parent_g);
+      EXPECT_EQ(g.other_endpoint(lt.real_parent_edge[lv], child_g), parent_g);
+    } else if (t.is_ancestor(parent_g, child_g)) {
+      // Virtual ancestor edge: the contracted path must contain no other bag
+      // vertex strictly inside (otherwise contraction skipped a terminal).
+      for (VertexId x = t.parent(child_g); x != parent_g; x = t.parent(x))
+        EXPECT_FALSE(bag_set.count(x))
+            << "contracted path skipped bag vertex " << x;
+      // ... and its length is >= 2, else it should have been real.
+      EXPECT_NE(t.parent(child_g), parent_g);
+    }
+  }
+
+  // Every T edge with both endpoints in the bag appears as a real edge.
+  std::set<EdgeId> real_edges;
+  for (VertexId lv = 0; lv < lt.tree.num_vertices(); ++lv)
+    if (lt.real_parent_edge[lv] != kInvalidEdge)
+      real_edges.insert(lt.real_parent_edge[lv]);
+  for (VertexId v : bag_set) {
+    if (v == t.root()) continue;
+    if (bag_set.count(t.parent(v))) {
+      EXPECT_TRUE(real_edges.count(t.parent_edge(v)))
+          << "T edge inside bag missing from local tree";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, SteinerMinorSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 7, 13),
+                       ::testing::Values(2, 5, 20, 80)));
+
+TEST(SteinerMinor, SingleVertexBag) {
+  Graph g = gen::path(5);
+  RootedTree t = RootedTree::from_bfs(bfs(g, 0), 0);
+  LocalTree lt = steiner_minor(t, std::vector<VertexId>{3});
+  EXPECT_EQ(lt.tree.num_vertices(), 1);
+  EXPECT_EQ(lt.to_global[0], 3);
+}
+
+TEST(SteinerMinor, RejectsEmptyBag) {
+  Graph g = gen::path(3);
+  RootedTree t = RootedTree::from_bfs(bfs(g, 0), 0);
+  EXPECT_THROW((void)steiner_minor(t, std::vector<VertexId>{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mns

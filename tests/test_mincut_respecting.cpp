@@ -1,0 +1,106 @@
+// Tests for 1- and 2-respecting cut evaluation — the verification side of
+// Corollary 1's (1+eps) min-cut (Thorup's packing lemma needs 2-respecting
+// cuts; 1-respecting alone gives a 2-approximation).
+#include <gtest/gtest.h>
+
+#include "congest/mincut.hpp"
+#include "gen/basic.hpp"
+#include "gen/planar.hpp"
+#include "gen/weights.hpp"
+#include "graph/algorithms.hpp"
+
+namespace mns {
+namespace {
+
+TEST(TwoRespecting, ExactOnCycleWithAnySpanningTree) {
+  // On a cycle, every cut consists of exactly two edges; a spanning tree
+  // (path) 2-respects every such cut, so best_two_respecting == exact.
+  Graph g = gen::cycle(9);
+  Rng rng(1);
+  std::vector<Weight> w = gen::random_weights(g, 1, 50, rng);
+  std::vector<EdgeId> tree = congest::kruskal_mst(g, w);
+  Weight two = congest::best_two_respecting_cut(g, w, tree);
+  Weight exact = congest::exact_min_cut(g, w);
+  // The min cut's two edges: one may be the non-tree edge — then the cut
+  // 1-respects the tree; either way 2-respecting covers it.
+  EXPECT_EQ(two, exact);
+}
+
+TEST(TwoRespecting, NeverBelowExactNorAboveOneRespecting) {
+  Rng rng(4);
+  for (int trial = 0; trial < 6; ++trial) {
+    EmbeddedGraph eg = gen::random_maximal_planar(60, rng);
+    const Graph& g = eg.graph();
+    std::vector<Weight> w = gen::random_weights(g, 1, 30, rng);
+    std::vector<EdgeId> tree = congest::kruskal_mst(g, w);
+    Weight one = congest::best_one_respecting_cut(g, w, tree);
+    Weight two = congest::best_two_respecting_cut(g, w, tree);
+    Weight exact = congest::exact_min_cut(g, w);
+    EXPECT_GE(two, exact);
+    EXPECT_LE(two, one);  // strictly more cuts are considered
+  }
+}
+
+TEST(TwoRespecting, FindsCutOneRespectingMisses) {
+  // Path 0-1-2-3 plus heavy chords arranged so the best cut needs two tree
+  // edges: separate {1,2} from {0,3}.
+  GraphBuilder b(4);
+  b.add_edge(0, 1);  // light
+  b.add_edge(1, 2);  // heavy (inside the target cut side)
+  b.add_edge(2, 3);  // light
+  b.add_edge(0, 3);  // heavy (outside)
+  Graph g = b.build();
+  std::vector<Weight> w(g.num_edges());
+  w[g.find_edge(0, 1)] = 1;
+  w[g.find_edge(1, 2)] = 100;
+  w[g.find_edge(2, 3)] = 1;
+  w[g.find_edge(0, 3)] = 100;
+  // Spanning tree: the path 0-1-2-3.
+  std::vector<EdgeId> tree{g.find_edge(0, 1), g.find_edge(1, 2),
+                           g.find_edge(2, 3)};
+  Weight exact = congest::exact_min_cut(g, w);
+  EXPECT_EQ(exact, 2);  // cut {0,1} and {2,3}
+  Weight two = congest::best_two_respecting_cut(g, w, tree);
+  EXPECT_EQ(two, 2);
+  Weight one = congest::best_one_respecting_cut(g, w, tree);
+  EXPECT_GT(one, 2);  // every single-tree-edge cut includes a heavy edge
+}
+
+TEST(TwoRespecting, RejectsNonSpanningInput) {
+  Graph g = gen::cycle(5);
+  std::vector<EdgeId> not_a_tree{0, 1};
+  EXPECT_THROW(
+      (void)congest::best_two_respecting_cut(g, std::vector<Weight>(5, 1),
+                                             not_a_tree),
+      InvariantViolation);
+}
+
+class PackingQuality : public ::testing::TestWithParam<int> {};
+
+TEST_P(PackingQuality, TwoRespectingOverPackingNailsExactCut) {
+  // Thorup: with enough greedily packed trees, some tree 2-respects the min
+  // cut. Verify on random planar instances with 10 packed trees.
+  Rng rng(GetParam());
+  EmbeddedGraph eg = gen::random_maximal_planar(50, rng);
+  const Graph& g = eg.graph();
+  std::vector<Weight> w = gen::random_weights(g, 1, 20, rng);
+  Weight exact = congest::exact_min_cut(g, w);
+
+  std::vector<Weight> load(g.num_edges(), 0);
+  Weight best = std::numeric_limits<Weight>::max();
+  for (int t = 0; t < 10; ++t) {
+    std::vector<Weight> pw(g.num_edges());
+    for (EdgeId e = 0; e < g.num_edges(); ++e)
+      pw[e] = (load[e] << 20) / std::max<Weight>(w[e], 1);
+    std::vector<EdgeId> tree = congest::kruskal_mst(g, pw);
+    for (EdgeId e : tree) ++load[e];
+    best = std::min(best, congest::best_two_respecting_cut(g, w, tree));
+  }
+  EXPECT_EQ(best, exact) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PackingQuality,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace mns

@@ -1,0 +1,203 @@
+// Tests for RootedTree: construction, LCA, ancestors, heavy-light chains.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+#include "graph/graph.hpp"
+#include "graph/rooted_tree.hpp"
+
+namespace mns {
+namespace {
+
+// A fixed tree: 0 -> {1, 2}; 1 -> {3, 4}; 2 -> {5}; 3 -> {6}; 5 -> {7, 8}.
+RootedTree sample_tree() {
+  std::vector<VertexId> parent{kInvalidVertex, 0, 0, 1, 1, 2, 3, 5, 5};
+  return RootedTree(0, parent);
+}
+
+TEST(RootedTree, DepthsAndHeight) {
+  RootedTree t = sample_tree();
+  EXPECT_EQ(t.depth(0), 0);
+  EXPECT_EQ(t.depth(4), 2);
+  EXPECT_EQ(t.depth(6), 3);
+  EXPECT_EQ(t.height(), 3);
+  EXPECT_EQ(t.root(), 0);
+}
+
+TEST(RootedTree, ChildrenAndSubtreeSizes) {
+  RootedTree t = sample_tree();
+  auto kids = t.children(1);
+  EXPECT_EQ(std::vector<VertexId>(kids.begin(), kids.end()),
+            (std::vector<VertexId>{3, 4}));
+  EXPECT_EQ(t.subtree_size(0), 9);
+  EXPECT_EQ(t.subtree_size(1), 4);
+  EXPECT_EQ(t.subtree_size(5), 3);
+  EXPECT_EQ(t.subtree_size(6), 1);
+}
+
+TEST(RootedTree, PreorderParentsFirst) {
+  RootedTree t = sample_tree();
+  std::vector<int> position(9);
+  const auto& pre = t.preorder();
+  ASSERT_EQ(pre.size(), 9u);
+  for (int i = 0; i < 9; ++i) position[pre[i]] = i;
+  for (VertexId v = 1; v < 9; ++v)
+    EXPECT_LT(position[t.parent(v)], position[v]);
+}
+
+TEST(RootedTree, AncestorQueries) {
+  RootedTree t = sample_tree();
+  EXPECT_TRUE(t.is_ancestor(0, 6));
+  EXPECT_TRUE(t.is_ancestor(1, 6));
+  EXPECT_TRUE(t.is_ancestor(6, 6));
+  EXPECT_FALSE(t.is_ancestor(2, 6));
+  EXPECT_FALSE(t.is_ancestor(6, 1));
+}
+
+TEST(RootedTree, Lca) {
+  RootedTree t = sample_tree();
+  EXPECT_EQ(t.lca(6, 4), 1);
+  EXPECT_EQ(t.lca(6, 7), 0);
+  EXPECT_EQ(t.lca(7, 8), 5);
+  EXPECT_EQ(t.lca(3, 3), 3);
+  EXPECT_EQ(t.lca(0, 8), 0);
+}
+
+TEST(RootedTree, KthAncestor) {
+  RootedTree t = sample_tree();
+  EXPECT_EQ(t.kth_ancestor(6, 0), 6);
+  EXPECT_EQ(t.kth_ancestor(6, 1), 3);
+  EXPECT_EQ(t.kth_ancestor(6, 2), 1);
+  EXPECT_EQ(t.kth_ancestor(6, 3), 0);
+  EXPECT_THROW((void)t.kth_ancestor(6, 4), std::invalid_argument);
+}
+
+TEST(RootedTree, HeavyChainsCoverRootPathsInLogChains) {
+  RootedTree t = sample_tree();
+  // Chain heads partition vertices; head of root's chain is root.
+  EXPECT_EQ(t.chain_head(0), 0);
+  // The heavy child of 0 is 1 (subtree 4 > subtree 3 of vertex 2).
+  EXPECT_EQ(t.chain_head(1), 0);
+  // Heavy path continues into 3 (subtree 2 > subtree 1 of vertex 4).
+  EXPECT_EQ(t.chain_head(3), 0);
+  EXPECT_EQ(t.chain_head(6), 0);
+  // Vertex 2 starts its own chain.
+  EXPECT_EQ(t.chain_head(2), 2);
+}
+
+TEST(RootedTree, RejectsBadInput) {
+  // Cycle.
+  std::vector<VertexId> cyc{kInvalidVertex, 2, 1};
+  EXPECT_THROW(RootedTree(0, cyc), std::invalid_argument);
+  // Root with a parent.
+  std::vector<VertexId> rooted{1, kInvalidVertex};
+  EXPECT_THROW(RootedTree(0, rooted), std::invalid_argument);
+  // Root out of range.
+  EXPECT_THROW(RootedTree(5, std::vector<VertexId>{kInvalidVertex}),
+               std::invalid_argument);
+}
+
+TEST(RootedTree, FromBfsBindsEdges) {
+  GraphBuilder b(5);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(1, 3);
+  b.add_edge(2, 4);
+  b.add_edge(3, 4);  // non-tree edge
+  Graph g = b.build();
+  BfsResult r = bfs(g, 0);
+  RootedTree t = RootedTree::from_bfs(r, 0);
+  EXPECT_EQ(t.height(), 2);
+  for (VertexId v = 1; v < 5; ++v) {
+    EXPECT_EQ(g.other_endpoint(t.parent_edge(v), v), t.parent(v));
+  }
+}
+
+TEST(RootedTree, FromBfsRejectsUnreached) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  Graph g = b.build();
+  BfsResult r = bfs(g, 0);
+  EXPECT_THROW(RootedTree::from_bfs(r, 0), std::invalid_argument);
+}
+
+TEST(RootedTree, PathEdgesAndVertices) {
+  GraphBuilder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(1, 3);
+  b.add_edge(3, 4);
+  b.add_edge(0, 5);
+  Graph g = b.build();
+  RootedTree t = RootedTree::from_bfs(bfs(g, 0), 0);
+
+  std::vector<VertexId> pv = t.path_vertices(2, 4);
+  EXPECT_EQ(pv.front(), 2);
+  EXPECT_EQ(pv.back(), 4);
+  ASSERT_EQ(pv.size(), 4u);
+  EXPECT_EQ(pv[1], 1);  // through the LCA
+
+  std::vector<EdgeId> pe = t.path_edges(2, 4);
+  EXPECT_EQ(pe.size(), 3u);
+  // Consecutive path edges share endpoints (form a walk 2..4).
+  EXPECT_EQ(pe.size() + 1, pv.size());
+  for (std::size_t i = 0; i < pe.size(); ++i) {
+    const Edge& e = g.edge(pe[i]);
+    EXPECT_TRUE((e.u == pv[i] && e.v == pv[i + 1]) ||
+                (e.v == pv[i] && e.u == pv[i + 1]));
+  }
+
+  EXPECT_EQ(t.path_edges(5, 5).size(), 0u);
+  EXPECT_EQ(t.path_vertices(5, 5), std::vector<VertexId>{5});
+}
+
+// Property sweep: LCA via binary lifting agrees with the naive walk-up LCA
+// on random BFS trees, and chain counts along root paths are logarithmic.
+class TreePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreePropertyTest, LcaMatchesNaiveAndChainsAreFew) {
+  Rng rng(GetParam());
+  const VertexId n = 300;
+  GraphBuilder b(n);
+  // Random tree by attaching each vertex to a random earlier vertex.
+  for (VertexId v = 1; v < n; ++v) {
+    std::uniform_int_distribution<VertexId> pick(0, v - 1);
+    b.add_edge(pick(rng), v);
+  }
+  Graph g = b.build();
+  RootedTree t = RootedTree::from_bfs(bfs(g, 0), 0);
+
+  auto naive_lca = [&](VertexId u, VertexId v) {
+    while (u != v) {
+      if (t.depth(u) < t.depth(v))
+        v = t.parent(v);
+      else
+        u = t.parent(u);
+    }
+    return u;
+  };
+  std::uniform_int_distribution<VertexId> pick(0, n - 1);
+  for (int i = 0; i < 200; ++i) {
+    VertexId u = pick(rng), v = pick(rng);
+    EXPECT_EQ(t.lca(u, v), naive_lca(u, v));
+  }
+
+  // Heavy-light: number of chain changes on any root path is <= log2(n)+1.
+  for (int i = 0; i < 50; ++i) {
+    VertexId v = pick(rng);
+    int changes = 0;
+    while (v != t.root()) {
+      VertexId head = t.chain_head(v);
+      if (head != t.root() || t.chain_head(t.root()) != head) ++changes;
+      v = (head == v) ? t.parent(v) : head;
+    }
+    EXPECT_LE(changes, 10);  // log2(300) ~ 8.2, +1 slack
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreePropertyTest,
+                         ::testing::Values(11, 23, 37, 58, 71));
+
+}  // namespace
+}  // namespace mns

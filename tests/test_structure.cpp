@@ -1,0 +1,406 @@
+// Tests for the structure module: tree decompositions (axioms, heuristics),
+// clique-sum decompositions (Definition 8 properties), folding (§2.2), cell
+// partitions and cell assignment (Definitions 14-15, Lemmas 4-6).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/algorithms.hpp"
+#include "graph/graph.hpp"
+#include "graph/rooted_tree.hpp"
+#include "structure/cells.hpp"
+#include "structure/clique_sum.hpp"
+#include "structure/tree_decomposition.hpp"
+
+namespace mns {
+namespace {
+
+Graph path_graph(VertexId n) {
+  GraphBuilder b(n);
+  for (VertexId v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  return b.build();
+}
+
+Graph cycle_graph(VertexId n) {
+  GraphBuilder b(n);
+  for (VertexId v = 0; v < n; ++v) b.add_edge(v, (v + 1) % n);
+  return b.build();
+}
+
+// ---------------------------------------------------------------- TD tests
+
+TEST(TreeDecomposition, PathDecompositionIsValid) {
+  Graph g = path_graph(5);
+  // Bags {0,1},{1,2},{2,3},{3,4} chained.
+  std::vector<std::vector<VertexId>> bags{{0, 1}, {1, 2}, {2, 3}, {3, 4}};
+  std::vector<BagId> parent{kInvalidBag, 0, 1, 2};
+  TreeDecomposition td(bags, parent);
+  EXPECT_EQ(td.validate(g), "");
+  EXPECT_EQ(td.width(), 1);
+  EXPECT_EQ(td.depth(), 3);
+  EXPECT_EQ(td.root(), 0);
+}
+
+TEST(TreeDecomposition, DetectsMissingVertex) {
+  Graph g = path_graph(3);
+  std::vector<std::vector<VertexId>> bags{{0, 1}};
+  std::vector<BagId> parent{kInvalidBag};
+  TreeDecomposition td(bags, parent);
+  EXPECT_NE(td.validate(g), "");
+}
+
+TEST(TreeDecomposition, DetectsUncoveredEdge) {
+  Graph g = cycle_graph(4);
+  std::vector<std::vector<VertexId>> bags{{0, 1}, {1, 2}, {2, 3}};
+  std::vector<BagId> parent{kInvalidBag, 0, 1};
+  TreeDecomposition td(bags, parent);
+  EXPECT_NE(td.validate(g), "");  // edge {3,0} uncovered
+}
+
+TEST(TreeDecomposition, DetectsDisconnectedHolderSet) {
+  Graph g = path_graph(4);
+  std::vector<std::vector<VertexId>> bags{{0, 1}, {1, 2}, {2, 3, 0}};
+  std::vector<BagId> parent{kInvalidBag, 0, 1};
+  // Vertex 0 is in bags 0 and 2 but not 1.
+  TreeDecomposition td(bags, parent);
+  std::string err = td.validate(g);
+  EXPECT_NE(err.find("not connected"), std::string::npos);
+}
+
+TEST(TreeDecomposition, RejectsMalformedTrees) {
+  std::vector<std::vector<VertexId>> bags{{0}, {0}};
+  EXPECT_THROW(
+      TreeDecomposition(bags, std::vector<BagId>{kInvalidBag, kInvalidBag}),
+      std::invalid_argument);  // two roots
+  EXPECT_THROW(TreeDecomposition(bags, std::vector<BagId>{1, 0}),
+               std::invalid_argument);  // cycle / no root
+  EXPECT_THROW(TreeDecomposition({}, {}), std::invalid_argument);
+}
+
+TEST(TreeDecomposition, BagsContaining) {
+  std::vector<std::vector<VertexId>> bags{{0, 1}, {1, 2}};
+  TreeDecomposition td(bags, std::vector<BagId>{kInvalidBag, 0});
+  EXPECT_EQ(td.bags_containing(1), (std::vector<BagId>{0, 1}));
+  EXPECT_EQ(td.bags_containing(2), (std::vector<BagId>{1}));
+}
+
+TEST(MinDegreeDecomposition, ValidOnCycle) {
+  Graph g = cycle_graph(8);
+  TreeDecomposition td = min_degree_decomposition(g);
+  EXPECT_EQ(td.validate(g), "");
+  EXPECT_EQ(td.width(), 2);  // cycles have treewidth exactly 2
+}
+
+TEST(MinDegreeDecomposition, ValidOnTree) {
+  Graph g = path_graph(10);
+  TreeDecomposition td = min_degree_decomposition(g);
+  EXPECT_EQ(td.validate(g), "");
+  EXPECT_EQ(td.width(), 1);
+}
+
+TEST(MinDegreeDecomposition, ExactOnCompleteGraph) {
+  GraphBuilder b(5);
+  for (VertexId u = 0; u < 5; ++u)
+    for (VertexId v = u + 1; v < 5; ++v) b.add_edge(u, v);
+  Graph g = b.build();
+  TreeDecomposition td = min_degree_decomposition(g);
+  EXPECT_EQ(td.validate(g), "");
+  EXPECT_EQ(td.width(), 4);
+}
+
+class MinDegreeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinDegreeSweep, AlwaysValidOnRandomGraphs) {
+  Rng rng(GetParam());
+  const VertexId n = 40;
+  std::uniform_int_distribution<VertexId> pick(0, n - 1);
+  GraphBuilder b(n);
+  for (VertexId v = 1; v < n; ++v) {
+    std::uniform_int_distribution<VertexId> anc(0, v - 1);
+    b.add_edge(anc(rng), v);  // spanning tree for connectivity
+  }
+  for (int i = 0; i < 30; ++i) {
+    VertexId u = pick(rng), v = pick(rng);
+    if (u != v) b.add_edge(u, v);
+  }
+  Graph g = b.build();
+  TreeDecomposition td = min_degree_decomposition(g);
+  EXPECT_EQ(td.validate(g), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinDegreeSweep,
+                         ::testing::Values(3, 7, 21, 64, 91));
+
+// ------------------------------------------------------- clique-sum tests
+
+// G = two triangles sharing edge {1,2}: a 2-clique-sum.
+struct TwoTriangles {
+  Graph g;
+  CliqueSumDecomposition csd;
+};
+TwoTriangles two_triangles() {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(1, 2);
+  b.add_edge(1, 3);
+  b.add_edge(2, 3);
+  Graph g = b.build();
+  EdgeId e01 = g.find_edge(0, 1), e02 = g.find_edge(0, 2),
+         e12 = g.find_edge(1, 2), e13 = g.find_edge(1, 3),
+         e23 = g.find_edge(2, 3);
+  std::vector<std::vector<VertexId>> verts{{0, 1, 2}, {1, 2, 3}};
+  std::vector<std::vector<EdgeId>> edges{{e01, e02, e12}, {e12, e13, e23}};
+  std::vector<BagId> parent{kInvalidBag, 0};
+  std::vector<std::vector<VertexId>> cliques{{}, {1, 2}};
+  return {g, CliqueSumDecomposition(verts, edges, parent, cliques)};
+}
+
+TEST(CliqueSum, TwoTrianglesValid) {
+  TwoTriangles t = two_triangles();
+  EXPECT_EQ(t.csd.validate(t.g), "");
+  EXPECT_EQ(t.csd.max_clique_size(), 2);
+  EXPECT_EQ(t.csd.depth(), 1);
+}
+
+TEST(CliqueSum, DetectsWrongClique) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  Graph g = b.build();
+  std::vector<std::vector<VertexId>> verts{{0, 1, 2}, {1, 2, 3}};
+  std::vector<std::vector<EdgeId>> edges{{0, 1}, {1, 2}};
+  std::vector<BagId> parent{kInvalidBag, 0};
+  // Declared clique {1} differs from true intersection {1,2}.
+  std::vector<std::vector<VertexId>> cliques{{}, {1}};
+  CliqueSumDecomposition csd(verts, edges, parent, cliques);
+  EXPECT_NE(csd.validate(g), "");
+}
+
+TEST(CliqueSum, DetectsUncoveredEdge) {
+  TwoTriangles t = two_triangles();
+  // Rebuild with an edge list missing e13.
+  EdgeId e01 = t.g.find_edge(0, 1), e02 = t.g.find_edge(0, 2),
+         e12 = t.g.find_edge(1, 2), e23 = t.g.find_edge(2, 3);
+  std::vector<std::vector<VertexId>> verts{{0, 1, 2}, {1, 2, 3}};
+  std::vector<std::vector<EdgeId>> edges{{e01, e02, e12}, {e12, e23}};
+  std::vector<BagId> parent{kInvalidBag, 0};
+  std::vector<std::vector<VertexId>> cliques{{}, {1, 2}};
+  CliqueSumDecomposition csd(verts, edges, parent, cliques);
+  std::string err = csd.validate(t.g);
+  EXPECT_NE(err.find("property 5"), std::string::npos);
+}
+
+TEST(CliqueSum, FromTreeDecomposition) {
+  Graph g = path_graph(5);
+  std::vector<std::vector<VertexId>> bags{{0, 1}, {1, 2}, {2, 3}, {3, 4}};
+  std::vector<BagId> parent{kInvalidBag, 0, 1, 2};
+  TreeDecomposition td(bags, parent);
+  CliqueSumDecomposition csd = clique_sum_from_tree_decomposition(td, g);
+  EXPECT_EQ(csd.validate(g), "");
+  EXPECT_EQ(csd.max_clique_size(), 1);
+}
+
+// Folding: long path decomposition compresses to logarithmic depth.
+TEST(Folding, PathDepthBecomesLogarithmic) {
+  const VertexId n = 257;
+  Graph g = path_graph(n);
+  std::vector<std::vector<VertexId>> bags;
+  std::vector<BagId> parent;
+  for (VertexId v = 0; v + 1 < n; ++v) {
+    bags.push_back({v, v + 1});
+    parent.push_back(v == 0 ? kInvalidBag : v - 1);
+  }
+  TreeDecomposition td(bags, parent);
+  CliqueSumDecomposition csd = clique_sum_from_tree_decomposition(td, g);
+  EXPECT_EQ(csd.depth(), static_cast<int>(bags.size()) - 1);
+  FoldedDecomposition fd = fold_decomposition(csd);
+  EXPECT_LE(fd.depth, 10);  // ~log2(256) = 8
+  // Every original bag appears in exactly one group.
+  std::vector<int> seen(csd.num_bags(), 0);
+  for (const auto& grp : fd.groups)
+    for (BagId b : grp) ++seen[b];
+  for (BagId b = 0; b < csd.num_bags(); ++b) EXPECT_EQ(seen[b], 1);
+  // Separators are at most double edges.
+  for (BagId v = 0; v < fd.num_nodes(); ++v)
+    EXPECT_LE(fd.parent_separator_bags[v].size(), 2u);
+}
+
+TEST(Folding, FoldedVertexSetsStayConnected) {
+  // A random clique-sum-like chain; verify per-vertex group-connectivity in
+  // the folded tree (the property Theorem 7's proof relies on).
+  const VertexId n = 64;
+  Graph g = path_graph(n);
+  std::vector<std::vector<VertexId>> bags;
+  std::vector<BagId> parent;
+  for (VertexId v = 0; v + 1 < n; ++v) {
+    bags.push_back({v, v + 1});
+    parent.push_back(v == 0 ? kInvalidBag : v - 1);
+  }
+  TreeDecomposition td(bags, parent);
+  CliqueSumDecomposition csd = clique_sum_from_tree_decomposition(td, g);
+  FoldedDecomposition fd = fold_decomposition(csd);
+
+  // node sets per vertex.
+  std::vector<std::set<BagId>> nodes_of_vertex(n);
+  for (BagId node = 0; node < fd.num_nodes(); ++node)
+    for (BagId b : fd.groups[node])
+      for (VertexId v : csd.bag_vertices(b)) nodes_of_vertex[v].insert(node);
+  for (VertexId v = 0; v < n; ++v) {
+    const auto& hs = nodes_of_vertex[v];
+    int roots = 0;
+    for (BagId x : hs)
+      if (fd.parent[x] == kInvalidBag || !hs.count(fd.parent[x])) ++roots;
+    EXPECT_EQ(roots, 1) << "vertex " << v << " splits in the folded tree";
+  }
+}
+
+TEST(Folding, BranchyTreeDepthIsPolylog) {
+  // Caterpillar decomposition tree: a long chain with a leaf bag per link.
+  Rng rng(5);
+  const int chain = 200;
+  std::vector<std::vector<VertexId>> bags;
+  std::vector<BagId> parent;
+  // Vertices: chain vertex i = i; leaf vertex i = chain + i.
+  GraphBuilder gb(2 * chain);
+  for (int i = 0; i + 1 < chain; ++i) gb.add_edge(i, i + 1);
+  for (int i = 0; i < chain; ++i) gb.add_edge(i, chain + i);
+  Graph g = gb.build();
+  for (int i = 0; i < chain; ++i) {
+    bags.push_back(i == 0 ? std::vector<VertexId>{0}
+                          : std::vector<VertexId>{static_cast<VertexId>(i - 1),
+                                                  static_cast<VertexId>(i)});
+    parent.push_back(i == 0 ? kInvalidBag : i - 1);
+  }
+  for (int i = 0; i < chain; ++i) {
+    bags.push_back({static_cast<VertexId>(i), static_cast<VertexId>(chain + i)});
+    parent.push_back(i);
+  }
+  TreeDecomposition td(bags, parent);
+  CliqueSumDecomposition csd = clique_sum_from_tree_decomposition(td, g);
+  FoldedDecomposition fd = fold_decomposition(csd);
+  EXPECT_LE(fd.depth, 20);  // O(log^2) of 400 bags
+}
+
+// ------------------------------------------------------------- cell tests
+
+TEST(Cells, FromTreeMinusApex) {
+  // Wheel: hub 0, ring 1..6. BFS tree from 0 = star. Removing hub leaves 6
+  // singleton cells.
+  const VertexId n = 7;
+  GraphBuilder b(n);
+  for (VertexId v = 1; v < n; ++v) {
+    b.add_edge(0, v);
+    b.add_edge(v, v == n - 1 ? 1 : v + 1);
+  }
+  Graph g = b.build();
+  RootedTree t = RootedTree::from_bfs(bfs(g, 0), 0);
+  std::vector<VertexId> removed{0};
+  TreeCells tc = cells_from_tree_minus_vertices(t, removed);
+  EXPECT_EQ(tc.partition.num_cells(), 6);
+  for (CellId c = 0; c < 6; ++c) {
+    EXPECT_EQ(tc.partition.members(c).size(), 1u);
+    EXPECT_EQ(tc.uplink_target[c], 0);
+  }
+  EXPECT_EQ(tc.partition.validate(g, 0), "");
+}
+
+TEST(Cells, SubtreesBecomeCells) {
+  // Path rooted in the middle; removing the root leaves 2 cells.
+  Graph g = path_graph(9);
+  RootedTree t = RootedTree::from_bfs(bfs(g, 4), 4);
+  std::vector<VertexId> removed{4};
+  TreeCells tc = cells_from_tree_minus_vertices(t, removed);
+  EXPECT_EQ(tc.partition.num_cells(), 2);
+  EXPECT_EQ(tc.partition.validate(g, 3), "");
+  for (CellId c = 0; c < 2; ++c) EXPECT_EQ(tc.uplink_target[c], 4);
+}
+
+TEST(Cells, ValidateCatchesDisconnectedCell) {
+  Graph g = path_graph(5);
+  // Claim {0, 2} is one cell: disconnected.
+  std::vector<CellId> cell_of{0, kInvalidCell, 0, kInvalidCell, kInvalidCell};
+  CellPartition cp(cell_of);
+  EXPECT_NE(cp.validate(g, -1), "");
+}
+
+TEST(Cells, ValidateCatchesOversizedDiameter) {
+  Graph g = path_graph(6);
+  std::vector<CellId> cell_of{0, 0, 0, 0, 0, 0};
+  CellPartition cp(cell_of);
+  EXPECT_EQ(cp.validate(g, 5), "");
+  EXPECT_NE(cp.validate(g, 4), "");
+}
+
+TEST(CellAssignment, PartsMissAtMostTwoCells) {
+  // 4 cells; 3 parts touching various subsets.
+  std::vector<std::vector<CellId>> intersects{
+      {0, 1, 2, 3}, {0, 1}, {1, 2, 3}};
+  CellAssignment a = assign_cells(intersects, 4);
+  for (std::size_t p = 0; p < intersects.size(); ++p) {
+    EXPECT_LE(a.missing_cells_of_part[p].size(), 2u) << "part " << p;
+    // assigned + missing == intersected
+    std::set<CellId> got(a.cells_of_part[p].begin(), a.cells_of_part[p].end());
+    for (CellId c : a.missing_cells_of_part[p]) got.insert(c);
+    EXPECT_EQ(got, std::set<CellId>(intersects[p].begin(), intersects[p].end()));
+  }
+}
+
+TEST(CellAssignment, BetaBoundedByMaxCellDegree) {
+  std::vector<std::vector<CellId>> intersects{{0, 1, 2}, {0, 1, 2}, {0, 1, 2}};
+  CellAssignment a = assign_cells(intersects, 3);
+  EXPECT_LE(a.beta, 3);
+}
+
+TEST(CellAssignment, EmptyInputs) {
+  CellAssignment a = assign_cells({}, 0);
+  EXPECT_EQ(a.beta, 0);
+  CellAssignment b = assign_cells({{}, {}}, 3);
+  EXPECT_EQ(b.beta, 0);
+  EXPECT_TRUE(b.cells_of_part[0].empty());
+}
+
+class CellAssignmentSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CellAssignmentSweep, InvariantsHoldOnRandomIncidences) {
+  Rng rng(GetParam());
+  const CellId C = 30;
+  const int P = 40;
+  std::uniform_int_distribution<CellId> pick(0, C - 1);
+  std::uniform_int_distribution<int> cnt(1, 8);
+  std::vector<std::vector<CellId>> intersects(P);
+  for (int p = 0; p < P; ++p) {
+    int k = cnt(rng);
+    std::set<CellId> s;
+    for (int i = 0; i < k; ++i) s.insert(pick(rng));
+    intersects[p].assign(s.begin(), s.end());
+  }
+  CellAssignment a = assign_cells(intersects, C);
+  // (i) each part misses at most 2 cells.
+  for (int p = 0; p < P; ++p)
+    EXPECT_LE(a.missing_cells_of_part[p].size(), 2u);
+  // (ii) per-cell load equals beta at most; recompute loads directly.
+  std::vector<int> load(C, 0);
+  for (int p = 0; p < P; ++p)
+    for (CellId c : a.cells_of_part[p]) ++load[c];
+  for (CellId c = 0; c < C; ++c) EXPECT_LE(load[c], a.beta);
+  // assigned ∪ missing == intersected, disjointly.
+  for (int p = 0; p < P; ++p) {
+    std::set<CellId> as(a.cells_of_part[p].begin(), a.cells_of_part[p].end());
+    std::set<CellId> ms(a.missing_cells_of_part[p].begin(),
+                        a.missing_cells_of_part[p].end());
+    for (CellId c : ms) EXPECT_FALSE(as.count(c));
+    std::set<CellId> un = as;
+    un.insert(ms.begin(), ms.end());
+    EXPECT_EQ(un,
+              std::set<CellId>(intersects[p].begin(), intersects[p].end()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CellAssignmentSweep,
+                         ::testing::Values(2, 9, 13, 31, 55, 77));
+
+}  // namespace
+}  // namespace mns

@@ -1,0 +1,132 @@
+// Tests for the constructive treewidth machinery of Lemmas 2-3:
+// star triangulation, BFS + dual-tree decompositions of embedded graphs, and
+// vortex augmentation. Width bounds are checked against the O((g+1)k*l*D)
+// shape the paper proves.
+#include <gtest/gtest.h>
+
+#include "gen/planar.hpp"
+#include "gen/surfaces.hpp"
+#include "gen/vortex.hpp"
+#include "graph/algorithms.hpp"
+#include "structure/surface_decomposition.hpp"
+
+namespace mns {
+namespace {
+
+TEST(StarTriangulate, GridBecomesTriangulated) {
+  EmbeddedGraph g = gen::grid(4, 4);
+  StarTriangulation st = star_triangulate(g);
+  EXPECT_EQ(st.first_center, 16);
+  // One center per quad face (9) plus one for the outer face.
+  EXPECT_EQ(st.embedded.graph().num_vertices(), 16 + 9 + 1);
+  EXPECT_EQ(st.embedded.genus(), 0);
+  for (int f = 0; f < st.embedded.num_faces(); ++f)
+    EXPECT_EQ(st.embedded.faces()[f].size(), 3u);
+}
+
+TEST(StarTriangulate, AlreadyTriangulatedUnchanged) {
+  Rng rng(1);
+  EmbeddedGraph g = gen::random_maximal_planar(30, rng);
+  StarTriangulation st = star_triangulate(g);
+  EXPECT_EQ(st.first_center, g.graph().num_vertices());
+  EXPECT_EQ(st.embedded.graph().num_edges(), g.graph().num_edges());
+}
+
+TEST(StarTriangulate, TorusKeepsGenus) {
+  EmbeddedGraph t = gen::torus_grid(4, 4);
+  StarTriangulation st = star_triangulate(t);
+  EXPECT_EQ(st.embedded.genus(), 1);
+  for (int f = 0; f < st.embedded.num_faces(); ++f)
+    EXPECT_EQ(st.embedded.faces()[f].size(), 3u);
+}
+
+class SurfaceDecompSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SurfaceDecompSweep, ValidOnSurfaceGrids) {
+  auto [genus, size] = GetParam();
+  Rng rng(99);
+  EmbeddedGraph g = gen::surface_grid(size, size, genus, rng);
+  TreeDecomposition td = surface_bfs_decomposition(g, 0);
+  EXPECT_EQ(td.validate(g.graph()), "")
+      << "genus " << genus << " size " << size;
+  // Width bound: O((g+1) * BFS height). Constant 8 covers the 3-corner-path
+  // + 4g generator-path structure with the +1 triangulation slack.
+  int height = bfs(g.graph(), 0).max_distance();
+  EXPECT_LE(td.width(), 8 * (genus + 1) * (height + 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, SurfaceDecompSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2), ::testing::Values(5, 9)));
+
+TEST(SurfaceDecomp, ValidOnMaximalPlanar) {
+  Rng rng(7);
+  EmbeddedGraph g = gen::random_maximal_planar(150, rng);
+  TreeDecomposition td = surface_bfs_decomposition(g, 0);
+  EXPECT_EQ(td.validate(g.graph()), "");
+}
+
+TEST(SurfaceDecomp, WidthTracksDiameterNotSize) {
+  // Long thin grid: diameter dominated by the long side, but width should
+  // track the SHORT side (BFS from the middle of the long side gives height
+  // ~ rows/2 + cols; choose rows small).
+  EmbeddedGraph g = gen::grid(3, 40);
+  TreeDecomposition td = surface_bfs_decomposition(g, 1 * 40 + 20);
+  EXPECT_EQ(td.validate(g.graph()), "");
+  int height = bfs(g.graph(), 1 * 40 + 20).max_distance();
+  EXPECT_LE(td.width(), 8 * (height + 2));
+  EXPECT_LT(td.width(), 60);  // far below n = 120
+}
+
+TEST(VortexAugment, SingleVortexOnGrid) {
+  Rng rng(21);
+  EmbeddedGraph base = gen::grid(6, 6);
+  // Vortex on the outer face.
+  int outer = -1;
+  for (int f = 0; f < base.num_faces(); ++f)
+    if (base.faces()[f].size() > 4) outer = f;
+  ASSERT_NE(outer, -1);
+  auto cyc = base.face_vertices(outer);
+  gen::VortexResult vr = gen::add_vortex(base.graph(), cyc, 2, 5, rng);
+
+  TreeDecomposition td_base = surface_bfs_decomposition(base, 0);
+  std::vector<VortexSpec> specs{vr.vortex};
+  TreeDecomposition td_full = augment_with_vortices(td_base, vr.graph, specs);
+  EXPECT_EQ(td_full.validate(vr.graph), "");
+  // Width grows by at most k * (arc span) per bag; sanity: bounded by
+  // base width * (depth+1) + internals.
+  EXPECT_LE(td_full.width(), (td_base.width() + 1) * 3 + 5);
+}
+
+TEST(VortexAugment, MultipleVorticesOnTorus) {
+  Rng rng(22);
+  EmbeddedGraph base = gen::torus_grid(6, 6);
+  // Two disjoint quad faces as vortex cycles.
+  std::vector<std::vector<VertexId>> cycles;
+  std::vector<char> used(base.graph().num_vertices(), 0);
+  for (int f = 0; f < base.num_faces() && cycles.size() < 2; ++f) {
+    auto fv = base.face_vertices(f);
+    bool ok = true;
+    for (VertexId v : fv)
+      if (used[v]) ok = false;
+    if (!ok) continue;
+    for (VertexId v : fv) used[v] = 1;
+    cycles.push_back(fv);
+  }
+  ASSERT_EQ(cycles.size(), 2u);
+
+  Graph current = base.graph();
+  std::vector<VortexSpec> specs;
+  for (const auto& cyc : cycles) {
+    gen::VortexResult vr = gen::add_vortex(current, cyc, 2, 3, rng);
+    current = std::move(vr.graph);
+    specs.push_back(std::move(vr.vortex));
+  }
+  TreeDecomposition td_base = surface_bfs_decomposition(base, 0);
+  TreeDecomposition td_full = augment_with_vortices(td_base, current, specs);
+  EXPECT_EQ(td_full.validate(current), "");
+}
+
+}  // namespace
+}  // namespace mns
