@@ -13,9 +13,9 @@ using namespace mns;
 
 namespace {
 
-void run_variant(const char* name, const Graph& g, const RootedTree& t,
-                 const Partition& parts, Shortcut sc) {
-  ShortcutMetrics m = measure_shortcut(g, t, parts, sc);
+void run_variant(bench::JsonReport& report, const char* name, const Graph& g,
+                 const Partition& parts, const ShortcutMetrics& m,
+                 const Shortcut& sc) {
   congest::PartwiseAggregator agg(g, parts, sc);
   congest::Simulator sim(g);
   std::vector<congest::AggValue> init(g.num_vertices());
@@ -26,12 +26,32 @@ void run_variant(const char* name, const Graph& g, const RootedTree& t,
               "msgs=%9lld\n",
               name, m.quality, m.block, m.congestion, res.rounds,
               sim.messages_sent());
+  report.row().set("method", name).set("n", g.num_vertices())
+      .set_metrics(m).set("rounds", res.rounds)
+      .set("messages", sim.messages_sent());
+}
+
+void run_certificate(bench::JsonReport& report, const char* name,
+                     const Graph& g, const RootedTree& t,
+                     const Partition& parts,
+                     const StructuralCertificate& cert) {
+  BuildResult r = bench::engine().build(g, t, parts, cert);
+  run_variant(report, name, g, parts, r.metrics, r.shortcut);
+}
+
+void run_empty(bench::JsonReport& report, const Graph& g, const RootedTree& t,
+               const Partition& parts) {
+  Shortcut none;
+  none.edges_of_part.resize(parts.num_parts());
+  ShortcutMetrics m = measure_shortcut(g, t, parts, none);
+  run_variant(report, "none (flooding)", g, parts, m, none);
 }
 
 }  // namespace
 
 int main() {
   bench::header("E13: quality -> rounds correlation (Theorem 1 mechanism)");
+  bench::JsonReport report("aggregation");
 
   std::printf("-- wheel, 8 ring sectors (apex pathology) --\n");
   {
@@ -39,16 +59,14 @@ int main() {
     Graph g = gen::wheel(n);
     RootedTree t = RootedTree::from_bfs(bfs(g, 0), 0);
     Partition parts = ring_sectors(n, 1, n - 1, 8);
-    Shortcut none;
-    none.edges_of_part.resize(parts.num_parts());
-    run_variant("none (flooding)", g, t, parts, std::move(none));
-    run_variant("ancestor climb h=4", g, t, parts,
-                build_ancestor_shortcut(g, t, parts, 4));
-    run_variant("steiner", g, t, parts, build_steiner_shortcut(g, t, parts));
-    run_variant("greedy [HIZ16a]", g, t, parts,
-                build_greedy_shortcut(g, t, parts));
-    run_variant("apex-aware (Lemma 9)", g, t, parts,
-                build_apex_shortcut(g, t, parts, {0}, make_greedy_oracle()));
+    run_empty(report, g, t, parts);
+    run_certificate(report, "ancestor climb h=4", g, t, parts,
+                    ancestor_certificate(4));
+    run_certificate(report, "steiner", g, t, parts, steiner_certificate());
+    run_certificate(report, "greedy [HIZ16a]", g, t, parts,
+                    greedy_certificate());
+    run_certificate(report, "apex-aware (Lemma 9)", g, t, parts,
+                    apex_certificate({0}));
   }
 
   std::printf("\n-- 48x48 grid, serpentine zones --\n");
@@ -58,14 +76,12 @@ int main() {
     const Graph& g = eg.graph();
     RootedTree t = bench::center_tree(g);
     Partition parts = grid_serpentines(s, s, 6);
-    Shortcut none;
-    none.edges_of_part.resize(parts.num_parts());
-    run_variant("none (flooding)", g, t, parts, std::move(none));
-    run_variant("ancestor climb h=8", g, t, parts,
-                build_ancestor_shortcut(g, t, parts, 8));
-    run_variant("steiner", g, t, parts, build_steiner_shortcut(g, t, parts));
-    run_variant("greedy [HIZ16a]", g, t, parts,
-                build_greedy_shortcut(g, t, parts));
+    run_empty(report, g, t, parts);
+    run_certificate(report, "ancestor climb h=8", g, t, parts,
+                    ancestor_certificate(8));
+    run_certificate(report, "steiner", g, t, parts, steiner_certificate());
+    run_certificate(report, "greedy [HIZ16a]", g, t, parts,
+                    greedy_certificate());
   }
 
   std::printf("\n-- fully distributed: construction itself simulated --\n");
@@ -88,6 +104,10 @@ int main() {
                 "aggregation=%lld rounds\n",
                 "distributed greedy cap=8", m.quality, m.block, m.congestion,
                 construction, res.rounds);
+    report.row().set("method", "distributed greedy cap=8")
+        .set("n", g.num_vertices()).set_metrics(m)
+        .set("construction_rounds", construction)
+        .set("rounds", res.rounds).set("messages", sim.messages_sent());
   }
   return 0;
 }

@@ -14,38 +14,41 @@ using namespace mns;
 
 namespace {
 
-void compare(const char* family, const Graph& g,
+void compare(bench::JsonReport& report, const char* family, const Graph& g,
              const std::vector<VertexId>& apices, const Partition& parts) {
   RootedTree t = bench::center_tree(g);
   // Ablation over the inner (within-cell) oracle of Lemma 9.
   struct Inner {
     const char* name;
-    BagOracle oracle;
+    OracleKind oracle;
   };
   Inner inners[] = {
-      {"apex+greedy (L9)", make_greedy_oracle()},
-      {"apex+steiner", make_steiner_oracle()},
-      {"apex+trivial", make_trivial_oracle()},
+      {"apex+greedy (L9)", OracleKind::kGreedy},
+      {"apex+steiner", OracleKind::kSteiner},
+      {"apex+trivial", OracleKind::kTrivial},
   };
   for (auto& inner : inners) {
-    Shortcut sc = build_apex_shortcut(g, t, parts, apices, inner.oracle);
-    bench::metrics_row(family, g.num_vertices(), inner.name,
-                       measure_shortcut(g, t, parts, sc));
+    BuildResult r = bench::engine().build(
+        g, t, parts, apex_certificate(apices, inner.oracle));
+    bench::metrics_row(report, family, g.num_vertices(), inner.name,
+                       r.metrics);
   }
-  Shortcut greedy = build_greedy_shortcut(g, t, parts);
-  bench::metrics_row(family, g.num_vertices(), "oblivious greedy",
-                     measure_shortcut(g, t, parts, greedy));
+  BuildResult greedy =
+      bench::engine().build(g, t, parts, greedy_certificate());
+  bench::metrics_row(report, family, g.num_vertices(), "oblivious greedy",
+                     greedy.metrics);
 }
 
 }  // namespace
 
 int main() {
   bench::header("E9: apex graphs (Lemma 9 / Theorem 8 targets)");
+  bench::JsonReport report("apex_shortcuts");
 
   for (int n : {1002, 4002, 16002}) {
     Graph w = gen::wheel(n);
     Partition sectors = ring_sectors(n, 1, n - 1, 8);
-    compare("wheel/8 sectors", w, {0}, sectors);
+    compare(report, "wheel/8 sectors", w, {0}, sectors);
   }
 
   for (int s : {24, 48}) {
@@ -56,7 +59,8 @@ int main() {
     std::vector<PartId> part_of(ar.graph.num_vertices(), kNoPart);
     for (VertexId v = 0; v < eg.graph().num_vertices(); ++v)
       part_of[v] = serp.part_of(v);
-    compare("grid+apex/serpent", ar.graph, ar.apices, Partition(part_of));
+    compare(report, "grid+apex/serpent", ar.graph, ar.apices,
+            Partition(part_of));
   }
 
   for (int q : {1, 2, 3}) {
@@ -73,7 +77,7 @@ int main() {
     Partition parts = voronoi_partition(ae.graph, 12, rng);
     char label[48];
     std::snprintf(label, sizeof label, "almost-emb q=%d", q);
-    compare(label, ae.graph, ae.apices, parts);
+    compare(report, label, ae.graph, ae.apices, parts);
   }
   return 0;
 }

@@ -12,6 +12,7 @@ using namespace mns;
 
 int main() {
   bench::header("E8: cell assignment (Lemmas 4-6 targets)");
+  bench::JsonReport report("cell_assignment");
   std::printf("%8s %7s %7s %8s %8s %10s %12s\n", "n", "cells", "parts",
               "beta", "2s ref", "miss>2?", "max missing");
   for (int n : {2000, 8000}) {
@@ -43,6 +44,10 @@ int main() {
         std::printf("%8d %7d %7d %8d %8.1f %10d %12zu\n", n,
                     cells.num_cells(), parts.num_parts(), a.beta, 2 * s,
                     violations, worst_missing);
+        report.row().set("n", n).set("cells", cells.num_cells())
+            .set("parts", parts.num_parts()).set("beta", a.beta)
+            .set("gate_s", s).set("violations", violations)
+            .set("max_missing", worst_missing);
       }
     }
   }

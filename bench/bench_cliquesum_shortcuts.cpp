@@ -18,14 +18,16 @@ ShortcutMetrics run_bag_baseline(const Graph& bag_graph) {
   RootedTree t = bench::center_tree(bag_graph);
   Rng rng(5);
   Partition parts = voronoi_partition(bag_graph, 6, rng);
-  Shortcut sc = build_greedy_shortcut(bag_graph, t, parts);
-  return measure_shortcut(bag_graph, t, parts, sc);
+  return bench::engine()
+      .build(bag_graph, t, parts, greedy_certificate())
+      .metrics;
 }
 
 }  // namespace
 
 int main() {
   bench::header("E3: clique-sum composition (Theorem 7 targets)");
+  bench::JsonReport report("cliquesum_shortcuts");
   const int k = 2;
   std::printf("bag family: triangulated 8x8 grids; glue cliques of size <= %d\n",
               k);
@@ -47,12 +49,15 @@ int main() {
     Partition parts = voronoi_partition(
         r.graph, std::max(2, static_cast<int>(std::sqrt(r.graph.num_vertices()))),
         rng);
-    Shortcut sc = build_cliquesum_shortcut(r.graph, t, parts, r.decomposition);
-    ShortcutMetrics m = measure_shortcut(r.graph, t, parts, sc);
+    BuildResult br = bench::engine().build(
+        r.graph, t, parts, cliquesum_certificate(r.decomposition));
+    const ShortcutMetrics& m = br.metrics;
     double lg = std::log2(static_cast<double>(r.graph.num_vertices()));
     std::printf("%6d %8d %6d %6d %8lld %16d %20.0f\n", bags_count,
                 r.graph.num_vertices(), m.block, m.congestion, m.quality,
                 2 * k + 4 * base.block, k * lg * lg + base.congestion);
+    report.row().set("bags", bags_count).set("n", r.graph.num_vertices())
+        .set("builder", br.builder).set_metrics(m);
   }
   return 0;
 }

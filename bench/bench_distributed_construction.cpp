@@ -15,18 +15,22 @@ using namespace mns;
 
 namespace {
 
-void run_case(const char* family, const Graph& g, const RootedTree& t,
-              const Partition& parts, int cap) {
+void run_case(bench::JsonReport& report, const char* family, const Graph& g,
+              const RootedTree& t, const Partition& parts, int cap) {
   congest::Simulator sim(g);
   congest::DistributedShortcutResult dist =
       congest::distributed_capped_greedy(sim, t, parts, cap);
   ShortcutMetrics md = measure_shortcut(g, t, parts, dist.shortcut);
-  Shortcut central = build_greedy_shortcut(g, t, parts);
-  ShortcutMetrics mc = measure_shortcut(g, t, parts, central);
+  BuildResult central = bench::engine().build(g, t, parts,
+                                              greedy_certificate());
   std::printf("%-18s n=%6d cap=%2d  construction=%6lld rounds  "
               "q_dist=%6lld (b=%3d c=%3d)  q_central=%6lld\n",
               family, g.num_vertices(), cap, dist.rounds, md.quality,
-              md.block, md.congestion, mc.quality);
+              md.block, md.congestion, central.metrics.quality);
+  report.row().set("family", family).set("n", g.num_vertices())
+      .set("cap", cap).set("construction_rounds", dist.rounds)
+      .set("messages", sim.messages_sent()).set_metrics(md)
+      .set("central_quality", central.metrics.quality);
 }
 
 }  // namespace
@@ -34,18 +38,19 @@ void run_case(const char* family, const Graph& g, const RootedTree& t,
 int main() {
   bench::header(
       "E14: distributed construction cost vs centralized ([HIZ16a] check)");
+  bench::JsonReport report("distributed_construction");
   for (int n : {1002, 4002, 16002}) {
     Graph g = gen::wheel(n);
     RootedTree t = RootedTree::from_bfs(bfs(g, 0), 0);
     Partition parts = ring_sectors(n, 1, n - 1, 8);
-    for (int cap : {2, 8}) run_case("wheel", g, t, parts, cap);
+    for (int cap : {2, 8}) run_case(report, "wheel", g, t, parts, cap);
   }
   for (int s : {24, 48}) {
     EmbeddedGraph eg = gen::grid(s, s);
     const Graph& g = eg.graph();
     RootedTree t = bench::center_tree(g);
     Partition parts = grid_serpentines(s, s, std::max(2, s / 8));
-    for (int cap : {2, 8}) run_case("grid/serpentine", g, t, parts, cap);
+    for (int cap : {2, 8}) run_case(report, "grid/serpentine", g, t, parts, cap);
   }
   {
     Rng rng(4);
@@ -53,7 +58,7 @@ int main() {
     const Graph& g = eg.graph();
     RootedTree t = bench::center_tree(g);
     Partition parts = voronoi_partition(g, 64, rng);
-    for (int cap : {2, 8}) run_case("maxplanar", g, t, parts, cap);
+    for (int cap : {2, 8}) run_case(report, "maxplanar", g, t, parts, cap);
   }
   return 0;
 }

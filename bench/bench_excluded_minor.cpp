@@ -12,6 +12,7 @@ using namespace mns;
 
 int main() {
   bench::header("E10: excluded-minor pipeline (Theorem 6 targets)");
+  bench::JsonReport report("excluded_minor");
   std::printf("reference: b = O(d), c = O(d lg n + lg^2 n)\n");
   for (int bags : {4, 8, 16}) {
     Rng rng(static_cast<unsigned>(bags * 17));
@@ -28,23 +29,25 @@ int main() {
         s.graph,
         std::max(2, static_cast<int>(std::sqrt(s.graph.num_vertices()))), rng);
 
-    CliqueSumShortcutOptions opt;
-    opt.bag_apices = s.global_apices;
-    opt.local_oracle = make_apex_oracle(make_greedy_oracle());
-    Shortcut pipeline =
-        build_cliquesum_shortcut(s.graph, t, parts, s.decomposition,
-                                 std::move(opt));
+    CliqueSumCertificate cert{s.decomposition};
+    cert.local_oracle = OracleKind::kGreedy;
+    cert.apex_aware = true;
+    cert.bag_apices = s.global_apices;
+    BuildResult pipeline =
+        bench::engine().build(s.graph, t, parts, std::move(cert));
     char label[48];
     std::snprintf(label, sizeof label, "L_2 sample/%d bags", bags);
-    ShortcutMetrics m = measure_shortcut(s.graph, t, parts, pipeline);
-    bench::metrics_row(label, s.graph.num_vertices(), "pipeline (Thm 6)", m);
+    const ShortcutMetrics& m = pipeline.metrics;
+    bench::metrics_row(report, label, s.graph.num_vertices(),
+                       "pipeline (Thm 6)", m);
     double lg = std::log2(static_cast<double>(s.graph.num_vertices()));
     std::printf("%-22s %7s  reference: d=%d  d*lg n + lg^2 n = %.0f\n", "",
                 "", m.tree_diameter, m.tree_diameter * lg + lg * lg);
 
-    Shortcut greedy = build_greedy_shortcut(s.graph, t, parts);
-    bench::metrics_row(label, s.graph.num_vertices(), "oblivious greedy",
-                       measure_shortcut(s.graph, t, parts, greedy));
+    BuildResult greedy =
+        bench::engine().build(s.graph, t, parts, greedy_certificate());
+    bench::metrics_row(report, label, s.graph.num_vertices(),
+                       "oblivious greedy", greedy.metrics);
   }
   return 0;
 }

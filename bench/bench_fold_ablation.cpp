@@ -13,6 +13,7 @@ using namespace mns;
 
 int main() {
   bench::header("E4: folding ablation (Lemma 1 depth term vs folded)");
+  bench::JsonReport report("fold_ablation");
   std::printf("%6s %10s %12s %14s %12s %14s\n", "bags", "depth(DT)",
               "folded depth", "ref O(lg^2 B)", "c unfolded", "c folded");
   for (int chain : {64, 256, 1024}) {
@@ -32,17 +33,22 @@ int main() {
     Rng rng(3);
     Partition parts = voronoi_partition(g, 8, rng);
 
-    CliqueSumShortcutOptions unfolded;
+    CliqueSumCertificate unfolded{csd};
     unfolded.fold = false;
-    Shortcut su = build_cliquesum_shortcut(g, t, parts, csd, std::move(unfolded));
-    CliqueSumShortcutOptions folded;
+    BuildResult bu = bench::engine().build(g, t, parts, std::move(unfolded));
+    CliqueSumCertificate folded{csd};
     folded.fold = true;
-    Shortcut sf = build_cliquesum_shortcut(g, t, parts, csd, std::move(folded));
-    ShortcutMetrics mu = measure_shortcut(g, t, parts, su);
-    ShortcutMetrics mf = measure_shortcut(g, t, parts, sf);
+    BuildResult bf = bench::engine().build(g, t, parts, std::move(folded));
     double lg = std::log2(static_cast<double>(chain));
     std::printf("%6d %10d %12d %14.0f %12d %14d\n", chain, csd.depth(),
-                fd.depth, lg * lg, mu.congestion, mf.congestion);
+                fd.depth, lg * lg, bu.metrics.congestion,
+                bf.metrics.congestion);
+    report.row().set("bags", chain).set("depth", csd.depth())
+        .set("folded_depth", fd.depth)
+        .set("congestion_unfolded", bu.metrics.congestion)
+        .set("congestion_folded", bf.metrics.congestion)
+        .set("quality_unfolded", bu.metrics.quality)
+        .set("quality_folded", bf.metrics.quality);
   }
   return 0;
 }

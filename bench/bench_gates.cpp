@@ -13,6 +13,7 @@ using namespace mns;
 
 int main() {
   bench::header("E7: combinatorial gates on planar cells (Lemma 7 target)");
+  bench::JsonReport report("gates");
   std::printf("%10s %7s %7s %10s %10s %8s\n", "n", "cells", "max d", "s",
               "ref 36d", "valid");
   for (int n : {1000, 4000, 16000}) {
@@ -37,6 +38,9 @@ int main() {
       std::string err = validate_gates(g, cells, gs, &s);
       std::printf("%10d %7d %7d %10.1f %10d %8s\n", n, cells.num_cells(), d, s,
                   36 * std::max(1, d), err.empty() ? "yes" : err.c_str());
+      report.row().set("n", n).set("cells", cells.num_cells())
+          .set("max_cell_diameter", d).set("gate_s", s)
+          .set("valid", err.empty() ? "yes" : "no");
     }
   }
   return 0;

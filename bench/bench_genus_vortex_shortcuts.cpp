@@ -12,6 +12,7 @@ using namespace mns;
 
 int main() {
   bench::header("E6: Genus+Vortex shortcuts (Theorem 9 targets)");
+  bench::JsonReport report("genus_vortex_shortcuts");
   for (int genus : {0, 1, 2}) {
     for (int s : {10, 14}) {
       Rng rng(static_cast<unsigned>(genus * 31 + s));
@@ -32,14 +33,16 @@ int main() {
 
       TreeDecomposition td_base = surface_bfs_decomposition(base, 0);
       TreeDecomposition td = augment_with_vortices(td_base, current, specs);
-      Shortcut via_tw = build_treewidth_shortcut(current, t, parts, td);
+      BuildResult via_tw = bench::engine().build(
+          current, t, parts, treewidth_certificate(std::move(td)));
       char label[64];
       std::snprintf(label, sizeof label, "genus=%d s=%d", genus, s);
-      bench::metrics_row(label, current.num_vertices(), "treewidth-route",
-                         measure_shortcut(current, t, parts, via_tw));
-      Shortcut greedy = build_greedy_shortcut(current, t, parts);
-      bench::metrics_row(label, current.num_vertices(), "greedy",
-                         measure_shortcut(current, t, parts, greedy));
+      bench::metrics_row(report, label, current.num_vertices(),
+                         "treewidth-route", via_tw.metrics);
+      BuildResult greedy =
+          bench::engine().build(current, t, parts, greedy_certificate());
+      bench::metrics_row(report, label, current.num_vertices(), "greedy",
+                         greedy.metrics);
     }
   }
   return 0;

@@ -4,7 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "congest/aggregation.hpp"
-#include "core/engine.hpp"
+#include "core/shortcut_engine.hpp"
 #include "gen/ktree.hpp"
 #include "gen/planar.hpp"
 #include "graph/algorithms.hpp"
@@ -12,6 +12,8 @@
 namespace {
 
 using namespace mns;
+
+const ShortcutEngine& engine() { return ShortcutEngine::global(); }
 
 void BM_RandomMaximalPlanar(benchmark::State& state) {
   const VertexId n = static_cast<VertexId>(state.range(0));
@@ -42,8 +44,11 @@ void BM_GreedyShortcut(benchmark::State& state) {
   const Graph& g = eg.graph();
   RootedTree t = RootedTree::from_bfs(bfs(g, 0), 0);
   Partition parts = voronoi_partition(g, 32, rng);
+  StructuralCertificate cert = greedy_certificate();
+  // build_shortcut: construction + validation only (the provider hot path);
+  // measurement cost is isolated in BM_MeasureShortcut.
   for (auto _ : state)
-    benchmark::DoNotOptimize(build_greedy_shortcut(g, t, parts));
+    benchmark::DoNotOptimize(engine().build_shortcut(g, t, parts, cert));
 }
 BENCHMARK(BM_GreedyShortcut)->Arg(1 << 12)->Arg(1 << 15);
 
@@ -54,8 +59,9 @@ void BM_SteinerShortcut(benchmark::State& state) {
   const Graph& g = eg.graph();
   RootedTree t = RootedTree::from_bfs(bfs(g, 0), 0);
   Partition parts = voronoi_partition(g, 32, rng);
+  StructuralCertificate cert = steiner_certificate();
   for (auto _ : state)
-    benchmark::DoNotOptimize(build_steiner_shortcut(g, t, parts));
+    benchmark::DoNotOptimize(engine().build_shortcut(g, t, parts, cert));
 }
 BENCHMARK(BM_SteinerShortcut)->Arg(1 << 12)->Arg(1 << 15);
 
@@ -65,9 +71,9 @@ void BM_TreewidthShortcut(benchmark::State& state) {
       gen::random_ktree(static_cast<VertexId>(state.range(0)), 3, rng);
   RootedTree t = RootedTree::from_bfs(bfs(kt.graph, 0), 0);
   Partition parts = voronoi_partition(kt.graph, 32, rng);
+  StructuralCertificate cert = treewidth_certificate(kt.decomposition);
   for (auto _ : state)
-    benchmark::DoNotOptimize(
-        build_treewidth_shortcut(kt.graph, t, parts, kt.decomposition));
+    benchmark::DoNotOptimize(engine().build_shortcut(kt.graph, t, parts, cert));
 }
 BENCHMARK(BM_TreewidthShortcut)->Arg(1 << 11)->Arg(1 << 13);
 
@@ -78,11 +84,51 @@ void BM_MeasureShortcut(benchmark::State& state) {
   const Graph& g = eg.graph();
   RootedTree t = RootedTree::from_bfs(bfs(g, 0), 0);
   Partition parts = voronoi_partition(g, 32, rng);
-  Shortcut sc = build_greedy_shortcut(g, t, parts);
+  Shortcut sc = engine().build_shortcut(g, t, parts, greedy_certificate());
   for (auto _ : state)
     benchmark::DoNotOptimize(measure_shortcut(g, t, parts, sc));
 }
 BENCHMARK(BM_MeasureShortcut)->Arg(1 << 12)->Arg(1 << 15);
+
+// Simulator round-turnover throughput: every directed edge carries a message
+// (the all-to-all load pattern of flooding algorithms).
+void BM_SimulatorFinishRoundDense(benchmark::State& state) {
+  using namespace mns::congest;
+  Rng rng(7);
+  EmbeddedGraph eg = gen::random_maximal_planar(
+      static_cast<VertexId>(state.range(0)), rng);
+  const Graph& g = eg.graph();
+  Simulator sim(g);
+  for (auto _ : state) {
+    for (VertexId v = 0; v < g.num_vertices(); ++v)
+      for (EdgeId e : g.incident_edges(v)) sim.send(v, e, Message{0, 0, 1});
+    sim.finish_round();
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges() * 2);
+}
+BENCHMARK(BM_SimulatorFinishRoundDense)->Arg(1 << 12)->Arg(1 << 15);
+
+// Sparse frontier: a handful of active nodes on a large graph — the load
+// pattern of BFS/convergecast tails, where per-round O(n) bookkeeping
+// dominates the actual message work.
+void BM_SimulatorFinishRoundSparse(benchmark::State& state) {
+  using namespace mns::congest;
+  Rng rng(7);
+  EmbeddedGraph eg = gen::random_maximal_planar(
+      static_cast<VertexId>(state.range(0)), rng);
+  const Graph& g = eg.graph();
+  Simulator sim(g);
+  const VertexId stride = g.num_vertices() / 64;
+  for (auto _ : state) {
+    for (VertexId i = 0; i < 64; ++i) {
+      VertexId v = i * stride;
+      sim.send(v, g.incident_edges(v)[0], Message{0, 0, 1});
+    }
+    sim.finish_round();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_SimulatorFinishRoundSparse)->Arg(1 << 15);
 
 void BM_AggregationWheel(benchmark::State& state) {
   using namespace mns::congest;
@@ -95,7 +141,7 @@ void BM_AggregationWheel(benchmark::State& state) {
   Graph g = b.build();
   RootedTree t = RootedTree::from_bfs(bfs(g, 0), 0);
   Partition parts = ring_sectors(n, 1, n - 1, 8);
-  Shortcut sc = build_apex_shortcut(g, t, parts, {0}, make_greedy_oracle());
+  Shortcut sc = engine().build_shortcut(g, t, parts, apex_certificate({0}));
   PartwiseAggregator agg(g, parts, sc);
   std::vector<AggValue> init(n);
   for (VertexId v = 0; v < n; ++v) init[v] = {v, v};

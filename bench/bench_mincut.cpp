@@ -15,7 +15,7 @@ using namespace mns;
 
 namespace {
 
-void run_case(const char* family, const Graph& g,
+void run_case(bench::JsonReport& report, const char* family, const Graph& g,
               const std::vector<Weight>& w,
               const congest::ShortcutProvider& provider) {
   Weight exact = congest::exact_min_cut(g, w);
@@ -31,17 +31,23 @@ void run_case(const char* family, const Graph& g,
               static_cast<long long>(res.value),
               static_cast<double>(res.value) / static_cast<double>(exact),
               res.rounds, res.trees, opt.two_respecting ? 2 : 1);
+  report.row().set("family", family).set("n", g.num_vertices())
+      .set("exact", static_cast<long long>(exact))
+      .set("packed", static_cast<long long>(res.value))
+      .set("rounds", res.rounds).set("messages", sim.messages_sent())
+      .set("trees", res.trees);
 }
 
 }  // namespace
 
 int main() {
   bench::header("E12: (1+eps)-style min-cut via tree packing (Corollary 1)");
+  bench::JsonReport report("mincut");
   for (int n : {100, 200, 400}) {
     Rng rng(static_cast<unsigned>(n));
     EmbeddedGraph eg = gen::random_maximal_planar(n, rng);
     std::vector<Weight> w = gen::random_weights(eg.graph(), 1, 40, rng);
-    run_case("maximal planar", eg.graph(), w, bench::greedy_provider());
+    run_case(report, "maximal planar", eg.graph(), w, bench::greedy_provider());
   }
   for (int regions : {4, 8}) {
     Rng rng(static_cast<unsigned>(regions * 13));
@@ -54,7 +60,7 @@ int main() {
     std::vector<Weight> w = gen::random_weights(r.graph, 1, 40, rng);
     char label[48];
     std::snprintf(label, sizeof label, "SP clique-sum x%d", regions);
-    run_case(label, r.graph, w, bench::greedy_provider());
+    run_case(report, label, r.graph, w, bench::greedy_provider());
   }
   return 0;
 }

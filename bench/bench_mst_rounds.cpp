@@ -61,20 +61,29 @@ Instance paper_instance(int rows, int cols, unsigned seed) {
   return inst;
 }
 
-void run_instance(const char* family, const Instance& inst) {
+void run_instance(bench::JsonReport& report, const char* family,
+                  const Instance& inst) {
   const Graph& g = inst.graph;
   std::vector<EdgeId> ref = congest::kruskal_mst(g, inst.weights);
   std::sort(ref.begin(), ref.end());
 
-  auto run = [&](const char* method, congest::MstOptions opt) {
-    congest::Simulator sim(g);
-    congest::MstResult res = congest::boruvka_mst(sim, inst.weights, opt);
-    bool ok = res.edges == ref;
+  auto record = [&](const char* method, const congest::MstResult& res,
+                    long long messages, bool ok) {
     std::printf("%-18s n=%6d D=%3d sqrt(n)=%5.0f  %-22s rounds=%8lld "
                 "phases=%2d %s\n",
                 family, g.num_vertices(), inst.diameter,
                 std::sqrt(static_cast<double>(g.num_vertices())), method,
                 res.rounds, res.phases, ok ? "" : "MISMATCH");
+    report.row().set("family", family).set("n", g.num_vertices())
+        .set("diameter", inst.diameter).set("method", method)
+        .set("rounds", res.rounds).set("messages", messages)
+        .set("phases", res.phases).set("verified", ok ? "yes" : "no");
+  };
+
+  auto run = [&](const char* method, congest::MstOptions opt) {
+    congest::Simulator sim(g);
+    congest::MstResult res = congest::boruvka_mst(sim, inst.weights, opt);
+    record(method, res, sim.messages_sent(), res.edges == ref);
   };
 
   congest::MstOptions shortcuts;
@@ -91,23 +100,19 @@ void run_instance(const char* family, const Instance& inst) {
   congest::Simulator sim(g);
   RootedTree t = bench::center_tree(g);
   congest::MstResult ghs = congest::controlled_ghs_mst(sim, t, inst.weights);
-  bool ok = ghs.edges == ref;
-  std::printf("%-18s n=%6d D=%3d sqrt(n)=%5.0f  %-22s rounds=%8lld "
-              "phases=%2d %s\n",
-              family, g.num_vertices(), inst.diameter,
-              std::sqrt(static_cast<double>(g.num_vertices())), "controlled-GHS",
-              ghs.rounds, ghs.phases, ok ? "" : "MISMATCH");
+  record("controlled-GHS", ghs, sim.messages_sent(), ghs.edges == ref);
 }
 
 }  // namespace
 
 int main() {
   bench::header("E11: MST rounds (Corollary 1 vs baselines)");
+  bench::JsonReport report("mst_rounds");
   std::printf("methods per instance: shortcut Boruvka (construction charged), "
               "naive Boruvka, controlled-GHS\n\n");
   std::printf("-- (a) paper instance: grid + apex, adversarial weights --\n");
   for (auto [rows, cols] : {std::pair{32, 16}, {32, 32}, {64, 32}, {64, 64}}) {
-    run_instance("grid+apex", paper_instance(rows, cols, 3));
+    run_instance(report, "grid+apex", paper_instance(rows, cols, 3));
   }
   std::printf("\n-- (b) lower-bound family (NOT minor-free) --\n");
   for (int p : {8, 12, 16}) {
@@ -117,7 +122,7 @@ int main() {
     Rng rng(static_cast<unsigned>(p));
     inst.weights = gen::unique_random_weights(inst.graph, rng);
     inst.diameter = diameter_exact(inst.graph);
-    run_instance("lower-bound", inst);
+    run_instance(report, "lower-bound", inst);
   }
   return 0;
 }

@@ -6,7 +6,6 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
-#include "core/engine.hpp"
 #include "gen/planar.hpp"
 #include "structure/surface_decomposition.hpp"
 
@@ -14,27 +13,26 @@ using namespace mns;
 
 namespace {
 
-void run_case(const char* family, const Graph& g, const RootedTree& t,
-              const Partition& parts, bool with_treewidth_route,
-              const EmbeddedGraph* embedded) {
+void run_case(bench::JsonReport& report, const char* family, const Graph& g,
+              const RootedTree& t, const Partition& parts,
+              bool with_treewidth_route, const EmbeddedGraph* embedded) {
   const int d = tree_diameter(t);
   {
-    Shortcut sc = build_greedy_shortcut(g, t, parts);
-    bench::metrics_row(family, g.num_vertices(), "greedy",
-                       measure_shortcut(g, t, parts, sc));
+    BuildResult r = bench::engine().build(g, t, parts, greedy_certificate());
+    bench::metrics_row(report, family, g.num_vertices(), "greedy", r.metrics);
   }
   {
-    Shortcut sc = build_steiner_shortcut(g, t, parts);
-    bench::metrics_row(family, g.num_vertices(), "steiner",
-                       measure_shortcut(g, t, parts, sc));
+    BuildResult r = bench::engine().build(g, t, parts, steiner_certificate());
+    bench::metrics_row(report, family, g.num_vertices(), "steiner", r.metrics);
   }
   if (with_treewidth_route && embedded != nullptr) {
     // The paper's own Genus+Vortex route (Lemma 2 with g=0, no vortices):
     // width-O(D) decomposition, then Theorem 5.
     TreeDecomposition td = surface_bfs_decomposition(*embedded, t.root());
-    Shortcut sc = build_treewidth_shortcut(g, t, parts, td);
-    bench::metrics_row(family, g.num_vertices(), "treewidth-route",
-                       measure_shortcut(g, t, parts, sc));
+    BuildResult r = bench::engine().build(
+        g, t, parts, treewidth_certificate(std::move(td)));
+    bench::metrics_row(report, family, g.num_vertices(), "treewidth-route",
+                       r.metrics);
   }
   std::printf("%-22s %7s  reference: O(log d)=%.1f  O(d log d)=%.0f\n", "",
               "", std::log2(std::max(2, d)),
@@ -46,6 +44,7 @@ void run_case(const char* family, const Graph& g, const RootedTree& t,
 int main() {
   bench::header("E1: planar shortcuts (Theorem 4 / [GH16] targets)");
   std::printf("part shapes: voronoi(sqrt n) and serpentines (adversarial)\n");
+  bench::JsonReport report("planar_shortcuts");
 
   for (int s : {16, 32, 48, 64}) {
     EmbeddedGraph eg = gen::grid(s, s);
@@ -54,9 +53,9 @@ int main() {
     Rng rng(11);
     Partition voronoi = voronoi_partition(
         g, std::max(2, static_cast<int>(std::sqrt(g.num_vertices()))), rng);
-    run_case("grid/voronoi", g, t, voronoi, s <= 24, &eg);
+    run_case(report, "grid/voronoi", g, t, voronoi, s <= 24, &eg);
     Partition serp = grid_serpentines(s, s, std::max(2, s / 8));
-    run_case("grid/serpentine", g, t, serp, false, &eg);
+    run_case(report, "grid/serpentine", g, t, serp, false, &eg);
   }
 
   for (int n : {1000, 4000, 16000}) {
@@ -66,7 +65,7 @@ int main() {
     RootedTree t = bench::center_tree(g);
     Partition voronoi = voronoi_partition(
         g, std::max(2, static_cast<int>(std::sqrt(n))), rng);
-    run_case("maxplanar/voronoi", g, t, voronoi, false, &eg);
+    run_case(report, "maxplanar/voronoi", g, t, voronoi, false, &eg);
   }
   return 0;
 }

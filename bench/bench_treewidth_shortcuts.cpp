@@ -11,6 +11,7 @@ using namespace mns;
 
 int main() {
   bench::header("E2: treewidth shortcuts (Theorem 5 / [HIZ16b] targets)");
+  bench::JsonReport report("treewidth_shortcuts");
   std::printf("%4s %7s %6s %6s %8s %12s %14s\n", "k", "n", "b", "c", "q",
               "ref b=O(k)", "ref c=O(k lg n)");
   for (int k : {1, 2, 3, 4, 6, 8}) {
@@ -20,12 +21,14 @@ int main() {
       RootedTree t = bench::center_tree(kt.graph);
       Partition parts = voronoi_partition(
           kt.graph, std::max(2, static_cast<int>(std::sqrt(n))), rng);
-      Shortcut sc =
-          build_treewidth_shortcut(kt.graph, t, parts, kt.decomposition);
-      ShortcutMetrics m = measure_shortcut(kt.graph, t, parts, sc);
+      BuildResult r = bench::engine().build(
+          kt.graph, t, parts, treewidth_certificate(kt.decomposition));
+      const ShortcutMetrics& m = r.metrics;
       std::printf("%4d %7d %6d %6d %8lld %12d %14.1f\n", k, n, m.block,
                   m.congestion, m.quality, k + 1,
                   (k + 1) * std::log2(static_cast<double>(n)));
+      report.row().set("k", k).set("n", n).set("builder", r.builder)
+          .set_metrics(m);
     }
   }
   return 0;

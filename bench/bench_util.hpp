@@ -1,49 +1,174 @@
 // Shared helpers for the experiment harnesses (DESIGN.md §6). Each bench
 // binary prints a self-contained table regenerating one claim of the paper;
 // they are deterministic (fixed seeds) so EXPERIMENTS.md numbers reproduce.
+//
+// All shortcut construction goes through the certificate-dispatched
+// ShortcutEngine — benches never wire builders by hand. Alongside the human-
+// readable table every harness records a machine-readable BENCH_<name>.json
+// (rows of rounds / messages / congestion / block / quality / wall time) so
+// the performance trajectory of the repo is tracked from run to run.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "congest/mst.hpp"
-#include "core/engine.hpp"
+#include "core/shortcut_engine.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/rooted_tree.hpp"
 
 namespace mns::bench {
 
+/// The shared default-configured engine every harness dispatches through.
+inline const ShortcutEngine& engine() { return ShortcutEngine::global(); }
+
 /// BFS tree rooted near the graph center (height <= D).
 inline RootedTree center_tree(const Graph& g, unsigned seed = 1) {
-  Rng rng(seed);
-  VertexId c = approximate_center(g, rng);
-  return RootedTree::from_bfs(bfs(g, c), c);
+  return center_tree_factory(seed)(g);
+}
+
+/// Shortcut provider for any certificate (uniform, treewidth, apex,
+/// clique-sum, ...) on a center BFS tree.
+inline congest::ShortcutProvider provider(StructuralCertificate cert,
+                                          TreeFactory tree = {}) {
+  return engine().provider(std::move(cert), std::move(tree));
 }
 
 /// Shortcut provider: uniform greedy on a center BFS tree.
 inline congest::ShortcutProvider greedy_provider() {
-  return [](const Graph& g, const Partition& parts) {
-    RootedTree t = center_tree(g);
-    return build_greedy_shortcut(g, t, parts);
-  };
+  return provider(greedy_certificate());
 }
 
 /// Shortcut provider: apex-aware (Lemma 9) with greedy inner oracle.
 inline congest::ShortcutProvider apex_provider(std::vector<VertexId> apices) {
-  return [apices = std::move(apices)](const Graph& g, const Partition& parts) {
-    RootedTree t = center_tree(g);
-    return build_apex_shortcut(g, t, parts, apices, make_greedy_oracle());
-  };
+  return provider(apex_certificate(std::move(apices)));
 }
 
 inline void header(const char* title) {
   std::printf("\n==== %s ====\n", title);
 }
 
+// ------------------------------------------------------------------------
+// Machine-readable output: BENCH_<name>.json, one row object per table row.
+
+/// One row of a JSON report; values are rendered eagerly so heterogeneous
+/// rows stay simple.
+class JsonRow {
+ public:
+  JsonRow& set(const std::string& key, long long value) {
+    fields_.emplace_back(key, std::to_string(value));
+    return *this;
+  }
+  JsonRow& set(const std::string& key, int value) {
+    return set(key, static_cast<long long>(value));
+  }
+  JsonRow& set(const std::string& key, std::size_t value) {
+    return set(key, static_cast<long long>(value));
+  }
+  JsonRow& set(const std::string& key, double value) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", value);
+    fields_.emplace_back(key, buf);
+    return *this;
+  }
+  JsonRow& set(const std::string& key, const char* value) {
+    fields_.emplace_back(key, quoted(value));
+    return *this;
+  }
+  JsonRow& set(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, quoted(value));
+    return *this;
+  }
+  /// Standard metrics block: congestion / block / quality / d_T.
+  JsonRow& set_metrics(const ShortcutMetrics& m) {
+    return set("tree_diameter", m.tree_diameter)
+        .set("block", m.block)
+        .set("congestion", m.congestion)
+        .set("quality", m.quality);
+  }
+
+  [[nodiscard]] std::string rendered() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i) out += ", ";
+      out += quoted(fields_[i].first) + ": " + fields_[i].second;
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  static std::string quoted(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Collects rows and writes BENCH_<name>.json on destruction (or explicit
+/// write()). Wall time covers the report's lifetime.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name)
+      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+  ~JsonReport() {
+    if (!written_) write();
+  }
+
+  JsonRow& row() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  void write() {
+    written_ = true;
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return;  // benches stay usable in read-only dirs
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"wall_time_ms\": %.3f,\n",
+                 name_.c_str(), wall_ms);
+    std::fprintf(f, "  \"rows\": [\n");
+    for (std::size_t i = 0; i < rows_.size(); ++i)
+      std::fprintf(f, "    %s%s\n", rows_[i].rendered().c_str(),
+                   i + 1 < rows_.size() ? "," : "");
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+  }
+
+ private:
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<JsonRow> rows_;
+  bool written_ = false;
+};
+
 /// Prints one row of shortcut metrics.
 inline void metrics_row(const char* family, int n, const char* method,
                         const ShortcutMetrics& m) {
   std::printf("%-22s %7d  %-18s  d_T=%5d  b=%4d  c=%5d  q=%7lld\n", family, n,
               method, m.tree_diameter, m.block, m.congestion, m.quality);
+}
+
+/// Prints AND records one row of shortcut metrics.
+inline void metrics_row(JsonReport& report, const char* family, int n,
+                        const char* method, const ShortcutMetrics& m) {
+  metrics_row(family, n, method, m);
+  report.row().set("family", family).set("n", n).set("method", method)
+      .set_metrics(m);
 }
 
 }  // namespace mns::bench

@@ -13,6 +13,7 @@ using namespace mns;
 
 int main() {
   bench::header("E5: Genus+Vortex treewidth (Lemmas 2-3 targets)");
+  bench::JsonReport report("vortex_treewidth");
   std::printf("%3s %3s %3s %4s %6s %7s %7s %18s\n", "g", "k", "l", "s", "n",
               "height", "width", "ref (g+1)*k*l*h");
   for (int genus : {0, 1, 2}) {
@@ -53,6 +54,10 @@ int main() {
           std::printf("%3d %3d %3d %4d %6d %7d %7d %18d\n", genus, depth, l, s,
                       current.num_vertices(), height, td.width(),
                       (genus + 1) * depth * std::max(1, l) * height);
+          report.row().set("genus", genus).set("vortex_depth", depth)
+              .set("vortices", l).set("s", s)
+              .set("n", current.num_vertices()).set("height", height)
+              .set("width", td.width());
         }
       }
     }

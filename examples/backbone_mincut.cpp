@@ -8,7 +8,7 @@
 
 #include "congest/mincut.hpp"
 #include "congest/simulator.hpp"
-#include "core/engine.hpp"
+#include "core/shortcut_engine.hpp"
 #include "gen/clique_sum.hpp"
 #include "gen/series_parallel.hpp"
 #include "gen/weights.hpp"
@@ -35,14 +35,9 @@ int main() {
   congest::Simulator sim(g);
   congest::MinCutOptions opt;
   opt.num_trees = 12;
-  opt.provider = [&](const Graph& gg, const Partition& parts) {
-    Rng r(3);
-    VertexId c = approximate_center(gg, r);
-    RootedTree t = RootedTree::from_bfs(bfs(gg, c), c);
-    CliqueSumShortcutOptions o;  // Theorem 7 pipeline on the recorded tree
-    return build_cliquesum_shortcut(gg, t, parts, net.decomposition,
-                                    std::move(o));
-  };
+  // Theorem 7 pipeline on the recorded decomposition.
+  opt.provider = ShortcutEngine::global().provider(
+      cliquesum_certificate(net.decomposition), center_tree_factory(3));
   congest::MinCutResult res = congest::approx_min_cut(sim, cap, opt);
 
   std::printf("exact min cut (Stoer-Wagner):    %lld\n",

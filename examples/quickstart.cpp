@@ -17,7 +17,7 @@
 
 #include "congest/mst.hpp"
 #include "congest/simulator.hpp"
-#include "core/engine.hpp"
+#include "core/shortcut_engine.hpp"
 #include "gen/planar.hpp"
 #include "graph/algorithms.hpp"
 
@@ -74,10 +74,11 @@ int main() {
   //    phase.
   congest::Simulator sim_fast(g);
   congest::MstOptions fast;
-  fast.provider = [apex](const Graph& gg, const Partition& parts) {
-    RootedTree t = RootedTree::from_bfs(bfs(gg, apex), apex);
-    return build_apex_shortcut(gg, t, parts, {apex}, make_greedy_oracle());
-  };
+  fast.provider = ShortcutEngine::global().provider(
+      apex_certificate({apex}),
+      [apex](const Graph& gg) {
+        return RootedTree::from_bfs(bfs(gg, apex), apex);
+      });
   congest::MstResult with_shortcuts = congest::boruvka_mst(sim_fast, w, fast);
 
   // 4. The naive baseline: Boruvka where each fragment floods internally.

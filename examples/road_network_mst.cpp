@@ -10,7 +10,7 @@
 
 #include "congest/mst.hpp"
 #include "congest/simulator.hpp"
-#include "core/engine.hpp"
+#include "core/shortcut_engine.hpp"
 #include "gen/apex.hpp"
 #include "gen/planar.hpp"
 #include "gen/weights.hpp"
@@ -69,24 +69,16 @@ int main() {
   };
 
   // 1. Apex-aware shortcuts (Lemma 9): the paper's construction.
+  const ShortcutEngine& engine = ShortcutEngine::global();
   congest::MstOptions apex_aware;
-  apex_aware.provider = [&](const Graph& gg, const Partition& parts) {
-    Rng r(5);
-    VertexId c = approximate_center(gg, r);
-    RootedTree t = RootedTree::from_bfs(bfs(gg, c), c);
-    return build_apex_shortcut(gg, t, parts, with_satellite.apices,
-                               make_greedy_oracle());
-  };
+  apex_aware.provider = engine.provider(
+      apex_certificate(with_satellite.apices), center_tree_factory(5));
   run("apex-aware shortcuts (Lemma 9)", apex_aware);
 
   // 2. Structure-oblivious greedy shortcuts.
   congest::MstOptions oblivious;
-  oblivious.provider = [](const Graph& gg, const Partition& parts) {
-    Rng r(5);
-    VertexId c = approximate_center(gg, r);
-    RootedTree t = RootedTree::from_bfs(bfs(gg, c), c);
-    return build_greedy_shortcut(gg, t, parts);
-  };
+  oblivious.provider =
+      engine.provider(greedy_certificate(), center_tree_factory(5));
   run("structure-oblivious greedy", oblivious);
 
   // 3. No shortcuts.

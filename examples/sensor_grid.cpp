@@ -9,7 +9,7 @@
 
 #include "congest/aggregation.hpp"
 #include "congest/simulator.hpp"
-#include "core/engine.hpp"
+#include "core/shortcut_engine.hpp"
 #include "gen/planar.hpp"
 #include "graph/algorithms.hpp"
 
@@ -40,12 +40,15 @@ int main() {
     const char* name;
     Shortcut shortcut;
   };
+  const ShortcutEngine& engine = ShortcutEngine::global();
   Shortcut none;
   none.edges_of_part.resize(zones.num_parts());
   Variant variants[] = {
       {"no shortcuts (flooding)", std::move(none)},
-      {"steiner shortcuts", build_steiner_shortcut(g, tree, zones)},
-      {"greedy shortcuts [HIZ16a]", build_greedy_shortcut(g, tree, zones)},
+      {"steiner shortcuts",
+       engine.build(g, tree, zones, steiner_certificate()).shortcut},
+      {"greedy shortcuts [HIZ16a]",
+       engine.build(g, tree, zones, greedy_certificate()).shortcut},
   };
 
   std::printf("%-28s %10s %10s %8s %6s %6s\n", "variant", "rounds", "msgs",

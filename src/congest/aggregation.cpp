@@ -103,65 +103,71 @@ AggregationResult PartwiseAggregator::aggregate_min(
   }
 
   long long start = sim.rounds();
-  while (!active.empty()) {
-    std::vector<EdgeId> snapshot;
-    snapshot.swap(active);
-    for (EdgeId d : snapshot) in_active[d] = 0;
-    // Each active directed edge transmits ONE part's value (round-robin).
-    for (EdgeId d : snapshot) {
-      EdgeId e = d / 2;
-      int side = d % 2;
-      const Edge& ed = g.edge(e);
-      VertexId from = side == 0 ? ed.u : ed.v;
-      auto& dbits = dirty[d];
-      std::size_t k = dbits.size();
-      std::size_t sent = k;  // index of the part sent, k = none
-      for (std::size_t step = 0; step < k; ++step) {
-        std::size_t i = (cursor[d] + step) % k;
-        if (dbits[i]) {
-          PartId p = parts_of_edge_[e][i];
-          AggValue val = state[slot(from, p)];
-          sim.send(from, e, Message{p, val.aux, val.value});
-          dbits[i] = 0;
-          sent = i;
-          break;
-        }
-      }
-      if (sent != k) {
-        cursor[d] = (sent + 1) % k;
-        // Still-dirty parts keep the edge active.
-        for (std::size_t i = 0; i < k; ++i)
-          if (dbits[i]) {
-            if (!in_active[d]) {
-              in_active[d] = 1;
-              active.push_back(d);
+  std::vector<EdgeId> snapshot;
+  (void)run_round_loop(
+      sim,
+      [&] {
+        if (active.empty()) return false;
+        snapshot.clear();
+        snapshot.swap(active);
+        for (EdgeId d : snapshot) in_active[d] = 0;
+        // Each active directed edge transmits ONE part's value (round-robin).
+        for (EdgeId d : snapshot) {
+          EdgeId e = d / 2;
+          int side = d % 2;
+          const Edge& ed = g.edge(e);
+          VertexId from = side == 0 ? ed.u : ed.v;
+          auto& dbits = dirty[d];
+          std::size_t k = dbits.size();
+          std::size_t sent = k;  // index of the part sent, k = none
+          for (std::size_t step = 0; step < k; ++step) {
+            std::size_t i = (cursor[d] + step) % k;
+            if (dbits[i]) {
+              PartId p = parts_of_edge_[e][i];
+              AggValue val = state[slot(from, p)];
+              sim.send(from, e, Message{p, val.aux, val.value});
+              dbits[i] = 0;
+              sent = i;
+              break;
             }
-            break;
           }
-      }
-    }
-    sim.finish_round();
-    // Deliver: improvements re-dirty the receiving node's outgoing edges.
-    for (VertexId v = 0; v < n; ++v) {
-      for (const Delivery& del : sim.inbox(v)) {
-        PartId p = del.msg.tag;
-        AggValue incoming{del.msg.value, del.msg.aux};
-        std::size_t s = slot(v, p);
-        if (incoming < state[s]) {
-          state[s] = incoming;
-          auto eids = g.incident_edges(v);
-          for (EdgeId e2 : eids) {
-            const auto& ps = parts_of_edge_[e2];
-            auto it = std::lower_bound(ps.begin(), ps.end(), p);
-            if (it == ps.end() || *it != p) continue;
-            std::size_t idx = static_cast<std::size_t>(it - ps.begin());
-            int side2 = (g.edge(e2).u == v) ? 0 : 1;
-            mark_dirty(e2, side2, idx);
+          if (sent != k) {
+            cursor[d] = (sent + 1) % k;
+            // Still-dirty parts keep the edge active.
+            for (std::size_t i = 0; i < k; ++i)
+              if (dbits[i]) {
+                if (!in_active[d]) {
+                  in_active[d] = 1;
+                  active.push_back(d);
+                }
+                break;
+              }
           }
         }
-      }
-    }
-  }
+        return true;
+      },
+      [&] {
+        // Deliver: improvements re-dirty the receiving node's outgoing edges.
+        for (VertexId v : sim.delivered_to()) {
+          for (const Delivery& del : sim.inbox(v)) {
+            PartId p = del.msg.tag;
+            AggValue incoming{del.msg.value, del.msg.aux};
+            std::size_t s = slot(v, p);
+            if (incoming < state[s]) {
+              state[s] = incoming;
+              auto eids = g.incident_edges(v);
+              for (EdgeId e2 : eids) {
+                const auto& ps = parts_of_edge_[e2];
+                auto it = std::lower_bound(ps.begin(), ps.end(), p);
+                if (it == ps.end() || *it != p) continue;
+                std::size_t idx = static_cast<std::size_t>(it - ps.begin());
+                int side2 = (g.edge(e2).u == v) ? 0 : 1;
+                mark_dirty(e2, side2, idx);
+              }
+            }
+          }
+        }
+      });
 
   AggregationResult out;
   out.rounds = sim.rounds() - start;

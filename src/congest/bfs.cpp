@@ -13,38 +13,40 @@ DistributedBfsResult distributed_bfs(Simulator& sim, VertexId root) {
   r.parent_edge.assign(n, kInvalidEdge);
   r.dist[root] = 0;
 
-  long long start = sim.rounds();
   std::vector<VertexId> frontier{root};
-  while (!frontier.empty()) {
-    for (VertexId v : frontier) {
-      auto eids = g.incident_edges(v);
-      auto nbrs = g.neighbors(v);
-      for (std::size_t i = 0; i < eids.size(); ++i) {
-        if (r.dist[nbrs[i]] != -1) continue;  // local knowledge shortcut is
-        // not available in CONGEST, but suppressing sends to already-settled
-        // neighbors only reduces message counts, not rounds.
-        sim.send(v, eids[i], Message{0, 0, r.dist[v]});
-      }
-    }
-    sim.finish_round();
-    std::vector<VertexId> next;
-    for (VertexId v = 0; v < n; ++v) {
-      if (r.dist[v] != -1) continue;
-      for (const Delivery& d : sim.inbox(v)) {
-        if (r.dist[v] == -1) {
+  std::vector<VertexId> next;
+  r.rounds = run_round_loop(
+      sim,
+      [&] {
+        if (frontier.empty()) return false;
+        for (VertexId v : frontier) {
+          auto eids = g.incident_edges(v);
+          auto nbrs = g.neighbors(v);
+          for (std::size_t i = 0; i < eids.size(); ++i) {
+            if (r.dist[nbrs[i]] != -1) continue;  // local knowledge shortcut
+            // is not available in CONGEST, but suppressing sends to
+            // already-settled neighbors only reduces message counts, not
+            // rounds.
+            sim.send(v, eids[i], Message{0, 0, r.dist[v]});
+          }
+        }
+        return true;
+      },
+      [&] {
+        next.clear();
+        for (VertexId v : sim.delivered_to()) {
+          if (r.dist[v] != -1) continue;
+          const Delivery& d = sim.inbox(v).front();
           r.dist[v] = static_cast<int>(d.msg.value) + 1;
           r.parent[v] = d.from;
           r.parent_edge[v] = d.edge;
           next.push_back(v);
         }
-      }
-    }
-    frontier = std::move(next);
-  }
+        frontier.swap(next);
+      });
   for (VertexId v = 0; v < n; ++v)
     if (r.dist[v] == -1)
       throw std::invalid_argument("distributed_bfs: graph disconnected");
-  r.rounds = sim.rounds() - start;
   return r;
 }
 

@@ -53,61 +53,66 @@ DistributedShortcutResult distributed_capped_greedy(Simulator& sim,
     }
   }
 
-  while (active > 0) {
-    // Send phase: each node forwards one claim per parent edge and one
-    // verdict per child edge (distinct directed edges, so both fit).
-    for (VertexId v = 0; v < n; ++v) {
-      if (!claim_queue[v].empty()) {
-        sim.send(v, tree.parent_edge(v),
-                 Message{claim_queue[v].front(), kClaim, v});
-        claim_queue[v].pop_front();
-      }
-      if (!verdict_queue[v].empty()) {
-        auto [p, verb] = verdict_queue[v].front();
-        verdict_queue[v].pop_front();
-        sim.send(tree.parent(v), tree.parent_edge(v), Message{p, verb, v});
-      }
-    }
-    sim.finish_round();
-    // Receive phase.
-    for (VertexId v = 0; v < n; ++v) {
-      for (const Delivery& d : sim.inbox(v)) {
-        PartId p = d.msg.tag;
-        if (d.msg.aux == kClaim) {
-          // v is the parent endpoint; child is d.from.
-          VertexId child = d.from;
-          if (admitted[child].count(p)) {
-            // Duplicate claim (same part, same edge): treat as accepted
-            // without new bookkeeping.
-            verdict_queue[child].push_back({p, kAccept});
-            continue;
+  (void)run_round_loop(
+      sim,
+      [&] {
+        if (active <= 0) return false;
+        // Send phase: each node forwards one claim per parent edge and one
+        // verdict per child edge (distinct directed edges, so both fit).
+        for (VertexId v = 0; v < n; ++v) {
+          if (!claim_queue[v].empty()) {
+            sim.send(v, tree.parent_edge(v),
+                     Message{claim_queue[v].front(), kClaim, v});
+            claim_queue[v].pop_front();
           }
-          if (static_cast<int>(admitted[child].size()) < cap) {
-            admitted[child].insert(p);
-            out.shortcut.edges_of_part[p].push_back(tree.parent_edge(child));
-            verdict_queue[child].push_back({p, kAccept});
-          } else {
-            verdict_queue[child].push_back({p, kReject});
+          if (!verdict_queue[v].empty()) {
+            auto [p, verb] = verdict_queue[v].front();
+            verdict_queue[v].pop_front();
+            sim.send(tree.parent(v), tree.parent_edge(v), Message{p, verb, v});
           }
-        } else if (d.msg.aux == kAccept) {
-          // v is the child; its head moves onto the parent vertex.
-          VertexId parent = d.from;
-          --active;
-          if (!owned[parent].count(p)) {
-            owned[parent].insert(p);
-            if (parent != tree.root()) {
-              claim_queue[parent].push_back(p);
-              ++active;
+        }
+        return true;
+      },
+      [&] {
+        for (VertexId v : sim.delivered_to()) {
+          for (const Delivery& d : sim.inbox(v)) {
+            PartId p = d.msg.tag;
+            if (d.msg.aux == kClaim) {
+              // v is the parent endpoint; child is d.from.
+              VertexId child = d.from;
+              if (admitted[child].count(p)) {
+                // Duplicate claim (same part, same edge): treat as accepted
+                // without new bookkeeping.
+                verdict_queue[child].push_back({p, kAccept});
+                continue;
+              }
+              if (static_cast<int>(admitted[child].size()) < cap) {
+                admitted[child].insert(p);
+                out.shortcut.edges_of_part[p].push_back(
+                    tree.parent_edge(child));
+                verdict_queue[child].push_back({p, kAccept});
+              } else {
+                verdict_queue[child].push_back({p, kReject});
+              }
+            } else if (d.msg.aux == kAccept) {
+              // v is the child; its head moves onto the parent vertex.
+              VertexId parent = d.from;
+              --active;
+              if (!owned[parent].count(p)) {
+                owned[parent].insert(p);
+                if (parent != tree.root()) {
+                  claim_queue[parent].push_back(p);
+                  ++active;
+                }
+              }
+              // else: merged into own territory; the head dissolves.
+            } else {  // kReject
+              --active;
+              ++out.frozen_heads;
             }
           }
-          // else: merged into own territory; the head dissolves.
-        } else {  // kReject
-          --active;
-          ++out.frozen_heads;
         }
-      }
-    }
-  }
+      });
 
   // De-duplicate (a part can re-claim an edge it already owns via the
   // duplicate-claim path; ownership bookkeeping above prevents double

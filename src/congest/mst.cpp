@@ -69,7 +69,7 @@ MstResult boruvka_mst(Simulator& sim, const std::vector<Weight>& w,
         sim.send(v, e, Message{0, 0, frag[v]});
     sim.finish_round();
     std::vector<std::map<EdgeId, PartId>> nbr_frag(n);
-    for (VertexId v = 0; v < n; ++v)
+    for (VertexId v : sim.delivered_to())
       for (const Delivery& d : sim.inbox(v))
         nbr_frag[v][d.edge] = static_cast<PartId>(d.msg.value);
 
@@ -160,7 +160,7 @@ MstResult controlled_ghs_mst(Simulator& sim, const RootedTree& bfs_tree,
         sim.send(v, e, Message{0, 0, frag[v]});
     sim.finish_round();
     std::vector<std::map<PartId, AggValue>> table(n);
-    for (VertexId v = 0; v < n; ++v) {
+    for (VertexId v : sim.delivered_to()) {
       AggValue best{kInf, 0};
       for (const Delivery& d : sim.inbox(v))
         if (static_cast<PartId>(d.msg.value) != frag[v]) {
@@ -173,32 +173,33 @@ MstResult controlled_ghs_mst(Simulator& sim, const RootedTree& bfs_tree,
     // Pipelined upcast: each node sends one improved (fragment, candidate)
     // pair to its parent per round until quiescent.
     std::vector<std::map<PartId, AggValue>> unsent = table;
-    while (true) {
-      bool any = false;
-      std::vector<std::pair<VertexId, std::pair<PartId, AggValue>>> sent;
-      for (VertexId v = 0; v < n; ++v) {
-        if (v == bfs_tree.root() || unsent[v].empty()) continue;
-        auto it = unsent[v].begin();
-        sim.send(v, bfs_tree.parent_edge(v),
-                 Message{it->first, it->second.aux, it->second.value});
-        sent.push_back({v, *it});
-        unsent[v].erase(it);
-        any = true;
-      }
-      if (!any) break;
-      sim.finish_round();
-      for (VertexId v = 0; v < n; ++v) {
-        for (const Delivery& d : sim.inbox(v)) {
-          PartId p = d.msg.tag;
-          AggValue cand{d.msg.value, d.msg.aux};
-          auto it = table[v].find(p);
-          if (it == table[v].end() || cand < it->second) {
-            table[v][p] = cand;
-            unsent[v][p] = cand;
+    (void)run_round_loop(
+        sim,
+        [&] {
+          bool any = false;
+          for (VertexId v = 0; v < n; ++v) {
+            if (v == bfs_tree.root() || unsent[v].empty()) continue;
+            auto it = unsent[v].begin();
+            sim.send(v, bfs_tree.parent_edge(v),
+                     Message{it->first, it->second.aux, it->second.value});
+            unsent[v].erase(it);
+            any = true;
           }
-        }
-      }
-    }
+          return any;
+        },
+        [&] {
+          for (VertexId v : sim.delivered_to()) {
+            for (const Delivery& d : sim.inbox(v)) {
+              PartId p = d.msg.tag;
+              AggValue cand{d.msg.value, d.msg.aux};
+              auto it = table[v].find(p);
+              if (it == table[v].end() || cand < it->second) {
+                table[v][p] = cand;
+                unsent[v][p] = cand;
+              }
+            }
+          }
+        });
 
     // Root merges centrally.
     UnionFind uf(num_frag);
@@ -227,23 +228,26 @@ MstResult controlled_ghs_mst(Simulator& sim, const RootedTree& bfs_tree,
       to_send[bfs_tree.root()] = std::move(pairs);
     }
     std::vector<std::size_t> cursor(n, 0);
-    while (true) {
-      bool any = false;
-      for (VertexId v = 0; v < n; ++v) {
-        if (cursor[v] >= to_send[v].size()) continue;
-        auto [p, label] = to_send[v][cursor[v]];
-        ++cursor[v];
-        for (VertexId c : bfs_tree.children(v))
-          sim.send(v, bfs_tree.parent_edge(c), Message{p, 0, label});
-        any = true;
-      }
-      if (!any) break;
-      sim.finish_round();
-      for (VertexId v = 0; v < n; ++v)
-        for (const Delivery& d : sim.inbox(v))
-          to_send[v].push_back(
-              {d.msg.tag, static_cast<PartId>(d.msg.value)});
-    }
+    (void)run_round_loop(
+        sim,
+        [&] {
+          bool any = false;
+          for (VertexId v = 0; v < n; ++v) {
+            if (cursor[v] >= to_send[v].size()) continue;
+            auto [p, label] = to_send[v][cursor[v]];
+            ++cursor[v];
+            for (VertexId c : bfs_tree.children(v))
+              sim.send(v, bfs_tree.parent_edge(c), Message{p, 0, label});
+            any = true;
+          }
+          return any;
+        },
+        [&] {
+          for (VertexId v : sim.delivered_to())
+            for (const Delivery& d : sim.inbox(v))
+              to_send[v].push_back(
+                  {d.msg.tag, static_cast<PartId>(d.msg.value)});
+        });
     for (VertexId v = 0; v < n; ++v) frag[v] = relabel[frag[v]];
   }
 

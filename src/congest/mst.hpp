@@ -26,8 +26,9 @@ namespace mns::congest {
 [[nodiscard]] std::vector<EdgeId> kruskal_mst(const Graph& g,
                                               const std::vector<Weight>& w);
 
-using ShortcutProvider =
-    std::function<Shortcut(const Graph&, const Partition&)>;
+/// Re-exported from core/shortcut.hpp: ShortcutEngine::provider() is the
+/// canonical way to obtain one.
+using ShortcutProvider = ::mns::ShortcutProvider;
 
 /// Provider returning empty shortcuts (the no-shortcut baseline).
 [[nodiscard]] ShortcutProvider empty_shortcut_provider();

@@ -14,30 +14,29 @@ BroadcastResult broadcast(Simulator& sim, const RootedTree& tree,
   std::vector<char> has(n, 0);
   out.received[tree.root()] = value;
   has[tree.root()] = 1;
-  long long start = sim.rounds();
   std::vector<VertexId> frontier{tree.root()};
-  while (!frontier.empty()) {
-    bool any = false;
-    for (VertexId v : frontier)
-      for (VertexId c : tree.children(v)) {
-        sim.send(v, tree.parent_edge(c), Message{0, 0, out.received[v]});
-        any = true;
-      }
-    if (!any) break;
-    sim.finish_round();
-    std::vector<VertexId> next;
-    for (VertexId v : frontier)
-      for (VertexId c : tree.children(v)) {
-        for (const Delivery& d : sim.inbox(c))
-          if (d.from == v && !has[c]) {
-            has[c] = 1;
-            out.received[c] = d.msg.value;
-            next.push_back(c);
+  std::vector<VertexId> next;
+  out.rounds = run_round_loop(
+      sim,
+      [&] {
+        bool any = false;
+        for (VertexId v : frontier)
+          for (VertexId c : tree.children(v)) {
+            sim.send(v, tree.parent_edge(c), Message{0, 0, out.received[v]});
+            any = true;
           }
-      }
-    frontier = std::move(next);
-  }
-  out.rounds = sim.rounds() - start;
+        return any;
+      },
+      [&] {
+        next.clear();
+        for (VertexId c : sim.delivered_to()) {
+          if (has[c]) continue;
+          has[c] = 1;
+          out.received[c] = sim.inbox(c).front().msg.value;
+          next.push_back(c);
+        }
+        frontier.swap(next);
+      });
   return out;
 }
 
@@ -51,31 +50,35 @@ ConvergecastResult convergecast_min(Simulator& sim, const RootedTree& tree,
   std::vector<std::int64_t> best(values);
   for (VertexId v = 0; v < n; ++v)
     waiting[v] = static_cast<int>(tree.children(v).size());
-  long long start = sim.rounds();
   std::vector<char> sent(n, 0);
-  bool done = false;
-  while (!done) {
-    bool any = false;
-    for (VertexId v = 0; v < n; ++v) {
-      if (v == tree.root() || sent[v] || waiting[v] > 0) continue;
-      sim.send(v, tree.parent_edge(v), Message{0, 0, best[v]});
-      sent[v] = 1;
-      any = true;
-    }
-    if (!any) {
-      done = true;
-      break;
-    }
-    sim.finish_round();
-    for (VertexId v = 0; v < n; ++v)
-      for (const Delivery& d : sim.inbox(v)) {
-        best[v] = std::min(best[v], d.msg.value);
-        --waiting[v];
-      }
-  }
+  // Nodes whose subtree is complete and whose report is still unsent.
+  std::vector<VertexId> ready;
+  for (VertexId v = 0; v < n; ++v)
+    if (v != tree.root() && waiting[v] == 0) ready.push_back(v);
+  long long rounds = run_round_loop(
+      sim,
+      [&] {
+        if (ready.empty()) return false;
+        for (VertexId v : ready) {
+          sim.send(v, tree.parent_edge(v), Message{0, 0, best[v]});
+          sent[v] = 1;
+        }
+        ready.clear();
+        return true;
+      },
+      [&] {
+        for (VertexId v : sim.delivered_to()) {
+          for (const Delivery& d : sim.inbox(v)) {
+            best[v] = std::min(best[v], d.msg.value);
+            --waiting[v];
+          }
+          if (v != tree.root() && !sent[v] && waiting[v] == 0)
+            ready.push_back(v);
+        }
+      });
   ConvergecastResult out;
   out.min_at_root = best[tree.root()];
-  out.rounds = sim.rounds() - start;
+  out.rounds = rounds;
   return out;
 }
 
@@ -84,24 +87,28 @@ LeaderResult elect_leader(Simulator& sim) {
   const VertexId n = g.num_vertices();
   std::vector<VertexId> best(n);
   for (VertexId v = 0; v < n; ++v) best[v] = v;
-  long long start = sim.rounds();
   bool changed = true;
-  while (changed) {
-    for (VertexId v = 0; v < n; ++v)
-      for (EdgeId e : g.incident_edges(v))
-        sim.send(v, e, Message{0, 0, best[v]});
-    sim.finish_round();
-    changed = false;
-    for (VertexId v = 0; v < n; ++v)
-      for (const Delivery& d : sim.inbox(v))
-        if (d.msg.value < best[v]) {
-          best[v] = static_cast<VertexId>(d.msg.value);
-          changed = true;
-        }
-  }
+  long long rounds = run_round_loop(
+      sim,
+      [&] {
+        if (!changed) return false;
+        for (VertexId v = 0; v < n; ++v)
+          for (EdgeId e : g.incident_edges(v))
+            sim.send(v, e, Message{0, 0, best[v]});
+        return true;
+      },
+      [&] {
+        changed = false;
+        for (VertexId v : sim.delivered_to())
+          for (const Delivery& d : sim.inbox(v))
+            if (d.msg.value < best[v]) {
+              best[v] = static_cast<VertexId>(d.msg.value);
+              changed = true;
+            }
+      });
   LeaderResult out;
   out.leader = best[0];
-  out.rounds = sim.rounds() - start;
+  out.rounds = rounds;
   return out;
 }
 

@@ -1,48 +1,62 @@
 #include "congest/simulator.hpp"
 
-#include <algorithm>
 #include <stdexcept>
 
 namespace mns::congest {
 
 Simulator::Simulator(const Graph& g) : g_(&g) {
   used_.assign(static_cast<std::size_t>(g.num_edges()) * 2, 0);
-  inbox_offset_.assign(static_cast<std::size_t>(g.num_vertices()) + 1, 0);
+  inbox_begin_.assign(g.num_vertices(), 0);
+  inbox_count_.assign(g.num_vertices(), 0);
+  inbox_cursor_.assign(g.num_vertices(), 0);
 }
 
 void Simulator::send(VertexId from, EdgeId edge, const Message& msg) {
   const Edge& e = g_->edge(edge);
   if (e.u != from && e.v != from)
     throw std::invalid_argument("Simulator::send: from not on edge");
-  const std::size_t dir = 2 * static_cast<std::size_t>(edge) +
-                          (from == e.u ? 0 : 1);
+  const std::size_t dir =
+      2 * static_cast<std::size_t>(edge) + (from == e.u ? 0 : 1);
   if (used_[dir])
     throw std::invalid_argument(
         "Simulator::send: directed edge already used this round (CONGEST "
         "capacity violated)");
   used_[dir] = 1;
-  used_list_.push_back(static_cast<EdgeId>(dir));
+  used_list_.push_back(static_cast<std::uint32_t>(dir));
   VertexId to = (from == e.u) ? e.v : e.u;
-  pending_.push_back({to, Delivery{from, edge, msg}});
+  pending_to_.push_back(to);
+  pending_.push_back(Delivery{from, edge, msg});
   ++messages_;
 }
 
 void Simulator::finish_round() {
   ++rounds_;
-  // Rebuild inboxes from pending messages.
-  const VertexId n = g_->num_vertices();
-  std::vector<std::size_t> count(static_cast<std::size_t>(n) + 1, 0);
-  for (const auto& [to, d] : pending_) ++count[static_cast<std::size_t>(to) + 1];
-  inbox_offset_.assign(static_cast<std::size_t>(n) + 1, 0);
-  for (VertexId v = 0; v < n; ++v)
-    inbox_offset_[static_cast<std::size_t>(v) + 1] =
-        inbox_offset_[v] + count[static_cast<std::size_t>(v) + 1];
-  inbox_data_.resize(pending_.size());
-  std::vector<std::size_t> cursor(inbox_offset_.begin(),
-                                  inbox_offset_.end() - 1);
-  for (const auto& [to, d] : pending_) inbox_data_[cursor[to]++] = d;
+  // Retire the previous round's inboxes: only the old frontier is touched.
+  for (VertexId v : frontier_) inbox_count_[v] = 0;
+  frontier_.clear();
+  // Count messages per destination; destinations joining the frontier on
+  // their first message. Sort-free CSR: the per-destination counts become
+  // contiguous ranges in frontier order.
+  const std::size_t m = pending_.size();
+  for (std::size_t i = 0; i < m; ++i) {
+    VertexId to = pending_to_[i];
+    if (inbox_count_[to]++ == 0) frontier_.push_back(to);
+  }
+  std::uint32_t offset = 0;
+  for (VertexId v : frontier_) {
+    inbox_begin_[v] = offset;
+    inbox_cursor_[v] = offset;
+    offset += inbox_count_[v];
+  }
+  // Scatter into the reused delivery buffer (capacity persists across
+  // rounds; resize only adjusts the logical size).
+  inbox_data_.resize(m);
+  for (std::size_t i = 0; i < m; ++i)
+    inbox_data_[inbox_cursor_[pending_to_[i]]++] = pending_[i];
   pending_.clear();
-  for (EdgeId dir : used_list_) used_[dir] = 0;
+  pending_to_.clear();
+  // Reset CONGEST capacity for the next round: only used entries touched.
+  for (std::uint32_t dir : used_list_) used_[dir] = 0;
   used_list_.clear();
 }
 

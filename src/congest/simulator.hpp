@@ -5,6 +5,14 @@
 // (128 bits ≈ O(log n) for any realistic n), enforced by the type. The
 // simulator counts rounds and messages — rounds are the quantity every
 // theorem in the paper bounds.
+//
+// The round-turnover path is allocation-free in steady state: all buffers
+// are reused across rounds, inboxes are built CSR-style by per-destination
+// counting (no sorting), and finish_round() touches only the nodes that
+// actually received or sent messages (the active frontier) — O(messages per
+// round), NOT O(n). Algorithms with long sparse tails (BFS, convergecast,
+// pipelined upcasts) simulate millions of rounds without paying for idle
+// nodes.
 #pragma once
 
 #include <cstdint>
@@ -39,13 +47,25 @@ class Simulator {
   /// was already used this round (CONGEST capacity).
   void send(VertexId from, EdgeId edge, const Message& msg);
 
-  /// Ends the round: delivers queued messages into inboxes.
+  /// Ends the round: delivers queued messages into inboxes. Cost is linear in
+  /// the messages of this round and the previous one (frontier reset), never
+  /// in the number of nodes.
   void finish_round();
 
-  /// Messages delivered to v in the round that just finished.
+  /// Messages delivered to v in the round that just finished. The span stays
+  /// valid until the next finish_round().
   [[nodiscard]] std::span<const Delivery> inbox(VertexId v) const {
-    return {inbox_data_.data() + inbox_offset_[v],
-            inbox_data_.data() + inbox_offset_[v + 1]};
+    const std::uint32_t count = inbox_count_[v];
+    if (count == 0) return {};  // begin may be stale for idle nodes
+    return {inbox_data_.data() + inbox_begin_[v], count};
+  }
+
+  /// Nodes with a nonempty inbox from the round that just finished, in
+  /// first-delivery order. Receive phases that iterate this instead of all
+  /// vertices are O(messages delivered), not O(n). Valid until the next
+  /// finish_round().
+  [[nodiscard]] std::span<const VertexId> delivered_to() const noexcept {
+    return frontier_;
   }
 
   /// Advances the round counter by `rounds` without communication (used to
@@ -57,15 +77,42 @@ class Simulator {
 
  private:
   const Graph* g_;
-  // Pending sends for the current round.
-  std::vector<std::pair<VertexId, Delivery>> pending_;  // (to, delivery)
-  std::vector<char> used_;  // directed edge used this round: 2e + side
-  std::vector<EdgeId> used_list_;
-  // Delivered inboxes (CSR).
-  std::vector<std::size_t> inbox_offset_;
+  // Pending sends for the current round, in send order.
+  std::vector<VertexId> pending_to_;
+  std::vector<Delivery> pending_;
+  // Directed edge used this round (2e + side), with touched-list reset.
+  std::vector<char> used_;
+  std::vector<std::uint32_t> used_list_;
+  // Delivered inboxes: per-vertex [begin, begin+count) into inbox_data_.
+  // Only entries of vertices in frontier_ are meaningful; everyone else has
+  // count 0 (maintained incrementally, never rescanned).
+  std::vector<std::uint32_t> inbox_begin_;
+  std::vector<std::uint32_t> inbox_count_;
+  std::vector<std::uint32_t> inbox_cursor_;
   std::vector<Delivery> inbox_data_;
+  // Nodes with a nonempty inbox from the round that just finished.
+  std::vector<VertexId> frontier_;
   long long rounds_ = 0;
   long long messages_ = 0;
 };
+
+/// The round-loop helper: the lock-step skeleton shared by every distributed
+/// algorithm in the repo, replacing their hand-rolled while loops:
+///
+///   while (send())  { finish_round(); receive(); }
+///
+/// `send` queues this round's messages and reports whether the algorithm is
+/// still running (false = quiescent; checked BEFORE the round is counted, so
+/// a message-free final check costs no rounds). `receive` drains inboxes and
+/// updates algorithm state. Returns the number of rounds consumed.
+template <typename SendFn, typename ReceiveFn>
+long long run_round_loop(Simulator& sim, SendFn&& send, ReceiveFn&& receive) {
+  long long start = sim.rounds();
+  while (send()) {
+    sim.finish_round();
+    receive();
+  }
+  return sim.rounds() - start;
+}
 
 }  // namespace mns::congest

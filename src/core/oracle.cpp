@@ -25,6 +25,30 @@ BagOracle make_greedy_oracle() {
   };
 }
 
+BagOracle make_oracle(OracleKind kind) {
+  switch (kind) {
+    case OracleKind::kTrivial:
+      return make_trivial_oracle();
+    case OracleKind::kSteiner:
+      return make_steiner_oracle();
+    case OracleKind::kGreedy:
+      return make_greedy_oracle();
+  }
+  throw InvariantViolation("make_oracle: unknown kind");
+}
+
+const char* oracle_kind_name(OracleKind kind) {
+  switch (kind) {
+    case OracleKind::kTrivial:
+      return "trivial";
+    case OracleKind::kSteiner:
+      return "steiner";
+    case OracleKind::kGreedy:
+      return "greedy";
+  }
+  return "?";
+}
+
 BagOracle make_apex_oracle(BagOracle inner) {
   return [inner = std::move(inner)](const LocalInstance& inst) {
     const RootedTree& tree = inst.tree;

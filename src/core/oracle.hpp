@@ -32,4 +32,11 @@ using BagOracle =
 /// Lemma 9/10 construction; `inner` builds the within-cell local shortcuts.
 [[nodiscard]] BagOracle make_apex_oracle(BagOracle inner);
 
+/// Value-type oracle descriptor so certificates stay plain data (printable,
+/// comparable, serializable) instead of capturing std::function objects.
+enum class OracleKind { kTrivial, kSteiner, kGreedy };
+
+[[nodiscard]] BagOracle make_oracle(OracleKind kind);
+[[nodiscard]] const char* oracle_kind_name(OracleKind kind);
+
 }  // namespace mns

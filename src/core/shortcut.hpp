@@ -7,6 +7,7 @@
 // b * diam(T) + c — exactly the quantity Theorem 1 converts into rounds.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,15 @@ struct Shortcut {
   /// Per part: edge ids of H_i (tree edges of the ambient graph).
   std::vector<std::vector<EdgeId>> edges_of_part;
 };
+
+/// The single hand-off point between the construction layer and the CONGEST
+/// layer: given the network and the current partition (e.g. this Boruvka
+/// phase's fragments), produce the shortcut to aggregate over.
+/// ShortcutEngine::provider() is the canonical way to obtain one.
+using ShortcutProvider = std::function<Shortcut(const Graph&, const Partition&)>;
+
+/// How a provider roots the spanning tree on each invocation.
+using TreeFactory = std::function<RootedTree(const Graph&)>;
 
 struct ShortcutMetrics {
   int congestion = 0;        ///< c: max parts per edge (Def 11)

@@ -9,7 +9,7 @@
 
 #include "congest/aggregation.hpp"
 #include "congest/simulator.hpp"
-#include "core/engine.hpp"
+#include "core/shortcut_engine.hpp"
 #include "gen/basic.hpp"
 #include "gen/planar.hpp"
 #include "graph/algorithms.hpp"
@@ -75,10 +75,11 @@ TEST(AggregationProperty, RoundsBoundedByQualityTimesConstant) {
     Rng rng(1);
     VertexId c = approximate_center(cs.g, rng);
     RootedTree t = RootedTree::from_bfs(bfs(cs.g, c), c);
-    for (auto builder : {build_greedy_shortcut, build_steiner_shortcut}) {
-      Shortcut sc = builder(cs.g, t, cs.parts);
-      ShortcutMetrics m = measure_shortcut(cs.g, t, cs.parts, sc);
-      long long rounds = measured_rounds(cs.g, cs.parts, sc);
+    for (const StructuralCertificate& cert :
+         {greedy_certificate(), steiner_certificate()}) {
+      BuildResult r = ShortcutEngine::global().build(cs.g, t, cs.parts, cert);
+      const ShortcutMetrics& m = r.metrics;
+      long long rounds = measured_rounds(cs.g, cs.parts, r.shortcut);
       EXPECT_LE(rounds, 6 * (m.quality + m.tree_diameter) + 20)
           << "n=" << cs.g.num_vertices();
     }
@@ -147,7 +148,9 @@ TEST_P(QualityMonotonicity, BetterQualityNeverMuchSlowerOnWheel) {
   Graph g = gen::wheel(n);
   RootedTree t = RootedTree::from_bfs(bfs(g, 0), 0);
   Partition parts = ring_sectors(n, 1, n - 1, 4);
-  Shortcut good = build_greedy_shortcut(g, t, parts);
+  Shortcut good =
+      ShortcutEngine::global().build(g, t, parts, greedy_certificate())
+          .shortcut;
   Shortcut none;
   none.edges_of_part.resize(parts.num_parts());
   long long fast = measured_rounds(g, parts, good);

@@ -7,7 +7,7 @@
 #include <cmath>
 #include <set>
 
-#include "core/engine.hpp"
+#include "core/shortcut_engine.hpp"
 #include "gen/basic.hpp"
 #include "gen/clique_sum.hpp"
 #include "gen/ktree.hpp"
@@ -22,6 +22,11 @@ RootedTree bfs_tree(const Graph& g, VertexId root) {
   return RootedTree::from_bfs(bfs(g, root), root);
 }
 
+Shortcut engine_build(const Graph& g, const RootedTree& t, const Partition& p,
+                      const StructuralCertificate& cert) {
+  return ShortcutEngine::global().build(g, t, p, cert).shortcut;
+}
+
 TEST(TreewidthShortcut, ValidOnKTreeWithSmallBlock) {
   Rng rng(1);
   const int k = 3;
@@ -29,7 +34,8 @@ TEST(TreewidthShortcut, ValidOnKTreeWithSmallBlock) {
   RootedTree t = bfs_tree(kt.graph, 0);
   Partition p = voronoi_partition(kt.graph, 12, rng);
   ASSERT_EQ(p.validate(kt.graph), "");
-  Shortcut sc = build_treewidth_shortcut(kt.graph, t, p, kt.decomposition);
+  Shortcut sc =
+      engine_build(kt.graph, t, p, treewidth_certificate(kt.decomposition));
   EXPECT_EQ(validate_tree_restricted(kt.graph, t, sc), "");
   ShortcutMetrics m = measure_shortcut(kt.graph, t, p, sc);
   // Theorem 5 shape: block O(k) (folding groups <= 3 bags, plus the parent
@@ -45,7 +51,7 @@ TEST(TreewidthShortcut, PathDecompositionLongChain) {
   RootedTree t = bfs_tree(g, 0);
   TreeDecomposition td = min_degree_decomposition(g);
   Partition p = voronoi_partition(g, 10, rng);
-  Shortcut sc = build_treewidth_shortcut(g, t, p, td);
+  Shortcut sc = engine_build(g, t, p, treewidth_certificate(td));
   EXPECT_EQ(validate_tree_restricted(g, t, sc), "");
   ShortcutMetrics m = measure_shortcut(g, t, p, sc);
   EXPECT_LE(m.block, 12);
@@ -70,14 +76,12 @@ TEST(FoldAblation, FoldingReducesCongestionOnDeepTrees) {
   RootedTree t = bfs_tree(r.graph, 0);
   Partition p = voronoi_partition(r.graph, 8, rng);
 
-  CliqueSumShortcutOptions folded;
+  CliqueSumCertificate folded{r.decomposition};
   folded.fold = true;
-  CliqueSumShortcutOptions unfolded;
+  CliqueSumCertificate unfolded{r.decomposition};
   unfolded.fold = false;
-  Shortcut sc_f =
-      build_cliquesum_shortcut(r.graph, t, p, r.decomposition, std::move(folded));
-  Shortcut sc_u = build_cliquesum_shortcut(r.graph, t, p, r.decomposition,
-                                           std::move(unfolded));
+  Shortcut sc_f = engine_build(r.graph, t, p, std::move(folded));
+  Shortcut sc_u = engine_build(r.graph, t, p, std::move(unfolded));
   EXPECT_EQ(validate_tree_restricted(r.graph, t, sc_f), "");
   EXPECT_EQ(validate_tree_restricted(r.graph, t, sc_u), "");
   ShortcutMetrics mf = measure_shortcut(r.graph, t, p, sc_f);
@@ -103,10 +107,9 @@ TEST_P(CliqueSumShortcutSweep, ValidOnMixedBagCompositions) {
   ASSERT_EQ(p.validate(r.graph), "");
 
   for (bool fold : {true, false}) {
-    CliqueSumShortcutOptions opt;
-    opt.fold = fold;
-    Shortcut sc =
-        build_cliquesum_shortcut(r.graph, t, p, r.decomposition, std::move(opt));
+    CliqueSumCertificate cert{r.decomposition};
+    cert.fold = fold;
+    Shortcut sc = engine_build(r.graph, t, p, std::move(cert));
     EXPECT_EQ(validate_tree_restricted(r.graph, t, sc), "")
         << "fold=" << fold << " seed=" << GetParam();
     ShortcutMetrics m = measure_shortcut(r.graph, t, p, sc);
@@ -191,12 +194,11 @@ TEST(ExcludedMinorPipeline, EndToEndOnLkSample) {
   Partition p = voronoi_partition(s.graph, 10, rng);
   ASSERT_EQ(p.validate(s.graph), "");
 
-  CliqueSumShortcutOptions opt;
-  opt.fold = true;
-  opt.bag_apices = s.global_apices;
-  opt.local_oracle = make_apex_oracle(make_greedy_oracle());
-  Shortcut sc =
-      build_cliquesum_shortcut(s.graph, t, p, s.decomposition, std::move(opt));
+  CliqueSumCertificate cert{s.decomposition};
+  cert.fold = true;
+  cert.apex_aware = true;
+  cert.bag_apices = s.global_apices;
+  Shortcut sc = engine_build(s.graph, t, p, std::move(cert));
   EXPECT_EQ(validate_tree_restricted(s.graph, t, sc), "");
   ShortcutMetrics m = measure_shortcut(s.graph, t, p, sc);
   Shortcut empty;
@@ -212,8 +214,9 @@ TEST(ApexOracle, DelegatesWhenNoApices) {
   Graph g = gen::grid(6, 6).graph();
   RootedTree t = bfs_tree(g, 0);
   Partition p = voronoi_partition(g, 4, rng);
-  Shortcut a = build_apex_shortcut(g, t, p, {}, make_steiner_oracle());
-  Shortcut b = build_steiner_shortcut(g, t, p);
+  Shortcut a =
+      engine_build(g, t, p, apex_certificate({}, OracleKind::kSteiner));
+  Shortcut b = engine_build(g, t, p, steiner_certificate());
   ASSERT_EQ(a.edges_of_part.size(), b.edges_of_part.size());
   for (std::size_t i = 0; i < a.edges_of_part.size(); ++i) {
     auto ea = a.edges_of_part[i];
@@ -229,7 +232,7 @@ TEST(ApexOracle, PartContainingApexGetsWholeTree) {
   RootedTree t = bfs_tree(g, 0);
   // Part 0 contains the hub (apex).
   Partition p = Partition::from_parts(10, {{0, 1}, {4, 5, 6}});
-  Shortcut sc = build_apex_shortcut(g, t, p, {0}, make_greedy_oracle());
+  Shortcut sc = engine_build(g, t, p, apex_certificate({0}));
   EXPECT_EQ(sc.edges_of_part[0].size(), 9u);  // all tree edges
 }
 

@@ -12,7 +12,7 @@
 #include "congest/mincut.hpp"
 #include "congest/mst.hpp"
 #include "congest/simulator.hpp"
-#include "core/engine.hpp"
+#include "core/shortcut_engine.hpp"
 #include "gen/basic.hpp"
 #include "gen/lk_family.hpp"
 #include "gen/planar.hpp"
@@ -31,11 +31,8 @@ RootedTree bfs_tree(const Graph& g, VertexId root) {
 }
 
 congest::ShortcutProvider greedy_provider() {
-  return [](const Graph& g, const Partition& parts) {
-    Rng rng(12345);
-    RootedTree t = bfs_tree(g, approximate_center(g, rng));
-    return build_greedy_shortcut(g, t, parts);
-  };
+  return ShortcutEngine::global().provider(greedy_certificate(),
+                                           center_tree_factory(12345));
 }
 
 TEST(Simulator, EnforcesDirectedEdgeCapacity) {
@@ -115,7 +112,8 @@ TEST(Aggregation, MultiplePartsIndependentMins) {
   Rng rng(3);
   Partition p = voronoi_partition(g, 5, rng);
   RootedTree t = bfs_tree(g, 0);
-  Shortcut sc = build_greedy_shortcut(g, t, p);
+  Shortcut sc =
+      ShortcutEngine::global().build(g, t, p, greedy_certificate()).shortcut;
   congest::PartwiseAggregator agg(g, p, sc);
   Simulator sim(g);
   std::vector<AggValue> init(g.num_vertices());
@@ -147,7 +145,8 @@ TEST(Aggregation, WheelShortcutBeatsNoShortcut) {
   for (VertexId v = 0; v < n; ++v) init[v] = AggValue{1000 + v, v};
   auto res1 = slow.aggregate_min(sim1, init);
 
-  Shortcut sc = build_apex_shortcut(g, t, p, {0}, make_greedy_oracle());
+  Shortcut sc =
+      ShortcutEngine::global().build(g, t, p, apex_certificate({0})).shortcut;
   congest::PartwiseAggregator fast(g, p, sc);
   Simulator sim2(g);
   auto res2 = fast.aggregate_min(sim2, init);
@@ -223,15 +222,11 @@ TEST(Mst, WorksOnLkSample) {
   Simulator sim(s.graph);
   congest::MstOptions opt;
   // End-to-end Theorem 6 pipeline as the provider.
-  opt.provider = [&s](const Graph& g, const Partition& parts) {
-    Rng r2(7);
-    RootedTree t = bfs_tree(g, approximate_center(g, r2));
-    CliqueSumShortcutOptions o;
-    o.bag_apices = s.global_apices;
-    o.local_oracle = make_apex_oracle(make_greedy_oracle());
-    return build_cliquesum_shortcut(g, t, parts, s.decomposition,
-                                    std::move(o));
-  };
+  CliqueSumCertificate cert{s.decomposition};
+  cert.apex_aware = true;
+  cert.bag_apices = s.global_apices;
+  opt.provider = ShortcutEngine::global().provider(std::move(cert),
+                                                   center_tree_factory(7));
   congest::MstResult res = congest::boruvka_mst(sim, w, opt);
   std::vector<EdgeId> ref = congest::kruskal_mst(s.graph, w);
   std::sort(ref.begin(), ref.end());

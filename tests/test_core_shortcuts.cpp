@@ -7,7 +7,7 @@
 #include <set>
 
 #include "core/construct_tree.hpp"
-#include "core/engine.hpp"
+#include "core/shortcut_engine.hpp"
 #include "core/local_tree.hpp"
 #include "core/partition.hpp"
 #include "core/shortcut.hpp"
@@ -20,6 +20,11 @@ namespace {
 
 RootedTree bfs_tree(const Graph& g, VertexId root) {
   return RootedTree::from_bfs(bfs(g, root), root);
+}
+
+Shortcut engine_build(const Graph& g, const RootedTree& t, const Partition& p,
+                      const StructuralCertificate& cert) {
+  return ShortcutEngine::global().build(g, t, p, cert).shortcut;
 }
 
 TEST(Partition, FromPartsAndValidate) {
@@ -148,7 +153,7 @@ TEST(SteinerShortcut, SingleBlockPerPart) {
   Graph g = gen::grid(8, 8).graph();
   RootedTree t = bfs_tree(g, 0);
   Partition p = voronoi_partition(g, 6, rng);
-  Shortcut sc = build_steiner_shortcut(g, t, p);
+  Shortcut sc = engine_build(g, t, p, steiner_certificate());
   EXPECT_EQ(validate_tree_restricted(g, t, sc), "");
   ShortcutMetrics m = measure_shortcut(g, t, p, sc);
   EXPECT_EQ(m.block, 1);
@@ -159,7 +164,7 @@ TEST(AncestorShortcut, FullClimbGivesOneBlock) {
   Graph g = gen::grid(6, 6).graph();
   RootedTree t = bfs_tree(g, 0);
   Partition p = voronoi_partition(g, 5, rng);
-  Shortcut sc = build_ancestor_shortcut(g, t, p, -1);
+  Shortcut sc = engine_build(g, t, p, ancestor_certificate(-1));
   EXPECT_EQ(validate_tree_restricted(g, t, sc), "");
   ShortcutMetrics m = measure_shortcut(g, t, p, sc);
   EXPECT_EQ(m.block, 1);  // everyone reaches the root
@@ -169,7 +174,7 @@ TEST(AncestorShortcut, ZeroLevelsIsEmpty) {
   Graph g = gen::path(6);
   RootedTree t = bfs_tree(g, 0);
   Partition p = Partition::from_parts(6, {{2, 3}});
-  Shortcut sc = build_ancestor_shortcut(g, t, p, 0);
+  Shortcut sc = engine_build(g, t, p, ancestor_certificate(0));
   EXPECT_TRUE(sc.edges_of_part[0].empty());
 }
 
@@ -178,7 +183,7 @@ TEST(GreedyShortcut, ValidAndConnectsParts) {
   Graph g = gen::grid(10, 10).graph();
   RootedTree t = bfs_tree(g, 0);
   Partition p = voronoi_partition(g, 8, rng);
-  Shortcut sc = build_greedy_shortcut(g, t, p);
+  Shortcut sc = engine_build(g, t, p, greedy_certificate());
   EXPECT_EQ(validate_tree_restricted(g, t, sc), "");
   ShortcutMetrics m = measure_shortcut(g, t, p, sc);
   EXPECT_GE(m.block, 1);
@@ -214,8 +219,7 @@ TEST(WheelCase, RingPartsGetGoodQualityViaApexConstruction) {
   Graph g = gen::wheel(n);
   RootedTree t = bfs_tree(g, 0);  // BFS tree = star from hub
   Partition p = ring_sectors(n, 1, n - 1, 6);
-  Shortcut sc =
-      build_apex_shortcut(g, t, p, {0}, make_greedy_oracle());
+  Shortcut sc = engine_build(g, t, p, apex_certificate({0}));
   EXPECT_EQ(validate_tree_restricted(g, t, sc), "");
   ShortcutMetrics m = measure_shortcut(g, t, p, sc);
   // Cells are singleton spokes; the assignment gives each sector nearly all
@@ -300,11 +304,11 @@ TEST_P(UniformConstructionSweep, AllConstructionsValidOnRandomInstances) {
   Partition p = voronoi_partition(g, num_parts, rng);
   ASSERT_EQ(p.validate(g), "");
 
-  for (auto builder : {build_greedy_shortcut, build_steiner_shortcut}) {
-    Shortcut sc = builder(g, t, p);
-    EXPECT_EQ(validate_tree_restricted(g, t, sc), "");
-    ShortcutMetrics m = measure_shortcut(g, t, p, sc);
-    EXPECT_GE(m.quality, 1);
+  for (const StructuralCertificate& cert :
+       {greedy_certificate(), steiner_certificate()}) {
+    BuildResult r = ShortcutEngine::global().build(g, t, p, cert);
+    EXPECT_EQ(validate_tree_restricted(g, t, r.shortcut), "");
+    EXPECT_GE(r.metrics.quality, 1);
   }
 }
 

@@ -6,7 +6,7 @@
 #include "congest/aggregation.hpp"
 #include "congest/distributed_shortcut.hpp"
 #include "congest/simulator.hpp"
-#include "core/engine.hpp"
+#include "core/shortcut_engine.hpp"
 #include "gen/basic.hpp"
 #include "gen/lk_family.hpp"
 #include "gen/planar.hpp"
@@ -118,8 +118,8 @@ TEST_P(DistributedShortcutSweep, MatchesCentralizedQualityClass) {
 
   // Centralized greedy on the same instance: the distributed variant should
   // be in the same quality class (within a constant factor here).
-  Shortcut central = build_greedy_shortcut(g, t, p);
-  ShortcutMetrics mc = measure_shortcut(g, t, p, central);
+  ShortcutMetrics mc =
+      ShortcutEngine::global().build(g, t, p, greedy_certificate()).metrics;
   EXPECT_LE(md.quality, 20 * std::max<long long>(1, mc.quality));
 
   // Construction rounds: bounded by height * (cap + queueing slack).

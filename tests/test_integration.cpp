@@ -10,7 +10,7 @@
 #include "congest/mincut.hpp"
 #include "congest/mst.hpp"
 #include "congest/simulator.hpp"
-#include "core/engine.hpp"
+#include "core/shortcut_engine.hpp"
 #include "gen/apex.hpp"
 #include "gen/basic.hpp"
 #include "gen/clique_sum.hpp"
@@ -29,12 +29,8 @@ namespace mns {
 namespace {
 
 congest::ShortcutProvider greedy_provider() {
-  return [](const Graph& g, const Partition& parts) {
-    Rng rng(4242);
-    VertexId c = approximate_center(g, rng);
-    RootedTree t = RootedTree::from_bfs(bfs(g, c), c);
-    return build_greedy_shortcut(g, t, parts);
-  };
+  return ShortcutEngine::global().provider(greedy_certificate(),
+                                           center_tree_factory(4242));
 }
 
 /// One named instance of any family.
@@ -127,7 +123,9 @@ TEST_P(FamilySweep, AggregationConvergesOnVoronoiParts) {
   Rng trng(2);
   VertexId c = approximate_center(inst.graph, trng);
   RootedTree t = RootedTree::from_bfs(bfs(inst.graph, c), c);
-  Shortcut sc = build_greedy_shortcut(inst.graph, t, parts);
+  Shortcut sc = ShortcutEngine::global()
+                    .build(inst.graph, t, parts, greedy_certificate())
+                    .shortcut;
   ASSERT_EQ(validate_tree_restricted(inst.graph, t, sc), "") << inst.name;
 
   congest::PartwiseAggregator agg(inst.graph, parts, sc);

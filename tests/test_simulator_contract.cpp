@@ -1,0 +1,200 @@
+// Contract tests for the rewritten CONGEST simulator hot path: capacity
+// enforcement, skip_rounds accounting, inbox span validity after
+// finish_round, frontier (delivered_to) bookkeeping across sparse rounds —
+// the invariants the buffer-reuse/counting-CSR implementation must uphold —
+// plus the run_round_loop round-accounting contract.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "congest/simulator.hpp"
+#include "gen/basic.hpp"
+#include "gen/planar.hpp"
+
+namespace mns {
+namespace {
+
+using congest::Delivery;
+using congest::Message;
+using congest::Simulator;
+
+TEST(SimulatorContract, CapacityViolationThrows) {
+  Graph g = gen::path(3);
+  Simulator sim(g);
+  EdgeId e = g.find_edge(0, 1);
+  sim.send(0, e, Message{});
+  EXPECT_THROW(sim.send(0, e, Message{}), std::invalid_argument);
+  sim.send(1, e, Message{});  // opposite direction has its own capacity
+  sim.finish_round();
+  sim.send(0, e, Message{});  // capacity resets each round
+  EXPECT_THROW(sim.send(0, e, Message{}), std::invalid_argument);
+  sim.finish_round();
+  EXPECT_EQ(sim.rounds(), 2);
+  EXPECT_EQ(sim.messages_sent(), 3);
+}
+
+TEST(SimulatorContract, SkipRoundsAccounting) {
+  Graph g = gen::path(2);
+  Simulator sim(g);
+  sim.skip_rounds(7);
+  EXPECT_EQ(sim.rounds(), 7);
+  sim.skip_rounds(0);
+  EXPECT_EQ(sim.rounds(), 7);
+  sim.send(0, 0, Message{});
+  sim.finish_round();
+  EXPECT_EQ(sim.rounds(), 8);
+  sim.skip_rounds(5);
+  EXPECT_EQ(sim.rounds(), 13);
+  EXPECT_THROW(sim.skip_rounds(-1), std::invalid_argument);
+  // Skipping rounds must not disturb delivered inboxes.
+  EXPECT_EQ(sim.inbox(1).size(), 1u);
+}
+
+TEST(SimulatorContract, InboxSpanValidAfterFinishRound) {
+  Graph g = gen::star(4);  // center 0, leaves 1..4
+  Simulator sim(g);
+  for (VertexId leaf = 1; leaf <= 4; ++leaf)
+    sim.send(leaf, g.find_edge(0, leaf), Message{leaf, 0, 10 * leaf});
+  sim.finish_round();
+  std::span<const Delivery> in = sim.inbox(0);
+  ASSERT_EQ(in.size(), 4u);
+  // Per-destination order is send order.
+  for (VertexId i = 0; i < 4; ++i) {
+    EXPECT_EQ(in[i].from, i + 1);
+    EXPECT_EQ(in[i].msg.value, 10 * (i + 1));
+    EXPECT_EQ(in[i].edge, g.find_edge(0, i + 1));
+  }
+  // The span must survive further sends (which only queue) ...
+  sim.send(0, g.find_edge(0, 1), Message{0, 0, 99});
+  ASSERT_EQ(sim.inbox(0).size(), 4u);
+  EXPECT_EQ(sim.inbox(0)[2].msg.value, 30);
+  // ... and be replaced, not corrupted, by the next finish_round.
+  sim.finish_round();
+  EXPECT_TRUE(sim.inbox(0).empty());
+  ASSERT_EQ(sim.inbox(1).size(), 1u);
+  EXPECT_EQ(sim.inbox(1)[0].msg.value, 99);
+}
+
+TEST(SimulatorContract, FrontierResetsAcrossSparseRounds) {
+  // Different destinations each round on a large graph: counts must never
+  // leak from one round into the next (the frontier-reset invariant of the
+  // O(messages) finish_round).
+  Graph g = gen::cycle(1000);
+  Simulator sim(g);
+  for (VertexId v = 0; v < 1000; v += 100) {
+    sim.send(v, g.find_edge(v, v + 1), Message{0, 0, v});
+    sim.finish_round();
+    // Exactly one node has mail, and it is v+1.
+    ASSERT_EQ(sim.delivered_to().size(), 1u);
+    EXPECT_EQ(sim.delivered_to()[0], v + 1);
+    ASSERT_EQ(sim.inbox(v + 1).size(), 1u);
+    EXPECT_EQ(sim.inbox(v + 1)[0].msg.value, v);
+    // Last round's receiver is clean again.
+    if (v > 0) EXPECT_TRUE(sim.inbox(v - 100 + 1).empty());
+    // Spot-check nodes that never received anything.
+    EXPECT_TRUE(sim.inbox(v == 0 ? 500 : 0).empty());
+  }
+  EXPECT_EQ(sim.rounds(), 10);
+  EXPECT_EQ(sim.messages_sent(), 10);
+}
+
+TEST(SimulatorContract, DeliveredToMatchesReceivers) {
+  Rng rng(5);
+  Graph g = gen::random_maximal_planar(200, rng).graph();
+  Simulator sim(g);
+  // Even vertices broadcast to all neighbours.
+  std::set<VertexId> expected;
+  for (VertexId v = 0; v < g.num_vertices(); v += 2) {
+    auto eids = g.incident_edges(v);
+    auto nbrs = g.neighbors(v);
+    for (std::size_t i = 0; i < eids.size(); ++i) {
+      sim.send(v, eids[i], Message{});
+      expected.insert(nbrs[i]);
+    }
+  }
+  sim.finish_round();
+  std::set<VertexId> got(sim.delivered_to().begin(), sim.delivered_to().end());
+  EXPECT_EQ(got.size(), sim.delivered_to().size());  // no duplicates
+  EXPECT_EQ(got, expected);
+  std::size_t total = 0;
+  for (VertexId v : sim.delivered_to()) total += sim.inbox(v).size();
+  EXPECT_EQ(total, static_cast<std::size_t>(sim.messages_sent()));
+  // Empty round: frontier clears completely.
+  sim.finish_round();
+  EXPECT_TRUE(sim.delivered_to().empty());
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    EXPECT_TRUE(sim.inbox(v).empty());
+}
+
+TEST(SimulatorContract, SteadyStateBufferReuseOverManyRounds) {
+  // A long ping-pong: correctness (value round-trips intact) and accounting
+  // over thousands of reused rounds.
+  Graph g = gen::path(2);
+  Simulator sim(g);
+  std::int64_t token = 42;
+  for (int i = 0; i < 5000; ++i) {
+    VertexId from = i % 2;
+    sim.send(from, 0, Message{0, 0, token});
+    sim.finish_round();
+    ASSERT_EQ(sim.inbox(1 - from).size(), 1u);
+    token = sim.inbox(1 - from)[0].msg.value + 1;
+  }
+  EXPECT_EQ(token, 42 + 5000);
+  EXPECT_EQ(sim.rounds(), 5000);
+  EXPECT_EQ(sim.messages_sent(), 5000);
+}
+
+TEST(RoundLoopContract, CountsRoundsAndSkipsFinalCheck) {
+  Graph g = gen::path(6);
+  Simulator sim(g);
+  // Relay a token 0 -> 5: five rounds, and the terminating send() check
+  // (returning false) must not consume a round.
+  VertexId at = 0;
+  long long rounds = congest::run_round_loop(
+      sim,
+      [&] {
+        if (at == 5) return false;
+        sim.send(at, g.find_edge(at, at + 1), Message{});
+        return true;
+      },
+      [&] { at = sim.delivered_to().front(); });
+  EXPECT_EQ(at, 5);
+  EXPECT_EQ(rounds, 5);
+  EXPECT_EQ(sim.rounds(), 5);
+}
+
+TEST(RoundLoopContract, ImmediateQuiescenceCostsNothing) {
+  Graph g = gen::path(2);
+  Simulator sim(g);
+  long long rounds =
+      congest::run_round_loop(sim, [] { return false; }, [] {});
+  EXPECT_EQ(rounds, 0);
+  EXPECT_EQ(sim.rounds(), 0);
+  EXPECT_EQ(sim.messages_sent(), 0);
+}
+
+TEST(RoundLoopContract, ConsecutiveLoopsAccumulateOnTheSimulator) {
+  Graph g = gen::path(3);
+  Simulator sim(g);
+  long long total = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    int sent = 0;
+    long long rounds = congest::run_round_loop(
+        sim,
+        [&] {
+          if (sent >= 2) return false;
+          sim.send(0, g.find_edge(0, 1), Message{});
+          ++sent;
+          return true;
+        },
+        [] {});
+    EXPECT_EQ(rounds, 2);
+    total += rounds;
+  }
+  EXPECT_EQ(total, 6);
+  EXPECT_EQ(sim.rounds(), 6);
+}
+
+}  // namespace
+}  // namespace mns
