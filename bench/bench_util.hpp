@@ -101,11 +101,30 @@ class JsonRow {
   }
 
  private:
+  /// JSON string escaping per RFC 8259: quote, backslash, and EVERY control
+  /// character (named escapes for the common ones, \u00XX otherwise) — a
+  /// newline or tab in a field must not produce an unparseable BENCH file.
   static std::string quoted(const std::string& s) {
     std::string out = "\"";
     for (char c : s) {
-      if (c == '"' || c == '\\') out += '\\';
-      out += c;
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
     }
     out += '"';
     return out;
@@ -138,7 +157,12 @@ class JsonReport {
             .count();
     std::string path = "BENCH_" + name_ + ".json";
     std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) return;  // benches stay usable in read-only dirs
+    if (f == nullptr) {
+      // Benches stay usable in read-only dirs, but never fail silently.
+      std::fprintf(stderr, "bench: cannot open %s for writing; %zu row(s) dropped\n",
+                   path.c_str(), rows_.size());
+      return;
+    }
     std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"wall_time_ms\": %.3f,\n",
                  name_.c_str(), wall_ms);
     std::fprintf(f, "  \"rows\": [\n");

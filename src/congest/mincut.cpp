@@ -19,14 +19,15 @@ Weight exact_min_cut(const Graph& g, const std::vector<Weight>& w) {
   }
   std::vector<char> merged(n, 0);
   Weight best = std::numeric_limits<Weight>::max();
-  for (int phase = 0; phase < n - 1; ++phase) {
+  for (VertexId phase = 0; phase + 1 < n; ++phase) {
     std::vector<Weight> wsum(n, 0);
     std::vector<char> added(n, 0);
-    VertexId prev = -1, last = -1;
-    for (int i = 0; i < n - phase; ++i) {
-      VertexId sel = -1;
+    VertexId prev = kInvalidVertex, last = kInvalidVertex;
+    for (VertexId i = 0; i < n - phase; ++i) {
+      VertexId sel = kInvalidVertex;
       for (VertexId v = 0; v < n; ++v)
-        if (!merged[v] && !added[v] && (sel == -1 || wsum[v] > wsum[sel]))
+        if (!merged[v] && !added[v] &&
+            (sel == kInvalidVertex || wsum[v] > wsum[sel]))
           sel = v;
       added[sel] = 1;
       prev = last;
@@ -45,8 +46,9 @@ Weight exact_min_cut(const Graph& g, const std::vector<Weight>& w) {
   return best;
 }
 
-Weight best_one_respecting_cut(const Graph& g, const std::vector<Weight>& w,
-                               const std::vector<EdgeId>& tree_edges) {
+std::vector<Weight> one_respecting_cut_values(
+    const Graph& g, const std::vector<Weight>& w,
+    const std::vector<EdgeId>& tree_edges) {
   const VertexId n = g.num_vertices();
   require(static_cast<VertexId>(tree_edges.size()) == n - 1,
           "best_one_respecting_cut: not a spanning tree");
@@ -95,15 +97,20 @@ Weight best_one_respecting_cut(const Graph& g, const std::vector<Weight>& w,
   std::vector<Weight> sub(contrib);
   for (auto it = order.rbegin(); it != order.rend(); ++it)
     if (parent[*it] != kInvalidVertex) sub[parent[*it]] += sub[*it];
-  Weight best = std::numeric_limits<Weight>::max();
-  for (VertexId v = 1; v < n; ++v)
-    if (parent[order[v]] != kInvalidVertex)
-      best = std::min(best, sub[order[v]]);
-  return best;
+  sub[order[0]] = std::numeric_limits<Weight>::max();  // root keys no cut
+  return sub;
 }
 
-Weight best_two_respecting_cut(const Graph& g, const std::vector<Weight>& w,
+Weight best_one_respecting_cut(const Graph& g, const std::vector<Weight>& w,
                                const std::vector<EdgeId>& tree_edges) {
+  const std::vector<Weight> values =
+      one_respecting_cut_values(g, w, tree_edges);
+  return *std::min_element(values.begin(), values.end());
+}
+
+std::vector<Weight> two_respecting_cut_values(
+    const Graph& g, const std::vector<Weight>& w,
+    const std::vector<EdgeId>& tree_edges) {
   const VertexId n = g.num_vertices();
   require(static_cast<VertexId>(tree_edges.size()) == n - 1,
           "best_two_respecting_cut: not a spanning tree");
@@ -169,20 +176,30 @@ Weight best_two_respecting_cut(const Graph& g, const std::vector<Weight>& w,
   for (auto it = order.rbegin(); it != order.rend(); ++it)
     if (parent[*it] != kInvalidVertex) cut[parent[*it]] += cut[*it];
 
-  // min over single edges and pairs: cut(S_a Δ S_b) = cut(S_a) + cut(S_b)
-  // - 2 * both(a, b).
-  Weight best = std::numeric_limits<Weight>::max();
+  // Per child-vertex candidate: min over single edges and pairs involving
+  // it, cut(S_a Δ S_b) = cut(S_a) + cut(S_b) - 2 * both(a, b).
+  std::vector<Weight> values(n, std::numeric_limits<Weight>::max());
   for (VertexId v = 0; v < n; ++v)
-    if (parent[v] != kInvalidVertex) best = std::min(best, cut[v]);
+    if (parent[v] != kInvalidVertex) values[v] = cut[v];
   for (VertexId a = 0; a < n; ++a) {
     if (parent[a] == kInvalidVertex) continue;
     for (VertexId b = a + 1; b < n; ++b) {
       if (parent[b] == kInvalidVertex) continue;
       Weight candidate = cut[a] + cut[b] - 2 * both[a][b];
-      if (candidate > 0) best = std::min(best, candidate);
+      if (candidate > 0) {
+        values[a] = std::min(values[a], candidate);
+        values[b] = std::min(values[b], candidate);
+      }
     }
   }
-  return best;
+  return values;
+}
+
+Weight best_two_respecting_cut(const Graph& g, const std::vector<Weight>& w,
+                               const std::vector<EdgeId>& tree_edges) {
+  const std::vector<Weight> values =
+      two_respecting_cut_values(g, w, tree_edges);
+  return *std::min_element(values.begin(), values.end());
 }
 
 MinCutResult approx_min_cut(Simulator& sim, const std::vector<Weight>& w,
@@ -196,6 +213,12 @@ MinCutResult approx_min_cut(Simulator& sim, const std::vector<Weight>& w,
   std::vector<Weight> load(g.num_edges(), 0);
   MinCutResult out;
   out.value = std::numeric_limits<Weight>::max();
+  // Dissemination machinery for the per-tree cut minimum: the whole-network
+  // partition, its shortcut, and the aggregator are identical for every
+  // packing tree, so build them once.
+  Partition whole(std::vector<PartId>(g.num_vertices(), 0));
+  Shortcut whole_sc = options.provider(g, whole);
+  PartwiseAggregator whole_agg(g, whole, whole_sc);
   for (int t = 0; t < options.num_trees; ++t) {
     std::vector<Weight> packing_weight(g.num_edges());
     for (EdgeId e = 0; e < g.num_edges(); ++e) {
@@ -207,16 +230,26 @@ MinCutResult approx_min_cut(Simulator& sim, const std::vector<Weight>& w,
     mopt.charge_construction = options.charge_construction;
     MstResult mst = boruvka_mst(sim, packing_weight, mopt);
     for (EdgeId e : mst.edges) ++load[e];
-    Weight score = options.two_respecting
-                       ? best_two_respecting_cut(g, w, mst.edges)
-                       : best_one_respecting_cut(g, w, mst.edges);
+    // Per-vertex candidate cuts (verifier-grade evaluation), then a REAL
+    // part-wise min aggregation over the whole network on the provider's
+    // shortcut — the "one aggregation pass per tree" that used to be a
+    // skip_rounds guess, now measured on run_round_loop like every other
+    // distributed routine in src/congest.
+    std::vector<Weight> cand = options.two_respecting
+                                   ? two_respecting_cut_values(g, w, mst.edges)
+                                   : one_respecting_cut_values(g, w, mst.edges);
+    const Weight score = *std::min_element(cand.begin(), cand.end());
+    std::vector<AggValue> init(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v)
+      init[v] = cand[v] == std::numeric_limits<Weight>::max()
+                    ? AggValue{std::numeric_limits<std::int64_t>::max(),
+                               std::numeric_limits<std::int32_t>::max()}
+                    : AggValue{cand[v], v};  // the root keys no cut
+    AggregationResult res = whole_agg.aggregate_min(sim, init);
+    require(res.min_of_part[0].value == score,
+            "approx_min_cut: disseminated cut disagrees with the verifier");
     out.value = std::min(out.value, score);
     ++out.trees;
-    // Cut evaluation charged as one aggregation pass over the tree's
-    // fragments: approximate by a BFS-depth convergecast (<= n rounds is far
-    // too loose; use tree count of rounds equal to the MST's last
-    // aggregation — here simply one more label-dissemination-sized charge).
-    sim.skip_rounds(std::max<long long>(1, mst.rounds / std::max(1, mst.phases)));
   }
   out.rounds = sim.rounds() - start;
   return out;

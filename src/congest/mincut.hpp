@@ -4,8 +4,11 @@
 // tree is one MST computation over load-scaled weights — the round-dominant
 // step, honestly simulated), then score each tree by its best 1-respecting
 // cut. With enough trees the best 1-respecting cut across the packing is a
-// (2+eps)-approximation (and in practice usually exact); cut evaluation is
-// charged as one aggregation pass per tree (see DESIGN.md substitutions).
+// (2+eps)-approximation (and in practice usually exact). Each tree's cut
+// evaluation is verifier-grade centralized, but its dissemination is a real
+// part-wise aggregation over the provider's shortcut, measured on
+// run_round_loop (the DESIGN.md substitution, no longer a skip_rounds
+// guess).
 #pragma once
 
 #include "congest/mst.hpp"
@@ -49,6 +52,19 @@ struct MinCutOptions {
 /// to (1+eps) with enough trees. Centralized O(n^2) evaluation per tree;
 /// used by tests/benches as the full-strength verifier.
 [[nodiscard]] Weight best_two_respecting_cut(
+    const Graph& g, const std::vector<Weight>& w,
+    const std::vector<EdgeId>& tree_edges);
+
+/// Per-vertex candidates behind best_one_respecting_cut(): cut(S_v) keyed by
+/// the child vertex v of each tree edge (max() at the root, which keys no
+/// edge). These are the values approx_min_cut disseminates.
+[[nodiscard]] std::vector<Weight> one_respecting_cut_values(
+    const Graph& g, const std::vector<Weight>& w,
+    const std::vector<EdgeId>& tree_edges);
+
+/// Per-vertex candidates behind best_two_respecting_cut(): for each child
+/// vertex, the best 1- or 2-respecting cut using its tree edge.
+[[nodiscard]] std::vector<Weight> two_respecting_cut_values(
     const Graph& g, const std::vector<Weight>& w,
     const std::vector<EdgeId>& tree_edges);
 

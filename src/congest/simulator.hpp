@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -53,8 +54,13 @@ class Simulator {
   void finish_round();
 
   /// Messages delivered to v in the round that just finished. The span stays
-  /// valid until the next finish_round().
+  /// valid until the next finish_round(). Out-of-range vertices throw
+  /// (always on, consistent with send()'s endpoint validation — inbox_count_
+  /// would otherwise be read out of bounds and an NDEBUG assert could not be
+  /// exercised by the contract tests).
   [[nodiscard]] std::span<const Delivery> inbox(VertexId v) const {
+    if (v < 0 || static_cast<std::size_t>(v) >= inbox_count_.size())
+      throw std::out_of_range("Simulator::inbox: vertex out of range");
     const std::uint32_t count = inbox_count_[v];
     if (count == 0) return {};  // begin may be stale for idle nodes
     return {inbox_data_.data() + inbox_begin_[v], count};

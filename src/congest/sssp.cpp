@@ -1,0 +1,321 @@
+#include "congest/sssp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "congest/aggregation.hpp"
+
+namespace mns::congest {
+
+namespace {
+
+constexpr AggValue kNoValue{std::numeric_limits<std::int64_t>::max(),
+                            std::numeric_limits<std::int32_t>::max()};
+
+/// Hop-capped weighted Voronoi cells around the seeds: a thin wrapper over
+/// dijkstra_multi's hop cap. Everything beyond the cap stays unowned; the
+/// forest's hop depth is what approx_sssp charges per phase.
+struct CappedVoronoi {
+  std::vector<VertexId> owner;  ///< owning seed or kInvalidVertex
+  std::vector<Weight> dist;     ///< weighted distance to the owning seed
+  int max_hops = 0;             ///< deepest settled vertex (the charge)
+};
+
+CappedVoronoi capped_voronoi(const Graph& g, const std::vector<Weight>& w,
+                             const std::vector<VertexId>& seeds, int hop_cap) {
+  ShortestPathResult r = dijkstra_multi(g, w, seeds, hop_cap);
+  return CappedVoronoi{std::move(r.source), std::move(r.dist), r.max_hops()};
+}
+
+}  // namespace
+
+std::vector<Weight> round_weights(const std::vector<Weight>& w,
+                                  double epsilon) {
+  require(epsilon > 0, "round_weights: epsilon must be positive");
+  Weight wmax = 1;
+  for (Weight x : w) {
+    require(x >= 1, "round_weights: weights must be >= 1");
+    wmax = std::max(wmax, x);
+  }
+  // Representative ladder 1 = r_0 < r_1 < ... with r_{b+1} =
+  // max(r_b + 1, floor(r_b * (1+eps))): snapping an integer weight up to the
+  // next representative costs at most a (1+eps) factor per edge (if the jump
+  // was the +1 branch, the snap is exact).
+  std::vector<Weight> ladder{1};
+  while (ladder.back() < wmax) {
+    const Weight r = ladder.back();
+    const Weight grown = static_cast<Weight>(
+        static_cast<long double>(r) * (1.0L + static_cast<long double>(epsilon)));
+    ladder.push_back(std::max(r + 1, grown));
+  }
+  std::vector<Weight> out(w.size());
+  for (std::size_t i = 0; i < w.size(); ++i)
+    out[i] = *std::lower_bound(ladder.begin(), ladder.end(), w[i]);
+  return out;
+}
+
+SsspResult exact_sssp(Simulator& sim, const std::vector<Weight>& w,
+                      VertexId source) {
+  const Graph& g = sim.graph();
+  const VertexId n = g.num_vertices();
+  require(static_cast<EdgeId>(w.size()) == g.num_edges(),
+          "exact_sssp: weight size mismatch");
+  for (Weight x : w) require(x >= 0, "exact_sssp: negative weight");
+  require(source >= 0 && source < n, "exact_sssp: source out of range");
+
+  SsspResult out;
+  out.dist.assign(n, kUnreachedWeight);
+  out.dist[source] = 0;
+  std::vector<char> in_frontier(n, 0);
+  std::vector<VertexId> frontier{source}, sending;
+  in_frontier[source] = 1;
+  out.rounds = run_round_loop(
+      sim,
+      [&] {
+        if (frontier.empty()) return false;
+        sending.swap(frontier);
+        for (VertexId v : sending) {
+          in_frontier[v] = 0;
+          for (EdgeId e : g.incident_edges(v))
+            sim.send(v, e, Message{0, 0, out.dist[v]});
+        }
+        sending.clear();
+        return true;
+      },
+      [&] {
+        for (VertexId v : sim.delivered_to())
+          for (const Delivery& d : sim.inbox(v)) {
+            const Weight cand = d.msg.value + w[d.edge];
+            if (cand < out.dist[v]) {
+              out.dist[v] = cand;
+              if (!in_frontier[v]) {
+                in_frontier[v] = 1;
+                frontier.push_back(v);
+              }
+            }
+          }
+      });
+  return out;
+}
+
+SsspResult approx_sssp(Simulator& sim, const std::vector<Weight>& w,
+                       VertexId source, const ApproxSsspOptions& options) {
+  const Graph& g = sim.graph();
+  const VertexId n = g.num_vertices();
+  require(static_cast<bool>(options.provider), "approx_sssp: no provider");
+  require(options.bf_rounds_per_cycle >= 1,
+          "approx_sssp: bf_rounds_per_cycle must be >= 1");
+  require(source >= 0 && source < n, "approx_sssp: source out of range");
+  require(static_cast<EdgeId>(w.size()) == g.num_edges(),
+          "approx_sssp: weight size mismatch");
+  // The provider's spanning-tree factory (and Definition 10 itself) assumes
+  // one connected network, like distributed_bfs.
+  require(is_connected(g), "approx_sssp: graph disconnected");
+  const std::vector<Weight> w2 = round_weights(w, options.epsilon);
+
+  const VertexId num_seeds =
+      options.num_seeds > 0
+          ? options.num_seeds
+          : std::max<VertexId>(2, static_cast<VertexId>(std::ceil(
+                                      std::sqrt(static_cast<double>(n)))));
+  const int hop_cap =
+      options.voronoi_hop_cap > 0
+          ? options.voronoi_hop_cap
+          : std::clamp(4 * (n / std::max<VertexId>(1, num_seeds)), VertexId{16},
+                       std::max<VertexId>(16, n));
+
+  SsspResult out;
+  out.dist.assign(n, kUnreachedWeight);
+  out.dist[source] = 0;
+  std::vector<char> in_frontier(n, 0);
+  std::vector<VertexId> frontier{source}, sending;
+  in_frontier[source] = 1;
+  VertexId reached = 1, reached_at_partition = 0;
+  const long long start = sim.rounds();
+
+  // Per-part "some member improved since the last jump" flags: a jump only
+  // aggregates dirty parts — a clean part's min is provably unchanged, so
+  // re-flooding its (possibly long-settled) cell would buy nothing and cost
+  // congestion rounds. Jump-applied improvements do NOT re-dirty their own
+  // part: they are base + cdist[u], so dist[u] + cdist[u] >= base, and the
+  // part minimum cannot have dropped.
+  std::unique_ptr<Partition> parts;
+  std::unique_ptr<PartwiseAggregator> agg;
+  std::vector<Weight> cdist;
+  std::vector<char> part_dirty;
+
+  auto relax = [&](VertexId v, Weight cand, bool mark_part) {
+    if (cand >= out.dist[v]) return false;
+    if (out.dist[v] == kUnreachedWeight) ++reached;
+    out.dist[v] = cand;
+    if (!in_frontier[v]) {
+      in_frontier[v] = 1;
+      frontier.push_back(v);
+    }
+    if (mark_part && parts) {
+      const PartId p = parts->part_of(v);
+      if (p != kNoPart) part_dirty[static_cast<std::size_t>(p)] = 1;
+    }
+    return true;
+  };
+
+  // Bounded event-driven Bellman-Ford burst (the same loop as exact_sssp,
+  // capped at `max_rounds`).
+  auto bf_burst = [&](int max_rounds) {
+    bool improved = false;
+    int used = 0;
+    (void)run_round_loop(
+        sim,
+        [&] {
+          if (used >= max_rounds || frontier.empty()) return false;
+          ++used;
+          sending.swap(frontier);
+          for (VertexId v : sending) {
+            in_frontier[v] = 0;
+            for (EdgeId e : g.incident_edges(v))
+              sim.send(v, e, Message{0, 0, out.dist[v]});
+          }
+          sending.clear();
+          return true;
+        },
+        [&] {
+          for (VertexId v : sim.delivered_to())
+            for (const Delivery& d : sim.inbox(v))
+              improved |= relax(v, d.msg.value + w2[d.edge], true);
+        });
+    return improved;
+  };
+
+  // Per-phase partition state: weighted Voronoi cells seeded around the
+  // current wavefront, with cdist = intra-cell distance to the cell seed.
+  auto rebuild_partition = [&] {
+    ++out.phases;
+    // Wavefront seeds first (evenly spaced along the front by distance),
+    // then a deterministic spread over still-unreached terrain so cells
+    // exist wherever propagation goes next.
+    std::vector<VertexId> wavefront;
+    for (VertexId v = 0; v < n; ++v) {
+      if (out.dist[v] == kUnreachedWeight) continue;
+      for (VertexId u : g.neighbors(v))
+        if (out.dist[u] == kUnreachedWeight) {
+          wavefront.push_back(v);
+          break;
+        }
+    }
+    std::sort(wavefront.begin(), wavefront.end(),
+              [&](VertexId a, VertexId b) {
+                return std::pair(out.dist[a], a) < std::pair(out.dist[b], b);
+              });
+    std::vector<char> is_seed(n, 0);
+    std::vector<VertexId> seeds;
+    const VertexId front_size = static_cast<VertexId>(wavefront.size());
+    const VertexId from_front =
+        std::min(front_size, std::max<VertexId>(1, num_seeds / 2));
+    for (VertexId i = 0; i < from_front; ++i) {
+      const VertexId s = wavefront[static_cast<std::size_t>(i) *
+                                   static_cast<std::size_t>(front_size) /
+                                   static_cast<std::size_t>(from_front)];
+      if (!is_seed[s]) {
+        is_seed[s] = 1;
+        seeds.push_back(s);
+      }
+    }
+    if (seeds.empty()) {
+      is_seed[source] = 1;
+      seeds.push_back(source);
+    }
+    const VertexId stride = std::max<VertexId>(1, n / (num_seeds + 1));
+    for (int pass = 0;
+         pass < 2 && static_cast<VertexId>(seeds.size()) < num_seeds; ++pass)
+      for (VertexId v = 0;
+           v < n && static_cast<VertexId>(seeds.size()) < num_seeds;
+           v += stride) {
+        if (is_seed[v]) continue;
+        if (pass == 0 && out.dist[v] != kUnreachedWeight) continue;
+        is_seed[v] = 1;
+        seeds.push_back(v);
+      }
+
+    CappedVoronoi vor = capped_voronoi(g, w2, seeds, hop_cap);
+    std::vector<PartId> seed_index(n, kNoPart);
+    for (std::size_t i = 0; i < seeds.size(); ++i)
+      seed_index[seeds[i]] = static_cast<PartId>(i);
+    std::vector<PartId> part_of(n, kNoPart);
+    for (VertexId v = 0; v < n; ++v)
+      if (vor.owner[v] != kInvalidVertex) part_of[v] = seed_index[vor.owner[v]];
+    parts = std::make_unique<Partition>(std::move(part_of));
+    Shortcut sc = options.provider(g, *parts);
+    agg = std::make_unique<PartwiseAggregator>(g, *parts, sc);
+    cdist = std::move(vor.dist);
+    part_dirty.assign(static_cast<std::size_t>(parts->num_parts()), 1);
+    // Charge the centralized cell growth as the rounds its distributed
+    // (Bellman-Ford-style) counterpart would take: the forest's hop depth.
+    if (options.charge_construction) sim.skip_rounds(vor.max_hops + 1);
+    reached_at_partition = reached;
+  };
+
+  auto need_repartition = [&] {
+    if (!parts) return true;
+    if (static_cast<double>(reached - reached_at_partition) >
+        options.repartition_growth * static_cast<double>(n))
+      return true;
+    if (frontier.empty()) return false;
+    // The wavefront has mostly left the covered region.
+    VertexId uncovered = 0;
+    for (VertexId v : frontier)
+      if (parts->part_of(v) == kNoPart) ++uncovered;
+    return 2 * uncovered > static_cast<VertexId>(frontier.size());
+  };
+
+  // One shortcut-backed jump: every DIRTY cell aggregates min(dist + cdist)
+  // and every member relaxes through the cell seed. All estimates remain
+  // real path lengths, so the exactness-at-quiescence argument is untouched.
+  // Returns the rounds the aggregation consumed (0 = nothing was dirty).
+  std::vector<AggValue> init(n);
+  auto cluster_jump = [&](bool* improved) {
+    *improved = false;
+    bool any_dirty = false;
+    std::fill(init.begin(), init.end(), kNoValue);
+    for (VertexId v = 0; v < n; ++v) {
+      if (out.dist[v] == kUnreachedWeight) continue;
+      const PartId p = parts->part_of(v);
+      if (p == kNoPart || !part_dirty[static_cast<std::size_t>(p)]) continue;
+      init[v] = AggValue{out.dist[v] + cdist[v], v};
+      any_dirty = true;
+    }
+    if (!any_dirty) return 0LL;
+    ++out.jumps;
+    std::fill(part_dirty.begin(), part_dirty.end(), 0);
+    const AggregationResult res = agg->aggregate_min(sim, init);
+    for (PartId p = 0; p < parts->num_parts(); ++p) {
+      if (res.min_of_part[p] == kNoValue) continue;
+      const Weight base = res.min_of_part[p].value;
+      for (VertexId u : parts->members(p))
+        *improved |= relax(u, base + cdist[u], false);
+    }
+    return res.rounds;
+  };
+
+  // Cycle: a Bellman-Ford burst, then a jump. The burst budget adapts to the
+  // measured cost of the previous jump, so cheap shortcuts (small quality)
+  // mean frequent jumps while expensive ones amortize over longer bursts —
+  // the total can never exceed a small multiple of the plain-BF rounds.
+  int budget = options.bf_rounds_per_cycle;
+  while (true) {
+    if (need_repartition()) rebuild_partition();
+    const bool bf_improved = bf_burst(budget);
+    bool jump_improved = false;
+    const long long jump_rounds = cluster_jump(&jump_improved);
+    budget = std::max<int>(
+        options.bf_rounds_per_cycle,
+        static_cast<int>(std::min<long long>(jump_rounds, 1 << 20)));
+    if (!bf_improved && !jump_improved && frontier.empty()) break;
+  }
+  out.rounds = sim.rounds() - start;
+  return out;
+}
+
+}  // namespace mns::congest

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <deque>
+#include <queue>
 #include <stdexcept>
+#include <tuple>
 
 namespace mns {
 
@@ -48,6 +50,85 @@ BfsResult bfs_multi(const Graph& g, std::span<const VertexId> sources) {
       queue.push_back(w);
     }
   }
+  return r;
+}
+
+int ShortestPathResult::max_hops() const {
+  int best = 0;
+  for (int h : hops)
+    if (h != kUnreached) best = std::max(best, h);
+  return best;
+}
+
+ShortestPathResult dijkstra(const Graph& g, const std::vector<Weight>& w,
+                            VertexId source) {
+  return dijkstra_multi(g, w, std::span<const VertexId>(&source, 1));
+}
+
+ShortestPathResult dijkstra_multi(const Graph& g, const std::vector<Weight>& w,
+                                  std::span<const VertexId> sources,
+                                  int hop_cap) {
+  const VertexId n = g.num_vertices();
+  if (static_cast<EdgeId>(w.size()) != g.num_edges())
+    throw std::invalid_argument("dijkstra: weight size mismatch");
+  for (Weight x : w)
+    if (x < 0) throw std::invalid_argument("dijkstra: negative weight");
+
+  ShortestPathResult r;
+  r.dist.assign(n, kUnreachedWeight);
+  r.parent.assign(n, kInvalidVertex);
+  r.parent_edge.assign(n, kInvalidEdge);
+  r.source.assign(n, kInvalidVertex);
+  r.hops.assign(n, kUnreached);
+
+  // (distance, owning source, vertex): the source in the key makes the
+  // tie-break deterministic, so weighted Voronoi cells are well defined.
+  using Entry = std::tuple<Weight, VertexId, VertexId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  for (VertexId s : sources) {
+    if (s < 0 || s >= n)
+      throw std::invalid_argument("dijkstra: source out of range");
+    if (r.dist[s] == 0) continue;  // duplicate source
+    r.dist[s] = 0;
+    r.source[s] = s;
+    r.hops[s] = 0;
+    pq.push({0, s, s});
+  }
+  std::vector<char> settled(n, 0);
+  while (!pq.empty()) {
+    auto [d, owner, v] = pq.top();
+    pq.pop();
+    if (settled[v]) continue;
+    settled[v] = 1;
+    // r.hops[v] is final here (relaxations only come from settled vertices).
+    if (hop_cap >= 0 && r.hops[v] >= hop_cap) continue;
+    auto nbrs = g.neighbors(v);
+    auto eids = g.incident_edges(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      VertexId u = nbrs[i];
+      if (settled[u]) continue;
+      Weight cand = d + w[eids[i]];
+      if (cand < r.dist[u] ||
+          (cand == r.dist[u] && r.source[u] != kInvalidVertex &&
+           owner < r.source[u])) {
+        r.dist[u] = cand;
+        r.parent[u] = v;
+        r.parent_edge[u] = eids[i];
+        r.source[u] = owner;
+        r.hops[u] = r.hops[v] + 1;
+        pq.push({cand, owner, u});
+      }
+    }
+  }
+  if (hop_cap >= 0)
+    for (VertexId v = 0; v < n; ++v)
+      if (!settled[v]) {  // tentative labels beyond the cap are discarded
+        r.dist[v] = kUnreachedWeight;
+        r.parent[v] = kInvalidVertex;
+        r.parent_edge[v] = kInvalidEdge;
+        r.source[v] = kInvalidVertex;
+        r.hops[v] = kUnreached;
+      }
   return r;
 }
 

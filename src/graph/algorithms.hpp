@@ -33,6 +33,48 @@ struct BfsResult {
 [[nodiscard]] BfsResult bfs_multi(const Graph& g,
                                   std::span<const VertexId> sources);
 
+/// Weighted distance of an unreachable vertex.
+inline constexpr Weight kUnreachedWeight = std::numeric_limits<Weight>::max();
+
+/// Output of a (multi-source) weighted shortest-path computation.
+struct ShortestPathResult {
+  /// Weighted distance from the nearest source, kUnreachedWeight if
+  /// disconnected.
+  std::vector<Weight> dist;
+  /// Shortest-path-tree parent, kInvalidVertex for sources/unreached.
+  std::vector<VertexId> parent;
+  /// Edge to parent, kInvalidEdge for sources/unreached.
+  std::vector<EdgeId> parent_edge;
+  /// Which source claimed each vertex (ties by (distance, source id)),
+  /// kInvalidVertex if unreached.
+  std::vector<VertexId> source;
+  /// Hop count of the recorded shortest path, kUnreached if unreached.
+  std::vector<int> hops;
+
+  [[nodiscard]] bool reached(VertexId v) const {
+    return dist[v] != kUnreachedWeight;
+  }
+  /// Deepest recorded path (0 when nothing is reached beyond the sources).
+  [[nodiscard]] int max_hops() const;
+};
+
+/// Sequential Dijkstra — the verification oracle for every distributed SSSP
+/// in src/congest. Requires non-negative weights, one per edge.
+[[nodiscard]] ShortestPathResult dijkstra(const Graph& g,
+                                          const std::vector<Weight>& w,
+                                          VertexId source);
+
+/// Multi-source Dijkstra: every vertex joins its closest source (ties broken
+/// by smaller source id, so the claimed regions — weighted Voronoi cells —
+/// are connected and the recorded parent path to the owning source stays
+/// inside the cell). With `hop_cap >= 0` growth stops at that hop depth and
+/// everything further stays unreached — the hop-capped Voronoi cells of the
+/// approximate-SSSP scale phases (the cap bounds the rounds a distributed
+/// cell growth would take).
+[[nodiscard]] ShortestPathResult dijkstra_multi(
+    const Graph& g, const std::vector<Weight>& w,
+    std::span<const VertexId> sources, int hop_cap = -1);
+
 /// Component labels in [0, count) and the component count.
 struct Components {
   std::vector<VertexId> label;

@@ -34,6 +34,21 @@ TEST(SimulatorContract, CapacityViolationThrows) {
   EXPECT_EQ(sim.messages_sent(), 3);
 }
 
+TEST(SimulatorContract, InboxOutOfRangeIsCaught) {
+  // inbox(v) validates v like send() validates endpoints: indexing
+  // inbox_count_ with a bogus id must throw, not read out of bounds.
+  Graph g = gen::path(3);
+  Simulator sim(g);
+  EXPECT_THROW((void)sim.inbox(-1), std::out_of_range);
+  EXPECT_THROW((void)sim.inbox(3), std::out_of_range);
+  sim.send(0, g.find_edge(0, 1), Message{0, 0, 5});
+  sim.finish_round();
+  EXPECT_THROW((void)sim.inbox(1000), std::out_of_range);
+  ASSERT_EQ(sim.inbox(1).size(), 1u);  // in-range access unaffected
+  EXPECT_EQ(sim.inbox(1)[0].msg.value, 5);
+  EXPECT_TRUE(sim.inbox(2).empty());
+}
+
 TEST(SimulatorContract, SkipRoundsAccounting) {
   Graph g = gen::path(2);
   Simulator sim(g);

@@ -1,0 +1,283 @@
+// Golden fixed-seed tests for the distributed SSSP subsystem: the exact
+// lock-step Bellman-Ford must equal the sequential Dijkstra oracle on every
+// generator family, the (1+eps) shortcut-accelerated SSSP must stay within
+// its guarantee (and never below the true distance — every estimate is a
+// real path), and the weight-rounding ladder must respect its per-edge
+// (1+eps) bound.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "congest/sssp.hpp"
+#include "core/shortcut_engine.hpp"
+#include "gen/apex.hpp"
+#include "gen/basic.hpp"
+#include "gen/clique_sum.hpp"
+#include "gen/ktree.hpp"
+#include "gen/planar.hpp"
+#include "gen/weights.hpp"
+#include "graph/algorithms.hpp"
+
+namespace mns {
+namespace {
+
+using congest::ApproxSsspOptions;
+using congest::Simulator;
+using congest::SsspResult;
+
+congest::ShortcutProvider greedy_provider() {
+  return ShortcutEngine::global().provider(greedy_certificate(),
+                                           center_tree_factory(99));
+}
+
+void expect_exact_matches_oracle(const Graph& g, const std::vector<Weight>& w,
+                                 VertexId source) {
+  Simulator sim(g);
+  SsspResult res = congest::exact_sssp(sim, w, source);
+  ShortestPathResult ref = dijkstra(g, w, source);
+  ASSERT_EQ(res.dist.size(), ref.dist.size());
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    EXPECT_EQ(res.dist[v], ref.dist[v]) << "vertex " << v;
+  EXPECT_GE(res.rounds, 1);
+  EXPECT_LE(res.rounds, g.num_vertices());
+}
+
+void expect_approx_within(const Graph& g, const std::vector<Weight>& w,
+                          VertexId source, const ApproxSsspOptions& opt) {
+  Simulator sim(g);
+  SsspResult res = congest::approx_sssp(sim, w, source, opt);
+  ShortestPathResult ref = dijkstra(g, w, source);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (ref.dist[v] == kUnreachedWeight) {
+      EXPECT_EQ(res.dist[v], kUnreachedWeight) << "vertex " << v;
+      continue;
+    }
+    // Estimates are lengths of real paths: never below the true distance.
+    EXPECT_GE(res.dist[v], ref.dist[v]) << "vertex " << v;
+    EXPECT_LE(static_cast<double>(res.dist[v]),
+              (1.0 + opt.epsilon) * static_cast<double>(ref.dist[v]) + 1e-9)
+        << "vertex " << v;
+  }
+  EXPECT_GE(res.phases, 1);
+  EXPECT_GE(res.jumps, 1);
+}
+
+TEST(RoundWeights, LadderRespectsPerEdgeBound) {
+  std::vector<Weight> w{1, 2, 3, 7, 10, 99, 1000, 123456, 1, 5};
+  for (double eps : {0.05, 0.25, 1.0}) {
+    std::vector<Weight> r = congest::round_weights(w, eps);
+    ASSERT_EQ(r.size(), w.size());
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      EXPECT_GE(r[i], w[i]);
+      EXPECT_LE(static_cast<double>(r[i]),
+                (1.0 + eps) * static_cast<double>(w[i]));
+    }
+  }
+  EXPECT_THROW(congest::round_weights({0}, 0.5), InvariantViolation);
+  EXPECT_THROW(congest::round_weights({1}, 0.0), InvariantViolation);
+}
+
+TEST(ExactSssp, MatchesDijkstraOnGrid) {
+  Rng rng(7);
+  Graph g = gen::grid(9, 11).graph();
+  expect_exact_matches_oracle(g, gen::unique_random_weights(g, rng), 0);
+}
+
+TEST(ExactSssp, MatchesDijkstraOnRandomPlanar) {
+  for (unsigned seed : {1u, 2u, 3u}) {
+    Rng rng(seed);
+    Graph g = gen::random_maximal_planar(150, rng).graph();
+    expect_exact_matches_oracle(g, gen::unique_random_weights(g, rng),
+                                static_cast<VertexId>(seed));
+  }
+}
+
+TEST(ExactSssp, MatchesDijkstraOnKTree) {
+  Rng rng(17);
+  gen::KTreeResult kt = gen::random_ktree(200, 3, rng);
+  expect_exact_matches_oracle(kt.graph,
+                              gen::unique_random_weights(kt.graph, rng), 5);
+}
+
+TEST(ExactSssp, MatchesDijkstraOnApexGrid) {
+  Rng rng(23);
+  gen::ApexResult ar = gen::add_apices(gen::grid(8, 8).graph(), 2, 0.2, rng);
+  expect_exact_matches_oracle(ar.graph,
+                              gen::unique_random_weights(ar.graph, rng), 0);
+}
+
+TEST(ExactSssp, MatchesDijkstraOnCliqueSum) {
+  Rng rng(31);
+  Graph bag = gen::triangulated_grid(4, 4).graph();
+  std::vector<gen::BagInput> inputs;
+  for (int i = 0; i < 8; ++i)
+    inputs.push_back({bag, gen::default_glue_cliques(bag, 2)});
+  gen::CliqueSumResult cs = gen::compose_clique_sum(inputs, 2, 0.0, rng);
+  expect_exact_matches_oracle(cs.graph,
+                              gen::unique_random_weights(cs.graph, rng), 1);
+}
+
+TEST(ExactSssp, LeavesOtherComponentsUnreached) {
+  // Two disjoint triangles; only the source's component is reached.
+  GraphBuilder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 2);
+  b.add_edge(3, 4);
+  b.add_edge(4, 5);
+  b.add_edge(3, 5);
+  Graph g = b.build();
+  std::vector<Weight> w(g.num_edges(), 2);
+  Simulator sim(g);
+  SsspResult res = congest::exact_sssp(sim, w, 0);
+  EXPECT_EQ(res.dist[0], 0);
+  EXPECT_EQ(res.dist[1], 2);
+  EXPECT_EQ(res.dist[2], 2);
+  for (VertexId v = 3; v < 6; ++v) EXPECT_EQ(res.dist[v], kUnreachedWeight);
+}
+
+TEST(ExactSssp, RoundsTrackShortestPathHops) {
+  // A weighted path: dist cascades one hop per round.
+  Graph g = gen::path(40);
+  std::vector<Weight> w(g.num_edges());
+  Rng rng(3);
+  w = gen::random_weights(g, 1, 9, rng);
+  Simulator sim(g);
+  SsspResult res = congest::exact_sssp(sim, w, 0);
+  EXPECT_GE(res.rounds, 39);
+  EXPECT_LE(res.rounds, 40);
+}
+
+TEST(ApproxSssp, WithinEpsOnGridGreedyCertificate) {
+  Rng rng(41);
+  Graph g = gen::grid(12, 12).graph();
+  ApproxSsspOptions opt;
+  opt.provider = greedy_provider();
+  opt.epsilon = 0.25;
+  expect_approx_within(g, gen::unique_random_weights(g, rng), 0, opt);
+}
+
+TEST(ApproxSssp, WithinEpsOnKTreeTreewidthCertificate) {
+  Rng rng(43);
+  gen::KTreeResult kt = gen::random_ktree(250, 3, rng);
+  ApproxSsspOptions opt;
+  opt.provider = ShortcutEngine::global().provider(
+      treewidth_certificate(kt.decomposition), center_tree_factory(4));
+  opt.epsilon = 0.5;
+  expect_approx_within(kt.graph, gen::unique_random_weights(kt.graph, rng), 3,
+                       opt);
+}
+
+TEST(ApproxSssp, WithinEpsOnApexCertificate) {
+  Rng rng(47);
+  gen::ApexResult ar = gen::add_apices(gen::grid(10, 10).graph(), 1, 0.15, rng);
+  ApproxSsspOptions opt;
+  opt.provider = ShortcutEngine::global().provider(
+      apex_certificate(ar.apices), center_tree_factory(4));
+  opt.epsilon = 0.1;
+  expect_approx_within(ar.graph, gen::unique_random_weights(ar.graph, rng), 0,
+                       opt);
+}
+
+TEST(ApproxSssp, WithinEpsOnCliqueSumCertificate) {
+  Rng rng(53);
+  Graph bag = gen::triangulated_grid(4, 4).graph();
+  std::vector<gen::BagInput> inputs;
+  for (int i = 0; i < 10; ++i)
+    inputs.push_back({bag, gen::default_glue_cliques(bag, 2)});
+  gen::CliqueSumResult cs = gen::compose_clique_sum(inputs, 2, 0.0, rng);
+  ApproxSsspOptions opt;
+  opt.provider = ShortcutEngine::global().provider(
+      cliquesum_certificate(cs.decomposition), center_tree_factory(4));
+  opt.epsilon = 0.25;
+  expect_approx_within(cs.graph, gen::unique_random_weights(cs.graph, rng), 0,
+                       opt);
+}
+
+TEST(ApproxSssp, ExactWhenWeightsAlreadyOnLadder) {
+  // Unit weights are fixed points of every ladder: the approximation then
+  // equals the exact (hop-count) distances at any epsilon.
+  Graph g = gen::cycle(30);
+  std::vector<Weight> w(g.num_edges(), 1);
+  ApproxSsspOptions opt;
+  opt.provider = greedy_provider();
+  opt.epsilon = 3.0;
+  Simulator sim(g);
+  SsspResult res = congest::approx_sssp(sim, w, 0, opt);
+  ShortestPathResult ref = dijkstra(g, w, 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    EXPECT_EQ(res.dist[v], ref.dist[v]) << "vertex " << v;
+}
+
+TEST(ApproxSssp, RejectsDisconnectedGraphs) {
+  // The shortcut machinery's spanning tree assumes one connected network
+  // (same contract as distributed_bfs); exact_sssp covers the disconnected
+  // case.
+  GraphBuilder b(5);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(3, 4);
+  Graph g = b.build();
+  std::vector<Weight> w(g.num_edges(), 3);
+  ApproxSsspOptions opt;
+  opt.provider = greedy_provider();
+  Simulator sim(g);
+  EXPECT_THROW((void)congest::approx_sssp(sim, w, 0, opt),
+               InvariantViolation);
+}
+
+TEST(ApproxSssp, RequiresProviderAndPositiveWeights) {
+  Graph g = gen::path(4);
+  std::vector<Weight> w(g.num_edges(), 1);
+  Simulator sim(g);
+  ApproxSsspOptions opt;  // no provider
+  EXPECT_THROW((void)congest::approx_sssp(sim, w, 0, opt),
+               InvariantViolation);
+  opt.provider = greedy_provider();
+  std::vector<Weight> zero(g.num_edges(), 0);
+  EXPECT_THROW((void)congest::approx_sssp(sim, zero, 0, opt),
+               InvariantViolation);
+}
+
+TEST(Dijkstra, HopCapBoundsCellGrowth) {
+  Graph g = gen::path(20);
+  std::vector<Weight> w(g.num_edges(), 5);
+  std::vector<VertexId> sources{0};
+  ShortestPathResult r =
+      dijkstra_multi(g, w, sources, /*hop_cap=*/3);
+  EXPECT_EQ(r.max_hops(), 3);
+  for (VertexId v = 0; v < 20; ++v) {
+    if (v <= 3) {
+      EXPECT_EQ(r.dist[v], 5 * v);
+      EXPECT_EQ(r.hops[v], v);
+      EXPECT_EQ(r.source[v], 0);
+    } else {  // tentative labels beyond the cap are discarded
+      EXPECT_EQ(r.dist[v], kUnreachedWeight);
+      EXPECT_EQ(r.hops[v], kUnreached);
+      EXPECT_EQ(r.source[v], kInvalidVertex);
+    }
+  }
+}
+
+TEST(Dijkstra, MultiSourceCellsAreConnected) {
+  Rng rng(61);
+  Graph g = gen::grid(10, 10).graph();
+  std::vector<Weight> w = gen::unique_random_weights(g, rng);
+  std::vector<VertexId> sources{0, 37, 99};
+  ShortestPathResult r = dijkstra_multi(g, w, sources);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_NE(r.source[v], kInvalidVertex);
+    // Walking the recorded parents stays inside the owning cell and reaches
+    // the owning source.
+    VertexId x = v;
+    while (r.parent[x] != kInvalidVertex) {
+      EXPECT_EQ(r.source[x], r.source[v]);
+      x = r.parent[x];
+    }
+    EXPECT_EQ(x, r.source[v]);
+  }
+}
+
+}  // namespace
+}  // namespace mns
