@@ -1,11 +1,13 @@
 // E12 (Corollary 1, min-cut side): distributed tree-packing min-cut on
 // minor-free networks — rounds dominated by the MST subroutine (so the Õ(D^2)
 // shape carries over) and approximation ratio verified against exact
-// Stoer-Wagner.
+// Stoer-Wagner. Served through congest::Session; the packing MSTs share the
+// session's shortcut cache (the singleton and whole-network partitions hit
+// on every tree after the first).
 #include <cstdio>
 
 #include "bench_util.hpp"
-#include "congest/mincut.hpp"
+#include "congest/session.hpp"
 #include "gen/clique_sum.hpp"
 #include "gen/planar.hpp"
 #include "gen/series_parallel.hpp"
@@ -16,26 +18,25 @@ using namespace mns;
 namespace {
 
 void run_case(bench::JsonReport& report, const char* family, const Graph& g,
-              const std::vector<Weight>& w,
-              const congest::ShortcutProvider& provider) {
+              const std::vector<Weight>& w) {
   Weight exact = congest::exact_min_cut(g, w);
-  congest::Simulator sim(g);
-  congest::MinCutOptions opt;
-  opt.provider = provider;
-  opt.num_trees = 8;
-  opt.two_respecting = g.num_vertices() <= 256;  // O(n^2) verifier scale
-  congest::MinCutResult res = congest::approx_min_cut(sim, w, opt);
+  congest::Session session = bench::make_session(g, greedy_certificate());
+  congest::MinCut query{w};
+  query.num_trees = 8;
+  query.two_respecting = g.num_vertices() <= 256;  // O(n^2) verifier scale
+  congest::RunReport res = session.solve(query);
   std::printf("%-22s n=%5d  exact=%6lld  packed=%6lld  ratio=%.3f  "
-              "rounds=%8lld (%d trees, %d-respecting)\n",
+              "rounds=%8lld (%d trees, %d-respecting, %lld cache hits)\n",
               family, g.num_vertices(), static_cast<long long>(exact),
-              static_cast<long long>(res.value),
-              static_cast<double>(res.value) / static_cast<double>(exact),
-              res.rounds, res.trees, opt.two_respecting ? 2 : 1);
+              static_cast<long long>(res.min_cut().value),
+              static_cast<double>(res.min_cut().value) /
+                  static_cast<double>(exact),
+              res.total_rounds(), res.min_cut().trees,
+              query.two_respecting ? 2 : 1, res.cache_hits);
   report.row().set("family", family).set("n", g.num_vertices())
       .set("exact", static_cast<long long>(exact))
-      .set("packed", static_cast<long long>(res.value))
-      .set("rounds", res.rounds).set("messages", sim.messages_sent())
-      .set("trees", res.trees);
+      .set("packed", static_cast<long long>(res.min_cut().value))
+      .set_run(res).set("trees", res.min_cut().trees);
 }
 
 }  // namespace
@@ -47,7 +48,7 @@ int main() {
     Rng rng(static_cast<unsigned>(n));
     EmbeddedGraph eg = gen::random_maximal_planar(n, rng);
     std::vector<Weight> w = gen::random_weights(eg.graph(), 1, 40, rng);
-    run_case(report, "maximal planar", eg.graph(), w, bench::greedy_provider());
+    run_case(report, "maximal planar", eg.graph(), w);
   }
   for (int regions : {4, 8}) {
     Rng rng(static_cast<unsigned>(regions * 13));
@@ -60,7 +61,7 @@ int main() {
     std::vector<Weight> w = gen::random_weights(r.graph, 1, 40, rng);
     char label[48];
     std::snprintf(label, sizeof label, "SP clique-sum x%d", regions);
-    run_case(report, label, r.graph, w, bench::greedy_provider());
+    run_case(report, label, r.graph, w);
   }
   return 0;
 }

@@ -1,6 +1,7 @@
 // E11 (Corollary 1): Õ(D^2)-round MST on excluded-minor networks of small
 // diameter, versus the Õ(D + sqrt(n)) controlled-GHS baseline and naive
-// no-shortcut Boruvka. Two instance families:
+// no-shortcut Boruvka — all three served by one congest::Session per
+// instance. Two instance families:
 //   (a) the paper's motivating instance — grid + apex attached to every
 //       other node (diameter ~4) with adversarial serpentine weights, and
 //   (b) the [SHK+12]-style lower-bound graph (diameter O(log n)) where no
@@ -9,98 +10,48 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bench_instances.hpp"
 #include "bench_util.hpp"
-#include "congest/mincut.hpp"
+#include "congest/session.hpp"
 #include "gen/lower_bound.hpp"
-#include "gen/planar.hpp"
 #include "gen/weights.hpp"
 
 using namespace mns;
 
 namespace {
 
-struct Instance {
-  Graph graph;
-  std::vector<Weight> weights;
-  std::vector<VertexId> apices;
-  int diameter = 0;
-};
-
-/// Paper instance: rows x cols grid + apex on every other node; lightest
-/// edges trace the serpentine so Boruvka fragments become snakes.
-Instance paper_instance(int rows, int cols, unsigned seed) {
-  EmbeddedGraph eg = gen::grid(rows, cols);
-  const VertexId grid_n = eg.graph().num_vertices();
-  GraphBuilder b(grid_n + 1);
-  for (EdgeId e = 0; e < eg.graph().num_edges(); ++e)
-    b.add_edge(eg.graph().edge(e).u, eg.graph().edge(e).v);
-  for (VertexId v = 0; v < grid_n; v += 2) b.add_edge(grid_n, v);
-  Instance inst;
-  inst.graph = b.build();
-  inst.apices = {grid_n};
-  auto id = [&](int r, int c) { return static_cast<VertexId>(r * cols + c); };
-  std::vector<char> on_path(inst.graph.num_edges(), 0);
-  for (int r = 0; r < rows; ++r) {
-    for (int c = 0; c + 1 < cols; ++c)
-      on_path[inst.graph.find_edge(id(r, c), id(r, c + 1))] = 1;
-    if (r + 1 < rows) {
-      int turn = (r % 2 == 0) ? cols - 1 : 0;
-      on_path[inst.graph.find_edge(id(r, turn), id(r + 1, turn))] = 1;
-    }
-  }
-  std::vector<Weight> light;
-  for (Weight x = 1; x <= grid_n; ++x) light.push_back(x);
-  Rng rng(seed);
-  std::shuffle(light.begin(), light.end(), rng);
-  std::size_t li = 0;
-  Weight heavy = 10 * static_cast<Weight>(inst.graph.num_vertices());
-  inst.weights.assign(inst.graph.num_edges(), 0);
-  for (EdgeId e = 0; e < inst.graph.num_edges(); ++e)
-    inst.weights[e] = on_path[e] ? light[li++] : heavy++;
-  inst.diameter = diameter_exact(inst.graph);
-  return inst;
-}
-
 void run_instance(bench::JsonReport& report, const char* family,
-                  const Instance& inst) {
-  const Graph& g = inst.graph;
-  std::vector<EdgeId> ref = congest::kruskal_mst(g, inst.weights);
+                  const Graph& g, const std::vector<Weight>& w,
+                  StructuralCertificate cert, int diameter) {
+  std::vector<EdgeId> ref = congest::kruskal_mst(g, w);
   std::sort(ref.begin(), ref.end());
 
-  auto record = [&](const char* method, const congest::MstResult& res,
-                    long long messages, bool ok) {
+  // One session serves the shortcut run, the flooding baseline, and the
+  // controlled-GHS baseline on the same network.
+  congest::Session session = bench::make_session(g, std::move(cert));
+
+  auto record = [&](const char* method, const congest::RunReport& res,
+                    bool ok) {
     std::printf("%-18s n=%6d D=%3d sqrt(n)=%5.0f  %-22s rounds=%8lld "
                 "phases=%2d %s\n",
-                family, g.num_vertices(), inst.diameter,
+                family, g.num_vertices(), diameter,
                 std::sqrt(static_cast<double>(g.num_vertices())), method,
-                res.rounds, res.phases, ok ? "" : "MISMATCH");
+                res.total_rounds(), res.phases, ok ? "" : "MISMATCH");
     report.row().set("family", family).set("n", g.num_vertices())
-        .set("diameter", inst.diameter).set("method", method)
-        .set("rounds", res.rounds).set("messages", messages)
-        .set("phases", res.phases).set("verified", ok ? "yes" : "no");
+        .set("diameter", diameter).set("method", method).set_run(res)
+        .set("verified", ok ? "yes" : "no");
   };
 
-  auto run = [&](const char* method, congest::MstOptions opt) {
-    congest::Simulator sim(g);
-    congest::MstResult res = congest::boruvka_mst(sim, inst.weights, opt);
-    record(method, res, sim.messages_sent(), res.edges == ref);
-  };
+  congest::RunReport shortcuts = session.solve(congest::Mst{w});
+  record("shortcut Boruvka", shortcuts, shortcuts.mst().edges == ref);
 
-  congest::MstOptions shortcuts;
-  shortcuts.provider = inst.apices.empty()
-                           ? bench::greedy_provider()
-                           : bench::apex_provider(inst.apices);
-  run("shortcut Boruvka", shortcuts);
-  congest::MstOptions naive;
-  naive.provider = congest::empty_shortcut_provider();
-  naive.charge_construction = false;
-  run("naive Boruvka", naive);
+  congest::SolveOptions flooding;
+  flooding.use_shortcuts = false;
+  congest::RunReport naive = session.solve(congest::Mst{w}, flooding);
+  record("naive Boruvka", naive, naive.mst().edges == ref);
 
-  // Controlled-GHS baseline.
-  congest::Simulator sim(g);
-  RootedTree t = bench::center_tree(g);
-  congest::MstResult ghs = congest::controlled_ghs_mst(sim, t, inst.weights);
-  record("controlled-GHS", ghs, sim.messages_sent(), ghs.edges == ref);
+  congest::RunReport ghs = session.solve(congest::GhsMst{w});
+  record("controlled-GHS", ghs, ghs.mst().edges == ref);
 }
 
 }  // namespace
@@ -112,17 +63,17 @@ int main() {
               "naive Boruvka, controlled-GHS\n\n");
   std::printf("-- (a) paper instance: grid + apex, adversarial weights --\n");
   for (auto [rows, cols] : {std::pair{32, 16}, {32, 32}, {64, 32}, {64, 64}}) {
-    run_instance(report, "grid+apex", paper_instance(rows, cols, 3));
+    bench::GridApexInstance inst = bench::grid_apex_instance(rows, cols, 3);
+    run_instance(report, "grid+apex", inst.graph, inst.weights,
+                 apex_certificate(inst.apices), diameter_exact(inst.graph));
   }
   std::printf("\n-- (b) lower-bound family (NOT minor-free) --\n");
   for (int p : {8, 12, 16}) {
     gen::LowerBoundGraph lb = gen::lower_bound_graph(p);
-    Instance inst;
-    inst.graph = lb.graph;
     Rng rng(static_cast<unsigned>(p));
-    inst.weights = gen::unique_random_weights(inst.graph, rng);
-    inst.diameter = diameter_exact(inst.graph);
-    run_instance(report, "lower-bound", inst);
+    std::vector<Weight> w = gen::unique_random_weights(lb.graph, rng);
+    run_instance(report, "lower-bound", lb.graph, w, greedy_certificate(),
+                 diameter_exact(lb.graph));
   }
   return 0;
 }

@@ -2,11 +2,11 @@
 // lock-step Bellman-Ford baseline (rounds = shortest-path hop count, which
 // adversarial weights push toward Theta(n)) against the shortcut-accelerated
 // (1+eps) SSSP on all four certificate families: planar (uniform.greedy),
-// treewidth, apex, clique-sum. Every instance is adversarially weighted so
-// that a long cheap route (a deep DFS spanning tree, a band spine, or
-// concatenated per-bag serpentines) forces the baseline to pay one round per
-// hop while the network's hop DIAMETER stays small — the regime the paper's
-// theorems speak to — and cluster jumps leap whole Voronoi cells.
+// treewidth, apex, clique-sum — both served by one congest::Session per
+// instance. Every instance is adversarially weighted so that a long cheap
+// route forces the baseline to pay one round per hop while the network's hop
+// DIAMETER stays small — the regime the paper's theorems speak to — and
+// cluster jumps leap whole Voronoi cells.
 //
 // Set MNS_BENCH_SMOKE=1 to run the smallest instance per family (CI).
 #include <algorithm>
@@ -15,246 +15,65 @@
 #include <cstdlib>
 #include <vector>
 
+#include "bench_instances.hpp"
 #include "bench_util.hpp"
-#include "congest/sssp.hpp"
+#include "congest/session.hpp"
 #include "gen/apex.hpp"
-#include "gen/clique_sum.hpp"
-#include "gen/ktree.hpp"
-#include "gen/lk_family.hpp"
-#include "gen/planar.hpp"
 
 using namespace mns;
 
 namespace {
 
-/// Adversarial weights: a DFS spanning tree (deep by construction) gets the
-/// light weights 1..n-1 shuffled; every non-tree edge is heavier than any
-/// all-light path, so the shortest-path forest IS the deep DFS tree.
-std::vector<Weight> dfs_light_weights(const Graph& g, Rng& rng) {
-  const VertexId n = g.num_vertices();
-  std::vector<char> seen(n, 0);
-  std::vector<char> on_tree(g.num_edges(), 0);
-  // True DFS (visited at POP time, so the tree is deep, not BFS-bushy):
-  // the tree edge of a vertex is the edge it was discovered through.
-  std::vector<std::pair<VertexId, EdgeId>> stack{{0, kInvalidEdge}};
-  VertexId tree_edges = 0;
-  while (!stack.empty()) {
-    auto [v, via] = stack.back();
-    stack.pop_back();
-    if (seen[v]) continue;
-    seen[v] = 1;
-    if (via != kInvalidEdge) {
-      on_tree[via] = 1;
-      ++tree_edges;
-    }
-    auto nbrs = g.neighbors(v);
-    auto eids = g.incident_edges(v);
-    for (std::size_t i = 0; i < nbrs.size(); ++i)
-      if (!seen[nbrs[i]]) stack.push_back({nbrs[i], eids[i]});
-  }
-  std::vector<Weight> light(tree_edges);
-  for (VertexId i = 0; i < tree_edges; ++i) light[i] = i + 1;
-  std::shuffle(light.begin(), light.end(), rng);
-  std::size_t li = 0;
-  Weight heavy = 10 * static_cast<Weight>(n) * static_cast<Weight>(n);
-  std::vector<Weight> w(g.num_edges());
-  for (EdgeId e = 0; e < g.num_edges(); ++e)
-    w[e] = on_tree[e] ? light[li++] : heavy++;
-  return w;
-}
-
-/// The treewidth pathology (the wheel example generalized): a "k-path" band
-/// (vertex i adjacent to i-1..i-k) PLUS a universal hub, recorded with its
-/// width-(k+1) path decomposition (the hub joins every bag). Diameter 2 via
-/// the hub, but the cheap route is the n-hop band spine — exactly the
-/// D << shortest-path-hops regime where Theorem 5 shortcuts pay off. Random
-/// k-trees are no use here: their hop diameter is already O(log n), so plain
-/// Bellman-Ford is unbeatable on them.
-gen::KTreeResult hubbed_kpath(VertexId n, VertexId k) {
-  GraphBuilder b(n + 1);
-  const VertexId hub = n;
-  for (VertexId v = 1; v < n; ++v)
-    for (VertexId back = 1; back <= std::min(k, v); ++back)
-      b.add_edge(v - back, v);
-  for (VertexId v = 0; v < n; ++v) b.add_edge(v, hub);
-  std::vector<std::vector<VertexId>> bags;
-  std::vector<BagId> parent;
-  for (VertexId i = 0; i + k < n; ++i) {
-    std::vector<VertexId> bag;
-    for (VertexId j = i; j <= i + k; ++j) bag.push_back(j);
-    bag.push_back(hub);
-    bags.push_back(std::move(bag));
-    parent.push_back(static_cast<BagId>(i) - 1);
-  }
-  return {b.build(), TreeDecomposition(std::move(bags), std::move(parent))};
-}
-
-/// The clique-sum pathology (Theorem 6 shape): a CHAIN of apexed grid bags,
-/// consecutive bags identified at one vertex where their serpentines meet,
-/// so the per-bag boustrophedon routes concatenate into one n-hop cheap
-/// route, while every bag's universal apex keeps the hop diameter at
-/// ~2 hops per bag. Driven through the full clique-sum + Lemma 9 pipeline
-/// (apex_aware + bag_apices).
-struct ApexChain {
-  Graph graph;
-  CliqueSumDecomposition decomposition;
-  std::vector<std::vector<VertexId>> bag_apices;
-  std::vector<Weight> weights;
-};
-
-ApexChain apexed_chain_cliquesum(int bags, Rng& rng) {
-  const int rows = 16, cols = 16;
-  const VertexId per = rows * cols;
-  const EmbeddedGraph cell_embedded = gen::grid(rows, cols);
-  const Graph& cell = cell_embedded.graph();
-  // Boustrophedon order of local grid ids; bag i's snake START (0,0) is
-  // identified with bag i-1's snake END.
-  std::vector<VertexId> snake;
-  for (int r = 0; r < rows; ++r) {
-    if (r % 2 == 0)
-      for (int c = 0; c < cols; ++c) snake.push_back(static_cast<VertexId>(r * cols + c));
-    else
-      for (int c = cols - 1; c >= 0; --c) snake.push_back(static_cast<VertexId>(r * cols + c));
-  }
-  std::vector<std::vector<VertexId>> to_global(
-      static_cast<std::size_t>(bags), std::vector<VertexId>(per));
-  VertexId next = 0;
-  for (int b = 0; b < bags; ++b)
-    for (VertexId l = 0; l < per; ++l) {
-      if (b > 0 && l == snake.front())
-        to_global[b][l] = to_global[b - 1][snake.back()];
-      else
-        to_global[b][l] = next++;
-    }
-  std::vector<VertexId> apex(bags);
-  for (int b = 0; b < bags; ++b) apex[b] = next++;
-  GraphBuilder gb(next);
-  for (int b = 0; b < bags; ++b) {
-    for (EdgeId e = 0; e < cell.num_edges(); ++e)
-      gb.add_edge(to_global[b][cell.edge(e).u], to_global[b][cell.edge(e).v]);
-    for (VertexId l = 0; l < per; ++l) gb.add_edge(apex[b], to_global[b][l]);
-  }
-  Graph g = gb.build();
-
-  std::vector<std::vector<VertexId>> bag_vertices(static_cast<std::size_t>(bags));
-  std::vector<std::vector<EdgeId>> bag_edges(static_cast<std::size_t>(bags));
-  std::vector<BagId> parent(static_cast<std::size_t>(bags));
-  std::vector<std::vector<VertexId>> parent_clique(static_cast<std::size_t>(bags));
-  std::vector<std::vector<VertexId>> bag_apices(static_cast<std::size_t>(bags));
-  for (int b = 0; b < bags; ++b) {
-    for (VertexId l = 0; l < per; ++l)
-      bag_vertices[b].push_back(to_global[b][l]);
-    bag_vertices[b].push_back(apex[b]);
-    bag_apices[b] = {apex[b]};
-    for (EdgeId e = 0; e < cell.num_edges(); ++e)
-      bag_edges[b].push_back(
-          g.find_edge(to_global[b][cell.edge(e).u], to_global[b][cell.edge(e).v]));
-    for (VertexId l = 0; l < per; ++l)
-      bag_edges[b].push_back(g.find_edge(apex[b], to_global[b][l]));
-    parent[b] = static_cast<BagId>(b) - 1;
-    if (b > 0) parent_clique[b] = {to_global[b][snake.front()]};
-  }
-
-  // One continuous light route through every bag's serpentine.
-  std::vector<char> on_route(g.num_edges(), 0);
-  VertexId route_len = 0;
-  for (int b = 0; b < bags; ++b)
-    for (std::size_t i = 0; i + 1 < snake.size(); ++i) {
-      EdgeId e = g.find_edge(to_global[b][snake[i]], to_global[b][snake[i + 1]]);
-      if (!on_route[e]) {
-        on_route[e] = 1;
-        ++route_len;
-      }
-    }
-  std::vector<Weight> light(route_len);
-  for (VertexId i = 0; i < route_len; ++i) light[i] = i + 1;
-  std::shuffle(light.begin(), light.end(), rng);
-  std::size_t li = 0;
-  Weight heavy = 10 * static_cast<Weight>(g.num_vertices()) *
-                 static_cast<Weight>(g.num_vertices());
-  std::vector<Weight> w(g.num_edges());
-  for (EdgeId e = 0; e < g.num_edges(); ++e)
-    w[e] = on_route[e] ? light[li++] : heavy++;
-
-  return ApexChain{std::move(g),
-                   CliqueSumDecomposition(std::move(bag_vertices),
-                                          std::move(bag_edges),
-                                          std::move(parent),
-                                          std::move(parent_clique)),
-                   std::move(bag_apices), std::move(w)};
-}
-
-/// Serpentine weights for hubbed_kpath: the band spine 0-1-2-...-(n-1)
-/// carries the shuffled light weights, everything else (including every hub
-/// edge) is heavier than any all-light route.
-std::vector<Weight> spine_light_weights(const Graph& g, VertexId spine_len,
-                                        Rng& rng) {
-  std::vector<Weight> light(spine_len - 1);
-  for (VertexId i = 0; i + 1 < spine_len; ++i) light[i] = i + 1;
-  std::shuffle(light.begin(), light.end(), rng);
-  Weight heavy = 10 * static_cast<Weight>(g.num_vertices()) *
-                 static_cast<Weight>(g.num_vertices());
-  std::vector<Weight> w(g.num_edges());
-  for (EdgeId e = 0; e < g.num_edges(); ++e) {
-    const Edge& ed = g.edge(e);
-    w[e] = (ed.v == ed.u + 1 && ed.v < spine_len) ? light[ed.u] : heavy++;
-  }
-  return w;
-}
-
 /// Returns true iff both runs verified (main exits nonzero otherwise, so
 /// the CI smoke step fails on a MISMATCH instead of just printing it).
 [[nodiscard]] bool run_instance(bench::JsonReport& report, const char* family,
                                 const Graph& g, const std::vector<Weight>& w,
-                                congest::ShortcutProvider provider, double eps,
+                                StructuralCertificate cert, double eps,
                                 VertexId num_seeds = 0) {
   const VertexId source = 0;
   ShortestPathResult oracle = dijkstra(g, w, source);
 
-  congest::Simulator bf_sim(g);
-  congest::SsspResult bf = congest::exact_sssp(bf_sim, w, source);
-  bool exact_ok = bf.dist == oracle.dist;
+  congest::Session session = bench::make_session(g, std::move(cert));
+  congest::RunReport bf = session.solve(congest::ExactSssp{w, source});
+  bool exact_ok = bf.sssp().dist == oracle.dist;
 
-  congest::ApproxSsspOptions opt;
-  opt.provider = std::move(provider);
-  opt.epsilon = eps;
+  congest::ApproxSssp query{w, source};
+  query.epsilon = eps;
   // Cells must span several jump-costs' worth of hops to pay for their
   // aggregations; sqrt(n)/8 seeds keep them long on every benched family.
   // The uniform seed spread covers the whole network from the start, so one
   // partition phase suffices (the uncovered-wavefront trigger still guards
   // the pathological case).
-  opt.num_seeds = num_seeds;
-  opt.repartition_growth = 1.0;
-  congest::Simulator ap_sim(g);
-  congest::SsspResult ap = congest::approx_sssp(ap_sim, w, source, opt);
+  query.num_seeds = num_seeds;
+  query.repartition_growth = 1.0;
+  congest::RunReport ap = session.solve(query);
   double max_ratio = 1.0;
   bool approx_ok = true;
+  const std::vector<Weight>& ap_dist = ap.sssp().dist;
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
     if (oracle.dist[v] == kUnreachedWeight || oracle.dist[v] == 0) continue;
-    if (ap.dist[v] < oracle.dist[v]) approx_ok = false;
-    double ratio = static_cast<double>(ap.dist[v]) /
+    if (ap_dist[v] < oracle.dist[v]) approx_ok = false;
+    double ratio = static_cast<double>(ap_dist[v]) /
                    static_cast<double>(oracle.dist[v]);
     max_ratio = std::max(max_ratio, ratio);
   }
   approx_ok = approx_ok && max_ratio <= 1.0 + eps + 1e-9;
-  const double speedup =
-      static_cast<double>(bf.rounds) / static_cast<double>(ap.rounds);
+  const double speedup = static_cast<double>(bf.total_rounds()) /
+                         static_cast<double>(ap.total_rounds());
   std::printf("%-10s n=%6d  BF rounds=%8lld  (1+eps) rounds=%8lld  "
               "speedup=%5.2fx  phases=%2d jumps=%4lld  max_ratio=%.4f %s\n",
-              family, g.num_vertices(), bf.rounds, ap.rounds, speedup,
-              ap.phases, ap.jumps, max_ratio,
+              family, g.num_vertices(), bf.total_rounds(), ap.total_rounds(),
+              speedup, ap.phases, ap.aggregations, max_ratio,
               exact_ok && approx_ok ? "" : "MISMATCH");
   report.row()
       .set("family", family)
       .set("n", g.num_vertices())
       .set("epsilon", eps)
-      .set("rounds_bellman_ford", bf.rounds)
-      .set("rounds_approx", ap.rounds)
+      .set("rounds_bellman_ford", bf.total_rounds())
+      .set("messages_bellman_ford", bf.messages)
       .set("vs_bellman_ford", speedup)
-      .set("phases", ap.phases)
-      .set("jumps", ap.jumps)
-      .set("messages_bf", bf_sim.messages_sent())
-      .set("messages_approx", ap_sim.messages_sent())
+      .set_run(ap)
+      .set("jumps", ap.aggregations)
       .set("max_ratio", max_ratio)
       .set("verified", exact_ok && approx_ok ? "yes" : "no");
   return exact_ok && approx_ok;
@@ -264,7 +83,8 @@ std::vector<Weight> spine_light_weights(const Graph& g, VertexId spine_len,
 
 int main() {
   const bool smoke = std::getenv("MNS_BENCH_SMOKE") != nullptr;
-  bench::header("E15: SSSP rounds (shortcut-accelerated (1+eps) vs Bellman-Ford)");
+  bench::header(
+      "E15: SSSP rounds (shortcut-accelerated (1+eps) vs Bellman-Ford)");
   bench::JsonReport report("sssp");
   const double eps = 0.25;
   std::printf("adversarial long-cheap-route weights; eps=%.2f; smoke=%d\n\n",
@@ -280,8 +100,8 @@ int main() {
   for (int side : smoke ? std::vector<int>{16} : std::vector<int>{16, 32, 64}) {
     Graph g = gen::grid(side, side).graph();
     Rng rng(static_cast<unsigned>(side));
-    all_ok &= run_instance(report, "planar", g, dfs_light_weights(g, rng),
-                           bench::greedy_provider(), eps,
+    all_ok &= run_instance(report, "planar", g, bench::dfs_light_weights(g, rng),
+                           greedy_certificate(), eps,
                            long_cells(g.num_vertices()));
   }
 
@@ -289,11 +109,11 @@ int main() {
   for (VertexId n : smoke ? std::vector<VertexId>{256}
                           : std::vector<VertexId>{256, 1024, 4096}) {
     Rng rng(static_cast<unsigned>(n));
-    gen::KTreeResult kt = hubbed_kpath(n, 3);
+    bench::HubbedKPath kt = bench::hubbed_kpath(n, 3);
     all_ok &= run_instance(
-        report, "treewidth", kt.graph, spine_light_weights(kt.graph, n, rng),
-        bench::provider(treewidth_certificate(kt.decomposition)), eps,
-        long_cells(n));
+        report, "treewidth", kt.graph,
+        bench::spine_light_weights(kt.graph, n, rng),
+        treewidth_certificate(kt.decomposition), eps, long_cells(n));
   }
 
   // -- apex (grid + satellite apex, Lemma 9 certificate) --
@@ -302,8 +122,8 @@ int main() {
     gen::ApexResult ar =
         gen::add_apices(gen::grid(side, side).graph(), 1, 0.10, rng);
     all_ok &= run_instance(report, "apex", ar.graph,
-                           dfs_light_weights(ar.graph, rng),
-                           bench::apex_provider(ar.apices), eps,
+                           bench::dfs_light_weights(ar.graph, rng),
+                           apex_certificate(ar.apices), eps,
                            long_cells(ar.graph.num_vertices()));
   }
 
@@ -311,12 +131,9 @@ int main() {
   // pipeline (clique-sum folding + Lemma 9 apex-aware local oracles) --
   for (int bags : smoke ? std::vector<int>{4} : std::vector<int>{4, 16, 64}) {
     Rng rng(static_cast<unsigned>(bags));
-    ApexChain chain = apexed_chain_cliquesum(bags, rng);
-    CliqueSumCertificate cert{chain.decomposition};
-    cert.apex_aware = true;
-    cert.bag_apices = chain.bag_apices;
+    bench::ApexChain chain = bench::apexed_chain_cliquesum(bags, rng);
     all_ok &= run_instance(report, "cliquesum", chain.graph, chain.weights,
-                           bench::provider(std::move(cert)), eps,
+                           bench::apex_chain_certificate(chain), eps,
                            long_cells(chain.graph.num_vertices()));
   }
   return all_ok ? 0 : 1;

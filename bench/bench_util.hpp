@@ -2,11 +2,13 @@
 // binary prints a self-contained table regenerating one claim of the paper;
 // they are deterministic (fixed seeds) so EXPERIMENTS.md numbers reproduce.
 //
-// All shortcut construction goes through the certificate-dispatched
-// ShortcutEngine — benches never wire builders by hand. Alongside the human-
-// readable table every harness records a machine-readable BENCH_<name>.json
-// (rows of rounds / messages / congestion / block / quality / wall time) so
-// the performance trajectory of the repo is tracked from run to run.
+// All workload traffic goes through congest::Session (the one solver API;
+// shortcut construction dispatches through its certificate-keyed
+// ShortcutEngine + cache) — benches never wire builders or providers by
+// hand. Alongside the human-readable table every harness records a
+// machine-readable BENCH_<name>.json. Every row that reports rounds also
+// reports messages_sent, so the JSON captures congestion, not just round
+// counts.
 #pragma once
 
 #include <chrono>
@@ -15,7 +17,7 @@
 #include <utility>
 #include <vector>
 
-#include "congest/mst.hpp"
+#include "congest/session.hpp"
 #include "core/shortcut_engine.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/rooted_tree.hpp"
@@ -30,21 +32,13 @@ inline RootedTree center_tree(const Graph& g, unsigned seed = 1) {
   return center_tree_factory(seed)(g);
 }
 
-/// Shortcut provider for any certificate (uniform, treewidth, apex,
-/// clique-sum, ...) on a center BFS tree.
-inline congest::ShortcutProvider provider(StructuralCertificate cert,
-                                          TreeFactory tree = {}) {
-  return engine().provider(std::move(cert), std::move(tree));
-}
-
-/// Shortcut provider: uniform greedy on a center BFS tree.
-inline congest::ShortcutProvider greedy_provider() {
-  return provider(greedy_certificate());
-}
-
-/// Shortcut provider: apex-aware (Lemma 9) with greedy inner oracle.
-inline congest::ShortcutProvider apex_provider(std::vector<VertexId> apices) {
-  return provider(apex_certificate(std::move(apices)));
+/// A Session over a copy of `g` with the given structural knowledge, rooted
+/// on a center BFS tree — the standard harness entry point.
+inline congest::Session make_session(const Graph& g, StructuralCertificate cert,
+                                     unsigned tree_seed = 1) {
+  congest::SessionConfig cfg;
+  cfg.tree = center_tree_factory(tree_seed);
+  return congest::Session(g, std::move(cert), std::move(cfg));
 }
 
 inline void header(const char* title) {
@@ -88,6 +82,19 @@ class JsonRow {
         .set("block", m.block)
         .set("congestion", m.congestion)
         .set("quality", m.quality);
+  }
+  /// Standard telemetry block of one Session run: measured rounds AND
+  /// messages (congestion), substitution charges, and what the cache did.
+  JsonRow& set_run(const congest::RunReport& r) {
+    return set("rounds", r.rounds)
+        .set("messages", r.messages)
+        .set("charged_construction_rounds", r.charged_construction_rounds)
+        .set("total_rounds", r.total_rounds())
+        .set("phases", r.phases)
+        .set("aggregations", r.aggregations)
+        .set("cache_hits", r.cache_hits)
+        .set("cache_misses", r.cache_misses)
+        .set("wall_ms", r.wall_ms);
   }
 
   [[nodiscard]] std::string rendered() const {

@@ -6,9 +6,7 @@
 //   $ ./examples/backbone_mincut
 #include <cstdio>
 
-#include "congest/mincut.hpp"
-#include "congest/simulator.hpp"
-#include "core/shortcut_engine.hpp"
+#include "congest/session.hpp"
 #include "gen/clique_sum.hpp"
 #include "gen/series_parallel.hpp"
 #include "gen/weights.hpp"
@@ -32,20 +30,24 @@ int main() {
 
   Weight exact = congest::exact_min_cut(g, cap);
 
-  congest::Simulator sim(g);
-  congest::MinCutOptions opt;
-  opt.num_trees = 12;
-  // Theorem 7 pipeline on the recorded decomposition.
-  opt.provider = ShortcutEngine::global().provider(
-      cliquesum_certificate(net.decomposition), center_tree_factory(3));
-  congest::MinCutResult res = congest::approx_min_cut(sim, cap, opt);
+  // Theorem 7 pipeline on the recorded decomposition, behind one Session.
+  congest::SessionConfig cfg;
+  cfg.tree = center_tree_factory(3);
+  congest::Session session(g, cliquesum_certificate(net.decomposition),
+                           std::move(cfg));
+  congest::MinCut query{cap};
+  query.num_trees = 12;
+  congest::RunReport res = session.solve(query);
+  const Weight packed = res.min_cut().value;
 
   std::printf("exact min cut (Stoer-Wagner):    %lld\n",
               static_cast<long long>(exact));
-  std::printf("tree-packing estimate:           %lld (%d trees)\n",
-              static_cast<long long>(res.value), res.trees);
+  std::printf("tree-packing estimate:           %lld (%d trees, "
+              "%lld cache hits)\n",
+              static_cast<long long>(packed), res.min_cut().trees,
+              res.cache_hits);
   std::printf("approximation ratio:             %.3f\n",
-              static_cast<double>(res.value) / static_cast<double>(exact));
-  std::printf("simulated CONGEST rounds:        %lld\n", res.rounds);
-  return res.value >= exact && res.value <= 2 * exact + 1 ? 0 : 1;
+              static_cast<double>(packed) / static_cast<double>(exact));
+  std::printf("simulated CONGEST rounds:        %lld\n", res.total_rounds());
+  return packed >= exact && packed <= 2 * exact + 1 ? 0 : 1;
 }

@@ -15,9 +15,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "congest/mst.hpp"
-#include "congest/simulator.hpp"
-#include "core/shortcut_engine.hpp"
+#include "congest/session.hpp"
 #include "gen/planar.hpp"
 #include "graph/algorithms.hpp"
 
@@ -69,35 +67,34 @@ int main() {
       w[e] = on_path[e] ? light[li++] : next_heavy++;
   }
 
-  // 3. Distributed MST with the paper's apex-aware shortcuts (Lemma 9).
-  //    Shortcut construction cost is charged as one extra aggregation per
-  //    phase.
-  congest::Simulator sim_fast(g);
-  congest::MstOptions fast;
-  fast.provider = ShortcutEngine::global().provider(
-      apex_certificate({apex}),
-      [apex](const Graph& gg) {
-        return RootedTree::from_bfs(bfs(gg, apex), apex);
-      });
-  congest::MstResult with_shortcuts = congest::boruvka_mst(sim_fast, w, fast);
+  // 3. One Session over the network, carrying the paper's apex certificate
+  //    (Lemma 9): the uniform solver API for every workload. The shortcut
+  //    run charges construction as one extra aggregation per fresh
+  //    partition; the session cache serves revisited partitions for free.
+  congest::SessionConfig cfg;
+  cfg.tree = [apex](const Graph& gg) {
+    return RootedTree::from_bfs(bfs(gg, apex), apex);
+  };
+  congest::Session session(g, apex_certificate({apex}), std::move(cfg));
+  congest::RunReport with_shortcuts = session.solve(congest::Mst{w});
 
-  // 4. The naive baseline: Boruvka where each fragment floods internally.
-  congest::Simulator sim_slow(g);
-  congest::MstOptions slow;
-  slow.provider = congest::empty_shortcut_provider();
-  slow.charge_construction = false;
-  congest::MstResult without = congest::boruvka_mst(sim_slow, w, slow);
+  // 4. The naive baseline on the SAME session: Boruvka where each fragment
+  //    floods internally (no shortcuts, nothing constructed or charged).
+  congest::SolveOptions flooding;
+  flooding.use_shortcuts = false;
+  congest::RunReport without = session.solve(congest::Mst{w}, flooding);
 
   // 5. Verify both against Kruskal.
   std::vector<EdgeId> ref = congest::kruskal_mst(g, w);
   std::sort(ref.begin(), ref.end());
-  bool ok = with_shortcuts.edges == ref && without.edges == ref;
+  bool ok = with_shortcuts.mst().edges == ref && without.mst().edges == ref;
   std::printf("MST edges: %zu (kruskal: %zu) -> %s\n",
-              with_shortcuts.edges.size(), ref.size(),
+              with_shortcuts.mst().edges.size(), ref.size(),
               ok ? "verified" : "MISMATCH");
-  std::printf("rounds with shortcuts:    %lld (%d phases)\n",
-              with_shortcuts.rounds, with_shortcuts.phases);
-  std::printf("rounds without shortcuts: %lld (%d phases)\n", without.rounds,
-              without.phases);
+  std::printf("rounds with shortcuts:    %lld (%d phases, %lld cache hits)\n",
+              with_shortcuts.total_rounds(), with_shortcuts.phases,
+              with_shortcuts.cache_hits);
+  std::printf("rounds without shortcuts: %lld (%d phases)\n",
+              without.total_rounds(), without.phases);
   return ok ? 0 : 1;
 }

@@ -8,9 +8,7 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "congest/mst.hpp"
-#include "congest/simulator.hpp"
-#include "core/shortcut_engine.hpp"
+#include "congest/session.hpp"
 #include "gen/apex.hpp"
 #include "gen/planar.hpp"
 #include "gen/weights.hpp"
@@ -59,32 +57,31 @@ int main() {
               g.num_vertices(), g.num_edges(), diameter_exact(g),
               with_satellite.apices[0]);
 
-  auto run = [&](const char* name, congest::MstOptions opt) {
-    congest::Simulator sim(g);
-    congest::MstResult res = congest::boruvka_mst(sim, w, opt);
-    std::vector<EdgeId> ref = congest::kruskal_mst(g, w);
-    std::printf("%-34s rounds=%8lld phases=%2d  %s\n", name, res.rounds,
-                res.phases,
-                res.edges.size() == ref.size() ? "verified" : "MISMATCH");
+  std::vector<EdgeId> ref = congest::kruskal_mst(g, w);
+  auto record = [&](const char* name, const congest::RunReport& res) {
+    std::printf("%-34s rounds=%8lld phases=%2d  %s\n", name,
+                res.total_rounds(), res.phases,
+                res.mst().edges.size() == ref.size() ? "verified"
+                                                     : "MISMATCH");
   };
 
-  // 1. Apex-aware shortcuts (Lemma 9): the paper's construction.
-  const ShortcutEngine& engine = ShortcutEngine::global();
-  congest::MstOptions apex_aware;
-  apex_aware.provider = engine.provider(
-      apex_certificate(with_satellite.apices), center_tree_factory(5));
-  run("apex-aware shortcuts (Lemma 9)", apex_aware);
+  congest::SessionConfig cfg;
+  cfg.tree = center_tree_factory(5);
 
-  // 2. Structure-oblivious greedy shortcuts.
-  congest::MstOptions oblivious;
-  oblivious.provider =
-      engine.provider(greedy_certificate(), center_tree_factory(5));
-  run("structure-oblivious greedy", oblivious);
+  // 1. Apex-aware shortcuts (Lemma 9): the paper's construction. The
+  //    session's certificate IS the structural knowledge; solve() does the
+  //    rest.
+  congest::Session session(g, apex_certificate(with_satellite.apices), cfg);
+  record("apex-aware shortcuts (Lemma 9)", session.solve(congest::Mst{w}));
 
-  // 3. No shortcuts.
-  congest::MstOptions naive;
-  naive.provider = congest::empty_shortcut_provider();
-  naive.charge_construction = false;
-  run("no shortcuts", naive);
+  // 2. Structure-oblivious greedy shortcuts: swap the certificate (this
+  //    invalidates the session's shortcut cache) and re-solve.
+  session.set_certificate(greedy_certificate());
+  record("structure-oblivious greedy", session.solve(congest::Mst{w}));
+
+  // 3. No shortcuts: the flooding baseline on the same session.
+  congest::SolveOptions flooding;
+  flooding.use_shortcuts = false;
+  record("no shortcuts", session.solve(congest::Mst{w}, flooding));
   return 0;
 }

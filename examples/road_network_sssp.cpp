@@ -10,9 +10,7 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "congest/simulator.hpp"
-#include "congest/sssp.hpp"
-#include "core/shortcut_engine.hpp"
+#include "congest/session.hpp"
 #include "gen/apex.hpp"
 #include "gen/planar.hpp"
 #include "graph/algorithms.hpp"
@@ -62,42 +60,46 @@ int main() {
   ShortestPathResult oracle = dijkstra(g, w, depot);
   bool ok = true;
 
+  // One Session serves both the baseline and the accelerated query.
+  congest::SessionConfig cfg;
+  cfg.tree = center_tree_factory(5);
+  congest::Session session(g, apex_certificate(with_satellite.apices),
+                           std::move(cfg));
+
   // 1. Exact distributed Bellman-Ford (the baseline).
-  congest::Simulator bf_sim(g);
-  congest::SsspResult bf = congest::exact_sssp(bf_sim, w, depot);
-  bool bf_ok = bf.dist == oracle.dist;
+  congest::RunReport bf = session.solve(congest::ExactSssp{w, depot});
+  bool bf_ok = bf.sssp().dist == oracle.dist;
   ok = ok && bf_ok;
   std::printf("%-38s rounds=%8lld  %s\n", "exact Bellman-Ford",
-              bf.rounds, bf_ok ? "verified" : "MISMATCH");
+              bf.total_rounds(), bf_ok ? "verified" : "MISMATCH");
 
   // 2. Shortcut-accelerated (1+eps) SSSP with the apex certificate.
   const double eps = 0.25;
-  congest::ApproxSsspOptions opt;
-  opt.epsilon = eps;
-  opt.provider = ShortcutEngine::global().provider(
-      apex_certificate(with_satellite.apices), center_tree_factory(5));
+  congest::ApproxSssp query{w, depot};
+  query.epsilon = eps;
   // Long Voronoi cells (each spans many snake hops per jump) and a single
   // partition phase — the tuning bench_sssp uses on every family.
-  opt.num_seeds = 8;
-  opt.repartition_growth = 1.0;
-  congest::Simulator ap_sim(g);
-  congest::SsspResult ap = congest::approx_sssp(ap_sim, w, depot, opt);
+  query.num_seeds = 8;
+  query.repartition_growth = 1.0;
+  congest::RunReport ap = session.solve(query);
+  const std::vector<Weight>& ap_dist = ap.sssp().dist;
   double max_ratio = 1.0;
   bool ap_ok = true;
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
     if (oracle.dist[v] == kUnreachedWeight || oracle.dist[v] == 0) continue;
-    if (ap.dist[v] < oracle.dist[v]) ap_ok = false;
-    max_ratio = std::max(max_ratio, static_cast<double>(ap.dist[v]) /
+    if (ap_dist[v] < oracle.dist[v]) ap_ok = false;
+    max_ratio = std::max(max_ratio, static_cast<double>(ap_dist[v]) /
                                         static_cast<double>(oracle.dist[v]));
   }
   ap_ok = ap_ok && max_ratio <= 1.0 + eps + 1e-9;
   ok = ok && ap_ok;
   std::printf("%-38s rounds=%8lld  %s (max ratio %.4f <= %.2f, %d phases, "
               "%lld jumps)\n",
-              "(1+eps) SSSP, apex shortcuts", ap.rounds,
+              "(1+eps) SSSP, apex shortcuts", ap.total_rounds(),
               ap_ok ? "verified" : "MISMATCH", max_ratio, 1.0 + eps,
-              ap.phases, ap.jumps);
+              ap.phases, ap.aggregations);
   std::printf("speedup: %.2fx fewer rounds than Bellman-Ford\n",
-              static_cast<double>(bf.rounds) / static_cast<double>(ap.rounds));
+              static_cast<double>(bf.total_rounds()) /
+                  static_cast<double>(ap.total_rounds()));
   return ok ? 0 : 1;
 }

@@ -6,9 +6,10 @@
 // cut. With enough trees the best 1-respecting cut across the packing is a
 // (2+eps)-approximation (and in practice usually exact). Each tree's cut
 // evaluation is verifier-grade centralized, but its dissemination is a real
-// part-wise aggregation over the provider's shortcut, measured on
-// run_round_loop (the DESIGN.md substitution, no longer a skip_rounds
-// guess).
+// part-wise aggregation over the source's shortcut, measured on
+// run_round_loop (the DESIGN.md §4 substitution, no longer a skip_rounds
+// guess). Internal engine of Session::solve(MinCut) — user code goes
+// through congest::Session.
 #pragma once
 
 #include "congest/mst.hpp"
@@ -22,19 +23,30 @@ namespace mns::congest {
 
 struct MinCutResult {
   Weight value = 0;      ///< best 1-respecting cut over the packing
-  long long rounds = 0;  ///< simulated rounds (dominated by the MSTs)
+  long long rounds = 0;  ///< measured rounds (dominated by the MSTs)
+  /// Construction charges for freshly built shortcuts (DESIGN.md §2),
+  /// accumulated across the packing MSTs and the dissemination shortcut.
+  long long charged_construction_rounds = 0;
+  long long aggregations = 0;
   int trees = 0;
+
+  [[nodiscard]] long long total_rounds() const {
+    return rounds + charged_construction_rounds;
+  }
 };
 
 struct MinCutOptions {
-  ShortcutProvider provider;
+  /// Shortcut source shared by the packing MSTs and the per-tree cut
+  /// dissemination (Session::solve wires the session cache in here).
+  ShortcutSource source;
   int num_trees = 8;
-  bool charge_construction = true;
   /// Score each packing tree by its best 2-respecting cut (Thorup's (1+eps)
   /// guarantee) instead of 1-respecting only (2-approx guarantee). The
   /// evaluation is centralized verifier-grade either way; the charged rounds
-  /// are identical (see DESIGN.md substitutions).
+  /// are identical (see DESIGN.md §4).
   bool two_respecting = false;
+  /// Optional per-packing-tree telemetry (stage = "packing-tree").
+  RoundTraceHook trace;
 };
 
 [[nodiscard]] MinCutResult approx_min_cut(Simulator& sim,

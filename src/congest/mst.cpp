@@ -29,19 +29,11 @@ std::vector<EdgeId> kruskal_mst(const Graph& g, const std::vector<Weight>& w) {
   return mst;
 }
 
-ShortcutProvider empty_shortcut_provider() {
-  return [](const Graph&, const Partition& parts) {
-    Shortcut sc;
-    sc.edges_of_part.resize(parts.num_parts());
-    return sc;
-  };
-}
-
 MstResult boruvka_mst(Simulator& sim, const std::vector<Weight>& w,
                       const MstOptions& options) {
   const Graph& g = sim.graph();
   const VertexId n = g.num_vertices();
-  require(static_cast<bool>(options.provider), "boruvka_mst: no provider");
+  require(static_cast<bool>(options.source), "boruvka_mst: no shortcut source");
   require(static_cast<EdgeId>(w.size()) == g.num_edges(),
           "boruvka_mst: weight size mismatch");
 
@@ -62,6 +54,9 @@ MstResult boruvka_mst(Simulator& sim, const std::vector<Weight>& w,
       if (smallest >= options.stop_at_fragment_size) break;
     }
     ++out.phases;
+    const long long phase_rounds_start = sim.rounds();
+    const long long phase_messages_start = sim.messages_sent();
+    const long long phase_charged_start = out.charged_construction_rounds;
 
     // 1 round: every node tells each neighbour its fragment id.
     for (VertexId v = 0; v < n; ++v)
@@ -83,11 +78,15 @@ MstResult boruvka_mst(Simulator& sim, const std::vector<Weight>& w,
       }
     }
 
-    // Build this phase's shortcut and aggregate fragment minima.
-    Shortcut sc = options.provider(g, parts);
-    PartwiseAggregator agg(g, parts, sc);
+    // Obtain this phase's shortcut and aggregate fragment minima. A FRESH
+    // shortcut is charged one extra aggregation's worth of rounds (the
+    // [HIZ16a] substitution, DESIGN.md §2); a cached one was already paid
+    // for when it was first built.
+    SourcedShortcut sc = options.source(g, parts);
+    PartwiseAggregator agg(g, parts, *sc.shortcut);
     AggregationResult res = agg.aggregate_min(sim, initial);
-    if (options.charge_construction) sim.skip_rounds(res.rounds);
+    ++out.aggregations;
+    if (sc.fresh) out.charged_construction_rounds += res.rounds;
 
     // Merge along chosen edges (star contraction via DSU).
     bool merged_any = false;
@@ -110,14 +109,23 @@ MstResult boruvka_mst(Simulator& sim, const std::vector<Weight>& w,
 
     // Label dissemination: one aggregation on the NEW partition (members
     // flood the minimum old label; rounds measured; result label irrelevant
-    // beyond synchronization).
+    // beyond synchronization). The next phase aggregates over this same
+    // partition, so with a caching source its shortcut — charged here, on
+    // first build — is served back without a second charge.
     Partition new_parts(std::vector<PartId>(new_frag.begin(), new_frag.end()));
-    Shortcut new_sc = options.provider(g, new_parts);
-    PartwiseAggregator agg2(g, new_parts, new_sc);
+    SourcedShortcut new_sc = options.source(g, new_parts);
+    PartwiseAggregator agg2(g, new_parts, *new_sc.shortcut);
     std::vector<AggValue> labels(n);
     for (VertexId v = 0; v < n; ++v) labels[v] = AggValue{frag[v], 0};
-    (void)agg2.aggregate_min(sim, labels);
+    AggregationResult res2 = agg2.aggregate_min(sim, labels);
+    ++out.aggregations;
+    if (new_sc.fresh) out.charged_construction_rounds += res2.rounds;
 
+    if (options.trace)
+      options.trace(RoundTrace{
+          "boruvka-phase", out.phases, sim.rounds() - phase_rounds_start,
+          sim.messages_sent() - phase_messages_start,
+          out.charged_construction_rounds - phase_charged_start});
     frag = std::move(new_frag);
   }
 
@@ -130,15 +138,16 @@ MstResult boruvka_mst(Simulator& sim, const std::vector<Weight>& w,
 }
 
 MstResult controlled_ghs_mst(Simulator& sim, const RootedTree& bfs_tree,
-                             const std::vector<Weight>& w) {
+                             const std::vector<Weight>& w,
+                             const RoundTraceHook& trace) {
   const Graph& g = sim.graph();
   const VertexId n = g.num_vertices();
   long long start = sim.rounds();
 
   // Phase 1: shortcut-free Boruvka until fragments reach sqrt(n).
   MstOptions opt;
-  opt.provider = empty_shortcut_provider();
-  opt.charge_construction = false;
+  opt.source = empty_shortcut_source();
+  opt.trace = trace;
   opt.stop_at_fragment_size =
       static_cast<VertexId>(std::ceil(std::sqrt(static_cast<double>(n))));
   MstResult phase1 = boruvka_mst(sim, w, opt);
@@ -146,6 +155,7 @@ MstResult controlled_ghs_mst(Simulator& sim, const RootedTree& bfs_tree,
   MstResult out;
   out.edges = phase1.edges;
   out.phases = phase1.phases;
+  out.aggregations = phase1.aggregations;
   std::vector<PartId> frag = phase1.fragment_of;
 
   // Phase 2: pipelined upcast/downcast over the BFS tree.
@@ -153,6 +163,8 @@ MstResult controlled_ghs_mst(Simulator& sim, const RootedTree& bfs_tree,
     PartId num_frag = *std::max_element(frag.begin(), frag.end()) + 1;
     if (num_frag <= 1) break;
     ++out.phases;
+    const long long phase_rounds_start = sim.rounds();
+    const long long phase_messages_start = sim.messages_sent();
 
     // One round of fragment exchange with neighbours; local candidates.
     for (VertexId v = 0; v < n; ++v)
@@ -249,6 +261,10 @@ MstResult controlled_ghs_mst(Simulator& sim, const RootedTree& bfs_tree,
                   {d.msg.tag, static_cast<PartId>(d.msg.value)});
         });
     for (VertexId v = 0; v < n; ++v) frag[v] = relabel[frag[v]];
+    if (trace)
+      trace(RoundTrace{"ghs-phase", out.phases,
+                       sim.rounds() - phase_rounds_start,
+                       sim.messages_sent() - phase_messages_start, 0});
   }
 
   std::sort(out.edges.begin(), out.edges.end());

@@ -1,0 +1,357 @@
+#include "congest/session.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace mns::congest {
+
+namespace {
+
+/// FNV-1a 64-bit over a little buffer of integers — stable, dependency-free
+/// partition fingerprinting.
+class Fnv1a {
+ public:
+  void mix(std::uint64_t x) noexcept {
+    for (int byte = 0; byte < 8; ++byte) {
+      h_ ^= (x >> (8 * byte)) & 0xffu;
+      h_ *= 0x100000001b3ull;
+    }
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ull;
+};
+
+}  // namespace
+
+// -------------------------------------------------------- payload accessors
+
+const MstPayload& RunReport::mst() const {
+  const auto* p = std::get_if<MstPayload>(&payload);
+  require(p != nullptr, "RunReport: not an MST payload");
+  return *p;
+}
+const MinCutPayload& RunReport::min_cut() const {
+  const auto* p = std::get_if<MinCutPayload>(&payload);
+  require(p != nullptr, "RunReport: not a min-cut payload");
+  return *p;
+}
+const SsspPayload& RunReport::sssp() const {
+  const auto* p = std::get_if<SsspPayload>(&payload);
+  require(p != nullptr, "RunReport: not an SSSP payload");
+  return *p;
+}
+const BfsPayload& RunReport::bfs() const {
+  const auto* p = std::get_if<BfsPayload>(&payload);
+  require(p != nullptr, "RunReport: not a BFS payload");
+  return *p;
+}
+const AggregatePayload& RunReport::aggregate() const {
+  const auto* p = std::get_if<AggregatePayload>(&payload);
+  require(p != nullptr, "RunReport: not an aggregation payload");
+  return *p;
+}
+
+// ----------------------------------------------------------------- session
+
+Session::Session(Graph g, StructuralCertificate certificate,
+                 SessionConfig config)
+    : g_(std::move(g)),
+      sim_(g_),
+      cert_(std::move(certificate)),
+      tree_factory_(config.tree ? std::move(config.tree)
+                                : center_tree_factory()),
+      engine_(config.engine != nullptr ? config.engine
+                                       : &ShortcutEngine::global()),
+      cache_capacity_(std::max<std::size_t>(1, config.cache_capacity)) {
+  register_builtin_workloads();
+}
+
+const RootedTree& Session::tree() {
+  if (!tree_) tree_.emplace(tree_factory_(g_));
+  return *tree_;
+}
+
+void Session::set_certificate(StructuralCertificate cert) {
+  cert_ = std::move(cert);
+  ++epoch_;
+  clear_cache();
+}
+
+void Session::set_tree_factory(TreeFactory tree) {
+  tree_factory_ = tree ? std::move(tree) : center_tree_factory();
+  tree_.reset();
+  ++epoch_;
+  clear_cache();
+}
+
+std::size_t Session::cache_size() const noexcept { return lru_.size(); }
+
+void Session::clear_cache() {
+  lru_.clear();
+  cache_index_.clear();
+}
+
+std::uint64_t Session::fingerprint(const Partition& parts) const {
+  Fnv1a h;
+  h.mix(epoch_);
+  h.mix(static_cast<std::uint64_t>(parts.num_parts()));
+  for (PartId p : parts.part_of_all())
+    h.mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(p)));
+  return h.value();
+}
+
+void Session::cache_insert(std::uint64_t key, const Partition& parts,
+                           std::shared_ptr<const Shortcut> shortcut) {
+  while (lru_.size() >= cache_capacity_) {
+    const CacheEntry& victim = lru_.back();
+    auto idx = cache_index_.find(victim.key);
+    if (idx != cache_index_.end()) {
+      auto& slots = idx->second;
+      slots.erase(std::remove_if(slots.begin(), slots.end(),
+                                 [&](auto it) { return &*it == &victim; }),
+                  slots.end());
+      if (slots.empty()) cache_index_.erase(idx);
+    }
+    lru_.pop_back();
+  }
+  auto span = parts.part_of_all();
+  lru_.push_front(CacheEntry{key,
+                             std::vector<PartId>(span.begin(), span.end()),
+                             std::move(shortcut)});
+  cache_index_[key].push_back(lru_.begin());
+}
+
+SourcedShortcut Session::shortcut_for(const Partition& parts, bool use_cache) {
+  const std::uint64_t key = use_cache ? fingerprint(parts) : 0;
+  if (use_cache) {
+    auto idx = cache_index_.find(key);
+    if (idx != cache_index_.end()) {
+      auto span = parts.part_of_all();
+      for (auto it : idx->second) {
+        if (it->part_of.size() == span.size() &&
+            std::equal(span.begin(), span.end(), it->part_of.begin())) {
+          ++hits_;
+          lru_.splice(lru_.begin(), lru_, it);  // refresh LRU position
+          return SourcedShortcut{it->shortcut, /*fresh=*/false};
+        }
+      }
+    }
+  }
+  ++misses_;
+  auto built = std::make_shared<const Shortcut>(
+      engine_->build_shortcut(g_, tree(), parts, cert_));
+  if (use_cache) cache_insert(key, parts, built);
+  return SourcedShortcut{std::move(built), /*fresh=*/true};
+}
+
+ShortcutSource Session::make_source(const SolveOptions& opt) {
+  if (!opt.use_shortcuts) return empty_shortcut_source();
+  return [this, use_cache = opt.use_cache,
+          charge = opt.charge_construction](const Graph& g,
+                                            const Partition& parts) {
+    require(&g == &this->g_, "Session: shortcut requested for foreign graph");
+    SourcedShortcut s = this->shortcut_for(parts, use_cache);
+    if (!charge) s.fresh = false;  // ablation: never charge construction
+    return s;
+  };
+}
+
+BuildResult Session::analyze(const Partition& parts) {
+  BuildResult out = engine_->build(g_, tree(), parts, cert_);
+  // Seed the cache so a following solve over the same partition hits
+  // (counter-neutral: analysis is not query traffic).
+  const std::uint64_t key = fingerprint(parts);
+  auto idx = cache_index_.find(key);
+  auto span = parts.part_of_all();
+  if (idx != cache_index_.end())
+    for (auto it : idx->second)
+      if (it->part_of.size() == span.size() &&
+          std::equal(span.begin(), span.end(), it->part_of.begin())) {
+        lru_.splice(lru_.begin(), lru_, it);  // already cached: keep it hot
+        return out;
+      }
+  cache_insert(key, parts, std::make_shared<const Shortcut>(out.shortcut));
+  return out;
+}
+
+template <typename Body>
+RunReport Session::run(const char* workload, Body&& body) {
+  const auto start_clock = std::chrono::steady_clock::now();
+  const long long start_rounds = sim_.rounds();
+  const long long start_messages = sim_.messages_sent();
+  const long long start_hits = hits_;
+  const long long start_misses = misses_;
+  RunReport r;
+  r.workload = workload;
+  body(r);
+  r.rounds = sim_.rounds() - start_rounds;
+  r.messages = sim_.messages_sent() - start_messages;
+  r.cache_hits = hits_ - start_hits;
+  r.cache_misses = misses_ - start_misses;
+  r.wall_ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - start_clock)
+                  .count();
+  return r;
+}
+
+RunReport Session::solve(const Mst& q, const SolveOptions& opt) {
+  return run("mst", [&](RunReport& r) {
+    MstOptions mopt;
+    mopt.source = make_source(opt);
+    mopt.stop_at_fragment_size = q.stop_at_fragment_size;
+    mopt.trace = opt.trace;
+    MstResult res = boruvka_mst(sim_, q.weights, mopt);
+    r.charged_construction_rounds = res.charged_construction_rounds;
+    r.phases = res.phases;
+    r.aggregations = res.aggregations;
+    r.payload = MstPayload{std::move(res.edges), std::move(res.fragment_of)};
+  });
+}
+
+RunReport Session::solve(const GhsMst& q, const SolveOptions& opt) {
+  return run("mst.ghs", [&](RunReport& r) {
+    // GHS is shortcut-free: nothing to cache or charge; only the trace
+    // stream applies.
+    MstResult res = controlled_ghs_mst(sim_, tree(), q.weights, opt.trace);
+    r.phases = res.phases;
+    r.aggregations = res.aggregations;
+    r.payload = MstPayload{std::move(res.edges), std::move(res.fragment_of)};
+  });
+}
+
+RunReport Session::solve(const MinCut& q, const SolveOptions& opt) {
+  return run("mincut", [&](RunReport& r) {
+    MinCutOptions copt;
+    copt.source = make_source(opt);
+    copt.num_trees = q.num_trees;
+    copt.two_respecting = q.two_respecting;
+    copt.trace = opt.trace;
+    MinCutResult res = approx_min_cut(sim_, q.weights, copt);
+    r.charged_construction_rounds = res.charged_construction_rounds;
+    r.phases = res.trees;
+    r.aggregations = res.aggregations;
+    r.payload = MinCutPayload{res.value, res.trees};
+  });
+}
+
+RunReport Session::solve(const ExactSssp& q, const SolveOptions& opt) {
+  return run("sssp.exact", [&](RunReport& r) {
+    (void)opt;  // Bellman-Ford is shortcut-free
+    SsspResult res = exact_sssp(sim_, q.weights, q.source);
+    r.phases = res.phases;
+    r.payload = SsspPayload{std::move(res.dist), res.jumps};
+  });
+}
+
+RunReport Session::solve(const ApproxSssp& q, const SolveOptions& opt) {
+  return run("sssp.approx", [&](RunReport& r) {
+    ApproxSsspOptions sopt;
+    sopt.source = make_source(opt);
+    sopt.epsilon = q.epsilon;
+    sopt.num_seeds = q.num_seeds;
+    sopt.bf_rounds_per_cycle = q.bf_rounds_per_cycle;
+    sopt.repartition_growth = q.repartition_growth;
+    sopt.voronoi_hop_cap = q.voronoi_hop_cap;
+    sopt.wavefront_seeds = q.wavefront_seeds;
+    sopt.trace = opt.trace;
+    SsspResult res = approx_sssp(sim_, q.weights, q.source, sopt);
+    r.charged_construction_rounds = res.charged_construction_rounds;
+    r.phases = res.phases;
+    r.aggregations = res.jumps;
+    r.payload = SsspPayload{std::move(res.dist), res.jumps};
+  });
+}
+
+RunReport Session::solve(const Bfs& q, const SolveOptions& opt) {
+  return run("bfs", [&](RunReport& r) {
+    (void)opt;  // flooding needs no shortcuts
+    DistributedBfsResult res = distributed_bfs(sim_, q.root);
+    r.phases = 1;
+    r.payload = BfsPayload{std::move(res.dist), std::move(res.parent),
+                           std::move(res.parent_edge)};
+  });
+}
+
+RunReport Session::solve(const Aggregate& q, const SolveOptions& opt) {
+  return run("aggregate", [&](RunReport& r) {
+    require(static_cast<VertexId>(q.values.size()) == g_.num_vertices(),
+            "Session: aggregate values size mismatch");
+    SourcedShortcut s = make_source(opt)(g_, q.parts);
+    PartwiseAggregator agg(g_, q.parts, *s.shortcut);
+    AggregationResult res = agg.aggregate_min(sim_, q.values);
+    r.phases = 1;
+    r.aggregations = 1;
+    if (s.fresh) r.charged_construction_rounds = res.rounds;
+    r.payload = AggregatePayload{std::move(res.min_of_part)};
+  });
+}
+
+// ---------------------------------------------------------------- registry
+
+void Session::register_workload(std::string name, WorkloadFn fn) {
+  require(!name.empty(), "Session: empty workload name");
+  require(static_cast<bool>(fn), "Session: null workload");
+  auto [it, inserted] = workloads_.emplace(std::move(name), std::move(fn));
+  if (!inserted)
+    throw InvariantViolation("Session: duplicate workload '" + it->first +
+                             "'");
+}
+
+bool Session::has_workload(std::string_view name) const {
+  return workloads_.find(name) != workloads_.end();
+}
+
+std::vector<std::string> Session::workload_names() const {
+  std::vector<std::string> names;
+  names.reserve(workloads_.size());
+  for (const auto& [name, fn] : workloads_) names.push_back(name);
+  return names;
+}
+
+RunReport Session::solve(std::string_view workload,
+                         const WorkloadParams& params,
+                         const SolveOptions& opt) {
+  auto it = workloads_.find(workload);
+  if (it == workloads_.end())
+    throw InvariantViolation("Session: unknown workload '" +
+                             std::string(workload) + "'");
+  RunReport r = it->second(*this, params, opt);
+  r.workload = std::string(workload);
+  return r;
+}
+
+void Session::register_builtin_workloads() {
+  register_workload("mst", [](Session& s, const WorkloadParams& p,
+                              const SolveOptions& o) {
+    return s.solve(Mst{p.weights, p.stop_at_fragment_size}, o);
+  });
+  register_workload("mst.ghs", [](Session& s, const WorkloadParams& p,
+                                  const SolveOptions& o) {
+    return s.solve(GhsMst{p.weights}, o);
+  });
+  register_workload("mincut", [](Session& s, const WorkloadParams& p,
+                                 const SolveOptions& o) {
+    return s.solve(MinCut{p.weights, p.num_trees, p.two_respecting}, o);
+  });
+  register_workload("sssp.exact", [](Session& s, const WorkloadParams& p,
+                                     const SolveOptions& o) {
+    return s.solve(ExactSssp{p.weights, p.source}, o);
+  });
+  register_workload("sssp.approx", [](Session& s, const WorkloadParams& p,
+                                      const SolveOptions& o) {
+    return s.solve(
+        ApproxSssp{p.weights, p.source, p.epsilon, p.num_seeds,
+                   p.bf_rounds_per_cycle, p.repartition_growth,
+                   p.voronoi_hop_cap, p.wavefront_seeds},
+        o);
+  });
+  register_workload("bfs", [](Session& s, const WorkloadParams& p,
+                              const SolveOptions& o) {
+    return s.solve(Bfs{p.source}, o);
+  });
+}
+
+}  // namespace mns::congest

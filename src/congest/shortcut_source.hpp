@@ -1,0 +1,68 @@
+// ShortcutSource: how the CONGEST workloads obtain shortcuts, and how
+// construction charging flows (DESIGN.md §2).
+//
+// A plain ShortcutProvider answers "give me the shortcut for this partition"
+// but says nothing about who pays for building it. A ShortcutSource answers
+// both: it returns the shortcut plus whether it was freshly constructed.
+// Workloads charge the [HIZ16a] construction substitution only for FRESH
+// shortcuts (recording the charge in their result's
+// charged_construction_rounds, never in the simulator's measured rounds), so
+// a Session cache that serves a previously built shortcut automatically
+// yields the "charged once per distinct partition" discipline.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "core/shortcut.hpp"
+
+namespace mns::congest {
+
+/// A shortcut handed to a workload, with its charging status. fresh == false
+/// means the construction was already paid for (cache hit, or a baseline
+/// that builds nothing) and must not be charged again.
+struct SourcedShortcut {
+  std::shared_ptr<const Shortcut> shortcut;
+  bool fresh = true;
+};
+
+/// The hand-off point between the construction layer (Session's cache, or a
+/// bare engine provider) and the CONGEST workloads.
+using ShortcutSource =
+    std::function<SourcedShortcut(const Graph&, const Partition&)>;
+
+/// Adapts a plain provider: every invocation builds fresh (the uncached,
+/// charge-every-time path — what benches call a "cold" run).
+[[nodiscard]] inline ShortcutSource source_from_provider(
+    ShortcutProvider provider) {
+  return [provider = std::move(provider)](const Graph& g,
+                                          const Partition& parts) {
+    return SourcedShortcut{
+        std::make_shared<const Shortcut>(provider(g, parts)), true};
+  };
+}
+
+/// Source returning empty shortcuts (the flooding baseline, wrapping the
+/// core empty_shortcut_provider). Never fresh: nothing is constructed, so
+/// nothing is charged.
+[[nodiscard]] inline ShortcutSource empty_shortcut_source() {
+  return [provider = empty_shortcut_provider()](const Graph& g,
+                                                const Partition& parts) {
+    return SourcedShortcut{std::make_shared<const Shortcut>(provider(g, parts)),
+                           false};
+  };
+}
+
+/// One entry of the per-phase telemetry stream every workload can emit
+/// (RunReport's RoundTrace hook): which stage of the run consumed what.
+struct RoundTrace {
+  const char* stage = "";  ///< "boruvka-phase", "packing-tree", ...
+  int index = 0;           ///< phase / tree / scale-phase number within a run
+  long long rounds = 0;    ///< measured communication rounds of this phase
+  long long messages = 0;  ///< messages sent in this phase
+  long long charged_rounds = 0;  ///< substitution charges attributed here
+};
+using RoundTraceHook = std::function<void(const RoundTrace&)>;
+
+}  // namespace mns::congest

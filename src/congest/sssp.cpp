@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <memory>
+#include <numeric>
 #include <utility>
 
 #include "congest/aggregation.hpp"
@@ -43,17 +44,32 @@ std::vector<Weight> round_weights(const std::vector<Weight>& w,
   // Representative ladder 1 = r_0 < r_1 < ... with r_{b+1} =
   // max(r_b + 1, floor(r_b * (1+eps))): snapping an integer weight up to the
   // next representative costs at most a (1+eps) factor per edge (if the jump
-  // was the +1 branch, the snap is exact).
-  std::vector<Weight> ladder{1};
-  while (ladder.back() < wmax) {
-    const Weight r = ladder.back();
-    const Weight grown = static_cast<Weight>(
-        static_cast<long double>(r) * (1.0L + static_cast<long double>(epsilon)));
-    ladder.push_back(std::max(r + 1, grown));
-  }
+  // was the +1 branch, the snap is exact). The ladder has <= 2/eps +1 branch
+  // steps and then grows by a factor >= (1+eps/2) per step; refuse clearly
+  // (instead of hanging) when epsilon is too small for the weight range.
+  const double ladder_steps =
+      2.0 / epsilon +
+      2.0 * std::log(static_cast<double>(wmax) + 1.0) / std::log1p(epsilon) +
+      16.0;
+  require(ladder_steps <= 1e8,
+          "round_weights: epsilon too small for the weight range");
+  // Walk the ladder once, streaming assignments over the weights in sorted
+  // order — no materialized ladder, O(m) memory.
+  std::vector<std::size_t> order(w.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return w[a] < w[b]; });
   std::vector<Weight> out(w.size());
-  for (std::size_t i = 0; i < w.size(); ++i)
-    out[i] = *std::lower_bound(ladder.begin(), ladder.end(), w[i]);
+  Weight r = 1;
+  std::size_t i = 0;
+  while (i < order.size() && w[order[i]] <= r) out[order[i++]] = r;
+  while (i < order.size()) {
+    const Weight grown = static_cast<Weight>(
+        static_cast<long double>(r) *
+        (1.0L + static_cast<long double>(epsilon)));
+    r = std::max(r + 1, grown);
+    while (i < order.size() && w[order[i]] <= r) out[order[i++]] = r;
+  }
   return out;
 }
 
@@ -105,7 +121,7 @@ SsspResult approx_sssp(Simulator& sim, const std::vector<Weight>& w,
                        VertexId source, const ApproxSsspOptions& options) {
   const Graph& g = sim.graph();
   const VertexId n = g.num_vertices();
-  require(static_cast<bool>(options.provider), "approx_sssp: no provider");
+  require(static_cast<bool>(options.source), "approx_sssp: no shortcut source");
   require(options.bf_rounds_per_cycle >= 1,
           "approx_sssp: bf_rounds_per_cycle must be >= 1");
   require(source >= 0 && source < n, "approx_sssp: source out of range");
@@ -191,53 +207,83 @@ SsspResult approx_sssp(Simulator& sim, const std::vector<Weight>& w,
 
   // Per-phase partition state: weighted Voronoi cells seeded around the
   // current wavefront, with cdist = intra-cell distance to the cell seed.
+  // Per-scale-phase trace state: a phase spans from one partition rebuild to
+  // the next (bursts, jumps, and the build charge included).
+  long long phase_rounds_start = sim.rounds();
+  long long phase_messages_start = sim.messages_sent();
+  long long phase_charged_start = 0;
+  auto emit_phase_trace = [&] {
+    if (!options.trace || out.phases == 0) return;
+    options.trace(RoundTrace{
+        "scale-phase", out.phases, sim.rounds() - phase_rounds_start,
+        sim.messages_sent() - phase_messages_start,
+        out.charged_construction_rounds - phase_charged_start});
+    phase_rounds_start = sim.rounds();
+    phase_messages_start = sim.messages_sent();
+    phase_charged_start = out.charged_construction_rounds;
+  };
+
   auto rebuild_partition = [&] {
+    emit_phase_trace();
     ++out.phases;
-    // Wavefront seeds first (evenly spaced along the front by distance),
-    // then a deterministic spread over still-unreached terrain so cells
-    // exist wherever propagation goes next.
-    std::vector<VertexId> wavefront;
-    for (VertexId v = 0; v < n; ++v) {
-      if (out.dist[v] == kUnreachedWeight) continue;
-      for (VertexId u : g.neighbors(v))
-        if (out.dist[u] == kUnreachedWeight) {
-          wavefront.push_back(v);
-          break;
-        }
-    }
-    std::sort(wavefront.begin(), wavefront.end(),
-              [&](VertexId a, VertexId b) {
-                return std::pair(out.dist[a], a) < std::pair(out.dist[b], b);
-              });
     std::vector<char> is_seed(n, 0);
     std::vector<VertexId> seeds;
-    const VertexId front_size = static_cast<VertexId>(wavefront.size());
-    const VertexId from_front =
-        std::min(front_size, std::max<VertexId>(1, num_seeds / 2));
-    for (VertexId i = 0; i < from_front; ++i) {
-      const VertexId s = wavefront[static_cast<std::size_t>(i) *
-                                   static_cast<std::size_t>(front_size) /
-                                   static_cast<std::size_t>(from_front)];
-      if (!is_seed[s]) {
-        is_seed[s] = 1;
-        seeds.push_back(s);
+    if (options.wavefront_seeds) {
+      // Wavefront seeds first (evenly spaced along the front by distance),
+      // then a deterministic spread over still-unreached terrain so cells
+      // exist wherever propagation goes next.
+      std::vector<VertexId> wavefront;
+      for (VertexId v = 0; v < n; ++v) {
+        if (out.dist[v] == kUnreachedWeight) continue;
+        for (VertexId u : g.neighbors(v))
+          if (out.dist[u] == kUnreachedWeight) {
+            wavefront.push_back(v);
+            break;
+          }
       }
-    }
-    if (seeds.empty()) {
-      is_seed[source] = 1;
-      seeds.push_back(source);
-    }
-    const VertexId stride = std::max<VertexId>(1, n / (num_seeds + 1));
-    for (int pass = 0;
-         pass < 2 && static_cast<VertexId>(seeds.size()) < num_seeds; ++pass)
+      std::sort(wavefront.begin(), wavefront.end(),
+                [&](VertexId a, VertexId b) {
+                  return std::pair(out.dist[a], a) < std::pair(out.dist[b], b);
+                });
+      const VertexId front_size = static_cast<VertexId>(wavefront.size());
+      const VertexId from_front =
+          std::min(front_size, std::max<VertexId>(1, num_seeds / 2));
+      for (VertexId i = 0; i < from_front; ++i) {
+        const VertexId s = wavefront[static_cast<std::size_t>(i) *
+                                     static_cast<std::size_t>(front_size) /
+                                     static_cast<std::size_t>(from_front)];
+        if (!is_seed[s]) {
+          is_seed[s] = 1;
+          seeds.push_back(s);
+        }
+      }
+      if (seeds.empty()) {
+        is_seed[source] = 1;
+        seeds.push_back(source);
+      }
+      const VertexId stride = std::max<VertexId>(1, n / (num_seeds + 1));
+      for (int pass = 0;
+           pass < 2 && static_cast<VertexId>(seeds.size()) < num_seeds; ++pass)
+        for (VertexId v = 0;
+             v < n && static_cast<VertexId>(seeds.size()) < num_seeds;
+             v += stride) {
+          if (is_seed[v]) continue;
+          if (pass == 0 && out.dist[v] != kUnreachedWeight) continue;
+          is_seed[v] = 1;
+          seeds.push_back(v);
+        }
+    } else {
+      // Source-independent stride spread: the same partition for every query
+      // on this network, so a caching source pays its construction once per
+      // session instead of once per query (DESIGN.md §5).
+      const VertexId stride = std::max<VertexId>(1, n / num_seeds);
       for (VertexId v = 0;
            v < n && static_cast<VertexId>(seeds.size()) < num_seeds;
            v += stride) {
-        if (is_seed[v]) continue;
-        if (pass == 0 && out.dist[v] != kUnreachedWeight) continue;
         is_seed[v] = 1;
         seeds.push_back(v);
       }
+    }
 
     CappedVoronoi vor = capped_voronoi(g, w2, seeds, hop_cap);
     std::vector<PartId> seed_index(n, kNoPart);
@@ -247,13 +293,15 @@ SsspResult approx_sssp(Simulator& sim, const std::vector<Weight>& w,
     for (VertexId v = 0; v < n; ++v)
       if (vor.owner[v] != kInvalidVertex) part_of[v] = seed_index[vor.owner[v]];
     parts = std::make_unique<Partition>(std::move(part_of));
-    Shortcut sc = options.provider(g, *parts);
-    agg = std::make_unique<PartwiseAggregator>(g, *parts, sc);
+    SourcedShortcut sc = options.source(g, *parts);
+    agg = std::make_unique<PartwiseAggregator>(g, *parts, *sc.shortcut);
     cdist = std::move(vor.dist);
     part_dirty.assign(static_cast<std::size_t>(parts->num_parts()), 1);
     // Charge the centralized cell growth as the rounds its distributed
     // (Bellman-Ford-style) counterpart would take: the forest's hop depth.
-    if (options.charge_construction) sim.skip_rounds(vor.max_hops + 1);
+    // A cache hit means this partition's cells and shortcut were already
+    // paid for in this session — no second charge (DESIGN.md §2).
+    if (sc.fresh) out.charged_construction_rounds += vor.max_hops + 1;
     reached_at_partition = reached;
   };
 
@@ -314,6 +362,7 @@ SsspResult approx_sssp(Simulator& sim, const std::vector<Weight>& w,
         static_cast<int>(std::min<long long>(jump_rounds, 1 << 20)));
     if (!bf_improved && !jump_improved && frontier.empty()) break;
   }
+  emit_phase_trace();
   out.rounds = sim.rounds() - start;
   return out;
 }

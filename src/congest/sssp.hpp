@@ -34,30 +34,42 @@
 //     rounding therefore always holds; the jumps only change how many rounds
 //     it takes to get there.
 //
-// Round accounting (the DESIGN.md substitution discipline, as in mincut):
-// Bellman-Ford rounds and aggregation rounds are honestly simulated; the
-// per-phase Voronoi/cdist construction is computed centrally and charged via
-// skip_rounds as the hop depth of the Voronoi forest — the rounds a
-// distributed Bellman-Ford-style cell growth would take.
+// Round accounting (the DESIGN.md §2-§3 substitution discipline, as in
+// mincut): Bellman-Ford rounds and aggregation rounds are honestly
+// simulated; the per-phase Voronoi/cdist construction is computed centrally
+// and charged as the hop depth of the Voronoi forest — the rounds a
+// distributed Bellman-Ford-style cell growth would take — recorded in
+// charged_construction_rounds, and only for FRESH partitions (a session
+// cache hit means the cells and their shortcut were already paid for).
+// Internal engine of Session::solve(ApproxSssp) — user code goes through
+// congest::Session.
 #pragma once
 
+#include "congest/shortcut_source.hpp"
 #include "congest/simulator.hpp"
-#include "core/shortcut.hpp"
 #include "graph/algorithms.hpp"
 
 namespace mns::congest {
 
 /// Re-exported from core/shortcut.hpp (as in mst.hpp):
-/// ShortcutEngine::provider() is the canonical way to obtain one.
+/// Session wraps one into the ShortcutSource the workloads consume.
 using ShortcutProvider = ::mns::ShortcutProvider;
 
 struct SsspResult {
   /// Weighted distance from the source under the (possibly rounded) weights;
   /// kUnreachedWeight for vertices in other components.
   std::vector<Weight> dist;
-  long long rounds = 0;    ///< simulated rounds consumed
-  int phases = 0;          ///< scale phases (re-partitions); approx only
-  long long jumps = 0;     ///< part-wise aggregations performed; approx only
+  long long rounds = 0;  ///< measured rounds consumed
+  /// Voronoi cell-growth charges for freshly built partitions (DESIGN.md
+  /// §2-§3); kept out of `rounds` so cached and cold runs measure
+  /// identically. Always 0 for exact_sssp.
+  long long charged_construction_rounds = 0;
+  int phases = 0;       ///< scale phases (re-partitions); approx only
+  long long jumps = 0;  ///< part-wise aggregations performed; approx only
+
+  [[nodiscard]] long long total_rounds() const {
+    return rounds + charged_construction_rounds;
+  }
 };
 
 /// Exact lock-step Bellman-Ford (the baseline). Requires non-negative
@@ -67,9 +79,9 @@ struct SsspResult {
                                     VertexId source);
 
 struct ApproxSsspOptions {
-  /// Shortcut provider for the per-phase wavefront partitions
-  /// (ShortcutEngine::provider() is the canonical way to obtain one).
-  ShortcutProvider provider;
+  /// Shortcut source for the per-phase wavefront partitions (Session::solve
+  /// wires the session cache in here).
+  ShortcutSource source;
   /// Approximation slack: returned distances are within (1+epsilon) of true.
   double epsilon = 0.25;
   /// Voronoi cells per phase; 0 = ceil(sqrt(n)).
@@ -82,9 +94,14 @@ struct ApproxSsspOptions {
   /// Voronoi growth stops at this hop depth (bounding the charged per-phase
   /// construction cost); 0 = auto (a few cell diameters).
   int voronoi_hop_cap = 0;
-  /// Charge the centralized Voronoi/cdist construction via skip_rounds (the
-  /// hop depth of the Voronoi forest); mirrors MstOptions.
-  bool charge_construction = true;
+  /// true: cells are seeded from the current wavefront (adapts to the query;
+  /// partitions differ per source). false: a deterministic stride spread
+  /// that depends only on the network — the SAME partition for every source,
+  /// so a Session's shortcut cache serves k-source query batches with one
+  /// construction (DESIGN.md §5).
+  bool wavefront_seeds = true;
+  /// Optional per-scale-phase telemetry (stage = "scale-phase").
+  RoundTraceHook trace;
 };
 
 /// (1+eps)-approximate SSSP: geometric weight rounding + shortcut-based

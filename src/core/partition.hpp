@@ -36,6 +36,11 @@ class Partition {
       const noexcept {
     return members_;
   }
+  /// The dense per-vertex part map (what Session fingerprints for its
+  /// shortcut cache).
+  [[nodiscard]] std::span<const PartId> part_of_all() const noexcept {
+    return part_of_;
+  }
 
   /// "" iff every part is non-empty and G[P_i] is connected (Definition 9).
   [[nodiscard]] std::string validate(const Graph& g) const;

@@ -30,6 +30,11 @@ using ShortcutProvider = std::function<Shortcut(const Graph&, const Partition&)>
 /// How a provider roots the spanning tree on each invocation.
 using TreeFactory = std::function<RootedTree(const Graph&)>;
 
+/// Provider returning empty shortcuts (the no-shortcut flooding baseline):
+/// every part communicates over G[P_i] alone. Lives here, next to
+/// ShortcutProvider itself — it is a core concept, not an MST detail.
+[[nodiscard]] ShortcutProvider empty_shortcut_provider();
+
 struct ShortcutMetrics {
   int congestion = 0;        ///< c: max parts per edge (Def 11)
   int block = 0;             ///< b: max block components per part (Def 12)

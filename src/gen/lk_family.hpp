@@ -1,8 +1,8 @@
 // Random members of L_k (Definition 6): k-clique-sums of k-almost-embeddable
 // graphs. By the Graph Structure Theorem (Theorem 3), every H-minor-free
 // graph lies in some L_k; sampling L_k directly exercises every construction
-// of the paper with the decomposition known by construction (see DESIGN.md on
-// why generation replaces decomposition).
+// of the paper with the decomposition known by construction (see DESIGN.md
+// §4 on why generation replaces decomposition).
 #pragma once
 
 #include <vector>

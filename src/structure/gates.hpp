@@ -9,7 +9,7 @@
 // gate(i,j) = endpoints of all (i,j) inter-cell edges with F = S. Properties
 // (1)-(5) hold by construction; property (6)'s parameter s = Σ|F| / |C| is
 // *measured* and reported (bench E7 compares it against Lemma 7's 36d), per
-// DESIGN.md's substitution for the extremal-edge construction.
+// DESIGN.md §4's substitution for the extremal-edge construction.
 #pragma once
 
 #include <string>

@@ -2,15 +2,15 @@
 // enforcement, BFS round counts, part-wise aggregation correctness and its
 // shortcut speedup (Theorem 1's mechanism), Boruvka MST == Kruskal,
 // controlled-GHS == Kruskal, and min-cut approximation vs Stoer-Wagner.
+// All workload traffic goes through congest::Session (the one solver API);
+// the aggregation primitive and the simulator keep their direct tests.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <set>
 
 #include "congest/aggregation.hpp"
-#include "congest/bfs.hpp"
-#include "congest/mincut.hpp"
-#include "congest/mst.hpp"
+#include "congest/session.hpp"
 #include "congest/simulator.hpp"
 #include "core/shortcut_engine.hpp"
 #include "gen/basic.hpp"
@@ -24,15 +24,18 @@ namespace {
 
 using congest::AggValue;
 using congest::Message;
+using congest::RunReport;
+using congest::Session;
 using congest::Simulator;
 
 RootedTree bfs_tree(const Graph& g, VertexId root) {
   return RootedTree::from_bfs(bfs(g, root), root);
 }
 
-congest::ShortcutProvider greedy_provider() {
-  return ShortcutEngine::global().provider(greedy_certificate(),
-                                           center_tree_factory(12345));
+Session greedy_session(const Graph& g) {
+  congest::SessionConfig cfg;
+  cfg.tree = center_tree_factory(12345);
+  return Session(g, greedy_certificate(), std::move(cfg));
 }
 
 TEST(Simulator, EnforcesDirectedEdgeCapacity) {
@@ -80,13 +83,15 @@ TEST(Simulator, DeliversToInboxNextRound) {
 
 TEST(DistributedBfs, RoundsTrackEccentricity) {
   Graph g = gen::grid(7, 9).graph();
-  Simulator sim(g);
-  congest::DistributedBfsResult r = congest::distributed_bfs(sim, 0);
+  Session s = greedy_session(g);
+  RunReport r = s.solve(congest::Bfs{0});
   BfsResult ref = bfs(g, 0);
-  EXPECT_EQ(r.dist, ref.dist);
+  EXPECT_EQ(r.bfs().dist, ref.dist);
   EXPECT_LE(r.rounds, ref.max_distance() + 1);
   EXPECT_GE(r.rounds, ref.max_distance());
-  RootedTree t = congest::tree_from_distributed_bfs(r, 0);
+  congest::DistributedBfsResult raw{r.bfs().dist, r.bfs().parent,
+                                    r.bfs().parent_edge, r.rounds};
+  RootedTree t = congest::tree_from_distributed_bfs(raw, 0);
   EXPECT_EQ(t.height(), ref.max_distance());
 }
 
@@ -184,15 +189,16 @@ TEST_P(MstSweep, BoruvkaMatchesKruskalOnRandomPlanar) {
   EmbeddedGraph eg = gen::random_maximal_planar(120, rng);
   const Graph& g = eg.graph();
   std::vector<Weight> w = gen::unique_random_weights(g, rng);
-  Simulator sim(g);
-  congest::MstOptions opt;
-  opt.provider = greedy_provider();
-  congest::MstResult res = congest::boruvka_mst(sim, w, opt);
+  Session s = greedy_session(g);
+  RunReport res = s.solve(congest::Mst{w});
   std::vector<EdgeId> ref = congest::kruskal_mst(g, w);
   std::sort(ref.begin(), ref.end());
-  EXPECT_EQ(res.edges, ref);
+  EXPECT_EQ(res.mst().edges, ref);
   EXPECT_GE(res.rounds, 1);
   EXPECT_LE(res.phases, 20);
+  // Boruvka revisits each new partition (dissemination, then next phase):
+  // the session cache must see hits even within one run.
+  EXPECT_GT(res.cache_hits, 0);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MstSweep, ::testing::Values(1, 2, 3, 4, 5));
@@ -201,14 +207,16 @@ TEST(Mst, NoShortcutBaselineAlsoCorrect) {
   Rng rng(9);
   Graph g = gen::grid(8, 8).graph();
   std::vector<Weight> w = gen::unique_random_weights(g, rng);
-  Simulator sim(g);
-  congest::MstOptions opt;
-  opt.provider = congest::empty_shortcut_provider();
-  opt.charge_construction = false;
-  congest::MstResult res = congest::boruvka_mst(sim, w, opt);
+  Session s = greedy_session(g);
+  congest::SolveOptions flooding;
+  flooding.use_shortcuts = false;
+  RunReport res = s.solve(congest::Mst{w}, flooding);
   std::vector<EdgeId> ref = congest::kruskal_mst(g, w);
   std::sort(ref.begin(), ref.end());
-  EXPECT_EQ(res.edges, ref);
+  EXPECT_EQ(res.mst().edges, ref);
+  // Nothing constructed, nothing charged, nothing cached.
+  EXPECT_EQ(res.charged_construction_rounds, 0);
+  EXPECT_EQ(res.cache_misses, 0);
 }
 
 TEST(Mst, WorksOnLkSample) {
@@ -219,52 +227,51 @@ TEST(Mst, WorksOnLkSample) {
   bp.apices = 1;
   gen::LkSample s = gen::random_lk_graph(4, bp, 2, 0.0, rng);
   std::vector<Weight> w = gen::unique_random_weights(s.graph, rng);
-  Simulator sim(s.graph);
-  congest::MstOptions opt;
-  // End-to-end Theorem 6 pipeline as the provider.
+  // End-to-end Theorem 6 pipeline as the session certificate.
   CliqueSumCertificate cert{s.decomposition};
   cert.apex_aware = true;
   cert.bag_apices = s.global_apices;
-  opt.provider = ShortcutEngine::global().provider(std::move(cert),
-                                                   center_tree_factory(7));
-  congest::MstResult res = congest::boruvka_mst(sim, w, opt);
+  congest::SessionConfig cfg;
+  cfg.tree = center_tree_factory(7);
+  Session session(s.graph, std::move(cert), std::move(cfg));
+  RunReport res = session.solve(congest::Mst{w});
   std::vector<EdgeId> ref = congest::kruskal_mst(s.graph, w);
   std::sort(ref.begin(), ref.end());
-  EXPECT_EQ(res.edges, ref);
+  EXPECT_EQ(res.mst().edges, ref);
 }
 
 TEST(Mst, StopAtFragmentSizeHaltsEarly) {
   Rng rng(21);
   Graph g = gen::grid(10, 10).graph();
   std::vector<Weight> w = gen::unique_random_weights(g, rng);
-  Simulator sim(g);
-  congest::MstOptions opt;
-  opt.provider = congest::empty_shortcut_provider();
-  opt.charge_construction = false;
-  opt.stop_at_fragment_size = 10;
-  congest::MstResult res = congest::boruvka_mst(sim, w, opt);
+  Session s = greedy_session(g);
+  congest::SolveOptions flooding;
+  flooding.use_shortcuts = false;
+  RunReport res = s.solve(congest::Mst{w, /*stop_at_fragment_size=*/10},
+                          flooding);
   // Not a full MST; every fragment has >= 10 vertices and the chosen edges
   // are a subset of the true MST.
-  std::vector<PartId> frag = res.fragment_of;
+  std::vector<PartId> frag = res.mst().fragment_of;
   std::vector<int> size(*std::max_element(frag.begin(), frag.end()) + 1, 0);
   for (PartId p : frag) ++size[p];
   for (int s : size) EXPECT_GE(s, 10);
   std::vector<EdgeId> full = congest::kruskal_mst(g, w);
   std::set<EdgeId> full_set(full.begin(), full.end());
-  for (EdgeId e : res.edges) EXPECT_TRUE(full_set.count(e));
-  EXPECT_LT(res.edges.size(), full.size());
+  for (EdgeId e : res.mst().edges) EXPECT_TRUE(full_set.count(e));
+  EXPECT_LT(res.mst().edges.size(), full.size());
 }
 
 TEST(ControlledGhs, MatchesKruskal) {
   Rng rng(13);
   Graph g = gen::grid(9, 9).graph();
   std::vector<Weight> w = gen::unique_random_weights(g, rng);
-  Simulator sim(g);
-  RootedTree t = bfs_tree(g, 0);
-  congest::MstResult res = congest::controlled_ghs_mst(sim, t, w);
+  congest::SessionConfig cfg;
+  cfg.tree = [](const Graph& gg) { return bfs_tree(gg, 0); };
+  Session s(g, greedy_certificate(), std::move(cfg));
+  RunReport res = s.solve(congest::GhsMst{w});
   std::vector<EdgeId> ref = congest::kruskal_mst(g, w);
   std::sort(ref.begin(), ref.end());
-  EXPECT_EQ(res.edges, ref);
+  EXPECT_EQ(res.mst().edges, ref);
   EXPECT_GE(res.rounds, 1);
 }
 
@@ -273,12 +280,13 @@ TEST(ControlledGhs, MatchesKruskalOnMaximalPlanar) {
   EmbeddedGraph eg = gen::random_maximal_planar(100, rng);
   const Graph& g = eg.graph();
   std::vector<Weight> w = gen::unique_random_weights(g, rng);
-  Simulator sim(g);
-  RootedTree t = bfs_tree(g, 0);
-  congest::MstResult res = congest::controlled_ghs_mst(sim, t, w);
+  congest::SessionConfig cfg;
+  cfg.tree = [](const Graph& gg) { return bfs_tree(gg, 0); };
+  Session s(g, greedy_certificate(), std::move(cfg));
+  RunReport res = s.solve(congest::GhsMst{w});
   std::vector<EdgeId> ref = congest::kruskal_mst(g, w);
   std::sort(ref.begin(), ref.end());
-  EXPECT_EQ(res.edges, ref);
+  EXPECT_EQ(res.mst().edges, ref);
 }
 
 TEST(MinCut, ExactOnSmallGraphs) {
@@ -325,14 +333,17 @@ TEST_P(MinCutSweep, PackingCutWithinFactorTwoOfExact) {
   std::vector<Weight> w = gen::random_weights(g, 1, 30, rng);
   Weight exact = congest::exact_min_cut(g, w);
 
-  Simulator sim(g);
-  congest::MinCutOptions opt;
-  opt.provider = greedy_provider();
-  opt.num_trees = 10;
-  congest::MinCutResult res = congest::approx_min_cut(sim, w, opt);
-  EXPECT_GE(res.value, exact);          // cuts never beat the true minimum
-  EXPECT_LE(res.value, 2 * exact + 1);  // packing guarantee
+  Session s = greedy_session(g);
+  congest::MinCut query{w};
+  query.num_trees = 10;
+  RunReport res = s.solve(query);
+  // Cuts never beat the true minimum; the packing guarantees the factor.
+  EXPECT_GE(res.min_cut().value, exact);
+  EXPECT_LE(res.min_cut().value, 2 * exact + 1);
   EXPECT_GE(res.rounds, 1);
+  // The packing re-solves MSTs on the same network: the singleton and
+  // whole-network partitions must hit the cache after tree 1.
+  EXPECT_GT(res.cache_hits, 0);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MinCutSweep, ::testing::Values(1, 2, 3, 4));

@@ -7,8 +7,7 @@
 #include <algorithm>
 
 #include "congest/aggregation.hpp"
-#include "congest/mincut.hpp"
-#include "congest/mst.hpp"
+#include "congest/session.hpp"
 #include "congest/simulator.hpp"
 #include "core/shortcut_engine.hpp"
 #include "gen/apex.hpp"
@@ -28,9 +27,10 @@
 namespace mns {
 namespace {
 
-congest::ShortcutProvider greedy_provider() {
-  return ShortcutEngine::global().provider(greedy_certificate(),
-                                           center_tree_factory(4242));
+congest::Session greedy_session(const Graph& g) {
+  congest::SessionConfig cfg;
+  cfg.tree = center_tree_factory(4242);
+  return congest::Session(g, greedy_certificate(), std::move(cfg));
 }
 
 /// One named instance of any family.
@@ -102,13 +102,11 @@ TEST_P(FamilySweep, DistributedMstMatchesKruskal) {
 
   Rng rng(seed * 31 + 7);
   std::vector<Weight> w = gen::unique_random_weights(inst.graph, rng);
-  congest::Simulator sim(inst.graph);
-  congest::MstOptions opt;
-  opt.provider = greedy_provider();
-  congest::MstResult res = congest::boruvka_mst(sim, w, opt);
+  congest::Session session = greedy_session(inst.graph);
+  congest::RunReport res = session.solve(congest::Mst{w});
   std::vector<EdgeId> ref = congest::kruskal_mst(inst.graph, w);
   std::sort(ref.begin(), ref.end());
-  EXPECT_EQ(res.edges, ref) << inst.name;
+  EXPECT_EQ(res.mst().edges, ref) << inst.name;
   EXPECT_GE(res.rounds, 1) << inst.name;
 }
 
@@ -167,13 +165,12 @@ TEST(Integration, MinCutBoundedOnThreeFamilies) {
   for (auto& inst : cases) {
     std::vector<Weight> w = gen::random_weights(inst.graph, 1, 25, rng);
     Weight exact = congest::exact_min_cut(inst.graph, w);
-    congest::Simulator sim(inst.graph);
-    congest::MinCutOptions opt;
-    opt.provider = greedy_provider();
-    opt.num_trees = 8;
-    congest::MinCutResult res = congest::approx_min_cut(sim, w, opt);
-    EXPECT_GE(res.value, exact) << inst.name;
-    EXPECT_LE(res.value, 2 * exact + 1) << inst.name;
+    congest::Session session = greedy_session(inst.graph);
+    congest::MinCut query{w};
+    query.num_trees = 8;
+    congest::RunReport res = session.solve(query);
+    EXPECT_GE(res.min_cut().value, exact) << inst.name;
+    EXPECT_LE(res.min_cut().value, 2 * exact + 1) << inst.name;
   }
 }
 

@@ -1,0 +1,292 @@
+// Session contract tests: the uniform solve surface, the workload registry,
+// and above all the shortcut-cache semantics — hits on identical partition
+// fingerprints, invalidation on repartition / certificate change / tree
+// change, LRU eviction, and bit-identical results (edges / dist / cut value
+// / measured rounds) between cached and cold runs on every generator
+// family. Construction charging is the ONLY thing allowed to differ between
+// warm and cold (charged once per distinct partition, DESIGN.md §2, §5).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "congest/session.hpp"
+#include "gen/apex.hpp"
+#include "gen/basic.hpp"
+#include "gen/clique_sum.hpp"
+#include "gen/ktree.hpp"
+#include "gen/planar.hpp"
+#include "gen/weights.hpp"
+#include "graph/algorithms.hpp"
+
+namespace mns {
+namespace {
+
+using congest::RunReport;
+using congest::Session;
+
+std::vector<congest::AggValue> ramp_values(VertexId n) {
+  std::vector<congest::AggValue> init(n);
+  for (VertexId v = 0; v < n; ++v)
+    init[v] = {static_cast<Weight>((v * 48271) % 9973), v};
+  return init;
+}
+
+TEST(SessionCache, HitOnIdenticalPartitionFingerprint) {
+  Graph g = gen::grid(8, 8).graph();
+  Rng rng(5);
+  Partition parts = voronoi_partition(g, 5, rng);
+  Session s(g);
+  RunReport first = s.solve(congest::Aggregate{parts, ramp_values(64)});
+  EXPECT_EQ(first.cache_hits, 0);
+  EXPECT_EQ(first.cache_misses, 1);
+  EXPECT_GT(first.charged_construction_rounds, 0);
+
+  RunReport second = s.solve(congest::Aggregate{parts, ramp_values(64)});
+  EXPECT_EQ(second.cache_hits, 1);
+  EXPECT_EQ(second.cache_misses, 0);
+  // Already charged when first built: a hit re-pays nothing.
+  EXPECT_EQ(second.charged_construction_rounds, 0);
+  // Same shortcut, same values -> identical measured behavior and result.
+  EXPECT_EQ(first.rounds, second.rounds);
+  EXPECT_EQ(first.aggregate().min_of_part, second.aggregate().min_of_part);
+}
+
+TEST(SessionCache, MissOnRepartition) {
+  Graph g = gen::grid(8, 8).graph();
+  Rng rng(5);
+  Partition parts_a = voronoi_partition(g, 5, rng);
+  Partition parts_b = voronoi_partition(g, 7, rng);
+  Session s(g);
+  (void)s.solve(congest::Aggregate{parts_a, ramp_values(64)});
+  RunReport other = s.solve(congest::Aggregate{parts_b, ramp_values(64)});
+  EXPECT_EQ(other.cache_hits, 0);
+  EXPECT_EQ(other.cache_misses, 1);
+  // Both partitions now live in the cache.
+  EXPECT_EQ(s.cache_size(), 2u);
+  RunReport again = s.solve(congest::Aggregate{parts_a, ramp_values(64)});
+  EXPECT_EQ(again.cache_hits, 1);
+}
+
+TEST(SessionCache, InvalidationOnCertificateChange) {
+  Graph g = gen::grid(8, 8).graph();
+  Rng rng(9);
+  Partition parts = voronoi_partition(g, 4, rng);
+  Session s(g, greedy_certificate());
+  (void)s.solve(congest::Aggregate{parts, ramp_values(64)});
+  s.set_certificate(steiner_certificate());
+  // Same partition, new structural knowledge: must rebuild, not serve the
+  // greedy shortcut back.
+  RunReport after = s.solve(congest::Aggregate{parts, ramp_values(64)});
+  EXPECT_EQ(after.cache_hits, 0);
+  EXPECT_EQ(after.cache_misses, 1);
+}
+
+TEST(SessionCache, InvalidationOnTreeFactoryChange) {
+  Graph g = gen::grid(8, 8).graph();
+  Rng rng(11);
+  Partition parts = voronoi_partition(g, 4, rng);
+  Session s(g);
+  (void)s.solve(congest::Aggregate{parts, ramp_values(64)});
+  s.set_tree_factory(
+      [](const Graph& gg) { return RootedTree::from_bfs(bfs(gg, 0), 0); });
+  RunReport after = s.solve(congest::Aggregate{parts, ramp_values(64)});
+  EXPECT_EQ(after.cache_hits, 0);
+  EXPECT_EQ(after.cache_misses, 1);
+}
+
+TEST(SessionCache, LruEvictsLeastRecentlyUsed) {
+  Graph g = gen::grid(8, 8).graph();
+  Rng rng(13);
+  Partition a = voronoi_partition(g, 3, rng);
+  Partition b = voronoi_partition(g, 5, rng);
+  Partition c = voronoi_partition(g, 7, rng);
+  congest::SessionConfig cfg;
+  cfg.cache_capacity = 2;
+  Session s(g, greedy_certificate(), std::move(cfg));
+  (void)s.solve(congest::Aggregate{a, ramp_values(64)});
+  (void)s.solve(congest::Aggregate{b, ramp_values(64)});
+  (void)s.solve(congest::Aggregate{c, ramp_values(64)});  // evicts a
+  EXPECT_EQ(s.cache_size(), 2u);
+  RunReport again_a = s.solve(congest::Aggregate{a, ramp_values(64)});
+  EXPECT_EQ(again_a.cache_misses, 1);  // was evicted
+  RunReport again_c = s.solve(congest::Aggregate{c, ramp_values(64)});
+  EXPECT_EQ(again_c.cache_hits, 1);  // still resident
+}
+
+TEST(SessionCache, AnalyzeSeedsTheCache) {
+  Graph g = gen::grid(8, 8).graph();
+  Rng rng(17);
+  Partition parts = voronoi_partition(g, 4, rng);
+  Session s(g);
+  BuildResult br = s.analyze(parts);
+  EXPECT_GE(br.metrics.quality, 1);
+  RunReport rep = s.solve(congest::Aggregate{parts, ramp_values(64)});
+  EXPECT_EQ(rep.cache_hits, 1);
+  EXPECT_EQ(rep.cache_misses, 0);
+}
+
+// --- warm vs cold parity on every generator family -----------------------
+
+struct FamilyCase {
+  std::string name;
+  Graph graph;
+  StructuralCertificate cert;
+};
+
+std::vector<FamilyCase> parity_families() {
+  std::vector<FamilyCase> out;
+  Rng rng(23);
+  out.push_back({"grid", gen::grid(9, 9).graph(), greedy_certificate()});
+  out.push_back({"maximal_planar", gen::random_maximal_planar(100, rng).graph(),
+                 greedy_certificate()});
+  {
+    gen::KTreeResult kt = gen::random_ktree(90, 3, rng);
+    out.push_back({"ktree3", kt.graph,
+                   treewidth_certificate(kt.decomposition)});
+  }
+  {
+    gen::ApexResult ar = gen::add_apices(gen::grid(7, 7).graph(), 1, 0.2, rng);
+    out.push_back({"grid+apex", ar.graph, apex_certificate(ar.apices)});
+  }
+  {
+    Graph bag = gen::triangulated_grid(4, 4).graph();
+    std::vector<gen::BagInput> inputs;
+    for (int i = 0; i < 5; ++i)
+      inputs.push_back({bag, gen::default_glue_cliques(bag, 2)});
+    gen::CliqueSumResult cs = gen::compose_clique_sum(inputs, 2, 0.0, rng);
+    out.push_back({"cliquesum", cs.graph,
+                   cliquesum_certificate(cs.decomposition)});
+  }
+  return out;
+}
+
+TEST(SessionParity, CachedAndColdRunsBitIdenticalOnEveryFamily) {
+  congest::SolveOptions cold_opt;
+  cold_opt.use_cache = false;
+  for (FamilyCase& fam : parity_families()) {
+    SCOPED_TRACE(fam.name);
+    Rng wrng(31);
+    std::vector<Weight> w = gen::unique_random_weights(fam.graph, wrng);
+
+    Session warm(fam.graph, fam.cert);
+    Session cold(fam.graph, fam.cert);
+
+    // MST: warm twice (second leans on the cache), cold once.
+    RunReport w1 = warm.solve(congest::Mst{w});
+    RunReport w2 = warm.solve(congest::Mst{w});
+    RunReport c1 = cold.solve(congest::Mst{w}, cold_opt);
+    EXPECT_EQ(w1.mst().edges, c1.mst().edges);
+    EXPECT_EQ(w2.mst().edges, c1.mst().edges);
+    EXPECT_EQ(w1.rounds, c1.rounds);  // measured rounds never depend on cache
+    EXPECT_EQ(w2.rounds, c1.rounds);
+    EXPECT_EQ(w2.cache_misses, 0);    // every partition already resident
+    EXPECT_GT(w2.cache_hits, 0);
+    EXPECT_EQ(w2.charged_construction_rounds, 0);
+    EXPECT_LE(w1.charged_construction_rounds,
+              c1.charged_construction_rounds);
+
+    // Approx SSSP: identical queries produce identical distance vectors and
+    // identical measured rounds; the repeat hits the cache.
+    congest::ApproxSssp q{w, 0};
+    q.epsilon = 0.25;
+    RunReport s1 = warm.solve(q);
+    RunReport s2 = warm.solve(q);
+    RunReport sc = cold.solve(q, cold_opt);
+    EXPECT_EQ(s1.sssp().dist, sc.sssp().dist);
+    EXPECT_EQ(s2.sssp().dist, sc.sssp().dist);
+    EXPECT_EQ(s1.rounds, sc.rounds);
+    EXPECT_EQ(s2.rounds, sc.rounds);
+    EXPECT_GT(s2.cache_hits, 0);
+    EXPECT_EQ(s2.charged_construction_rounds, 0);
+
+    // Min cut: same value, same measured rounds, warm repeat fully cached.
+    congest::MinCut mq{w};
+    mq.num_trees = 4;
+    RunReport m1 = warm.solve(mq);
+    RunReport m2 = warm.solve(mq);
+    RunReport mc = cold.solve(mq, cold_opt);
+    EXPECT_EQ(m1.min_cut().value, mc.min_cut().value);
+    EXPECT_EQ(m2.min_cut().value, mc.min_cut().value);
+    EXPECT_EQ(m1.rounds, mc.rounds);
+    EXPECT_EQ(m2.rounds, mc.rounds);
+    EXPECT_GT(m2.cache_hits, 0);
+  }
+}
+
+// --- registry ------------------------------------------------------------
+
+TEST(SessionRegistry, BuiltinsMirrorTypedSolves) {
+  Graph g = gen::grid(6, 6).graph();
+  Rng rng(37);
+  std::vector<Weight> w = gen::unique_random_weights(g, rng);
+  Session s(g);
+  for (const char* name :
+       {"bfs", "mincut", "mst", "mst.ghs", "sssp.approx", "sssp.exact"})
+    EXPECT_TRUE(s.has_workload(name)) << name;
+
+  Session::WorkloadParams params;
+  params.weights = w;
+  RunReport by_name = s.solve("mst", params);
+  EXPECT_EQ(by_name.workload, "mst");
+  RunReport typed = s.solve(congest::Mst{w});
+  EXPECT_EQ(by_name.mst().edges, typed.mst().edges);
+  EXPECT_EQ(by_name.rounds, typed.rounds);
+
+  params.source = 3;
+  RunReport sssp = s.solve("sssp.exact", params);
+  EXPECT_EQ(sssp.sssp().dist, dijkstra(g, w, 3).dist);
+}
+
+TEST(SessionRegistry, UnknownAndDuplicateNamesThrow) {
+  Graph g = gen::path(4);
+  Session s(g);
+  Session::WorkloadParams params;
+  EXPECT_THROW((void)s.solve("no-such-workload", params), InvariantViolation);
+  EXPECT_THROW(s.register_workload("mst", [](Session& ss,
+                                             const Session::WorkloadParams& p,
+                                             const congest::SolveOptions& o) {
+    return ss.solve(congest::Mst{p.weights}, o);
+  }),
+               InvariantViolation);
+  EXPECT_THROW(s.register_workload("", nullptr), InvariantViolation);
+}
+
+TEST(SessionRegistry, CustomWorkloadsCompose) {
+  Graph g = gen::grid(5, 5).graph();
+  Rng rng(41);
+  std::vector<Weight> w = gen::unique_random_weights(g, rng);
+  Session s(g);
+  // A composite workload: MST then min-cut, reporting the min-cut.
+  s.register_workload("audit", [](Session& ss,
+                                  const Session::WorkloadParams& p,
+                                  const congest::SolveOptions& o) {
+    (void)ss.solve(congest::Mst{p.weights}, o);
+    return ss.solve(congest::MinCut{p.weights, p.num_trees}, o);
+  });
+  ASSERT_TRUE(s.has_workload("audit"));
+  std::vector<std::string> names = s.workload_names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  Session::WorkloadParams params;
+  params.weights = w;
+  params.num_trees = 3;
+  RunReport rep = s.solve("audit", params);
+  EXPECT_EQ(rep.workload, "audit");
+  EXPECT_GE(rep.min_cut().value, 1);
+}
+
+TEST(SessionReport, PayloadAccessorsAreChecked) {
+  Graph g = gen::grid(5, 5).graph();
+  Rng rng(43);
+  std::vector<Weight> w = gen::unique_random_weights(g, rng);
+  Session s(g);
+  RunReport rep = s.solve(congest::Mst{w});
+  EXPECT_NO_THROW((void)rep.mst());
+  EXPECT_THROW((void)rep.sssp(), InvariantViolation);
+  EXPECT_THROW((void)rep.min_cut(), InvariantViolation);
+  EXPECT_THROW((void)rep.bfs(), InvariantViolation);
+  EXPECT_THROW((void)rep.aggregate(), InvariantViolation);
+}
+
+}  // namespace
+}  // namespace mns

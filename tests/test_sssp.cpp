@@ -9,7 +9,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "congest/sssp.hpp"
+#include "congest/session.hpp"
 #include "core/shortcut_engine.hpp"
 #include "gen/apex.hpp"
 #include "gen/basic.hpp"
@@ -22,45 +22,47 @@
 namespace mns {
 namespace {
 
-using congest::ApproxSsspOptions;
-using congest::Simulator;
-using congest::SsspResult;
+using congest::RunReport;
+using congest::Session;
 
-congest::ShortcutProvider greedy_provider() {
-  return ShortcutEngine::global().provider(greedy_certificate(),
-                                           center_tree_factory(99));
+Session greedy_session(const Graph& g) {
+  congest::SessionConfig cfg;
+  cfg.tree = center_tree_factory(99);
+  return Session(g, greedy_certificate(), std::move(cfg));
 }
 
 void expect_exact_matches_oracle(const Graph& g, const std::vector<Weight>& w,
                                  VertexId source) {
-  Simulator sim(g);
-  SsspResult res = congest::exact_sssp(sim, w, source);
+  Session s = greedy_session(g);
+  RunReport res = s.solve(congest::ExactSssp{w, source});
   ShortestPathResult ref = dijkstra(g, w, source);
-  ASSERT_EQ(res.dist.size(), ref.dist.size());
+  ASSERT_EQ(res.sssp().dist.size(), ref.dist.size());
   for (VertexId v = 0; v < g.num_vertices(); ++v)
-    EXPECT_EQ(res.dist[v], ref.dist[v]) << "vertex " << v;
+    EXPECT_EQ(res.sssp().dist[v], ref.dist[v]) << "vertex " << v;
   EXPECT_GE(res.rounds, 1);
   EXPECT_LE(res.rounds, g.num_vertices());
 }
 
-void expect_approx_within(const Graph& g, const std::vector<Weight>& w,
-                          VertexId source, const ApproxSsspOptions& opt) {
-  Simulator sim(g);
-  SsspResult res = congest::approx_sssp(sim, w, source, opt);
-  ShortestPathResult ref = dijkstra(g, w, source);
+void expect_approx_within(const Graph& g, const congest::ApproxSssp& query,
+                          StructuralCertificate cert) {
+  congest::SessionConfig cfg;
+  cfg.tree = center_tree_factory(99);
+  Session s(g, std::move(cert), std::move(cfg));
+  RunReport res = s.solve(query);
+  ShortestPathResult ref = dijkstra(g, query.weights, query.source);
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
     if (ref.dist[v] == kUnreachedWeight) {
-      EXPECT_EQ(res.dist[v], kUnreachedWeight) << "vertex " << v;
+      EXPECT_EQ(res.sssp().dist[v], kUnreachedWeight) << "vertex " << v;
       continue;
     }
     // Estimates are lengths of real paths: never below the true distance.
-    EXPECT_GE(res.dist[v], ref.dist[v]) << "vertex " << v;
-    EXPECT_LE(static_cast<double>(res.dist[v]),
-              (1.0 + opt.epsilon) * static_cast<double>(ref.dist[v]) + 1e-9)
+    EXPECT_GE(res.sssp().dist[v], ref.dist[v]) << "vertex " << v;
+    EXPECT_LE(static_cast<double>(res.sssp().dist[v]),
+              (1.0 + query.epsilon) * static_cast<double>(ref.dist[v]) + 1e-9)
         << "vertex " << v;
   }
   EXPECT_GE(res.phases, 1);
-  EXPECT_GE(res.jumps, 1);
+  EXPECT_GE(res.aggregations, 1);
 }
 
 TEST(RoundWeights, LadderRespectsPerEdgeBound) {
@@ -129,12 +131,13 @@ TEST(ExactSssp, LeavesOtherComponentsUnreached) {
   b.add_edge(3, 5);
   Graph g = b.build();
   std::vector<Weight> w(g.num_edges(), 2);
-  Simulator sim(g);
-  SsspResult res = congest::exact_sssp(sim, w, 0);
-  EXPECT_EQ(res.dist[0], 0);
-  EXPECT_EQ(res.dist[1], 2);
-  EXPECT_EQ(res.dist[2], 2);
-  for (VertexId v = 3; v < 6; ++v) EXPECT_EQ(res.dist[v], kUnreachedWeight);
+  Session s = greedy_session(g);
+  RunReport res = s.solve(congest::ExactSssp{w, 0});
+  EXPECT_EQ(res.sssp().dist[0], 0);
+  EXPECT_EQ(res.sssp().dist[1], 2);
+  EXPECT_EQ(res.sssp().dist[2], 2);
+  for (VertexId v = 3; v < 6; ++v)
+    EXPECT_EQ(res.sssp().dist[v], kUnreachedWeight);
 }
 
 TEST(ExactSssp, RoundsTrackShortestPathHops) {
@@ -143,8 +146,8 @@ TEST(ExactSssp, RoundsTrackShortestPathHops) {
   std::vector<Weight> w(g.num_edges());
   Rng rng(3);
   w = gen::random_weights(g, 1, 9, rng);
-  Simulator sim(g);
-  SsspResult res = congest::exact_sssp(sim, w, 0);
+  Session s = greedy_session(g);
+  RunReport res = s.solve(congest::ExactSssp{w, 0});
   EXPECT_GE(res.rounds, 39);
   EXPECT_LE(res.rounds, 40);
 }
@@ -152,32 +155,26 @@ TEST(ExactSssp, RoundsTrackShortestPathHops) {
 TEST(ApproxSssp, WithinEpsOnGridGreedyCertificate) {
   Rng rng(41);
   Graph g = gen::grid(12, 12).graph();
-  ApproxSsspOptions opt;
-  opt.provider = greedy_provider();
-  opt.epsilon = 0.25;
-  expect_approx_within(g, gen::unique_random_weights(g, rng), 0, opt);
+  congest::ApproxSssp query{gen::unique_random_weights(g, rng), 0};
+  query.epsilon = 0.25;
+  expect_approx_within(g, query, greedy_certificate());
 }
 
 TEST(ApproxSssp, WithinEpsOnKTreeTreewidthCertificate) {
   Rng rng(43);
   gen::KTreeResult kt = gen::random_ktree(250, 3, rng);
-  ApproxSsspOptions opt;
-  opt.provider = ShortcutEngine::global().provider(
-      treewidth_certificate(kt.decomposition), center_tree_factory(4));
-  opt.epsilon = 0.5;
-  expect_approx_within(kt.graph, gen::unique_random_weights(kt.graph, rng), 3,
-                       opt);
+  congest::ApproxSssp query{gen::unique_random_weights(kt.graph, rng), 3};
+  query.epsilon = 0.5;
+  expect_approx_within(kt.graph, query,
+                       treewidth_certificate(kt.decomposition));
 }
 
 TEST(ApproxSssp, WithinEpsOnApexCertificate) {
   Rng rng(47);
   gen::ApexResult ar = gen::add_apices(gen::grid(10, 10).graph(), 1, 0.15, rng);
-  ApproxSsspOptions opt;
-  opt.provider = ShortcutEngine::global().provider(
-      apex_certificate(ar.apices), center_tree_factory(4));
-  opt.epsilon = 0.1;
-  expect_approx_within(ar.graph, gen::unique_random_weights(ar.graph, rng), 0,
-                       opt);
+  congest::ApproxSssp query{gen::unique_random_weights(ar.graph, rng), 0};
+  query.epsilon = 0.1;
+  expect_approx_within(ar.graph, query, apex_certificate(ar.apices));
 }
 
 TEST(ApproxSssp, WithinEpsOnCliqueSumCertificate) {
@@ -187,12 +184,21 @@ TEST(ApproxSssp, WithinEpsOnCliqueSumCertificate) {
   for (int i = 0; i < 10; ++i)
     inputs.push_back({bag, gen::default_glue_cliques(bag, 2)});
   gen::CliqueSumResult cs = gen::compose_clique_sum(inputs, 2, 0.0, rng);
-  ApproxSsspOptions opt;
-  opt.provider = ShortcutEngine::global().provider(
-      cliquesum_certificate(cs.decomposition), center_tree_factory(4));
-  opt.epsilon = 0.25;
-  expect_approx_within(cs.graph, gen::unique_random_weights(cs.graph, rng), 0,
-                       opt);
+  congest::ApproxSssp query{gen::unique_random_weights(cs.graph, rng), 0};
+  query.epsilon = 0.25;
+  expect_approx_within(cs.graph, query,
+                       cliquesum_certificate(cs.decomposition));
+}
+
+TEST(ApproxSssp, DeterministicSeedsStayWithinEps) {
+  // The source-independent (cache-friendly) seeding must preserve the
+  // guarantee: estimates are still real path lengths run to quiescence.
+  Rng rng(59);
+  Graph g = gen::grid(12, 12).graph();
+  congest::ApproxSssp query{gen::unique_random_weights(g, rng), 7};
+  query.epsilon = 0.25;
+  query.wavefront_seeds = false;
+  expect_approx_within(g, query, greedy_certificate());
 }
 
 TEST(ApproxSssp, ExactWhenWeightsAlreadyOnLadder) {
@@ -200,43 +206,33 @@ TEST(ApproxSssp, ExactWhenWeightsAlreadyOnLadder) {
   // equals the exact (hop-count) distances at any epsilon.
   Graph g = gen::cycle(30);
   std::vector<Weight> w(g.num_edges(), 1);
-  ApproxSsspOptions opt;
-  opt.provider = greedy_provider();
-  opt.epsilon = 3.0;
-  Simulator sim(g);
-  SsspResult res = congest::approx_sssp(sim, w, 0, opt);
+  Session s = greedy_session(g);
+  congest::ApproxSssp query{w, 0};
+  query.epsilon = 3.0;
+  RunReport res = s.solve(query);
   ShortestPathResult ref = dijkstra(g, w, 0);
   for (VertexId v = 0; v < g.num_vertices(); ++v)
-    EXPECT_EQ(res.dist[v], ref.dist[v]) << "vertex " << v;
+    EXPECT_EQ(res.sssp().dist[v], ref.dist[v]) << "vertex " << v;
 }
 
 TEST(ApproxSssp, RejectsDisconnectedGraphs) {
   // The shortcut machinery's spanning tree assumes one connected network
-  // (same contract as distributed_bfs); exact_sssp covers the disconnected
-  // case.
+  // (same contract as Bfs); ExactSssp covers the disconnected case.
   GraphBuilder b(5);
   b.add_edge(0, 1);
   b.add_edge(1, 2);
   b.add_edge(3, 4);
   Graph g = b.build();
   std::vector<Weight> w(g.num_edges(), 3);
-  ApproxSsspOptions opt;
-  opt.provider = greedy_provider();
-  Simulator sim(g);
-  EXPECT_THROW((void)congest::approx_sssp(sim, w, 0, opt),
-               InvariantViolation);
+  Session s = greedy_session(g);
+  EXPECT_THROW((void)s.solve(congest::ApproxSssp{w, 0}), InvariantViolation);
 }
 
-TEST(ApproxSssp, RequiresProviderAndPositiveWeights) {
+TEST(ApproxSssp, RequiresPositiveWeights) {
   Graph g = gen::path(4);
-  std::vector<Weight> w(g.num_edges(), 1);
-  Simulator sim(g);
-  ApproxSsspOptions opt;  // no provider
-  EXPECT_THROW((void)congest::approx_sssp(sim, w, 0, opt),
-               InvariantViolation);
-  opt.provider = greedy_provider();
+  Session s = greedy_session(g);
   std::vector<Weight> zero(g.num_edges(), 0);
-  EXPECT_THROW((void)congest::approx_sssp(sim, zero, 0, opt),
+  EXPECT_THROW((void)s.solve(congest::ApproxSssp{zero, 0}),
                InvariantViolation);
 }
 
