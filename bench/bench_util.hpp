@@ -14,6 +14,7 @@
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -84,10 +85,14 @@ class JsonRow {
         .set("quality", m.quality);
   }
   /// Standard telemetry block of one Session run: measured rounds AND
-  /// messages (congestion), substitution charges, and what the cache did.
+  /// messages (congestion), substitution charges, what the cache did, and
+  /// the thread width the run executed at (wall_ms is only comparable
+  /// across machines/trajectories alongside threads + the row's
+  /// hardware_concurrency).
   JsonRow& set_run(const congest::RunReport& r) {
     return set("rounds", r.rounds)
         .set("messages", r.messages)
+        .set("threads", r.threads)
         .set("charged_construction_rounds", r.charged_construction_rounds)
         .set("total_rounds", r.total_rounds())
         .set("phases", r.phases)
@@ -151,9 +156,19 @@ class JsonReport {
     if (!written_) write();
   }
 
+  /// Every row opens with the hardware context (the machine's concurrency
+  /// width), so BENCH_*.json trajectories stay comparable across machines —
+  /// a wall_ms regression on a 1-core CI box is not a regression on the
+  /// 16-core baseline box.
   JsonRow& row() {
     rows_.emplace_back();
+    rows_.back().set("hardware_concurrency", hardware_concurrency());
     return rows_.back();
+  }
+
+  [[nodiscard]] static long long hardware_concurrency() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<long long>(hw) : 1;
   }
 
   void write() {

@@ -1,7 +1,10 @@
 #include "congest/aggregation.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
+
+#include "congest/vertex_program.hpp"
 
 namespace mns::congest {
 
@@ -47,6 +50,153 @@ PartwiseAggregator::PartwiseAggregator(const Graph& g, const Partition& parts,
   }
 }
 
+namespace {
+
+/// The flooding schedule of aggregate_min as a VertexProgram. Ownership
+/// discipline (what makes the parallel fan-out race-free): every directed
+/// slot d = 2e + side belongs to its sender endpoint from(d); dirty bits,
+/// cursors and the per-vertex active-slot lists of d are touched only while
+/// the engine is running from(d) — in the send phase when from(d) transmits,
+/// in the receive phase when from(d) absorbs an improvement and re-dirties
+/// its own outgoing slots. Per-(node, part) state is v-local by
+/// construction. The only cross-vertex structure is the frontier itself,
+/// assembled from PerShard lists at the barrier.
+template <typename SlotFn>
+struct AggregationProgram {
+  const Graph& g;
+  const std::vector<std::vector<PartId>>& parts_of_edge;
+  std::vector<AggValue>& state;
+  const SlotFn& slot;  ///< templated (not std::function): called per message
+
+  // Per directed slot (2e + side): dirty bitmask over parts_of_edge[e],
+  // round-robin cursor, and membership in its owner's active list.
+  std::vector<std::vector<char>> dirty;
+  std::vector<std::size_t> cursor;
+  std::vector<char> slot_active;
+  // Per vertex: owned slots with >= 1 dirty part.
+  std::vector<std::vector<std::uint32_t>> active_slots;
+  FrontierTracker tracker;
+
+  AggregationProgram(Simulator& sim,
+                     const std::vector<std::vector<PartId>>& poe,
+                     std::vector<AggValue>& st, const SlotFn& sl)
+      : g(sim.graph()), parts_of_edge(poe), state(st), slot(sl),
+        dirty(static_cast<std::size_t>(g.num_edges()) * 2),
+        cursor(static_cast<std::size_t>(g.num_edges()) * 2, 0),
+        slot_active(static_cast<std::size_t>(g.num_edges()) * 2, 0),
+        active_slots(static_cast<std::size_t>(g.num_vertices())),
+        tracker(sim.num_shards(), g.num_vertices()) {
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      dirty[2 * static_cast<std::size_t>(e)].assign(
+          parts_of_edge[static_cast<std::size_t>(e)].size(), 0);
+      dirty[2 * static_cast<std::size_t>(e) + 1].assign(
+          parts_of_edge[static_cast<std::size_t>(e)].size(), 0);
+    }
+    // Initially every participating (node, edge, part) with a finite value
+    // is dirty outward.
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const Edge& ed = g.edge(e);
+      for (std::size_t i = 0;
+           i < parts_of_edge[static_cast<std::size_t>(e)].size(); ++i) {
+        PartId p = parts_of_edge[static_cast<std::size_t>(e)][i];
+        if (!(state[slot(ed.u, p)] == kInfinity)) seed_dirty(e, 0, i);
+        if (!(state[slot(ed.v, p)] == kInfinity)) seed_dirty(e, 1, i);
+      }
+    }
+    for (VertexId v = 0; v < g.num_vertices(); ++v)
+      if (!active_slots[static_cast<std::size_t>(v)].empty()) tracker.seed(v);
+  }
+
+  void seed_dirty(EdgeId e, int side, std::size_t idx) {
+    const std::size_t d =
+        2 * static_cast<std::size_t>(e) + static_cast<std::size_t>(side);
+    dirty[d][idx] = 1;
+    if (!slot_active[d]) {
+      slot_active[d] = 1;
+      const Edge& ed = g.edge(e);
+      const VertexId owner = side == 0 ? ed.u : ed.v;
+      active_slots[static_cast<std::size_t>(owner)].push_back(
+          static_cast<std::uint32_t>(d));
+    }
+  }
+
+  [[nodiscard]] std::span<const VertexId> frontier() const {
+    return tracker.frontier();
+  }
+
+  void send(VertexId u, VertexSender& out) {
+    // Each active directed slot transmits ONE part's value (round-robin) —
+    // the same schedule the sequential loop ran per active edge, now grouped
+    // under the owning sender.
+    auto& slots = active_slots[static_cast<std::size_t>(u)];
+    std::size_t kept = 0;
+    for (std::size_t si = 0; si < slots.size(); ++si) {
+      const std::size_t d = slots[si];
+      const EdgeId e = static_cast<EdgeId>(d / 2);
+      auto& dbits = dirty[d];
+      const std::size_t k = dbits.size();
+      std::size_t sent = k;  // index of the part sent, k = none
+      for (std::size_t step = 0; step < k; ++step) {
+        std::size_t i = (cursor[d] + step) % k;
+        if (dbits[i]) {
+          PartId p = parts_of_edge[static_cast<std::size_t>(e)][i];
+          AggValue val = state[slot(u, p)];
+          out.send(e, Message{p, val.aux, val.value});
+          dbits[i] = 0;
+          sent = i;
+          break;
+        }
+      }
+      bool still_dirty = false;
+      if (sent != k) {
+        cursor[d] = (sent + 1) % k;
+        for (std::size_t i = 0; i < k && !still_dirty; ++i)
+          if (dbits[i]) still_dirty = true;
+      }
+      if (still_dirty)
+        slots[kept++] = static_cast<std::uint32_t>(d);
+      else
+        slot_active[d] = 0;
+    }
+    slots.resize(kept);
+    if (kept > 0) tracker.keep_from_send(u, out.shard());
+  }
+
+  void receive(VertexId v, std::span<const Delivery> inbox,
+               const ShardContext& ctx) {
+    bool woke = false;
+    for (const Delivery& del : inbox) {
+      PartId p = del.msg.tag;
+      AggValue incoming{del.msg.value, del.msg.aux};
+      std::size_t s = slot(v, p);
+      if (incoming < state[s]) {
+        state[s] = incoming;
+        // Improvements re-dirty v's own outgoing slots for part p.
+        for (EdgeId e2 : g.incident_edges(v)) {
+          const auto& ps = parts_of_edge[static_cast<std::size_t>(e2)];
+          auto it = std::lower_bound(ps.begin(), ps.end(), p);
+          if (it == ps.end() || *it != p) continue;
+          const std::size_t idx = static_cast<std::size_t>(it - ps.begin());
+          const std::size_t d = 2 * static_cast<std::size_t>(e2) +
+                                (g.edge(e2).u == v ? 0u : 1u);
+          if (!dirty[d][idx]) dirty[d][idx] = 1;
+          if (!slot_active[d]) {
+            slot_active[d] = 1;
+            active_slots[static_cast<std::size_t>(v)].push_back(
+                static_cast<std::uint32_t>(d));
+            woke = true;
+          }
+        }
+      }
+    }
+    if (woke) tracker.wake_from_receive(v, ctx.shard);
+  }
+
+  void end_round() { tracker.end_round(); }
+};
+
+}  // namespace
+
 AggregationResult PartwiseAggregator::aggregate_min(
     Simulator& sim, const std::vector<AggValue>& initial) {
   const Graph& g = *g_;
@@ -71,103 +221,9 @@ AggregationResult PartwiseAggregator::aggregate_min(
     if (parts.part_of(v) != kNoPart)
       state[slot(v, parts.part_of(v))] = initial[v];
 
-  // Dirty tracking per directed edge: parallel bitmask over parts_of_edge_.
-  // Directed edge d = 2e + side (side 0: u -> v).
-  std::vector<std::vector<char>> dirty(static_cast<std::size_t>(g.num_edges())
-                                       * 2);
-  for (EdgeId e = 0; e < g.num_edges(); ++e) {
-    dirty[2 * e].assign(parts_of_edge_[e].size(), 0);
-    dirty[2 * e + 1].assign(parts_of_edge_[e].size(), 0);
-  }
-  std::vector<std::size_t> cursor(static_cast<std::size_t>(g.num_edges()) * 2,
-                                  0);
-  std::vector<EdgeId> active;  // directed edges with any dirty part
-  std::vector<char> in_active(static_cast<std::size_t>(g.num_edges()) * 2, 0);
-  auto mark_dirty = [&](EdgeId e, int side, std::size_t idx) {
-    std::size_t d = 2 * static_cast<std::size_t>(e) + side;
-    if (!dirty[d][idx]) dirty[d][idx] = 1;
-    if (!in_active[d]) {
-      in_active[d] = 1;
-      active.push_back(static_cast<EdgeId>(d));
-    }
-  };
-  // Initially every participating (node, edge, part) with a finite value is
-  // dirty outward.
-  for (EdgeId e = 0; e < g.num_edges(); ++e) {
-    const Edge& ed = g.edge(e);
-    for (std::size_t i = 0; i < parts_of_edge_[e].size(); ++i) {
-      PartId p = parts_of_edge_[e][i];
-      if (!(state[slot(ed.u, p)] == kInfinity)) mark_dirty(e, 0, i);
-      if (!(state[slot(ed.v, p)] == kInfinity)) mark_dirty(e, 1, i);
-    }
-  }
-
   long long start = sim.rounds();
-  std::vector<EdgeId> snapshot;
-  (void)run_round_loop(
-      sim,
-      [&] {
-        if (active.empty()) return false;
-        snapshot.clear();
-        snapshot.swap(active);
-        for (EdgeId d : snapshot) in_active[d] = 0;
-        // Each active directed edge transmits ONE part's value (round-robin).
-        for (EdgeId d : snapshot) {
-          EdgeId e = d / 2;
-          int side = d % 2;
-          const Edge& ed = g.edge(e);
-          VertexId from = side == 0 ? ed.u : ed.v;
-          auto& dbits = dirty[d];
-          std::size_t k = dbits.size();
-          std::size_t sent = k;  // index of the part sent, k = none
-          for (std::size_t step = 0; step < k; ++step) {
-            std::size_t i = (cursor[d] + step) % k;
-            if (dbits[i]) {
-              PartId p = parts_of_edge_[e][i];
-              AggValue val = state[slot(from, p)];
-              sim.send(from, e, Message{p, val.aux, val.value});
-              dbits[i] = 0;
-              sent = i;
-              break;
-            }
-          }
-          if (sent != k) {
-            cursor[d] = (sent + 1) % k;
-            // Still-dirty parts keep the edge active.
-            for (std::size_t i = 0; i < k; ++i)
-              if (dbits[i]) {
-                if (!in_active[d]) {
-                  in_active[d] = 1;
-                  active.push_back(d);
-                }
-                break;
-              }
-          }
-        }
-        return true;
-      },
-      [&] {
-        // Deliver: improvements re-dirty the receiving node's outgoing edges.
-        for (VertexId v : sim.delivered_to()) {
-          for (const Delivery& del : sim.inbox(v)) {
-            PartId p = del.msg.tag;
-            AggValue incoming{del.msg.value, del.msg.aux};
-            std::size_t s = slot(v, p);
-            if (incoming < state[s]) {
-              state[s] = incoming;
-              auto eids = g.incident_edges(v);
-              for (EdgeId e2 : eids) {
-                const auto& ps = parts_of_edge_[e2];
-                auto it = std::lower_bound(ps.begin(), ps.end(), p);
-                if (it == ps.end() || *it != p) continue;
-                std::size_t idx = static_cast<std::size_t>(it - ps.begin());
-                int side2 = (g.edge(e2).u == v) ? 0 : 1;
-                mark_dirty(e2, side2, idx);
-              }
-            }
-          }
-        }
-      });
+  AggregationProgram prog(sim, parts_of_edge_, state, slot);
+  (void)run_vertex_program(sim, prog);
 
   AggregationResult out;
   out.rounds = sim.rounds() - start;

@@ -2,7 +2,60 @@
 
 #include <stdexcept>
 
+#include "congest/vertex_program.hpp"
+
 namespace mns::congest {
+
+namespace {
+
+/// Flooding BFS as a VertexProgram: frontier nodes offer their distance on
+/// every edge toward unsettled neighbours; an unsettled node adopts the
+/// first delivery as its parent. All receive-side writes are v-local; the
+/// next frontier is assembled from per-shard lists at the barrier.
+struct BfsProgram {
+  const Graph& g;
+  DistributedBfsResult& r;
+  std::vector<VertexId> active;
+  PerShard<std::vector<VertexId>> next;
+
+  BfsProgram(Simulator& sim, DistributedBfsResult& result, VertexId root)
+      : g(sim.graph()), r(result), next(sim.num_shards()) {
+    active.push_back(root);
+  }
+
+  [[nodiscard]] std::span<const VertexId> frontier() const { return active; }
+
+  void send(VertexId v, VertexSender& out) {
+    auto eids = g.incident_edges(v);
+    auto nbrs = g.neighbors(v);
+    for (std::size_t i = 0; i < eids.size(); ++i) {
+      if (r.dist[nbrs[i]] != -1) continue;  // local knowledge shortcut is
+      // not available in CONGEST, but suppressing sends to already-settled
+      // neighbors only reduces message counts, not rounds.
+      out.send(eids[i], Message{0, 0, r.dist[v]});
+    }
+  }
+
+  void receive(VertexId v, std::span<const Delivery> inbox,
+               const ShardContext& ctx) {
+    if (r.dist[v] != -1) return;
+    const Delivery& d = inbox.front();
+    r.dist[v] = static_cast<int>(d.msg.value) + 1;
+    r.parent[v] = d.from;
+    r.parent_edge[v] = d.edge;
+    next[ctx.shard].push_back(v);
+  }
+
+  void end_round() {
+    active.clear();
+    next.for_each([&](std::vector<VertexId>& part) {
+      active.insert(active.end(), part.begin(), part.end());
+      part.clear();
+    });
+  }
+};
+
+}  // namespace
 
 DistributedBfsResult distributed_bfs(Simulator& sim, VertexId root) {
   const Graph& g = sim.graph();
@@ -13,37 +66,8 @@ DistributedBfsResult distributed_bfs(Simulator& sim, VertexId root) {
   r.parent_edge.assign(n, kInvalidEdge);
   r.dist[root] = 0;
 
-  std::vector<VertexId> frontier{root};
-  std::vector<VertexId> next;
-  r.rounds = run_round_loop(
-      sim,
-      [&] {
-        if (frontier.empty()) return false;
-        for (VertexId v : frontier) {
-          auto eids = g.incident_edges(v);
-          auto nbrs = g.neighbors(v);
-          for (std::size_t i = 0; i < eids.size(); ++i) {
-            if (r.dist[nbrs[i]] != -1) continue;  // local knowledge shortcut
-            // is not available in CONGEST, but suppressing sends to
-            // already-settled neighbors only reduces message counts, not
-            // rounds.
-            sim.send(v, eids[i], Message{0, 0, r.dist[v]});
-          }
-        }
-        return true;
-      },
-      [&] {
-        next.clear();
-        for (VertexId v : sim.delivered_to()) {
-          if (r.dist[v] != -1) continue;
-          const Delivery& d = sim.inbox(v).front();
-          r.dist[v] = static_cast<int>(d.msg.value) + 1;
-          r.parent[v] = d.from;
-          r.parent_edge[v] = d.edge;
-          next.push_back(v);
-        }
-        frontier.swap(next);
-      });
+  BfsProgram prog(sim, r, root);
+  r.rounds = run_vertex_program(sim, prog);
   for (VertexId v = 0; v < n; ++v)
     if (r.dist[v] == -1)
       throw std::invalid_argument("distributed_bfs: graph disconnected");

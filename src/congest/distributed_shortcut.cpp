@@ -4,7 +4,10 @@
 #include <deque>
 #include <set>
 #include <stdexcept>
+#include <utility>
 #include <vector>
+
+#include "congest/vertex_program.hpp"
 
 namespace mns::congest {
 
@@ -14,6 +17,151 @@ namespace {
 constexpr std::int32_t kClaim = 1;    // child -> parent: admit part?
 constexpr std::int32_t kAccept = 2;   // parent -> child
 constexpr std::int32_t kReject = 3;   // parent -> child
+
+/// The claim/verdict protocol as a VertexProgram. Ownership discipline:
+/// claim_queue[v] is popped by v (its owner) in the send phase;
+/// verdict_queue[c] and admitted[c] are keyed by the child endpoint of a
+/// tree edge but written only by c's unique parent — which is also the
+/// vertex that pops verdict_queue[c] when sending, so every structure has
+/// exactly one writer per phase. The two cross-vertex effects — an accepted
+/// head moving onto the parent VERTEX (owned/claim_queue of the parent) and
+/// a part acquiring a shortcut edge — are recorded into per-shard effect
+/// lists by the receiving child and applied at the end_round() barrier in
+/// delivered order, exactly when (and in the order) the sequential code
+/// applied them inline.
+struct CappedGreedyProgram {
+  const RootedTree& tree;
+  Shortcut& shortcut;
+  int cap;
+  int& frozen_heads;
+
+  std::vector<std::set<PartId>> owned;
+  std::vector<std::deque<PartId>> claim_queue;  // keyed by claiming vertex
+  std::vector<std::set<PartId>> admitted;       // keyed by child vertex
+  std::vector<std::deque<std::pair<PartId, std::int32_t>>> verdict_queue;
+  // keyed by child vertex: verdicts the parent still owes that child.
+
+  FrontierTracker tracker;
+  /// Accepted heads arriving at the parent vertex: (parent, part).
+  PerShard<std::vector<std::pair<VertexId, PartId>>> accepted;
+  /// Tree edges admitted for a part this round: (part, edge).
+  PerShard<std::vector<std::pair<PartId, EdgeId>>> admitted_edges;
+  PerShard<int> frozen_delta;
+
+  CappedGreedyProgram(Simulator& sim, const RootedTree& t,
+                      const Partition& parts, Shortcut& sc, int edge_cap,
+                      int& frozen)
+      : tree(t), shortcut(sc), cap(edge_cap), frozen_heads(frozen),
+        owned(static_cast<std::size_t>(t.num_vertices())),
+        claim_queue(static_cast<std::size_t>(t.num_vertices())),
+        admitted(static_cast<std::size_t>(t.num_vertices())),
+        verdict_queue(static_cast<std::size_t>(t.num_vertices())),
+        tracker(sim.num_shards(), t.num_vertices()),
+        accepted(sim.num_shards()), admitted_edges(sim.num_shards()),
+        frozen_delta(sim.num_shards()) {
+    // Seed: every part member is territory and (if not the root) a head.
+    for (VertexId v = 0; v < t.num_vertices(); ++v) {
+      PartId p = parts.part_of(v);
+      if (p == kNoPart) continue;
+      owned[static_cast<std::size_t>(v)].insert(p);
+      if (v != t.root()) {
+        claim_queue[static_cast<std::size_t>(v)].push_back(p);
+        tracker.seed(v);
+      }
+    }
+  }
+
+  [[nodiscard]] bool has_pending(VertexId v) const {
+    if (!claim_queue[static_cast<std::size_t>(v)].empty()) return true;
+    for (VertexId c : tree.children(v))
+      if (!verdict_queue[static_cast<std::size_t>(c)].empty()) return true;
+    return false;
+  }
+
+  [[nodiscard]] std::span<const VertexId> frontier() const {
+    return tracker.frontier();
+  }
+
+  void send(VertexId v, VertexSender& out) {
+    // One claim per parent edge and one verdict per child edge — distinct
+    // directed edges, so everything fits one round's CONGEST capacity.
+    auto& claims = claim_queue[static_cast<std::size_t>(v)];
+    if (!claims.empty()) {
+      out.send(tree.parent_edge(v), Message{claims.front(), kClaim, v});
+      claims.pop_front();
+    }
+    for (VertexId c : tree.children(v)) {
+      auto& verdicts = verdict_queue[static_cast<std::size_t>(c)];
+      if (!verdicts.empty()) {
+        auto [p, verb] = verdicts.front();
+        verdicts.pop_front();
+        out.send(tree.parent_edge(c), Message{p, verb, c});
+      }
+    }
+    if (has_pending(v)) tracker.keep_from_send(v, out.shard());
+  }
+
+  void receive(VertexId v, std::span<const Delivery> inbox,
+               const ShardContext& ctx) {
+    bool wake = false;
+    for (const Delivery& d : inbox) {
+      PartId p = d.msg.tag;
+      if (d.msg.aux == kClaim) {
+        // v is the parent endpoint; child is d.from.
+        const VertexId child = d.from;
+        auto& adm = admitted[static_cast<std::size_t>(child)];
+        if (adm.count(p)) {
+          // Duplicate claim (same part, same edge): treat as accepted
+          // without new bookkeeping.
+          verdict_queue[static_cast<std::size_t>(child)].push_back(
+              {p, kAccept});
+        } else if (static_cast<int>(adm.size()) < cap) {
+          adm.insert(p);
+          admitted_edges[ctx.shard].push_back({p, tree.parent_edge(child)});
+          verdict_queue[static_cast<std::size_t>(child)].push_back(
+              {p, kAccept});
+        } else {
+          verdict_queue[static_cast<std::size_t>(child)].push_back(
+              {p, kReject});
+        }
+        wake = true;  // v owes a verdict next round
+      } else if (d.msg.aux == kAccept) {
+        // v is the child; its head moves onto the parent vertex — the
+        // parent's territory bookkeeping is a cross-vertex effect, deferred
+        // to the barrier.
+        accepted[ctx.shard].push_back({d.from, p});
+      } else {  // kReject
+        ++frozen_delta[ctx.shard];
+      }
+    }
+    if (wake) tracker.wake_from_receive(v, ctx.shard);
+  }
+
+  void end_round() {
+    tracker.merge_phases();
+    admitted_edges.for_each([&](std::vector<std::pair<PartId, EdgeId>>& es) {
+      for (auto [p, e] : es)
+        shortcut.edges_of_part[static_cast<std::size_t>(p)].push_back(e);
+      es.clear();
+    });
+    accepted.for_each([&](std::vector<std::pair<VertexId, PartId>>& heads) {
+      for (auto [parent, p] : heads) {
+        auto& terr = owned[static_cast<std::size_t>(parent)];
+        if (terr.insert(p).second && parent != tree.root()) {
+          claim_queue[static_cast<std::size_t>(parent)].push_back(p);
+          tracker.wake_at_barrier(parent);
+        }
+        // else: merged into own territory; the head dissolves.
+      }
+      heads.clear();
+    });
+    frozen_delta.for_each([&](int& delta) {
+      frozen_heads += delta;
+      delta = 0;
+    });
+    tracker.clear_flags();
+  }
+};
 
 }  // namespace
 
@@ -31,88 +179,9 @@ DistributedShortcutResult distributed_capped_greedy(Simulator& sim,
   DistributedShortcutResult out;
   out.shortcut.edges_of_part.resize(parts.num_parts());
 
-  // Local state per node: which parts own this node (territory), pending
-  // outgoing claims on the parent edge (FIFO; one message per round), and
-  // per-node admitted-part sets for each child edge (capacity enforcement is
-  // local to the edge's upper endpoint, as in a real implementation).
-  std::vector<std::set<PartId>> owned(n);
-  std::vector<std::deque<PartId>> claim_queue(n);  // keyed by child vertex
-  std::vector<std::set<PartId>> admitted(n);       // keyed by child vertex
-  std::vector<std::deque<std::pair<PartId, std::int32_t>>> verdict_queue(n);
-  // keyed by child vertex: verdicts the parent still owes that child.
-
-  // Seed: every part member is territory and (if not the root) a head.
-  long long active = 0;
-  for (VertexId v = 0; v < n; ++v) {
-    PartId p = parts.part_of(v);
-    if (p == kNoPart) continue;
-    owned[v].insert(p);
-    if (v != tree.root()) {
-      claim_queue[v].push_back(p);
-      ++active;
-    }
-  }
-
-  (void)run_round_loop(
-      sim,
-      [&] {
-        if (active <= 0) return false;
-        // Send phase: each node forwards one claim per parent edge and one
-        // verdict per child edge (distinct directed edges, so both fit).
-        for (VertexId v = 0; v < n; ++v) {
-          if (!claim_queue[v].empty()) {
-            sim.send(v, tree.parent_edge(v),
-                     Message{claim_queue[v].front(), kClaim, v});
-            claim_queue[v].pop_front();
-          }
-          if (!verdict_queue[v].empty()) {
-            auto [p, verb] = verdict_queue[v].front();
-            verdict_queue[v].pop_front();
-            sim.send(tree.parent(v), tree.parent_edge(v), Message{p, verb, v});
-          }
-        }
-        return true;
-      },
-      [&] {
-        for (VertexId v : sim.delivered_to()) {
-          for (const Delivery& d : sim.inbox(v)) {
-            PartId p = d.msg.tag;
-            if (d.msg.aux == kClaim) {
-              // v is the parent endpoint; child is d.from.
-              VertexId child = d.from;
-              if (admitted[child].count(p)) {
-                // Duplicate claim (same part, same edge): treat as accepted
-                // without new bookkeeping.
-                verdict_queue[child].push_back({p, kAccept});
-                continue;
-              }
-              if (static_cast<int>(admitted[child].size()) < cap) {
-                admitted[child].insert(p);
-                out.shortcut.edges_of_part[p].push_back(
-                    tree.parent_edge(child));
-                verdict_queue[child].push_back({p, kAccept});
-              } else {
-                verdict_queue[child].push_back({p, kReject});
-              }
-            } else if (d.msg.aux == kAccept) {
-              // v is the child; its head moves onto the parent vertex.
-              VertexId parent = d.from;
-              --active;
-              if (!owned[parent].count(p)) {
-                owned[parent].insert(p);
-                if (parent != tree.root()) {
-                  claim_queue[parent].push_back(p);
-                  ++active;
-                }
-              }
-              // else: merged into own territory; the head dissolves.
-            } else {  // kReject
-              --active;
-              ++out.frozen_heads;
-            }
-          }
-        }
-      });
+  CappedGreedyProgram prog(sim, tree, parts, out.shortcut, cap,
+                           out.frozen_heads);
+  (void)run_vertex_program(sim, prog);
 
   // De-duplicate (a part can re-claim an edge it already owns via the
   // duplicate-claim path; ownership bookkeeping above prevents double

@@ -1,0 +1,75 @@
+#include "congest/execution.hpp"
+
+#include <algorithm>
+
+namespace mns::congest {
+
+WorkerPool::WorkerPool(int threads) {
+  const int extra = std::max(0, threads - 1);
+  workers_.reserve(static_cast<std::size_t>(extra));
+  for (int i = 0; i < extra; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void WorkerPool::claim_and_run() {
+  // mutex_ is held on entry and exit; released around each task body.
+  while (next_task_ < tasks_) {
+    const int task = next_task_++;
+    const std::function<void(int)>* job = job_;
+    mutex_.unlock();
+    std::exception_ptr error;
+    try {
+      (*job)(task);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    mutex_.lock();
+    if (error && !first_error_) first_error_ = error;
+    ++finished_;
+  }
+}
+
+void WorkerPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::uint64_t seen = 0;
+  for (;;) {
+    work_cv_.wait(lock,
+                  [&] { return shutdown_ || generation_ != seen; });
+    if (shutdown_) return;
+    seen = generation_;
+    claim_and_run();
+    if (finished_ == tasks_) done_cv_.notify_all();
+  }
+}
+
+void WorkerPool::run(int tasks, const std::function<void(int)>& fn) {
+  if (tasks <= 0) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  job_ = &fn;
+  tasks_ = tasks;
+  next_task_ = 0;
+  finished_ = 0;
+  first_error_ = nullptr;
+  ++generation_;
+  if (tasks > 1) work_cv_.notify_all();
+  claim_and_run();  // the calling thread participates
+  done_cv_.wait(lock, [&] { return finished_ == tasks_; });
+  job_ = nullptr;
+  if (first_error_) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace mns::congest

@@ -1,0 +1,80 @@
+// Execution policy and worker pool for the vertex-parallel round engine
+// (DESIGN.md §7). The CONGEST capacity rule — one message per directed edge
+// per round — makes per-vertex send work naturally conflict-free: directed
+// edge slot 2e+side is written only by its `from` endpoint, and the engine
+// assigns every vertex to exactly one shard, so staging buffers never race.
+// Parallelism changes WALL CLOCK only: rounds, messages, inbox contents and
+// every algorithm result are bit-identical to sequential execution (the
+// deterministic shard-merge in Simulator::finish_round() is what pins this
+// down; see DESIGN.md §7 for the argument).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mns::congest {
+
+/// How many shards (worker threads) the round engine fans each round phase
+/// over. threads == 1 is plain sequential execution; threads == 0 resolves
+/// to std::thread::hardware_concurrency(). Any value yields bit-identical
+/// rounds/messages/results — the policy is a wall-clock knob, never a
+/// semantic one.
+struct ExecutionPolicy {
+  int threads = 1;
+
+  /// The effective shard count (>= 1).
+  [[nodiscard]] int resolved() const {
+    if (threads > 0) return threads;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+  }
+};
+
+/// A tiny persistent fork-join pool: run(tasks, fn) executes fn(0..tasks-1)
+/// across the pool (the calling thread participates) and returns when every
+/// task finished. Workers sleep on a condition variable between rounds, so
+/// oversubscribed configurations (threads > cores, or a 1-core CI box) stay
+/// correct and merely gain nothing. The first exception thrown by any task
+/// is rethrown on the calling thread after the join — Simulator::stage_send
+/// validation errors propagate exactly like sequential send() throws.
+class WorkerPool {
+ public:
+  /// Spawns `threads - 1` workers (the caller is the remaining one).
+  explicit WorkerPool(int threads);
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+  ~WorkerPool();
+
+  [[nodiscard]] int threads() const noexcept {
+    return static_cast<int>(workers_.size()) + 1;
+  }
+
+  /// Blocks until fn(t) ran for every t in [0, tasks). Tasks are claimed
+  /// dynamically; which THREAD runs a task is irrelevant to determinism
+  /// because all engine state is indexed by task (shard) id, never by
+  /// thread identity. Not reentrant.
+  void run(int tasks, const std::function<void(int)>& fn);
+
+ private:
+  void worker_loop();
+  void claim_and_run();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< workers wait for a new generation
+  std::condition_variable done_cv_;  ///< run() waits for completion
+  const std::function<void(int)>* job_ = nullptr;
+  int tasks_ = 0;
+  int next_task_ = 0;
+  int finished_ = 0;
+  std::uint64_t generation_ = 0;
+  std::exception_ptr first_error_;
+  bool shutdown_ = false;
+};
+
+}  // namespace mns::congest

@@ -6,10 +6,13 @@
 // cut. With enough trees the best 1-respecting cut across the packing is a
 // (2+eps)-approximation (and in practice usually exact). Each tree's cut
 // evaluation is verifier-grade centralized, but its dissemination is a real
-// part-wise aggregation over the source's shortcut, measured on
-// run_round_loop (the DESIGN.md §4 substitution, no longer a skip_rounds
-// guess). Internal engine of Session::solve(MinCut) — user code goes
-// through congest::Session.
+// part-wise aggregation over the source's shortcut (the DESIGN.md §4
+// substitution, no longer a skip_rounds guess). All distributed traffic —
+// the packing MSTs and the dissemination aggregations — runs on the
+// vertex-parallel round engine (DESIGN.md §7) by composition, so min-cut
+// inherits thread scaling with bit-identical rounds/messages/values.
+// Internal engine of Session::solve(MinCut) — user code goes through
+// congest::Session.
 #pragma once
 
 #include "congest/mst.hpp"

@@ -6,12 +6,146 @@
 #include <map>
 #include <numeric>
 
+#include "congest/vertex_program.hpp"
 #include "graph/union_find.hpp"
 
 namespace mns::congest {
 
 namespace {
 constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max();
+
+/// One-round all-to-neighbours fragment-label exchange: every node offers
+/// its fragment id on every incident edge; `recv` drains each delivered
+/// inbox (writing only v-local state).
+template <typename RecvFn>
+struct ExchangeProgram {
+  const Graph& g;
+  const std::vector<PartId>& frag;
+  RecvFn recv;
+  std::vector<VertexId> everyone;
+  bool done = false;
+
+  ExchangeProgram(const Graph& graph, const std::vector<PartId>& f, RecvFn r)
+      : g(graph), frag(f), recv(std::move(r)) {
+    everyone.resize(static_cast<std::size_t>(g.num_vertices()));
+    std::iota(everyone.begin(), everyone.end(), 0);
+  }
+
+  [[nodiscard]] std::span<const VertexId> frontier() const {
+    return done ? std::span<const VertexId>() : std::span<const VertexId>(
+                                                    everyone);
+  }
+  void send(VertexId v, VertexSender& out) {
+    for (EdgeId e : g.incident_edges(v)) out.send(e, Message{0, 0, frag[v]});
+  }
+  void receive(VertexId v, std::span<const Delivery> inbox,
+               const ShardContext&) {
+    recv(v, inbox);
+  }
+  void end_round() { done = true; }
+};
+
+template <typename RecvFn>
+long long run_fragment_exchange(Simulator& sim, const std::vector<PartId>& frag,
+                                RecvFn recv) {
+  ExchangeProgram<RecvFn> prog(sim.graph(), frag, std::move(recv));
+  return run_vertex_program(sim, prog);
+}
+
+/// Pipelined upcast of (fragment, candidate) pairs toward the BFS root: one
+/// improved pair per node per round until quiescent. table/unsent are
+/// v-local; the frontier is every non-root node with unsent entries.
+struct GhsUpcastProgram {
+  const RootedTree& tree;
+  std::vector<std::map<PartId, AggValue>>& table;
+  std::vector<std::map<PartId, AggValue>> unsent;
+  FrontierTracker tracker;
+
+  GhsUpcastProgram(Simulator& sim, const RootedTree& t,
+                   std::vector<std::map<PartId, AggValue>>& tab)
+      : tree(t), table(tab), unsent(tab),
+        tracker(sim.num_shards(), t.num_vertices()) {
+    for (VertexId v = 0; v < tree.num_vertices(); ++v)
+      if (v != tree.root() && !unsent[static_cast<std::size_t>(v)].empty())
+        tracker.seed(v);
+  }
+
+  [[nodiscard]] std::span<const VertexId> frontier() const {
+    return tracker.frontier();
+  }
+
+  void send(VertexId v, VertexSender& out) {
+    auto& pending = unsent[static_cast<std::size_t>(v)];
+    auto it = pending.begin();
+    out.send(tree.parent_edge(v),
+             Message{it->first, it->second.aux, it->second.value});
+    pending.erase(it);
+    if (!pending.empty()) tracker.keep_from_send(v, out.shard());
+  }
+
+  void receive(VertexId v, std::span<const Delivery> inbox,
+               const ShardContext& ctx) {
+    bool woke = false;
+    for (const Delivery& d : inbox) {
+      PartId p = d.msg.tag;
+      AggValue cand{d.msg.value, d.msg.aux};
+      auto& tab = table[static_cast<std::size_t>(v)];
+      auto it = tab.find(p);
+      if (it == tab.end() || cand < it->second) {
+        tab[p] = cand;
+        unsent[static_cast<std::size_t>(v)][p] = cand;
+        woke = true;
+      }
+    }
+    if (woke && v != tree.root()) tracker.wake_from_receive(v, ctx.shard);
+  }
+
+  void end_round() { tracker.end_round(); }
+};
+
+/// Pipelined downcast of the relabel table from the root: each node forwards
+/// one queued (old fragment -> new id) pair to all children per round.
+struct GhsDowncastProgram {
+  const RootedTree& tree;
+  std::vector<std::vector<std::pair<PartId, PartId>>>& to_send;
+  std::vector<std::size_t> cursor;
+  FrontierTracker tracker;
+
+  GhsDowncastProgram(Simulator& sim, const RootedTree& t,
+                     std::vector<std::vector<std::pair<PartId, PartId>>>& ts)
+      : tree(t), to_send(ts),
+        cursor(static_cast<std::size_t>(t.num_vertices()), 0),
+        tracker(sim.num_shards(), t.num_vertices()) {
+    for (VertexId v = 0; v < tree.num_vertices(); ++v)
+      if (!to_send[static_cast<std::size_t>(v)].empty()) tracker.seed(v);
+  }
+
+  [[nodiscard]] std::span<const VertexId> frontier() const {
+    return tracker.frontier();
+  }
+
+  void send(VertexId v, VertexSender& out) {
+    auto [p, label] = to_send[static_cast<std::size_t>(v)]
+                             [cursor[static_cast<std::size_t>(v)]];
+    ++cursor[static_cast<std::size_t>(v)];
+    for (VertexId c : tree.children(v))
+      out.send(tree.parent_edge(c), Message{p, 0, label});
+    if (cursor[static_cast<std::size_t>(v)] <
+        to_send[static_cast<std::size_t>(v)].size())
+      tracker.keep_from_send(v, out.shard());
+  }
+
+  void receive(VertexId v, std::span<const Delivery> inbox,
+               const ShardContext& ctx) {
+    for (const Delivery& d : inbox)
+      to_send[static_cast<std::size_t>(v)].push_back(
+          {d.msg.tag, static_cast<PartId>(d.msg.value)});
+    tracker.wake_from_receive(v, ctx.shard);
+  }
+
+  void end_round() { tracker.end_round(); }
+};
+
 }  // namespace
 
 std::vector<EdgeId> kruskal_mst(const Graph& g, const std::vector<Weight>& w) {
@@ -59,14 +193,13 @@ MstResult boruvka_mst(Simulator& sim, const std::vector<Weight>& w,
     const long long phase_charged_start = out.charged_construction_rounds;
 
     // 1 round: every node tells each neighbour its fragment id.
-    for (VertexId v = 0; v < n; ++v)
-      for (EdgeId e : g.incident_edges(v))
-        sim.send(v, e, Message{0, 0, frag[v]});
-    sim.finish_round();
     std::vector<std::map<EdgeId, PartId>> nbr_frag(n);
-    for (VertexId v : sim.delivered_to())
-      for (const Delivery& d : sim.inbox(v))
-        nbr_frag[v][d.edge] = static_cast<PartId>(d.msg.value);
+    (void)run_fragment_exchange(
+        sim, frag, [&](VertexId v, std::span<const Delivery> inbox) {
+          for (const Delivery& d : inbox)
+            nbr_frag[static_cast<std::size_t>(v)][d.edge] =
+                static_cast<PartId>(d.msg.value);
+        });
 
     // Local min outgoing edge per node.
     std::vector<AggValue> initial(n, AggValue{kInf, 0});
@@ -167,51 +300,25 @@ MstResult controlled_ghs_mst(Simulator& sim, const RootedTree& bfs_tree,
     const long long phase_messages_start = sim.messages_sent();
 
     // One round of fragment exchange with neighbours; local candidates.
-    for (VertexId v = 0; v < n; ++v)
-      for (EdgeId e : g.incident_edges(v))
-        sim.send(v, e, Message{0, 0, frag[v]});
-    sim.finish_round();
     std::vector<std::map<PartId, AggValue>> table(n);
-    for (VertexId v : sim.delivered_to()) {
-      AggValue best{kInf, 0};
-      for (const Delivery& d : sim.inbox(v))
-        if (static_cast<PartId>(d.msg.value) != frag[v]) {
-          AggValue cand{w[d.edge], d.edge};
-          best = std::min(best, cand);
-        }
-      if (best.value != kInf) table[v][frag[v]] = best;
-    }
+    (void)run_fragment_exchange(
+        sim, frag, [&](VertexId v, std::span<const Delivery> inbox) {
+          AggValue best{kInf, 0};
+          for (const Delivery& d : inbox)
+            if (static_cast<PartId>(d.msg.value) != frag[v]) {
+              AggValue cand{w[d.edge], d.edge};
+              best = std::min(best, cand);
+            }
+          if (best.value != kInf) table[static_cast<std::size_t>(v)][frag[v]] =
+              best;
+        });
 
     // Pipelined upcast: each node sends one improved (fragment, candidate)
     // pair to its parent per round until quiescent.
-    std::vector<std::map<PartId, AggValue>> unsent = table;
-    (void)run_round_loop(
-        sim,
-        [&] {
-          bool any = false;
-          for (VertexId v = 0; v < n; ++v) {
-            if (v == bfs_tree.root() || unsent[v].empty()) continue;
-            auto it = unsent[v].begin();
-            sim.send(v, bfs_tree.parent_edge(v),
-                     Message{it->first, it->second.aux, it->second.value});
-            unsent[v].erase(it);
-            any = true;
-          }
-          return any;
-        },
-        [&] {
-          for (VertexId v : sim.delivered_to()) {
-            for (const Delivery& d : sim.inbox(v)) {
-              PartId p = d.msg.tag;
-              AggValue cand{d.msg.value, d.msg.aux};
-              auto it = table[v].find(p);
-              if (it == table[v].end() || cand < it->second) {
-                table[v][p] = cand;
-                unsent[v][p] = cand;
-              }
-            }
-          }
-        });
+    {
+      GhsUpcastProgram up(sim, bfs_tree, table);
+      (void)run_vertex_program(sim, up);
+    }
 
     // Root merges centrally.
     UnionFind uf(num_frag);
@@ -239,27 +346,10 @@ MstResult controlled_ghs_mst(Simulator& sim, const RootedTree& bfs_tree,
       for (PartId p = 0; p < num_frag; ++p) pairs.push_back({p, relabel[p]});
       to_send[bfs_tree.root()] = std::move(pairs);
     }
-    std::vector<std::size_t> cursor(n, 0);
-    (void)run_round_loop(
-        sim,
-        [&] {
-          bool any = false;
-          for (VertexId v = 0; v < n; ++v) {
-            if (cursor[v] >= to_send[v].size()) continue;
-            auto [p, label] = to_send[v][cursor[v]];
-            ++cursor[v];
-            for (VertexId c : bfs_tree.children(v))
-              sim.send(v, bfs_tree.parent_edge(c), Message{p, 0, label});
-            any = true;
-          }
-          return any;
-        },
-        [&] {
-          for (VertexId v : sim.delivered_to())
-            for (const Delivery& d : sim.inbox(v))
-              to_send[v].push_back(
-                  {d.msg.tag, static_cast<PartId>(d.msg.value)});
-        });
+    {
+      GhsDowncastProgram down(sim, bfs_tree, to_send);
+      (void)run_vertex_program(sim, down);
+    }
     for (VertexId v = 0; v < n; ++v) frag[v] = relabel[frag[v]];
     if (trace)
       trace(RoundTrace{"ghs-phase", out.phases,

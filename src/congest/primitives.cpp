@@ -3,40 +3,158 @@
 #include <algorithm>
 
 #include "congest/bfs.hpp"
+#include "congest/vertex_program.hpp"
 
 namespace mns::congest {
+
+namespace {
+
+/// Root-to-leaves value flooding along tree edges: each frontier node pushes
+/// the value to its children; a child adopts on first delivery.
+struct BroadcastProgram {
+  const RootedTree& tree;
+  BroadcastResult& out;
+  std::vector<char> has;
+  std::vector<VertexId> active;
+  PerShard<std::vector<VertexId>> next;
+
+  BroadcastProgram(Simulator& sim, const RootedTree& t, BroadcastResult& o)
+      : tree(t), out(o), has(static_cast<std::size_t>(t.num_vertices()), 0),
+        next(sim.num_shards()) {
+    has[tree.root()] = 1;
+    // Only nodes with children enter the frontier: a leaf-only frontier
+    // would buy a message-free round the old send()==false check never
+    // counted.
+    if (!tree.children(tree.root()).empty()) active.push_back(tree.root());
+  }
+
+  [[nodiscard]] std::span<const VertexId> frontier() const { return active; }
+
+  void send(VertexId v, VertexSender& sender) {
+    for (VertexId c : tree.children(v))
+      sender.send(tree.parent_edge(c), Message{0, 0, out.received[v]});
+  }
+
+  void receive(VertexId c, std::span<const Delivery> inbox,
+               const ShardContext& ctx) {
+    if (has[c]) return;
+    has[c] = 1;
+    out.received[c] = inbox.front().msg.value;
+    if (!tree.children(c).empty()) next[ctx.shard].push_back(c);
+  }
+
+  void end_round() {
+    active.clear();
+    next.for_each([&](std::vector<VertexId>& part) {
+      active.insert(active.end(), part.begin(), part.end());
+      part.clear();
+    });
+  }
+};
+
+/// Leaves-to-root min: a node reports to its parent once every child
+/// reported; the ready list is the frontier.
+struct ConvergecastProgram {
+  const RootedTree& tree;
+  std::vector<int> waiting;
+  std::vector<std::int64_t> best;
+  std::vector<char> sent;
+  std::vector<VertexId> ready;
+  PerShard<std::vector<VertexId>> next_ready;
+
+  ConvergecastProgram(Simulator& sim, const RootedTree& t,
+                      const std::vector<std::int64_t>& values)
+      : tree(t), waiting(static_cast<std::size_t>(t.num_vertices()), 0),
+        best(values), sent(static_cast<std::size_t>(t.num_vertices()), 0),
+        next_ready(sim.num_shards()) {
+    const VertexId n = t.num_vertices();
+    for (VertexId v = 0; v < n; ++v)
+      waiting[v] = static_cast<int>(t.children(v).size());
+    for (VertexId v = 0; v < n; ++v)
+      if (v != t.root() && waiting[v] == 0) ready.push_back(v);
+  }
+
+  [[nodiscard]] std::span<const VertexId> frontier() const { return ready; }
+
+  void send(VertexId v, VertexSender& sender) {
+    sender.send(tree.parent_edge(v), Message{0, 0, best[v]});
+    sent[v] = 1;
+  }
+
+  void receive(VertexId v, std::span<const Delivery> inbox,
+               const ShardContext& ctx) {
+    for (const Delivery& d : inbox) {
+      best[v] = std::min(best[v], d.msg.value);
+      --waiting[v];
+    }
+    if (v != tree.root() && !sent[v] && waiting[v] == 0)
+      next_ready[ctx.shard].push_back(v);
+  }
+
+  void end_round() {
+    ready.clear();
+    next_ready.for_each([&](std::vector<VertexId>& part) {
+      ready.insert(ready.end(), part.begin(), part.end());
+      part.clear();
+    });
+  }
+};
+
+/// Min-id flooding on the raw graph: every node re-broadcasts its current
+/// best over all edges each round until nothing improves anywhere (an OR
+/// reduction over per-shard changed flags).
+struct LeaderProgram {
+  const Graph& g;
+  std::vector<VertexId>& best;
+  std::vector<VertexId> everyone;
+  PerShard<char> changed;
+  bool running = true;
+
+  LeaderProgram(Simulator& sim, std::vector<VertexId>& b)
+      : g(sim.graph()), best(b), changed(sim.num_shards()) {
+    everyone.resize(static_cast<std::size_t>(g.num_vertices()));
+    for (VertexId v = 0; v < g.num_vertices(); ++v)
+      everyone[static_cast<std::size_t>(v)] = v;
+  }
+
+  [[nodiscard]] std::span<const VertexId> frontier() const {
+    return running ? std::span<const VertexId>(everyone)
+                   : std::span<const VertexId>();
+  }
+
+  void send(VertexId v, VertexSender& sender) {
+    for (EdgeId e : g.incident_edges(v)) sender.send(e, Message{0, 0, best[v]});
+  }
+
+  void receive(VertexId v, std::span<const Delivery> inbox,
+               const ShardContext& ctx) {
+    for (const Delivery& d : inbox)
+      if (d.msg.value < best[v]) {
+        best[v] = static_cast<VertexId>(d.msg.value);
+        changed[ctx.shard] = 1;
+      }
+  }
+
+  void end_round() {
+    bool any = false;
+    changed.for_each([&](char& flag) {
+      any = any || flag != 0;
+      flag = 0;
+    });
+    running = any;
+  }
+};
+
+}  // namespace
 
 BroadcastResult broadcast(Simulator& sim, const RootedTree& tree,
                           std::int64_t value) {
   const VertexId n = tree.num_vertices();
   BroadcastResult out;
   out.received.assign(n, 0);
-  std::vector<char> has(n, 0);
   out.received[tree.root()] = value;
-  has[tree.root()] = 1;
-  std::vector<VertexId> frontier{tree.root()};
-  std::vector<VertexId> next;
-  out.rounds = run_round_loop(
-      sim,
-      [&] {
-        bool any = false;
-        for (VertexId v : frontier)
-          for (VertexId c : tree.children(v)) {
-            sim.send(v, tree.parent_edge(c), Message{0, 0, out.received[v]});
-            any = true;
-          }
-        return any;
-      },
-      [&] {
-        next.clear();
-        for (VertexId c : sim.delivered_to()) {
-          if (has[c]) continue;
-          has[c] = 1;
-          out.received[c] = sim.inbox(c).front().msg.value;
-          next.push_back(c);
-        }
-        frontier.swap(next);
-      });
+  BroadcastProgram prog(sim, tree, out);
+  out.rounds = run_vertex_program(sim, prog);
   return out;
 }
 
@@ -45,39 +163,10 @@ ConvergecastResult convergecast_min(Simulator& sim, const RootedTree& tree,
   const VertexId n = tree.num_vertices();
   require(static_cast<VertexId>(values.size()) == n,
           "convergecast_min: size mismatch");
-  // Each node sends once all children reported; leaves start immediately.
-  std::vector<int> waiting(n, 0);
-  std::vector<std::int64_t> best(values);
-  for (VertexId v = 0; v < n; ++v)
-    waiting[v] = static_cast<int>(tree.children(v).size());
-  std::vector<char> sent(n, 0);
-  // Nodes whose subtree is complete and whose report is still unsent.
-  std::vector<VertexId> ready;
-  for (VertexId v = 0; v < n; ++v)
-    if (v != tree.root() && waiting[v] == 0) ready.push_back(v);
-  long long rounds = run_round_loop(
-      sim,
-      [&] {
-        if (ready.empty()) return false;
-        for (VertexId v : ready) {
-          sim.send(v, tree.parent_edge(v), Message{0, 0, best[v]});
-          sent[v] = 1;
-        }
-        ready.clear();
-        return true;
-      },
-      [&] {
-        for (VertexId v : sim.delivered_to()) {
-          for (const Delivery& d : sim.inbox(v)) {
-            best[v] = std::min(best[v], d.msg.value);
-            --waiting[v];
-          }
-          if (v != tree.root() && !sent[v] && waiting[v] == 0)
-            ready.push_back(v);
-        }
-      });
+  ConvergecastProgram prog(sim, tree, values);
+  long long rounds = run_vertex_program(sim, prog);
   ConvergecastResult out;
-  out.min_at_root = best[tree.root()];
+  out.min_at_root = prog.best[tree.root()];
   out.rounds = rounds;
   return out;
 }
@@ -87,25 +176,8 @@ LeaderResult elect_leader(Simulator& sim) {
   const VertexId n = g.num_vertices();
   std::vector<VertexId> best(n);
   for (VertexId v = 0; v < n; ++v) best[v] = v;
-  bool changed = true;
-  long long rounds = run_round_loop(
-      sim,
-      [&] {
-        if (!changed) return false;
-        for (VertexId v = 0; v < n; ++v)
-          for (EdgeId e : g.incident_edges(v))
-            sim.send(v, e, Message{0, 0, best[v]});
-        return true;
-      },
-      [&] {
-        changed = false;
-        for (VertexId v : sim.delivered_to())
-          for (const Delivery& d : sim.inbox(v))
-            if (d.msg.value < best[v]) {
-              best[v] = static_cast<VertexId>(d.msg.value);
-              changed = true;
-            }
-      });
+  LeaderProgram prog(sim, best);
+  long long rounds = run_vertex_program(sim, prog);
   LeaderResult out;
   out.leader = best[0];
   out.rounds = rounds;

@@ -59,7 +59,8 @@ const AggregatePayload& RunReport::aggregate() const {
 Session::Session(Graph g, StructuralCertificate certificate,
                  SessionConfig config)
     : g_(std::move(g)),
-      sim_(g_),
+      config_execution_(config.execution),
+      sim_(g_, config.execution),
       cert_(std::move(certificate)),
       tree_factory_(config.tree ? std::move(config.tree)
                                 : center_tree_factory()),
@@ -178,7 +179,14 @@ BuildResult Session::analyze(const Partition& parts) {
 }
 
 template <typename Body>
-RunReport Session::run(const char* workload, Body&& body) {
+RunReport Session::run(const char* workload, const SolveOptions& opt,
+                       Body&& body) {
+  // Apply this solve's execution policy before anything is staged: 0 keeps
+  // the session default, -1 asks for hardware_concurrency, N pins N shards.
+  ExecutionPolicy policy = config_execution_;
+  if (opt.threads > 0) policy.threads = opt.threads;
+  if (opt.threads < 0) policy.threads = 0;  // resolve to hardware width
+  if (policy.resolved() != sim_.num_shards()) sim_.set_execution_policy(policy);
   const auto start_clock = std::chrono::steady_clock::now();
   const long long start_rounds = sim_.rounds();
   const long long start_messages = sim_.messages_sent();
@@ -186,6 +194,7 @@ RunReport Session::run(const char* workload, Body&& body) {
   const long long start_misses = misses_;
   RunReport r;
   r.workload = workload;
+  r.threads = sim_.num_shards();
   body(r);
   r.rounds = sim_.rounds() - start_rounds;
   r.messages = sim_.messages_sent() - start_messages;
@@ -198,7 +207,7 @@ RunReport Session::run(const char* workload, Body&& body) {
 }
 
 RunReport Session::solve(const Mst& q, const SolveOptions& opt) {
-  return run("mst", [&](RunReport& r) {
+  return run("mst", opt, [&](RunReport& r) {
     MstOptions mopt;
     mopt.source = make_source(opt);
     mopt.stop_at_fragment_size = q.stop_at_fragment_size;
@@ -212,7 +221,7 @@ RunReport Session::solve(const Mst& q, const SolveOptions& opt) {
 }
 
 RunReport Session::solve(const GhsMst& q, const SolveOptions& opt) {
-  return run("mst.ghs", [&](RunReport& r) {
+  return run("mst.ghs", opt, [&](RunReport& r) {
     // GHS is shortcut-free: nothing to cache or charge; only the trace
     // stream applies.
     MstResult res = controlled_ghs_mst(sim_, tree(), q.weights, opt.trace);
@@ -223,7 +232,7 @@ RunReport Session::solve(const GhsMst& q, const SolveOptions& opt) {
 }
 
 RunReport Session::solve(const MinCut& q, const SolveOptions& opt) {
-  return run("mincut", [&](RunReport& r) {
+  return run("mincut", opt, [&](RunReport& r) {
     MinCutOptions copt;
     copt.source = make_source(opt);
     copt.num_trees = q.num_trees;
@@ -238,7 +247,7 @@ RunReport Session::solve(const MinCut& q, const SolveOptions& opt) {
 }
 
 RunReport Session::solve(const ExactSssp& q, const SolveOptions& opt) {
-  return run("sssp.exact", [&](RunReport& r) {
+  return run("sssp.exact", opt, [&](RunReport& r) {
     (void)opt;  // Bellman-Ford is shortcut-free
     SsspResult res = exact_sssp(sim_, q.weights, q.source);
     r.phases = res.phases;
@@ -247,7 +256,7 @@ RunReport Session::solve(const ExactSssp& q, const SolveOptions& opt) {
 }
 
 RunReport Session::solve(const ApproxSssp& q, const SolveOptions& opt) {
-  return run("sssp.approx", [&](RunReport& r) {
+  return run("sssp.approx", opt, [&](RunReport& r) {
     ApproxSsspOptions sopt;
     sopt.source = make_source(opt);
     sopt.epsilon = q.epsilon;
@@ -266,7 +275,7 @@ RunReport Session::solve(const ApproxSssp& q, const SolveOptions& opt) {
 }
 
 RunReport Session::solve(const Bfs& q, const SolveOptions& opt) {
-  return run("bfs", [&](RunReport& r) {
+  return run("bfs", opt, [&](RunReport& r) {
     (void)opt;  // flooding needs no shortcuts
     DistributedBfsResult res = distributed_bfs(sim_, q.root);
     r.phases = 1;
@@ -276,7 +285,7 @@ RunReport Session::solve(const Bfs& q, const SolveOptions& opt) {
 }
 
 RunReport Session::solve(const Aggregate& q, const SolveOptions& opt) {
-  return run("aggregate", [&](RunReport& r) {
+  return run("aggregate", opt, [&](RunReport& r) {
     require(static_cast<VertexId>(q.values.size()) == g_.num_vertices(),
             "Session: aggregate values size mismatch");
     SourcedShortcut s = make_source(opt)(g_, q.parts);

@@ -133,6 +133,11 @@ struct RunReport {
   std::string workload;  ///< registry name ("mst", "sssp.approx", ...)
   long long rounds = 0;    ///< measured communication rounds of this run
   long long messages = 0;  ///< messages sent during this run
+  /// Worker threads the round engine fanned this run over (DESIGN.md §7).
+  /// Purely a wall-clock knob: every other field of the report is
+  /// bit-identical across thread counts (pinned by the test_session parity
+  /// sweep and bench_parallel_scaling).
+  int threads = 1;
   /// Substitution charges for constructions paid by this run (DESIGN.md §2);
   /// cache hits re-pay nothing, so warm runs charge less than cold ones.
   long long charged_construction_rounds = 0;
@@ -177,6 +182,11 @@ struct SolveOptions {
   /// / GHS phase). Workloads with no phase structure (ExactSssp, Bfs,
   /// single-shot Aggregate) emit nothing.
   RoundTraceHook trace;
+  /// Worker threads for this solve: 0 = the session default
+  /// (SessionConfig::execution), 1 = sequential, N = fan each round phase
+  /// over N shards, -1 = hardware_concurrency. Never changes results — only
+  /// wall clock (DESIGN.md §7).
+  int threads = 0;
 };
 
 struct SessionConfig {
@@ -188,6 +198,9 @@ struct SessionConfig {
   const ShortcutEngine* engine = nullptr;
   /// Max cached shortcuts before LRU eviction.
   std::size_t cache_capacity = 64;
+  /// Default execution policy for every solve (overridable per solve via
+  /// SolveOptions::threads).
+  ExecutionPolicy execution;
 };
 
 class Session {
@@ -278,11 +291,13 @@ class Session {
                     std::shared_ptr<const Shortcut> shortcut);
   void register_builtin_workloads();
 
-  /// Runs `body` between telemetry snapshots and assembles the RunReport.
+  /// Runs `body` between telemetry snapshots and assembles the RunReport;
+  /// applies the solve's execution policy (threads) to the simulator first.
   template <typename Body>
-  RunReport run(const char* workload, Body&& body);
+  RunReport run(const char* workload, const SolveOptions& opt, Body&& body);
 
   Graph g_;
+  ExecutionPolicy config_execution_;  ///< session-default thread policy
   Simulator sim_;
   StructuralCertificate cert_;
   TreeFactory tree_factory_;

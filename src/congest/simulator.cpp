@@ -4,11 +4,36 @@
 
 namespace mns::congest {
 
-Simulator::Simulator(const Graph& g) : g_(&g) {
+Simulator::Simulator(const Graph& g, ExecutionPolicy policy) : g_(&g) {
   used_.assign(static_cast<std::size_t>(g.num_edges()) * 2, 0);
   inbox_begin_.assign(g.num_vertices(), 0);
   inbox_count_.assign(g.num_vertices(), 0);
   inbox_cursor_.assign(g.num_vertices(), 0);
+  set_execution_policy(policy);
+}
+
+void Simulator::set_execution_policy(ExecutionPolicy policy) {
+  if (!pending_.empty())
+    throw std::logic_error(
+        "Simulator::set_execution_policy: sends pending; the policy may only "
+        "change between rounds");
+  for (const SendShard& shard : shards_)
+    if (!shard.entries.empty())
+      throw std::logic_error(
+          "Simulator::set_execution_policy: staged sends pending; the policy "
+          "may only change between rounds");
+  policy_ = policy;
+  const int resolved = policy_.resolved();
+  if (resolved != num_shards_) {
+    num_shards_ = resolved;
+    shards_.resize(static_cast<std::size_t>(num_shards_));
+    pool_.reset();  // rebuilt lazily at the new width
+  }
+}
+
+WorkerPool& Simulator::pool() {
+  if (!pool_) pool_ = std::make_unique<WorkerPool>(num_shards_);
+  return *pool_;
 }
 
 void Simulator::send(VertexId from, EdgeId edge, const Message& msg) {
@@ -29,11 +54,62 @@ void Simulator::send(VertexId from, EdgeId edge, const Message& msg) {
   ++messages_;
 }
 
+void Simulator::stage_send(int shard, VertexId from, EdgeId edge,
+                           const Message& msg) {
+  if (shard < 0 || static_cast<std::size_t>(shard) >= shards_.size())
+    throw std::out_of_range("Simulator::stage_send: shard out of range");
+  const Edge& e = g_->edge(edge);
+  if (e.u != from && e.v != from)
+    throw std::invalid_argument("Simulator::stage_send: from not on edge");
+  const std::uint32_t dir = static_cast<std::uint32_t>(
+      2 * static_cast<std::size_t>(edge) + (from == e.u ? 0 : 1));
+  const VertexId to = (from == e.u) ? e.v : e.u;
+  shards_[static_cast<std::size_t>(shard)].entries.push_back(
+      StagedSend{dir, to, Delivery{from, edge, msg}});
+}
+
 void Simulator::finish_round() {
+  // Validate the staged shard sends BEFORE mutating anything the caller can
+  // observe, so a CONGEST capacity violation leaves the simulator exactly
+  // as sequential send() would: round not counted, direct sends still
+  // pending, inboxes intact. The poisoned round's staged sends are
+  // discarded (they were never counted), keeping the simulator usable
+  // after a caught violation. The check runs here, on one thread, in the
+  // deterministic merge order.
+  const std::size_t used_mark = used_list_.size();
+  for (SendShard& shard : shards_) {
+    for (const StagedSend& s : shard.entries) {
+      if (used_[s.dir]) {
+        for (std::size_t i = used_mark; i < used_list_.size(); ++i)
+          used_[used_list_[i]] = 0;
+        used_list_.resize(used_mark);
+        for (SendShard& sh : shards_) sh.entries.clear();
+        throw std::invalid_argument(
+            "Simulator::finish_round: directed edge already used this round "
+            "(CONGEST capacity violated by a staged send)");
+      }
+      used_[s.dir] = 1;
+      used_list_.push_back(s.dir);
+    }
+  }
   ++rounds_;
   // Retire the previous round's inboxes: only the old frontier is touched.
   for (VertexId v : frontier_) inbox_count_[v] = 0;
   frontier_.clear();
+  // Merge staged shard sends into the canonical pending list. Order is
+  // direct send()s first (in call order), then shard 0, 1, ... each in its
+  // own staging order. The vertex engine stages a contiguous block of the
+  // canonical frontier into each shard, so this concatenation reproduces the
+  // sequential send order EXACTLY — inboxes, counters and delivered_to() are
+  // bit-identical at any thread count.
+  for (SendShard& shard : shards_) {
+    for (const StagedSend& s : shard.entries) {
+      pending_to_.push_back(s.to);
+      pending_.push_back(s.delivery);
+      ++messages_;
+    }
+    shard.entries.clear();
+  }
   // Count messages per destination; destinations joining the frontier on
   // their first message. Sort-free CSR: the per-destination counts become
   // contiguous ranges in frontier order.
@@ -61,7 +137,10 @@ void Simulator::finish_round() {
 }
 
 void Simulator::skip_rounds(long long rounds) {
-  if (rounds < 0) throw std::invalid_argument("skip_rounds: negative");
+  if (rounds < 0)
+    throw std::invalid_argument(
+        "Simulator::skip_rounds: negative round count would corrupt the "
+        "charged-round accounting");
   rounds_ += rounds;
 }
 

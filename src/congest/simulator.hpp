@@ -13,13 +13,24 @@
 // round), NOT O(n). Algorithms with long sparse tails (BFS, convergecast,
 // pipelined upcasts) simulate millions of rounds without paying for idle
 // nodes.
+//
+// Thread-parallel execution (DESIGN.md §7 "Parallel execution model"): an
+// ExecutionPolicy{threads} shards the per-round send work across a worker
+// pool. Worker threads stage sends into private per-shard buffers via
+// stage_send(); finish_round() merges the shards in a fixed deterministic
+// order (shard id, then staging order within the shard — which the vertex
+// engine pins to the canonical frontier order), so rounds, message counts,
+// inbox contents and delivered_to() are bit-identical to threads == 1.
+// Parallelism is a wall-clock optimization, never a semantic change.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <stdexcept>
 #include <vector>
 
+#include "congest/execution.hpp"
 #include "graph/graph.hpp"
 
 namespace mns::congest {
@@ -39,7 +50,7 @@ struct Delivery {
 
 class Simulator {
  public:
-  explicit Simulator(const Graph& g);
+  explicit Simulator(const Graph& g, ExecutionPolicy policy = {});
 
   [[nodiscard]] const Graph& graph() const noexcept { return *g_; }
 
@@ -47,6 +58,31 @@ class Simulator {
   /// Throws if `from` is not an endpoint of `edge` or if this directed edge
   /// was already used this round (CONGEST capacity).
   void send(VertexId from, EdgeId edge, const Message& msg);
+
+  // -- parallel staging (used by the vertex-program engine) ----------------
+
+  /// How the per-round work is fanned out. May only change between rounds
+  /// (throws if sends are pending).
+  void set_execution_policy(ExecutionPolicy policy);
+  [[nodiscard]] const ExecutionPolicy& execution_policy() const noexcept {
+    return policy_;
+  }
+  /// Resolved shard count (== worker threads the engine fans over).
+  [[nodiscard]] int num_shards() const noexcept { return num_shards_; }
+  /// The lazily created worker pool matching the policy. Only meaningful
+  /// when num_shards() > 1.
+  [[nodiscard]] WorkerPool& pool();
+
+  /// Stages a send into `shard`'s private buffer; delivery happens at the
+  /// next finish_round(), merged deterministically (see class comment).
+  /// Endpoint validation happens here (throws like send()); the CONGEST
+  /// capacity check is deferred to the merge so that staging never writes
+  /// shared state — each shard may be driven by a different thread, and the
+  /// engine guarantees a vertex's sends all land in one shard, which by the
+  /// capacity rule (slot 2e+side belongs to one endpoint) keeps shards
+  /// disjoint. Capacity violations still throw, deterministically, from
+  /// finish_round().
+  void stage_send(int shard, VertexId from, EdgeId edge, const Message& msg);
 
   /// Ends the round: delivers queued messages into inboxes. Cost is linear in
   /// the messages of this round and the previous one (frontier reset), never
@@ -82,7 +118,24 @@ class Simulator {
   [[nodiscard]] long long messages_sent() const noexcept { return messages_; }
 
  private:
+  /// One staged send: precomputed directed slot + destination so the merge
+  /// is a straight append with a capacity check.
+  struct StagedSend {
+    std::uint32_t dir;
+    VertexId to;
+    Delivery delivery;
+  };
+  /// Per-shard private staging buffer. alignas keeps two shards' hot vector
+  /// headers off one cache line (a wall-clock concern only).
+  struct alignas(64) SendShard {
+    std::vector<StagedSend> entries;
+  };
+
   const Graph* g_;
+  ExecutionPolicy policy_;
+  int num_shards_ = 0;  ///< 0 until the constructor applies the policy
+  std::vector<SendShard> shards_;
+  std::unique_ptr<WorkerPool> pool_;
   // Pending sends for the current round, in send order.
   std::vector<VertexId> pending_to_;
   std::vector<Delivery> pending_;
@@ -102,8 +155,11 @@ class Simulator {
   long long messages_ = 0;
 };
 
-/// The round-loop helper: the lock-step skeleton shared by every distributed
-/// algorithm in the repo, replacing their hand-rolled while loops:
+/// The round-loop helper — DEPRECATED in favor of the VertexProgram engine
+/// (vertex_program.hpp), which expresses the same lock-step skeleton as
+/// per-vertex hooks the engine can fan out across threads. Kept as the
+/// sequential adapter for one release: existing free-form lambdas keep
+/// working, they just never parallelize. The lock-step skeleton:
 ///
 ///   while (send())  { finish_round(); receive(); }
 ///

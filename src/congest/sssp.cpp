@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "congest/aggregation.hpp"
+#include "congest/vertex_program.hpp"
 
 namespace mns::congest {
 
@@ -15,6 +16,102 @@ namespace {
 
 constexpr AggValue kNoValue{std::numeric_limits<std::int64_t>::max(),
                             std::numeric_limits<std::int32_t>::max()};
+
+/// Event-driven lock-step Bellman-Ford as a VertexProgram: frontier nodes
+/// re-broadcast their estimate; receivers relax (v-local writes only) and
+/// queue newly woken nodes in per-shard lists. Doubles as exact_sssp's whole
+/// run (unbounded budget) and approx_sssp's bounded bursts (the program
+/// survives across bursts; frontier/in_frontier/dist live with the caller
+/// because cluster jumps mutate them between bursts). The optional
+/// reached/part-dirty hooks are approx-only cross-vertex effects, funneled
+/// through PerShard accumulators and merged at the barrier.
+struct BellmanFordProgram {
+  const Graph& g;
+  const std::vector<Weight>& w;
+  std::vector<Weight>& dist;
+  std::vector<char>& in_frontier;
+  std::vector<VertexId>& frontier_list;
+  // approx-only hooks; null for exact_sssp.
+  long long* reached = nullptr;
+  const Partition* const* parts = nullptr;  ///< current phase partition slot
+  std::vector<char>* part_dirty = nullptr;
+
+  long long budget = 0;  ///< rounds left in the current burst
+  bool improved = false;
+  PerShard<std::vector<VertexId>> next;
+  PerShard<long long> reached_delta;
+  PerShard<std::vector<PartId>> woken_parts;
+  PerShard<char> improved_flag;
+
+  BellmanFordProgram(Simulator& sim, const std::vector<Weight>& weights,
+                     std::vector<Weight>& d, std::vector<char>& inf,
+                     std::vector<VertexId>& fl)
+      : g(sim.graph()), w(weights), dist(d), in_frontier(inf),
+        frontier_list(fl), next(sim.num_shards()),
+        reached_delta(sim.num_shards()), woken_parts(sim.num_shards()),
+        improved_flag(sim.num_shards()) {}
+
+  void start_burst(long long max_rounds) {
+    budget = max_rounds;
+    improved = false;
+  }
+
+  [[nodiscard]] std::span<const VertexId> frontier() const {
+    // An exhausted budget hides (but keeps) the frontier: the next burst or
+    // a cluster jump picks it back up.
+    return budget > 0 ? std::span<const VertexId>(frontier_list)
+                      : std::span<const VertexId>();
+  }
+
+  void send(VertexId v, VertexSender& out) {
+    in_frontier[static_cast<std::size_t>(v)] = 0;
+    for (EdgeId e : g.incident_edges(v))
+      out.send(e, Message{0, 0, dist[static_cast<std::size_t>(v)]});
+  }
+
+  void receive(VertexId v, std::span<const Delivery> inbox,
+               const ShardContext& ctx) {
+    for (const Delivery& d : inbox) {
+      const Weight cand = d.msg.value + w[static_cast<std::size_t>(d.edge)];
+      if (cand >= dist[static_cast<std::size_t>(v)]) continue;
+      if (reached != nullptr &&
+          dist[static_cast<std::size_t>(v)] == kUnreachedWeight)
+        ++reached_delta[ctx.shard];
+      dist[static_cast<std::size_t>(v)] = cand;
+      improved_flag[ctx.shard] = 1;
+      if (parts != nullptr && *parts != nullptr) {
+        const PartId p = (*parts)->part_of(v);
+        if (p != kNoPart) woken_parts[ctx.shard].push_back(p);
+      }
+      if (!in_frontier[static_cast<std::size_t>(v)]) {
+        in_frontier[static_cast<std::size_t>(v)] = 1;
+        next[ctx.shard].push_back(v);
+      }
+    }
+  }
+
+  void end_round() {
+    --budget;
+    frontier_list.clear();
+    next.for_each([&](std::vector<VertexId>& part) {
+      frontier_list.insert(frontier_list.end(), part.begin(), part.end());
+      part.clear();
+    });
+    reached_delta.for_each([&](long long& delta) {
+      if (reached != nullptr) *reached += delta;
+      delta = 0;
+    });
+    woken_parts.for_each([&](std::vector<PartId>& ids) {
+      if (part_dirty != nullptr)
+        for (PartId p : ids) (*part_dirty)[static_cast<std::size_t>(p)] = 1;
+      ids.clear();
+    });
+    improved_flag.for_each([&](char& flag) {
+      improved = improved || flag != 0;
+      flag = 0;
+    });
+  }
+};
 
 /// Hop-capped weighted Voronoi cells around the seeds: a thin wrapper over
 /// dijkstra_multi's hop cap. Everything beyond the cap stays unowned; the
@@ -86,34 +183,11 @@ SsspResult exact_sssp(Simulator& sim, const std::vector<Weight>& w,
   out.dist.assign(n, kUnreachedWeight);
   out.dist[source] = 0;
   std::vector<char> in_frontier(n, 0);
-  std::vector<VertexId> frontier{source}, sending;
+  std::vector<VertexId> frontier{source};
   in_frontier[source] = 1;
-  out.rounds = run_round_loop(
-      sim,
-      [&] {
-        if (frontier.empty()) return false;
-        sending.swap(frontier);
-        for (VertexId v : sending) {
-          in_frontier[v] = 0;
-          for (EdgeId e : g.incident_edges(v))
-            sim.send(v, e, Message{0, 0, out.dist[v]});
-        }
-        sending.clear();
-        return true;
-      },
-      [&] {
-        for (VertexId v : sim.delivered_to())
-          for (const Delivery& d : sim.inbox(v)) {
-            const Weight cand = d.msg.value + w[d.edge];
-            if (cand < out.dist[v]) {
-              out.dist[v] = cand;
-              if (!in_frontier[v]) {
-                in_frontier[v] = 1;
-                frontier.push_back(v);
-              }
-            }
-          }
-      });
+  BellmanFordProgram prog(sim, w, out.dist, in_frontier, frontier);
+  prog.start_burst(std::numeric_limits<long long>::max());
+  out.rounds = run_vertex_program(sim, prog);
   return out;
 }
 
@@ -147,9 +221,10 @@ SsspResult approx_sssp(Simulator& sim, const std::vector<Weight>& w,
   out.dist.assign(n, kUnreachedWeight);
   out.dist[source] = 0;
   std::vector<char> in_frontier(n, 0);
-  std::vector<VertexId> frontier{source}, sending;
+  std::vector<VertexId> frontier{source};
   in_frontier[source] = 1;
-  VertexId reached = 1, reached_at_partition = 0;
+  long long reached = 1;
+  long long reached_at_partition = 0;
   const long long start = sim.rounds();
 
   // Per-part "some member improved since the last jump" flags: a jump only
@@ -159,11 +234,14 @@ SsspResult approx_sssp(Simulator& sim, const std::vector<Weight>& w,
   // part: they are base + cdist[u], so dist[u] + cdist[u] >= base, and the
   // part minimum cannot have dropped.
   std::unique_ptr<Partition> parts;
+  const Partition* parts_raw = nullptr;
   std::unique_ptr<PartwiseAggregator> agg;
   std::vector<Weight> cdist;
   std::vector<char> part_dirty;
 
-  auto relax = [&](VertexId v, Weight cand, bool mark_part) {
+  // The jump-side relax (sequential, mark_part=false semantics); burst-side
+  // relaxes live in BellmanFordProgram::receive with part marking on.
+  auto jump_relax = [&](VertexId v, Weight cand) {
     if (cand >= out.dist[v]) return false;
     if (out.dist[v] == kUnreachedWeight) ++reached;
     out.dist[v] = cand;
@@ -171,38 +249,19 @@ SsspResult approx_sssp(Simulator& sim, const std::vector<Weight>& w,
       in_frontier[v] = 1;
       frontier.push_back(v);
     }
-    if (mark_part && parts) {
-      const PartId p = parts->part_of(v);
-      if (p != kNoPart) part_dirty[static_cast<std::size_t>(p)] = 1;
-    }
     return true;
   };
 
-  // Bounded event-driven Bellman-Ford burst (the same loop as exact_sssp,
-  // capped at `max_rounds`).
+  // Bounded event-driven Bellman-Ford burst (the same program as
+  // exact_sssp, capped at `max_rounds`; reused across bursts).
+  BellmanFordProgram burst(sim, w2, out.dist, in_frontier, frontier);
+  burst.reached = &reached;
+  burst.parts = &parts_raw;
+  burst.part_dirty = &part_dirty;
   auto bf_burst = [&](int max_rounds) {
-    bool improved = false;
-    int used = 0;
-    (void)run_round_loop(
-        sim,
-        [&] {
-          if (used >= max_rounds || frontier.empty()) return false;
-          ++used;
-          sending.swap(frontier);
-          for (VertexId v : sending) {
-            in_frontier[v] = 0;
-            for (EdgeId e : g.incident_edges(v))
-              sim.send(v, e, Message{0, 0, out.dist[v]});
-          }
-          sending.clear();
-          return true;
-        },
-        [&] {
-          for (VertexId v : sim.delivered_to())
-            for (const Delivery& d : sim.inbox(v))
-              improved |= relax(v, d.msg.value + w2[d.edge], true);
-        });
-    return improved;
+    burst.start_burst(max_rounds);
+    (void)run_vertex_program(sim, burst);
+    return burst.improved;
   };
 
   // Per-phase partition state: weighted Voronoi cells seeded around the
@@ -293,6 +352,7 @@ SsspResult approx_sssp(Simulator& sim, const std::vector<Weight>& w,
     for (VertexId v = 0; v < n; ++v)
       if (vor.owner[v] != kInvalidVertex) part_of[v] = seed_index[vor.owner[v]];
     parts = std::make_unique<Partition>(std::move(part_of));
+    parts_raw = parts.get();
     SourcedShortcut sc = options.source(g, *parts);
     agg = std::make_unique<PartwiseAggregator>(g, *parts, *sc.shortcut);
     cdist = std::move(vor.dist);
@@ -342,7 +402,7 @@ SsspResult approx_sssp(Simulator& sim, const std::vector<Weight>& w,
       if (res.min_of_part[p] == kNoValue) continue;
       const Weight base = res.min_of_part[p].value;
       for (VertexId u : parts->members(p))
-        *improved |= relax(u, base + cdist[u], false);
+        *improved |= jump_relax(u, base + cdist[u]);
     }
     return res.rounds;
   };

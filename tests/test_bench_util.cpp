@@ -213,5 +213,32 @@ TEST(JsonReport, WrittenFileParsesEndToEnd) {
   std::remove(path.c_str());
 }
 
+TEST(JsonReport, EveryRowRecordsHardwareContext) {
+  // BENCH_*.json trajectories are compared across machines: every row must
+  // say what hardware it ran on (hardware_concurrency) and, for run rows,
+  // at what thread width (threads).
+  const std::string path = "BENCH_hw_context_tmp.json";
+  {
+    bench::JsonReport report("hw_context_tmp");
+    report.row().set("n", 1);  // even a bare metrics row carries the context
+    congest::RunReport run;
+    run.threads = 3;
+    report.row().set("family", "x").set_run(run);
+    report.write();
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  ParsedReport parsed = parse_report(buf.str());
+  ASSERT_EQ(parsed.number_fields.size(), 2u);
+  for (const auto& fields : parsed.number_fields) {
+    ASSERT_TRUE(fields.count("hardware_concurrency"));
+    EXPECT_GE(fields.at("hardware_concurrency"), 1.0);
+  }
+  EXPECT_EQ(parsed.number_fields[1].at("threads"), 3.0);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace mns

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <thread>
 #include <vector>
 
 #include "congest/session.hpp"
@@ -212,6 +213,87 @@ TEST(SessionParity, CachedAndColdRunsBitIdenticalOnEveryFamily) {
     EXPECT_EQ(m2.rounds, mc.rounds);
     EXPECT_GT(m2.cache_hits, 0);
   }
+}
+
+// --- thread parity: the DESIGN.md §7 bit-identical contract ---------------
+
+// For every certificate family, run MST, min-cut and approx-SSSP on seeded
+// random instances at threads=1 and at a genuinely parallel width (at least
+// 4, or hardware_concurrency if larger) and require the RunReports to be
+// bit-identical in everything but wall clock: rounds, messages, charges,
+// phase counts and full payloads. This is the randomized parity sweep that
+// pins the vertex-parallel round engine to the sequential oracle.
+TEST(SessionParity, ThreadedRunsBitIdenticalToSequentialOnEveryFamily) {
+  const int wide = std::max(
+      4, static_cast<int>(std::thread::hardware_concurrency()));
+  for (FamilyCase& fam : parity_families()) {
+    SCOPED_TRACE(fam.name);
+    Rng wrng(61);
+    std::vector<Weight> w = gen::unique_random_weights(fam.graph, wrng);
+
+    congest::SessionConfig seq_cfg, par_cfg;
+    par_cfg.execution.threads = wide;
+    Session seq(fam.graph, fam.cert, std::move(seq_cfg));
+    Session par(fam.graph, fam.cert, std::move(par_cfg));
+
+    auto expect_same = [&](const RunReport& a, const RunReport& b) {
+      EXPECT_EQ(a.rounds, b.rounds);
+      EXPECT_EQ(a.messages, b.messages);
+      EXPECT_EQ(a.charged_construction_rounds, b.charged_construction_rounds);
+      EXPECT_EQ(a.phases, b.phases);
+      EXPECT_EQ(a.aggregations, b.aggregations);
+    };
+
+    RunReport m1 = seq.solve(congest::Mst{w});
+    RunReport mp = par.solve(congest::Mst{w});
+    EXPECT_EQ(m1.threads, 1);
+    EXPECT_EQ(mp.threads, wide);
+    expect_same(m1, mp);
+    EXPECT_EQ(m1.mst().edges, mp.mst().edges);
+    EXPECT_EQ(m1.mst().fragment_of, mp.mst().fragment_of);
+
+    congest::MinCut mq{w};
+    mq.num_trees = 3;
+    RunReport c1 = seq.solve(mq);
+    RunReport cp = par.solve(mq);
+    expect_same(c1, cp);
+    EXPECT_EQ(c1.min_cut().value, cp.min_cut().value);
+
+    congest::ApproxSssp q{w, 0};
+    RunReport s1 = seq.solve(q);
+    RunReport sp = par.solve(q);
+    expect_same(s1, sp);
+    EXPECT_EQ(s1.sssp().dist, sp.sssp().dist);
+    EXPECT_EQ(s1.sssp().jumps, sp.sssp().jumps);
+  }
+}
+
+// The per-solve override: one session can interleave sequential and
+// threaded solves and every result stays identical.
+TEST(SessionParity, PerSolveThreadOverrideMatchesSessionDefault) {
+  Graph g = gen::grid(20, 20).graph();
+  Rng rng(67);
+  std::vector<Weight> w = gen::unique_random_weights(g, rng);
+  Session s(g);
+  congest::SolveOptions threaded;
+  threaded.threads = 4;
+  RunReport a = s.solve(congest::Mst{w});
+  RunReport b = s.solve(congest::Mst{w}, threaded);
+  EXPECT_EQ(a.threads, 1);
+  EXPECT_EQ(b.threads, 4);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.mst().edges, b.mst().edges);
+  // BFS and exact SSSP run through the same engine: cover them too.
+  RunReport bf1 = s.solve(congest::Bfs{0});
+  RunReport bf2 = s.solve(congest::Bfs{0}, threaded);
+  EXPECT_EQ(bf1.rounds, bf2.rounds);
+  EXPECT_EQ(bf1.bfs().dist, bf2.bfs().dist);
+  EXPECT_EQ(bf1.bfs().parent, bf2.bfs().parent);
+  RunReport e1 = s.solve(congest::ExactSssp{w, 0});
+  RunReport e2 = s.solve(congest::ExactSssp{w, 0}, threaded);
+  EXPECT_EQ(e1.rounds, e2.rounds);
+  EXPECT_EQ(e1.sssp().dist, e2.sssp().dist);
 }
 
 // --- registry ------------------------------------------------------------

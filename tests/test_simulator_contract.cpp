@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <set>
 
 #include "congest/simulator.hpp"
@@ -64,6 +65,138 @@ TEST(SimulatorContract, SkipRoundsAccounting) {
   EXPECT_THROW(sim.skip_rounds(-1), std::invalid_argument);
   // Skipping rounds must not disturb delivered inboxes.
   EXPECT_EQ(sim.inbox(1).size(), 1u);
+}
+
+TEST(SimulatorContract, SkipRoundsRejectsNegativeWithoutCorruption) {
+  // A negative skip must throw std::invalid_argument and leave the round
+  // counter untouched — silently subtracting would corrupt every
+  // charged-construction comparison downstream.
+  Graph g = gen::path(3);
+  Simulator sim(g);
+  sim.skip_rounds(3);
+  EXPECT_THROW(sim.skip_rounds(-1), std::invalid_argument);
+  EXPECT_EQ(sim.rounds(), 3);
+  EXPECT_THROW(sim.skip_rounds(std::numeric_limits<long long>::min()),
+               std::invalid_argument);
+  EXPECT_EQ(sim.rounds(), 3);
+  sim.skip_rounds(0);  // zero stays a no-op, not an error
+  EXPECT_EQ(sim.rounds(), 3);
+}
+
+TEST(SimulatorContract, StagedSendsMergeInShardOrder) {
+  // stage_send + finish_round must reproduce the sequential send order:
+  // shard 0's entries first, then shard 1's, each in staging order — so
+  // inbox contents and delivered_to() are bit-identical to a sequential run
+  // that sent in that same canonical order.
+  Graph g = gen::star(4);  // center 0, leaves 1..4
+  Simulator sim(g, congest::ExecutionPolicy{2});
+  ASSERT_EQ(sim.num_shards(), 2);
+  sim.stage_send(0, 1, g.find_edge(0, 1), Message{0, 0, 10});
+  sim.stage_send(0, 2, g.find_edge(0, 2), Message{0, 0, 20});
+  sim.stage_send(1, 3, g.find_edge(0, 3), Message{0, 0, 30});
+  sim.stage_send(1, 4, g.find_edge(0, 4), Message{0, 0, 40});
+  sim.finish_round();
+  EXPECT_EQ(sim.messages_sent(), 4);
+  std::span<const Delivery> in = sim.inbox(0);
+  ASSERT_EQ(in.size(), 4u);
+  for (VertexId i = 0; i < 4; ++i) {
+    EXPECT_EQ(in[i].from, i + 1);
+    EXPECT_EQ(in[i].msg.value, 10 * (i + 1));
+  }
+}
+
+TEST(SimulatorContract, DirectSendsMergeBeforeStagedOnes) {
+  Graph g = gen::star(2);
+  Simulator sim(g, congest::ExecutionPolicy{2});
+  sim.stage_send(1, 2, g.find_edge(0, 2), Message{0, 0, 2});
+  sim.send(1, g.find_edge(0, 1), Message{0, 0, 1});
+  sim.finish_round();
+  std::span<const Delivery> in = sim.inbox(0);
+  ASSERT_EQ(in.size(), 2u);
+  EXPECT_EQ(in[0].msg.value, 1);  // direct first, then shards in order
+  EXPECT_EQ(in[1].msg.value, 2);
+}
+
+TEST(SimulatorContract, StagedCapacityViolationThrowsAtMerge) {
+  // The capacity check for staged sends is deferred to the deterministic
+  // merge (stage_send itself must not touch shared state); the violation
+  // still throws, from finish_round — BEFORE the round is counted or any
+  // inbox is disturbed, like sequential send()'s validate-before-mutate.
+  Graph g = gen::path(2);
+  Simulator sim(g, congest::ExecutionPolicy{2});
+  sim.stage_send(0, 0, 0, Message{});
+  sim.stage_send(1, 0, 0, Message{});  // same directed edge, other shard
+  EXPECT_THROW(sim.finish_round(), std::invalid_argument);
+  EXPECT_EQ(sim.rounds(), 0);
+  EXPECT_EQ(sim.messages_sent(), 0);
+  // The poisoned round's staged sends are discarded: the simulator stays
+  // usable, and the slot is free again next round.
+  sim.stage_send(0, 0, 0, Message{0, 0, 7});
+  sim.finish_round();
+  EXPECT_EQ(sim.rounds(), 1);
+  ASSERT_EQ(sim.inbox(1).size(), 1u);
+  EXPECT_EQ(sim.inbox(1)[0].msg.value, 7);
+  // Direct-vs-staged collisions are caught the same way; the direct send
+  // stays pending (exactly sequential send()'s behavior after a throw) and
+  // is delivered by the next clean finish_round.
+  Simulator sim2(g, congest::ExecutionPolicy{2});
+  sim2.send(0, 0, Message{0, 0, 9});
+  sim2.stage_send(0, 0, 0, Message{});
+  EXPECT_THROW(sim2.finish_round(), std::invalid_argument);
+  sim2.finish_round();
+  EXPECT_EQ(sim2.rounds(), 1);
+  ASSERT_EQ(sim2.inbox(1).size(), 1u);
+  EXPECT_EQ(sim2.inbox(1)[0].msg.value, 9);
+}
+
+TEST(SimulatorContract, StagingWorksAtDefaultSingleShardPolicy) {
+  // The documented staging contract — shard ids in [0, num_shards()) — must
+  // hold for a default-constructed simulator too, not only after a policy
+  // round-trip.
+  Graph g = gen::path(2);
+  Simulator sim(g);
+  ASSERT_EQ(sim.num_shards(), 1);
+  sim.stage_send(0, 0, 0, Message{0, 0, 5});
+  sim.finish_round();
+  ASSERT_EQ(sim.inbox(1).size(), 1u);
+  EXPECT_EQ(sim.inbox(1)[0].msg.value, 5);
+}
+
+TEST(SimulatorContract, StageSendValidatesEagerlyWhereItCan) {
+  Graph g = gen::path(3);
+  Simulator sim(g, congest::ExecutionPolicy{2});
+  // Endpoint validation is immediate, like send().
+  EXPECT_THROW(sim.stage_send(0, 2, g.find_edge(0, 1), Message{}),
+               std::invalid_argument);
+  // Shard ids outside the policy's width are immediate errors too.
+  EXPECT_THROW(sim.stage_send(2, 0, g.find_edge(0, 1), Message{}),
+               std::out_of_range);
+  EXPECT_THROW(sim.stage_send(-1, 0, g.find_edge(0, 1), Message{}),
+               std::out_of_range);
+}
+
+TEST(SimulatorContract, PolicyChangeWithPendingSendsThrows) {
+  Graph g = gen::path(2);
+  Simulator sim(g);
+  sim.send(0, 0, Message{});
+  EXPECT_THROW(sim.set_execution_policy(congest::ExecutionPolicy{4}),
+               std::logic_error);
+  sim.finish_round();
+  sim.set_execution_policy(congest::ExecutionPolicy{4});  // between rounds: ok
+  EXPECT_EQ(sim.num_shards(), 4);
+  sim.stage_send(3, 0, 0, Message{});
+  EXPECT_THROW(sim.set_execution_policy(congest::ExecutionPolicy{1}),
+               std::logic_error);
+  sim.finish_round();
+  sim.set_execution_policy(congest::ExecutionPolicy{1});
+  EXPECT_EQ(sim.num_shards(), 1);
+}
+
+TEST(SimulatorContract, ExecutionPolicyResolution) {
+  EXPECT_EQ(congest::ExecutionPolicy{1}.resolved(), 1);
+  EXPECT_EQ(congest::ExecutionPolicy{6}.resolved(), 6);
+  // 0 = hardware width, whatever it is — but always at least one shard.
+  EXPECT_GE(congest::ExecutionPolicy{0}.resolved(), 1);
 }
 
 TEST(SimulatorContract, InboxSpanValidAfterFinishRound) {
