@@ -75,5 +75,5 @@ int main() {
     run_instance(report, "lower-bound", lb.graph, w, greedy_certificate(),
                  diameter_exact(lb.graph));
   }
-  return 0;
+  return report.write() ? 0 : 1;
 }

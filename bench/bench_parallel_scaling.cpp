@@ -172,6 +172,7 @@ int main() {
     }
   }
 
+  const bool wrote = report.write();
   if (failures > 0) {
     std::printf("\n%d parity violation(s) — the engine is NOT bit-identical\n",
                 failures);
@@ -180,5 +181,5 @@ int main() {
   std::printf(
       "\nAll widths bit-identical to the sequential oracle "
       "(rounds/messages/charges/payloads).\n");
-  return 0;
+  return wrote ? 0 : 1;
 }

@@ -67,5 +67,5 @@ int main() {
         g, std::max(2, static_cast<int>(std::sqrt(n))), rng);
     run_case(report, "maxplanar/voronoi", g, t, voronoi, false, &eg);
   }
-  return 0;
+  return report.write() ? 0 : 1;
 }

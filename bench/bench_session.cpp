@@ -9,6 +9,10 @@
 //   (b) an MST -> min-cut -> SSSP analytics pipeline — one session amortizes
 //       the partitions the workloads share (singleton, whole-network,
 //       revisited Boruvka fragments) across all three.
+//   (c) save -> restore across the process boundary (DESIGN.md §8) — a
+//       warmed session is snapshotted and restored; the restored solves must
+//       be BIT-IDENTICAL to the in-process warm solves and pay ZERO
+//       construction charges (the snapshot carries the built shortcuts).
 //
 // "Beating" is deterministic, not a wall-clock artifact: warm total rounds
 // (measured + charged construction, DESIGN.md §2) and shortcut builds
@@ -30,6 +34,7 @@
 #include "bench_util.hpp"
 #include "congest/session.hpp"
 #include "gen/apex.hpp"
+#include "io/report_json.hpp"
 
 using namespace mns;
 
@@ -243,6 +248,49 @@ bool run_pipeline(bench::JsonReport& report, const Instance& inst) {
   return ok;
 }
 
+/// (c) save -> restore: warm a session, snapshot it, restore, and require
+/// the restored solves to be bit-identical with zero construction charges.
+bool run_restore(bench::JsonReport& report, const Instance& inst) {
+  const VertexId n = inst.graph.num_vertices();
+  congest::Session::WorkloadParams params;
+  params.weights = inst.weights;
+  params.epsilon = 0.25;
+  params.num_seeds = std::max<VertexId>(
+      8, static_cast<VertexId>(std::sqrt(static_cast<double>(n))) / 8);
+  params.repartition_growth = 1.0;
+  params.wavefront_seeds = false;
+  const char* stages[] = {"mst", "sssp.approx"};
+  const std::string path = "BENCH_session_restore_tmp.mns";
+
+  bool ok = true;
+  congest::Session warm = bench::make_session(inst.graph, inst.cert);
+  for (const char* stage : stages) (void)warm.solve(stage, params);  // prime
+  warm.save(path, inst.weights);
+  std::vector<congest::RunReport> warm_runs;
+  for (const char* stage : stages)
+    warm_runs.push_back(warm.solve(stage, params));
+
+  congest::Session restored = congest::Session::restore(path);
+  for (std::size_t i = 0; i < std::size(stages); ++i) {
+    congest::RunReport r = restored.solve(stages[i], params);
+    const bool identical = mns::io::run_reports_identical(warm_runs[i], r);
+    const bool free_of_charge =
+        r.charged_construction_rounds == 0 && r.cache_misses == 0;
+    ok = ok && identical && free_of_charge;
+    std::printf("%-10s n=%6d  restore %-12s rounds=%8lld charged=%lld "
+                "hits=%3lld  %s\n",
+                inst.family.c_str(), n, stages[i], r.rounds,
+                r.charged_construction_rounds, r.cache_hits,
+                identical && free_of_charge ? "bit-identical"
+                                            : "RESTORE-MISMATCH");
+    report.row().set("mode", "restore").set("family", inst.family).set("n", n)
+        .set("workload", stages[i]).set_run(r)
+        .set("verified", identical && free_of_charge ? "yes" : "no");
+  }
+  std::remove(path.c_str());
+  return ok;
+}
+
 }  // namespace
 
 int main() {
@@ -255,9 +303,12 @@ int main() {
   for (const Instance& inst : instances(smoke)) {
     all_ok &= run_ksource(report, inst, /*k=*/6);
     all_ok &= run_pipeline(report, inst);
+    all_ok &= run_restore(report, inst);
   }
+  all_ok &= report.write();
   std::printf("\n%s\n", all_ok ? "all warm sessions beat cold construction, "
-                                 "all results oracle-verified"
+                                 "restored snapshots solve bit-identically "
+                                 "for free, all results oracle-verified"
                                : "FAILURE: see rows above");
   return all_ok ? 0 : 1;
 }

@@ -136,5 +136,8 @@ int main() {
                            bench::apex_chain_certificate(chain), eps,
                            long_cells(chain.graph.num_vertices()));
   }
+  // A report that cannot be written is a failed run (the CI bench gate
+  // diffs the file), not a warning.
+  all_ok &= report.write();
   return all_ok ? 0 : 1;
 }

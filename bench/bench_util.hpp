@@ -22,6 +22,7 @@
 #include "core/shortcut_engine.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/rooted_tree.hpp"
+#include "io/json.hpp"
 
 namespace mns::bench {
 
@@ -113,39 +114,21 @@ class JsonRow {
   }
 
  private:
-  /// JSON string escaping per RFC 8259: quote, backslash, and EVERY control
-  /// character (named escapes for the common ones, \u00XX otherwise) — a
-  /// newline or tab in a field must not produce an unparseable BENCH file.
-  static std::string quoted(const std::string& s) {
-    std::string out = "\"";
-    for (char c : s) {
-      switch (c) {
-        case '"': out += "\\\""; break;
-        case '\\': out += "\\\\"; break;
-        case '\n': out += "\\n"; break;
-        case '\t': out += "\\t"; break;
-        case '\r': out += "\\r"; break;
-        case '\b': out += "\\b"; break;
-        case '\f': out += "\\f"; break;
-        default:
-          if (static_cast<unsigned char>(c) < 0x20) {
-            char buf[8];
-            std::snprintf(buf, sizeof buf, "\\u%04x",
-                          static_cast<unsigned>(static_cast<unsigned char>(c)));
-            out += buf;
-          } else {
-            out += c;
-          }
-      }
-    }
-    out += '"';
-    return out;
-  }
+  /// JSON string escaping per RFC 8259 — the one shared implementation
+  /// (io/json.hpp) every machine-readable artifact goes through; a newline
+  /// or tab in a field must not produce an unparseable BENCH file.
+  static std::string quoted(const std::string& s) { return io::json_quote(s); }
   std::vector<std::pair<std::string, std::string>> fields_;
 };
 
 /// Collects rows and writes BENCH_<name>.json on destruction (or explicit
 /// write()). Wall time covers the report's lifetime.
+///
+/// write() returns false on I/O failure (after warning to stderr) so a
+/// harness main can exit nonzero instead of silently shipping no report —
+/// CI treats a missing BENCH file as a failed run. The destructor fallback
+/// necessarily swallows the status; call write() explicitly where the exit
+/// code matters.
 class JsonReport {
  public:
   explicit JsonReport(std::string name)
@@ -153,7 +136,7 @@ class JsonReport {
   JsonReport(const JsonReport&) = delete;
   JsonReport& operator=(const JsonReport&) = delete;
   ~JsonReport() {
-    if (!written_) write();
+    if (!written_) (void)write();
   }
 
   /// Every row opens with the hardware context (the machine's concurrency
@@ -171,7 +154,7 @@ class JsonReport {
     return hw > 0 ? static_cast<long long>(hw) : 1;
   }
 
-  void write() {
+  [[nodiscard]] bool write() {
     written_ = true;
     const double wall_ms =
         std::chrono::duration<double, std::milli>(
@@ -183,7 +166,7 @@ class JsonReport {
       // Benches stay usable in read-only dirs, but never fail silently.
       std::fprintf(stderr, "bench: cannot open %s for writing; %zu row(s) dropped\n",
                    path.c_str(), rows_.size());
-      return;
+      return false;
     }
     std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"wall_time_ms\": %.3f,\n",
                  name_.c_str(), wall_ms);
@@ -192,7 +175,13 @@ class JsonReport {
       std::fprintf(f, "    %s%s\n", rows_[i].rendered().c_str(),
                    i + 1 < rows_.size() ? "," : "");
     std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
+    const bool flushed = std::ferror(f) == 0;
+    const bool closed = std::fclose(f) == 0;
+    if (!flushed || !closed) {
+      std::fprintf(stderr, "bench: write error on %s\n", path.c_str());
+      return false;
+    }
+    return true;
   }
 
  private:

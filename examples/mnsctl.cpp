@@ -1,0 +1,467 @@
+// mnsctl — operator CLI for snapshot-backed sessions (DESIGN.md §8).
+//
+// The paper's economy is "pay for structure once, reuse it everywhere";
+// mnsctl makes "once" survive the process. It generates certificate-family
+// instances, snapshots them, warm-builds the shortcut structure, runs any
+// registered Session workload FROM a snapshot (a warmed snapshot solves
+// with charged_construction_rounds == 0), and diffs RunReport / BENCH JSON
+// documents field-by-field — the tool the CI bench-regression gate scripts
+// against (`mnsctl diff --baseline`).
+//
+//   mnsctl gen --family planar --size 16 -o net.mns
+//   mnsctl build net.mns --workload sssp.approx     # pay construction once
+//   mnsctl solve net.mns --workload sssp.approx -o report.json
+//   mnsctl inspect net.mns
+//   mnsctl diff --baseline bench/baselines/session.json BENCH_session.json
+//   mnsctl baseline BENCH_session.json -o bench/baselines/session.json
+//
+// Exit codes: 0 ok, 1 drift / verification failure, 2 usage or I/O error.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_instances.hpp"
+#include "congest/session.hpp"
+#include "gen/apex.hpp"
+#include "gen/planar.hpp"
+#include "io/json.hpp"
+#include "io/report_json.hpp"
+#include "io/snapshot.hpp"
+
+using namespace mns;
+
+namespace {
+
+constexpr const char* kUsage = R"(mnsctl — snapshot-backed CONGEST sessions
+usage:
+  mnsctl gen --family <planar|treewidth|apex|cliquesum> [--size N] [--seed S]
+             -o <snapshot>
+  mnsctl build <snapshot> [--workload W] [--threads T] [-o <snapshot>]
+  mnsctl solve <snapshot> --workload W [--threads T] [--cold] [-o report.json]
+  mnsctl inspect <snapshot>
+  mnsctl diff [--baseline] <a.json> <b.json>
+  mnsctl baseline <in.json> -o <out.json>
+
+gen      builds a seeded family instance (graph + adversarial weights +
+         structural certificate) and writes it as a snapshot.
+build    restores a session, runs one workload to build + cache the shortcut
+         structure, and re-saves the WARMED snapshot (construction is now
+         paid; later solves from it charge 0 construction rounds).
+solve    restores a session and runs a registered workload; prints the
+         canonical RunReport JSON (io/report_json.hpp).
+inspect  prints a JSON summary of a snapshot's sections.
+diff     compares two JSON documents field-by-field. --baseline compares
+         only fields present in <a> and skips nondeterministic ones
+         (wall_ms*, wall_time_ms, hardware_concurrency) — the CI bench gate.
+baseline strips the nondeterministic fields from a BENCH_*.json, producing
+         a committable baseline (rounds/messages only survive).
+)";
+
+int usage_error(const char* msg) {
+  std::fprintf(stderr, "mnsctl: %s\n%s", msg, kUsage);
+  return 2;
+}
+
+// ------------------------------------------------------------ arg parsing --
+
+struct Args {
+  std::vector<std::string> positional;
+  std::string family;
+  std::string workload;
+  std::string output;
+  long long size = 0;
+  std::optional<unsigned> seed;
+  int threads = 0;
+  bool cold = false;
+  bool baseline = false;
+};
+
+/// Strict numeric flag parsing: a typo'd value must exit 2, never silently
+/// become 0 (which would fall back to a default shape and "succeed").
+bool parse_number(const char* flag, const char* v, long long min_value,
+                  long long max_value, long long& out) {
+  if (v == nullptr) return false;
+  char* end = nullptr;
+  const long long x = std::strtoll(v, &end, 10);
+  if (end == v || *end != '\0' || x < min_value || x > max_value) {
+    std::fprintf(stderr, "mnsctl: %s: invalid value '%s'\n", flag, v);
+    return false;
+  }
+  out = x;
+  return true;
+}
+
+bool parse_args(int argc, char** argv, int first, Args& out) {
+  for (int i = first; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "mnsctl: %s requires a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (a == "--family") {
+      const char* v = value("--family");
+      if (v == nullptr) return false;
+      out.family = v;
+    } else if (a == "--workload") {
+      const char* v = value("--workload");
+      if (v == nullptr) return false;
+      out.workload = v;
+    } else if (a == "-o" || a == "--output") {
+      const char* v = value("-o");
+      if (v == nullptr) return false;
+      out.output = v;
+    } else if (a == "--size") {
+      if (!parse_number("--size", value("--size"), 1, 1 << 24, out.size))
+        return false;
+    } else if (a == "--seed") {
+      long long s = 0;
+      if (!parse_number("--seed", value("--seed"), 0, 0xffffffffLL, s))
+        return false;
+      out.seed = static_cast<unsigned>(s);
+    } else if (a == "--threads") {
+      long long t = 0;
+      if (!parse_number("--threads", value("--threads"), -1, 4096, t))
+        return false;
+      out.threads = static_cast<int>(t);
+    } else if (a == "--cold") {
+      out.cold = true;
+    } else if (a == "--baseline") {
+      out.baseline = true;
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "mnsctl: unknown flag '%s'\n", a.c_str());
+      return false;
+    } else {
+      out.positional.push_back(a);
+    }
+  }
+  return true;
+}
+
+// ------------------------------------------------------------- instances --
+
+/// Seeded family instance — the same generators and default seeds as
+/// bench_session/bench_sssp, so snapshots reproduce the bench trajectories.
+io::Snapshot gen_instance(const std::string& family, long long size,
+                          std::optional<unsigned> seed) {
+  io::Snapshot snap;
+  if (family == "planar") {
+    const int side = size > 0 ? static_cast<int>(size) : 16;
+    Rng rng(seed.value_or(static_cast<unsigned>(side)));
+    snap.graph = gen::grid(side, side).graph();
+    snap.weights = bench::dfs_light_weights(snap.graph, rng);
+    snap.certificate = greedy_certificate();
+  } else if (family == "treewidth") {
+    const VertexId n = size > 0 ? static_cast<VertexId>(size) : 256;
+    Rng rng(seed.value_or(static_cast<unsigned>(n)));
+    bench::HubbedKPath kt = bench::hubbed_kpath(n, 3);
+    snap.graph = std::move(kt.graph);
+    snap.weights = bench::spine_light_weights(snap.graph, n, rng);
+    snap.certificate = treewidth_certificate(std::move(kt.decomposition));
+  } else if (family == "apex") {
+    const int side = size > 0 ? static_cast<int>(size) : 16;
+    Rng rng(seed.value_or(static_cast<unsigned>(100 + side)));
+    gen::ApexResult ar =
+        gen::add_apices(gen::grid(side, side).graph(), 1, 0.10, rng);
+    snap.graph = std::move(ar.graph);
+    snap.weights = bench::dfs_light_weights(snap.graph, rng);
+    snap.certificate = apex_certificate(ar.apices);
+  } else if (family == "cliquesum") {
+    const int bags = size > 0 ? static_cast<int>(size) : 4;
+    Rng rng(seed.value_or(static_cast<unsigned>(bags)));
+    bench::ApexChain chain = bench::apexed_chain_cliquesum(bags, rng);
+    snap.certificate = bench::apex_chain_certificate(chain);
+    snap.graph = std::move(chain.graph);
+    snap.weights = std::move(chain.weights);
+  } else {
+    throw std::invalid_argument("unknown family '" + family +
+                                "' (planar|treewidth|apex|cliquesum)");
+  }
+  return snap;
+}
+
+/// The deterministic parameter set every mnsctl run (and the bench rows it
+/// is diffed against) uses: source-independent Voronoi cells so a warmed
+/// snapshot's partitions are the ones a later solve asks for.
+congest::Session::WorkloadParams default_params(const Graph& g,
+                                                std::vector<Weight> weights) {
+  congest::Session::WorkloadParams p;
+  p.weights = std::move(weights);
+  p.num_trees = 6;
+  p.epsilon = 0.25;
+  p.num_seeds = std::max<VertexId>(
+      8, static_cast<VertexId>(
+             std::sqrt(static_cast<double>(g.num_vertices()))) / 8);
+  p.repartition_growth = 1.0;
+  p.wavefront_seeds = false;
+  return p;
+}
+
+// ------------------------------------------------------------ subcommands --
+
+int cmd_gen(const Args& args) {
+  if (args.family.empty()) return usage_error("gen requires --family");
+  if (args.output.empty()) return usage_error("gen requires -o <snapshot>");
+  io::Snapshot snap = gen_instance(args.family, args.size, args.seed);
+  io::write_snapshot(snap, args.output);
+  std::printf(
+      "{\"command\": \"gen\", \"family\": %s, \"vertices\": %d, "
+      "\"edges\": %d, \"snapshot\": %s}\n",
+      io::json_quote(args.family).c_str(), snap.graph.num_vertices(),
+      snap.graph.num_edges(), io::json_quote(args.output).c_str());
+  return 0;
+}
+
+int cmd_build(const Args& args) {
+  if (args.positional.empty()) return usage_error("build requires <snapshot>");
+  const std::string& path = args.positional[0];
+  const std::string out = args.output.empty() ? path : args.output;
+  const std::string workload =
+      args.workload.empty() ? "sssp.approx" : args.workload;
+
+  io::Snapshot snap = io::read_snapshot(path);
+  std::vector<Weight> weights = snap.weights;
+  congest::Session session = congest::Session::restore(std::move(snap));
+  congest::Session::WorkloadParams params =
+      default_params(session.graph(), weights);
+  congest::SolveOptions opt;
+  opt.threads = args.threads;
+  congest::RunReport report = session.solve(workload, params, opt);
+  session.save(out, std::move(weights));
+  std::printf(
+      "{\"command\": \"build\", \"workload\": %s, "
+      "\"charged_construction_rounds\": %lld, \"rounds\": %lld, "
+      "\"cached_shortcuts\": %zu, \"snapshot\": %s}\n",
+      io::json_quote(workload).c_str(), report.charged_construction_rounds,
+      report.rounds, session.cache_size(), io::json_quote(out).c_str());
+  return 0;
+}
+
+int cmd_solve(const Args& args) {
+  if (args.positional.empty()) return usage_error("solve requires <snapshot>");
+  if (args.workload.empty()) return usage_error("solve requires --workload");
+
+  io::Snapshot snap = io::read_snapshot(args.positional[0]);
+  std::vector<Weight> weights = snap.weights;
+  congest::Session session = congest::Session::restore(std::move(snap));
+  congest::Session::WorkloadParams params =
+      default_params(session.graph(), std::move(weights));
+  congest::SolveOptions opt;
+  opt.threads = args.threads;
+  opt.use_cache = !args.cold;
+  congest::RunReport report = session.solve(args.workload, params, opt);
+  const std::string json = io::run_report_to_json(report);
+  if (args.output.empty()) {
+    std::printf("%s\n", json.c_str());
+    return 0;
+  }
+  std::ofstream f(args.output);
+  f << json << '\n';
+  f.close();
+  if (!f) {
+    std::fprintf(stderr, "mnsctl: cannot write '%s'\n", args.output.c_str());
+    return 2;
+  }
+  return 0;
+}
+
+int cmd_inspect(const Args& args) {
+  if (args.positional.empty())
+    return usage_error("inspect requires <snapshot>");
+  io::Snapshot snap = io::read_snapshot(args.positional[0]);
+  std::printf(
+      "{\"command\": \"inspect\", \"snapshot\": %s, \"version\": %u, "
+      "\"vertices\": %d, \"edges\": %d, \"weights\": %zu, "
+      "\"certificate\": %s, \"tree\": %s, \"cached_shortcuts\": %zu}\n",
+      io::json_quote(args.positional[0]).c_str(), io::kSnapshotVersion,
+      snap.graph.num_vertices(), snap.graph.num_edges(), snap.weights.size(),
+      io::json_quote(builder_name_for(snap.certificate)).c_str(),
+      snap.tree ? "true" : "false", snap.shortcuts.size());
+  return 0;
+}
+
+// ------------------------------------------------------------------ diff --
+
+/// Fields that legitimately differ between two runs of the same code: wall
+/// clock and machine shape. Everything else in our artifacts is
+/// deterministic and gated.
+bool is_volatile_key(const std::string& key) {
+  return key == "wall_time_ms" || key == "hardware_concurrency" ||
+         key.find("wall_ms") != std::string::npos;
+}
+
+std::string scalar_repr(const io::JsonValue& v) { return v.render(); }
+
+bool scalars_equal(const io::JsonValue& a, const io::JsonValue& b) {
+  using Kind = io::JsonValue::Kind;
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case Kind::kNull: return true;
+    case Kind::kBool: return a.boolean == b.boolean;
+    case Kind::kString: return a.text == b.text;
+    case Kind::kNumber:
+      // Raw lexeme first (what was written); double fallback tolerates
+      // equivalent renderings like 1.5 vs 1.50.
+      return a.text == b.text || a.number == b.number;
+    default: return false;
+  }
+}
+
+void diff_values(const io::JsonValue& a, const io::JsonValue& b,
+                 const std::string& path, bool baseline,
+                 std::vector<std::string>& drifts) {
+  using Kind = io::JsonValue::Kind;
+  if (a.kind == Kind::kObject && b.kind == Kind::kObject) {
+    for (const auto& [key, av] : a.members) {
+      if (baseline && is_volatile_key(key)) continue;
+      const io::JsonValue* bv = b.find(key);
+      const std::string sub = path.empty() ? key : path + "." + key;
+      if (bv == nullptr) {
+        drifts.push_back(sub + ": missing in candidate");
+        continue;
+      }
+      diff_values(av, *bv, sub, baseline, drifts);
+    }
+    if (!baseline) {  // strict mode: extra fields are drift too
+      for (const auto& [key, bv] : b.members)
+        if (a.find(key) == nullptr)
+          drifts.push_back((path.empty() ? key : path + "." + key) +
+                           ": missing in first document");
+    }
+    return;
+  }
+  if (a.kind == Kind::kArray && b.kind == Kind::kArray) {
+    if (a.items.size() != b.items.size())
+      drifts.push_back(path + ": length " + std::to_string(a.items.size()) +
+                       " vs " + std::to_string(b.items.size()));
+    const std::size_t common = std::min(a.items.size(), b.items.size());
+    for (std::size_t i = 0; i < common; ++i)
+      diff_values(a.items[i], b.items[i],
+                  path + "[" + std::to_string(i) + "]", baseline, drifts);
+    return;
+  }
+  if (!scalars_equal(a, b))
+    drifts.push_back(path + ": " + scalar_repr(a) + " vs " + scalar_repr(b));
+}
+
+io::JsonValue parse_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good())
+    throw io::JsonError("cannot open '" + path + "' for reading");
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return io::parse_json(buf.str());
+}
+
+int cmd_diff(const Args& args) {
+  if (args.positional.size() != 2)
+    return usage_error("diff requires <a.json> <b.json>");
+  io::JsonValue a = parse_file(args.positional[0]);
+  io::JsonValue b = parse_file(args.positional[1]);
+  std::vector<std::string> drifts;
+  diff_values(a, b, "", args.baseline, drifts);
+  if (drifts.empty()) {
+    std::printf("mnsctl diff: %s == %s (%s)\n", args.positional[0].c_str(),
+                args.positional[1].c_str(),
+                args.baseline ? "baseline fields" : "all fields");
+    return 0;
+  }
+  std::fprintf(stderr, "mnsctl diff: %zu field(s) drifted (%s vs %s):\n",
+               drifts.size(), args.positional[0].c_str(),
+               args.positional[1].c_str());
+  for (const std::string& d : drifts)
+    std::fprintf(stderr, "  %s\n", d.c_str());
+  return 1;
+}
+
+// -------------------------------------------------------------- baseline --
+
+io::JsonValue strip_volatile(const io::JsonValue& v) {
+  io::JsonValue out = v;
+  if (v.kind == io::JsonValue::Kind::kObject) {
+    out.members.clear();
+    for (const auto& [key, value] : v.members) {
+      if (is_volatile_key(key)) continue;
+      out.members.emplace_back(key, strip_volatile(value));
+    }
+  } else if (v.kind == io::JsonValue::Kind::kArray) {
+    out.items.clear();
+    for (const io::JsonValue& item : v.items)
+      out.items.push_back(strip_volatile(item));
+  }
+  return out;
+}
+
+/// Renders a stripped BENCH document with one row per line (reviewable git
+/// diffs); any other shape falls back to the compact canonical render.
+std::string render_baseline(const io::JsonValue& v) {
+  const io::JsonValue* rows = v.find("rows");
+  if (v.kind != io::JsonValue::Kind::kObject || rows == nullptr ||
+      rows->kind != io::JsonValue::Kind::kArray)
+    return v.render() + "\n";
+  std::string out = "{\n";
+  bool first = true;
+  for (const auto& [key, value] : v.members) {
+    if (!first) out += ",\n";
+    first = false;
+    if (&value == rows) {
+      out += "  \"rows\": [\n";
+      for (std::size_t i = 0; i < rows->items.size(); ++i) {
+        out += "    " + rows->items[i].render();
+        if (i + 1 < rows->items.size()) out += ',';
+        out += '\n';
+      }
+      out += "  ]";
+    } else {
+      out += "  " + io::json_quote(key) + ": " + value.render();
+    }
+  }
+  out += "\n}\n";
+  return out;
+}
+
+int cmd_baseline(const Args& args) {
+  if (args.positional.empty())
+    return usage_error("baseline requires <in.json>");
+  if (args.output.empty()) return usage_error("baseline requires -o <out>");
+  io::JsonValue stripped = strip_volatile(parse_file(args.positional[0]));
+  std::ofstream f(args.output);
+  f << render_baseline(stripped);
+  f.close();
+  if (!f) {
+    std::fprintf(stderr, "mnsctl: cannot write '%s'\n", args.output.c_str());
+    return 2;
+  }
+  std::printf("mnsctl baseline: %s -> %s (volatile fields stripped)\n",
+              args.positional[0].c_str(), args.output.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage_error("missing subcommand");
+  const std::string cmd = argv[1];
+  Args args;
+  if (!parse_args(argc, argv, 2, args)) return 2;
+  try {
+    if (cmd == "gen") return cmd_gen(args);
+    if (cmd == "build") return cmd_build(args);
+    if (cmd == "solve") return cmd_solve(args);
+    if (cmd == "inspect") return cmd_inspect(args);
+    if (cmd == "diff") return cmd_diff(args);
+    if (cmd == "baseline") return cmd_baseline(args);
+    return usage_error("unknown subcommand");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mnsctl %s: %s\n", cmd.c_str(), e.what());
+    return 2;
+  }
+}

@@ -4,27 +4,10 @@
 #include <chrono>
 #include <utility>
 
+#include "io/fnv.hpp"
+#include "io/snapshot.hpp"
+
 namespace mns::congest {
-
-namespace {
-
-/// FNV-1a 64-bit over a little buffer of integers — stable, dependency-free
-/// partition fingerprinting.
-class Fnv1a {
- public:
-  void mix(std::uint64_t x) noexcept {
-    for (int byte = 0; byte < 8; ++byte) {
-      h_ ^= (x >> (8 * byte)) & 0xffu;
-      h_ *= 0x100000001b3ull;
-    }
-  }
-  [[nodiscard]] std::uint64_t value() const noexcept { return h_; }
-
- private:
-  std::uint64_t h_ = 0xcbf29ce484222325ull;
-};
-
-}  // namespace
 
 // -------------------------------------------------------- payload accessors
 
@@ -95,16 +78,21 @@ void Session::clear_cache() {
   cache_index_.clear();
 }
 
-std::uint64_t Session::fingerprint(const Partition& parts) const {
-  Fnv1a h;
-  h.mix(epoch_);
-  h.mix(static_cast<std::uint64_t>(parts.num_parts()));
-  for (PartId p : parts.part_of_all())
-    h.mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(p)));
+std::uint64_t Session::fingerprint(PartId num_parts,
+                                   std::span<const PartId> part_of) const {
+  io::Fnv64 h;
+  h.mix_u64(epoch_);
+  h.mix_u64(static_cast<std::uint64_t>(num_parts));
+  for (PartId p : part_of)
+    h.mix_u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(p)));
   return h.value();
 }
 
-void Session::cache_insert(std::uint64_t key, const Partition& parts,
+std::uint64_t Session::fingerprint(const Partition& parts) const {
+  return fingerprint(parts.num_parts(), parts.part_of_all());
+}
+
+void Session::cache_insert(std::uint64_t key, std::vector<PartId> part_of,
                            std::shared_ptr<const Shortcut> shortcut) {
   while (lru_.size() >= cache_capacity_) {
     const CacheEntry& victim = lru_.back();
@@ -118,10 +106,7 @@ void Session::cache_insert(std::uint64_t key, const Partition& parts,
     }
     lru_.pop_back();
   }
-  auto span = parts.part_of_all();
-  lru_.push_front(CacheEntry{key,
-                             std::vector<PartId>(span.begin(), span.end()),
-                             std::move(shortcut)});
+  lru_.push_front(CacheEntry{key, std::move(part_of), std::move(shortcut)});
   cache_index_[key].push_back(lru_.begin());
 }
 
@@ -144,7 +129,10 @@ SourcedShortcut Session::shortcut_for(const Partition& parts, bool use_cache) {
   ++misses_;
   auto built = std::make_shared<const Shortcut>(
       engine_->build_shortcut(g_, tree(), parts, cert_));
-  if (use_cache) cache_insert(key, parts, built);
+  if (use_cache) {
+    auto span = parts.part_of_all();
+    cache_insert(key, std::vector<PartId>(span.begin(), span.end()), built);
+  }
   return SourcedShortcut{std::move(built), /*fresh=*/true};
 }
 
@@ -174,8 +162,75 @@ BuildResult Session::analyze(const Partition& parts) {
         lru_.splice(lru_.begin(), lru_, it);  // already cached: keep it hot
         return out;
       }
-  cache_insert(key, parts, std::make_shared<const Shortcut>(out.shortcut));
+  cache_insert(key, std::vector<PartId>(span.begin(), span.end()),
+               std::make_shared<const Shortcut>(out.shortcut));
   return out;
+}
+
+// ------------------------------------------------ persistence (DESIGN.md §8)
+
+void Session::save(const std::string& path, std::vector<Weight> weights) {
+  require(weights.empty() ||
+              weights.size() == static_cast<std::size_t>(g_.num_edges()),
+          "Session::save: weights count != edge count");
+  io::Snapshot snap;
+  snap.graph = g_;
+  snap.weights = std::move(weights);
+  snap.certificate = cert_;
+  const RootedTree& t = tree();  // force-build: restore must never re-derive
+  io::TreeSnapshot ts;
+  ts.root = t.root();
+  const VertexId n = t.num_vertices();
+  ts.parent.reserve(static_cast<std::size_t>(n));
+  ts.parent_edge.reserve(static_cast<std::size_t>(n));
+  for (VertexId v = 0; v < n; ++v) {
+    ts.parent.push_back(t.parent(v));
+    ts.parent_edge.push_back(t.parent_edge(v));
+  }
+  snap.tree = std::move(ts);
+  snap.shortcuts.reserve(lru_.size());
+  for (const CacheEntry& entry : lru_)  // front = MRU; order is preserved
+    snap.shortcuts.push_back(io::CachedShortcut{entry.part_of, *entry.shortcut});
+  io::write_snapshot(snap, path);
+}
+
+Session Session::restore(io::Snapshot snapshot, SessionConfig config) {
+  return Session(RestoreTag{}, std::move(snapshot), std::move(config));
+}
+
+Session Session::restore(const std::string& path, SessionConfig config) {
+  return Session(RestoreTag{}, io::read_snapshot(path), std::move(config));
+}
+
+Session::Session(RestoreTag, io::Snapshot&& snapshot, SessionConfig&& config)
+    : Session(std::move(snapshot.graph), std::move(snapshot.certificate),
+              std::move(config)) {
+  const VertexId n = g_.num_vertices();
+  if (snapshot.tree) {
+    io::TreeSnapshot& ts = *snapshot.tree;
+    if (ts.parent.size() != static_cast<std::size_t>(n))
+      throw io::SnapshotError("snapshot: tree size != vertex count");
+    tree_.emplace(ts.root, std::move(ts.parent), std::move(ts.parent_edge));
+  }
+  // Re-key every cached shortcut under THIS session's epoch, inserting
+  // LRU-first so the front of the list ends up the snapshot's MRU entry.
+  for (auto it = snapshot.shortcuts.rbegin(); it != snapshot.shortcuts.rend();
+       ++it) {
+    if (it->part_of.size() != static_cast<std::size_t>(n))
+      throw io::SnapshotError("snapshot: cached part map size != vertex count");
+    PartId num_parts = 0;
+    for (PartId p : it->part_of) {
+      // decode_snapshot validates this too; re-check here so a
+      // caller-constructed Snapshot cannot smuggle ids past the cache
+      // (p < n also keeps p + 1 clear of signed overflow).
+      if (p < kNoPart || p >= n)
+        throw io::SnapshotError("snapshot: cached part id out of range");
+      if (p >= num_parts) num_parts = static_cast<PartId>(p + 1);
+    }
+    const std::uint64_t key = fingerprint(num_parts, it->part_of);
+    cache_insert(key, std::move(it->part_of),
+                 std::make_shared<const Shortcut>(std::move(it->shortcut)));
+  }
 }
 
 template <typename Body>

@@ -31,6 +31,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <variant>
@@ -44,6 +45,10 @@
 #include "congest/sssp.hpp"
 #include "core/certificate.hpp"
 #include "core/shortcut_engine.hpp"
+
+namespace mns::io {
+struct Snapshot;  // io/snapshot.hpp
+}
 
 namespace mns::congest {
 
@@ -218,6 +223,29 @@ class Session {
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
 
+  // -- cross-process persistence (DESIGN.md §8) --
+
+  /// Persists the session to the versioned binary snapshot format
+  /// (io/snapshot.hpp): graph, certificate, the rooted tree (built now if
+  /// not yet — a restored session must never re-derive it), and every
+  /// cached shortcut with its partition, in LRU order. `weights` rides
+  /// along as instance data (pass the workload's edge weights, or empty).
+  /// Throws io::SnapshotError on I/O failure.
+  void save(const std::string& path, std::vector<Weight> weights = {});
+
+  /// Rebuilds a session from a snapshot. Epoch-correct: restored shortcuts
+  /// land in the LRU cache keyed with the new session's partition
+  /// fingerprints, so the first solve over a snapshotted partition is a
+  /// cache HIT — bit-identical to the in-process warm solve and with
+  /// charged_construction_rounds == 0 (pinned by tests/test_snapshot.cpp
+  /// and bench_session's restore rows). `config.tree` only applies if the
+  /// snapshot carries no tree.
+  [[nodiscard]] static Session restore(io::Snapshot snapshot,
+                                       SessionConfig config = {});
+  /// read_snapshot(path) + restore. Throws io::SnapshotError on corruption.
+  [[nodiscard]] static Session restore(const std::string& path,
+                                       SessionConfig config = {});
+
   // -- the uniform solve surface --
   [[nodiscard]] RunReport solve(const Mst& q, const SolveOptions& opt = {});
   [[nodiscard]] RunReport solve(const GhsMst& q, const SolveOptions& opt = {});
@@ -283,11 +311,20 @@ class Session {
     std::shared_ptr<const Shortcut> shortcut;
   };
 
+  /// Restore path: delegate to the main constructor, then install the
+  /// snapshotted tree and re-key the cached shortcuts under this session's
+  /// epoch.
+  struct RestoreTag {};
+  Session(RestoreTag, io::Snapshot&& snapshot, SessionConfig&& config);
+
   [[nodiscard]] SourcedShortcut shortcut_for(const Partition& parts,
                                              bool use_cache);
   [[nodiscard]] ShortcutSource make_source(const SolveOptions& opt);
+  [[nodiscard]] std::uint64_t fingerprint(PartId num_parts,
+                                          std::span<const PartId> part_of)
+      const;
   [[nodiscard]] std::uint64_t fingerprint(const Partition& parts) const;
-  void cache_insert(std::uint64_t key, const Partition& parts,
+  void cache_insert(std::uint64_t key, std::vector<PartId> part_of,
                     std::shared_ptr<const Shortcut> shortcut);
   void register_builtin_workloads();
 

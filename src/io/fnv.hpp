@@ -1,0 +1,44 @@
+// FNV-1a 64-bit hashing, the one hash the persistence layer speaks.
+//
+// Used for (a) the per-section payload checksums of the snapshot format
+// (io/snapshot.hpp), (b) the Session's partition fingerprints, and (c) the
+// payload digests of the canonical RunReport JSON (io/report_json.hpp).
+// Integers are always mixed byte-by-byte little-endian, so every digest is
+// identical across platforms regardless of host endianness.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace mns::io {
+
+class Fnv64 {
+ public:
+  void mix_byte(std::uint8_t b) noexcept {
+    h_ = (h_ ^ b) * 0x100000001b3ull;
+  }
+  void mix_bytes(std::span<const std::uint8_t> bytes) noexcept {
+    for (std::uint8_t b : bytes) mix_byte(b);
+  }
+  /// Mixes x as 8 little-endian bytes (endian-independent).
+  void mix_u64(std::uint64_t x) noexcept {
+    for (int byte = 0; byte < 8; ++byte)
+      mix_byte(static_cast<std::uint8_t>((x >> (8 * byte)) & 0xffu));
+  }
+  void mix_i64(std::int64_t x) noexcept {
+    mix_u64(static_cast<std::uint64_t>(x));
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ull;  // FNV offset basis
+};
+
+[[nodiscard]] inline std::uint64_t fnv1a64(
+    std::span<const std::uint8_t> bytes) noexcept {
+  Fnv64 h;
+  h.mix_bytes(bytes);
+  return h.value();
+}
+
+}  // namespace mns::io

@@ -1,0 +1,265 @@
+#include "io/json.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mns::io {
+
+std::string json_quote(std::string_view s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_number(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  return buf;
+}
+
+std::string json_number(long long value) { return std::to_string(value); }
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members)
+    if (name == key) return &value;
+  return nullptr;
+}
+
+std::string JsonValue::render() const {
+  switch (kind) {
+    case Kind::kNull: return "null";
+    case Kind::kBool: return boolean ? "true" : "false";
+    case Kind::kNumber: return text.empty() ? json_number(number) : text;
+    case Kind::kString: return json_quote(text);
+    case Kind::kArray: {
+      std::string out = "[";
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i) out += ", ";
+        out += items[i].render();
+      }
+      out += ']';
+      return out;
+    }
+    case Kind::kObject: {
+      std::string out = "{";
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        if (i) out += ", ";
+        out += json_quote(members[i].first) + ": " + members[i].second.render();
+      }
+      out += '}';
+      return out;
+    }
+  }
+  throw JsonError("json: corrupt value kind");
+}
+
+namespace {
+
+/// Deep-enough for every artifact we write; shallow enough that hostile
+/// nesting can never smash the stack.
+constexpr int kMaxDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view s) : s_(s) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value(0);
+    skip_ws();
+    if (i_ != s_.size())
+      throw JsonError("json: trailing garbage at offset " + std::to_string(i_));
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (i_ < s_.size() && (s_[i_] == ' ' || s_[i_] == '\n' ||
+                              s_[i_] == '\t' || s_[i_] == '\r'))
+      ++i_;
+  }
+  char peek() {
+    skip_ws();
+    if (i_ >= s_.size()) throw JsonError("json: unexpected end of input");
+    return s_[i_];
+  }
+  void expect(char c) {
+    if (peek() != c)
+      throw JsonError(std::string("json: expected '") + c + "' at offset " +
+                      std::to_string(i_));
+    ++i_;
+  }
+  bool consume_literal(std::string_view lit) {
+    if (s_.substr(i_, lit.size()) != lit) return false;
+    i_ += lit.size();
+    return true;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (i_ >= s_.size()) throw JsonError("json: unterminated string");
+      char c = s_[i_++];
+      if (c == '"') break;
+      if (static_cast<unsigned char>(c) < 0x20)
+        throw JsonError("json: raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (i_ >= s_.size()) throw JsonError("json: dangling escape");
+      char e = s_[i_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (i_ + 4 > s_.size()) throw JsonError("json: truncated \\u escape");
+          unsigned code = 0;
+          for (int k = 0; k < 4; ++k) {
+            char h = s_[i_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9')
+              code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code += static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code += static_cast<unsigned>(h - 'A' + 10);
+            else
+              throw JsonError("json: bad hex digit in \\u escape");
+          }
+          // Our writers only \u-escape control characters; reject the rest
+          // rather than half-implementing UTF-16 surrogate pairs.
+          if (code > 0xFF) throw JsonError("json: unsupported non-ASCII \\u");
+          out += static_cast<char>(code);
+          break;
+        }
+        default: throw JsonError("json: unknown escape");
+      }
+    }
+    return out;
+  }
+
+  JsonValue parse_number() {
+    skip_ws();
+    const std::size_t start = i_;
+    if (i_ < s_.size() && s_[i_] == '-') ++i_;
+    while (i_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[i_])) || s_[i_] == '.' ||
+            s_[i_] == 'e' || s_[i_] == 'E' || s_[i_] == '+' || s_[i_] == '-'))
+      ++i_;
+    if (i_ == start) throw JsonError("json: expected number");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.text = std::string(s_.substr(start, i_ - start));
+    char* end = nullptr;
+    v.number = std::strtod(v.text.c_str(), &end);
+    if (end == nullptr || *end != '\0')
+      throw JsonError("json: malformed number '" + v.text + "'");
+    return v;
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > kMaxDepth) throw JsonError("json: nesting too deep");
+    const char c = peek();
+    if (c == '{') {
+      ++i_;
+      JsonValue v;
+      v.kind = JsonValue::Kind::kObject;
+      if (peek() == '}') {
+        ++i_;
+        return v;
+      }
+      while (true) {
+        std::string key = parse_string();
+        expect(':');
+        v.members.emplace_back(std::move(key), parse_value(depth + 1));
+        if (peek() == ',') {
+          ++i_;
+          continue;
+        }
+        expect('}');
+        break;
+      }
+      return v;
+    }
+    if (c == '[') {
+      ++i_;
+      JsonValue v;
+      v.kind = JsonValue::Kind::kArray;
+      if (peek() == ']') {
+        ++i_;
+        return v;
+      }
+      while (true) {
+        v.items.push_back(parse_value(depth + 1));
+        if (peek() == ',') {
+          ++i_;
+          continue;
+        }
+        expect(']');
+        break;
+      }
+      return v;
+    }
+    if (c == '"') {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kString;
+      v.text = parse_string();
+      return v;
+    }
+    skip_ws();
+    if (consume_literal("true")) {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume_literal("false")) {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = false;
+      return v;
+    }
+    if (consume_literal("null")) return JsonValue{};
+    return parse_number();
+  }
+
+  std::string_view s_;
+  std::size_t i_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace mns::io

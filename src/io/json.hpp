@@ -1,0 +1,61 @@
+// Canonical JSON: the one escaping/rendering/parsing implementation every
+// machine-readable artifact goes through — BENCH_*.json (bench_util adopts
+// json_quote), canonical RunReport documents (io/report_json.hpp), and the
+// mnsctl diff/baseline/inspect subcommands.
+//
+// The writer side is a set of free functions (quote, number rendering); the
+// reader side is a small recursive-descent parser into JsonValue, which
+// preserves object member order and the raw numeric lexemes so a
+// parse -> render round trip of our own output is byte-identical and two
+// documents can be diffed field-by-field without float-formatting noise.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mns::io {
+
+/// Typed parse/structure error; malformed input never produces UB or a
+/// partially-initialized value.
+class JsonError : public std::runtime_error {
+ public:
+  explicit JsonError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// RFC 8259 string escaping: quote, backslash, and EVERY control character
+/// (named escapes for the common ones, \u00XX otherwise).
+[[nodiscard]] std::string json_quote(std::string_view s);
+
+/// Canonical number rendering: integers via to_string, doubles via "%.6g"
+/// (what the bench writer has always emitted).
+[[nodiscard]] std::string json_number(double value);
+[[nodiscard]] std::string json_number(long long value);
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  /// String value for kString; the RAW numeric lexeme for kNumber (kept so
+  /// diffs compare what was written, not a reformatted double).
+  std::string text;
+  std::vector<JsonValue> items;                            ///< kArray
+  std::vector<std::pair<std::string, JsonValue>> members;  ///< kObject, in order
+
+  /// Object member lookup (first match); nullptr if absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  /// Compact canonical re-render (numbers from their raw lexemes).
+  [[nodiscard]] std::string render() const;
+};
+
+/// Parses a complete JSON document (objects / arrays / strings / numbers /
+/// booleans / null). Throws JsonError on any malformation, trailing garbage,
+/// or nesting deeper than an internal safety cap.
+[[nodiscard]] JsonValue parse_json(std::string_view text);
+
+}  // namespace mns::io

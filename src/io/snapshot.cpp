@@ -1,0 +1,528 @@
+#include "io/snapshot.hpp"
+
+#include <array>
+#include <cstdio>
+#include <utility>
+
+#include "io/fnv.hpp"
+
+namespace mns::io {
+
+namespace {
+
+constexpr std::array<std::uint8_t, 8> kMagic = {'M', 'N', 'S', 'S',
+                                                'N', 'A', 'P', '\0'};
+
+enum SectionTag : std::uint32_t {
+  kSectionGraph = 1,
+  kSectionWeights = 2,
+  kSectionCertificate = 3,
+  kSectionTree = 4,
+  kSectionShortcutCache = 5,
+};
+
+enum CertTag : std::uint32_t {
+  kCertUniform = 0,
+  kCertTreewidth = 1,
+  kCertApex = 2,
+  kCertCliqueSum = 3,
+};
+
+// ----------------------------------------------------------------- writer --
+
+class Writer {
+ public:
+  void put_u8(std::uint8_t b) { out_.push_back(b); }
+  void put_u32(std::uint32_t x) {
+    for (int byte = 0; byte < 4; ++byte)
+      out_.push_back(static_cast<std::uint8_t>((x >> (8 * byte)) & 0xffu));
+  }
+  void put_u64(std::uint64_t x) {
+    for (int byte = 0; byte < 8; ++byte)
+      out_.push_back(static_cast<std::uint8_t>((x >> (8 * byte)) & 0xffu));
+  }
+  void put_i32(std::int32_t x) { put_u32(static_cast<std::uint32_t>(x)); }
+  void put_i64(std::int64_t x) { put_u64(static_cast<std::uint64_t>(x)); }
+  void put_vec_i32(std::span<const std::int32_t> v) {
+    put_u64(v.size());
+    for (std::int32_t x : v) put_i32(x);
+  }
+  void put_bytes(std::span<const std::uint8_t> bytes) {
+    out_.insert(out_.end(), bytes.begin(), bytes.end());
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept {
+    return out_;
+  }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+// ----------------------------------------------------------------- reader --
+
+/// Bounds-checked cursor over one section payload (or the container frame).
+/// Every read validates the remaining byte count first, so a malformed
+/// length can only ever produce a SnapshotError, never an out-of-range read.
+class Reader {
+ public:
+  Reader(std::span<const std::uint8_t> bytes, const char* what)
+      : bytes_(bytes), what_(what) {}
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return bytes_.size() - pos_;
+  }
+  [[nodiscard]] bool done() const noexcept { return remaining() == 0; }
+
+  std::uint8_t get_u8() {
+    need(1);
+    return bytes_[pos_++];
+  }
+  std::uint32_t get_u32() {
+    need(4);
+    std::uint32_t x = 0;
+    for (int byte = 0; byte < 4; ++byte)
+      x |= static_cast<std::uint32_t>(bytes_[pos_++]) << (8 * byte);
+    return x;
+  }
+  std::uint64_t get_u64() {
+    need(8);
+    std::uint64_t x = 0;
+    for (int byte = 0; byte < 8; ++byte)
+      x |= static_cast<std::uint64_t>(bytes_[pos_++]) << (8 * byte);
+    return x;
+  }
+  std::int32_t get_i32() { return static_cast<std::int32_t>(get_u32()); }
+  std::int64_t get_i64() { return static_cast<std::int64_t>(get_u64()); }
+
+  /// Reads an element count and checks the payload can actually hold that
+  /// many `elem_bytes`-sized elements (rejects absurd counts up front).
+  std::size_t get_count(std::size_t elem_bytes) {
+    const std::uint64_t count = get_u64();
+    if (count > remaining() / elem_bytes)
+      throw SnapshotError(std::string("snapshot: ") + what_ +
+                          ": element count exceeds payload size");
+    return static_cast<std::size_t>(count);
+  }
+
+  std::vector<std::int32_t> get_vec_i32() {
+    const std::size_t count = get_count(4);
+    std::vector<std::int32_t> v;
+    v.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) v.push_back(get_i32());
+    return v;
+  }
+
+  std::span<const std::uint8_t> get_bytes(std::size_t count) {
+    need(count);
+    auto out = bytes_.subspan(pos_, count);
+    pos_ += count;
+    return out;
+  }
+
+  void expect_done() const {
+    if (!done())
+      throw SnapshotError(std::string("snapshot: ") + what_ +
+                          ": trailing bytes in section");
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (remaining() < n)
+      throw SnapshotError(std::string("snapshot: truncated ") + what_);
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+  const char* what_;
+};
+
+// --------------------------------------------------- section payload codecs
+
+void encode_graph(Writer& w, const Graph& g) {
+  w.put_u64(static_cast<std::uint64_t>(g.num_vertices()));
+  w.put_u64(static_cast<std::uint64_t>(g.num_edges()));
+  for (const Edge& e : g.edges()) {
+    w.put_i32(e.u);
+    w.put_i32(e.v);
+  }
+}
+
+Graph decode_graph(Reader& r) {
+  const std::uint64_t n = r.get_u64();
+  if (n > static_cast<std::uint64_t>(INT32_MAX))
+    throw SnapshotError("snapshot: graph vertex count out of range");
+  const std::size_t m = r.get_count(8);
+  GraphBuilder b(static_cast<VertexId>(n));
+  for (std::size_t e = 0; e < m; ++e) {
+    const VertexId u = r.get_i32();
+    const VertexId v = r.get_i32();
+    b.add_edge(u, v);  // validates range / self-loops
+  }
+  Graph g = b.build();
+  // GraphBuilder sorts and dedups; a valid snapshot's edge list is already
+  // sorted unique, so the ids (and thus weights/shortcuts/tree bindings)
+  // survive the round trip exactly. A corrupt list that dedups differently
+  // is caught here.
+  if (static_cast<std::size_t>(g.num_edges()) != m)
+    throw SnapshotError("snapshot: graph edge list not sorted-unique");
+  return g;
+}
+
+void encode_certificate(Writer& w, const StructuralCertificate& cert) {
+  if (const auto* u = std::get_if<UniformCertificate>(&cert)) {
+    w.put_u32(kCertUniform);
+    w.put_u32(static_cast<std::uint32_t>(u->kind));
+    w.put_i32(u->levels);
+  } else if (const auto* t = std::get_if<TreewidthCertificate>(&cert)) {
+    w.put_u32(kCertTreewidth);
+    const TreeDecomposition& td = t->decomposition;
+    w.put_u64(static_cast<std::uint64_t>(td.num_bags()));
+    for (BagId b = 0; b < td.num_bags(); ++b) w.put_vec_i32(td.bag(b));
+    for (BagId b = 0; b < td.num_bags(); ++b) w.put_i32(td.parent(b));
+  } else if (const auto* a = std::get_if<ApexCertificate>(&cert)) {
+    w.put_u32(kCertApex);
+    w.put_vec_i32(a->apices);
+    w.put_u32(static_cast<std::uint32_t>(a->inner));
+  } else {
+    const auto& c = std::get<CliqueSumCertificate>(cert);
+    w.put_u32(kCertCliqueSum);
+    const CliqueSumDecomposition& csd = c.decomposition;
+    w.put_u64(static_cast<std::uint64_t>(csd.num_bags()));
+    for (BagId b = 0; b < csd.num_bags(); ++b) {
+      w.put_vec_i32(csd.bag_vertices(b));
+      w.put_vec_i32(csd.bag_edges(b));
+      w.put_i32(csd.parent(b));
+      w.put_vec_i32(csd.parent_clique(b));
+    }
+    w.put_u8(c.fold ? 1 : 0);
+    w.put_u32(static_cast<std::uint32_t>(c.local_oracle));
+    w.put_u8(c.apex_aware ? 1 : 0);
+    w.put_u64(c.bag_apices.size());
+    for (const auto& apices : c.bag_apices) w.put_vec_i32(apices);
+  }
+}
+
+OracleKind decode_oracle_kind(std::uint32_t raw) {
+  if (raw > static_cast<std::uint32_t>(OracleKind::kGreedy))
+    throw SnapshotError("snapshot: certificate oracle kind out of range");
+  return static_cast<OracleKind>(raw);
+}
+
+StructuralCertificate decode_certificate(Reader& r) {
+  const std::uint32_t tag = r.get_u32();
+  switch (tag) {
+    case kCertUniform: {
+      const std::uint32_t kind = r.get_u32();
+      if (kind > static_cast<std::uint32_t>(UniformCertificate::Kind::kAncestor))
+        throw SnapshotError("snapshot: uniform certificate kind out of range");
+      UniformCertificate u;
+      u.kind = static_cast<UniformCertificate::Kind>(kind);
+      u.levels = r.get_i32();
+      return u;
+    }
+    case kCertTreewidth: {
+      const std::size_t bags = r.get_count(8);
+      std::vector<std::vector<VertexId>> bag_vertices(bags);
+      for (std::size_t b = 0; b < bags; ++b) bag_vertices[b] = r.get_vec_i32();
+      std::vector<BagId> parent(bags);
+      for (std::size_t b = 0; b < bags; ++b) parent[b] = r.get_i32();
+      // The TreeDecomposition constructor validates tree structure eagerly.
+      return TreewidthCertificate{
+          TreeDecomposition(std::move(bag_vertices), std::move(parent))};
+    }
+    case kCertApex: {
+      ApexCertificate a;
+      a.apices = r.get_vec_i32();
+      a.inner = decode_oracle_kind(r.get_u32());
+      return a;
+    }
+    case kCertCliqueSum: {
+      const std::size_t bags = r.get_count(8);
+      std::vector<std::vector<VertexId>> bag_vertices(bags);
+      std::vector<std::vector<EdgeId>> bag_edges(bags);
+      std::vector<BagId> parent(bags);
+      std::vector<std::vector<VertexId>> parent_clique(bags);
+      for (std::size_t b = 0; b < bags; ++b) {
+        bag_vertices[b] = r.get_vec_i32();
+        bag_edges[b] = r.get_vec_i32();
+        parent[b] = r.get_i32();
+        parent_clique[b] = r.get_vec_i32();
+      }
+      CliqueSumCertificate c{
+          CliqueSumDecomposition(std::move(bag_vertices), std::move(bag_edges),
+                                 std::move(parent), std::move(parent_clique)),
+          /*fold=*/true, OracleKind::kGreedy, /*apex_aware=*/false,
+          /*bag_apices=*/{}};
+      c.fold = r.get_u8() != 0;
+      c.local_oracle = decode_oracle_kind(r.get_u32());
+      c.apex_aware = r.get_u8() != 0;
+      const std::size_t apex_lists = r.get_count(8);
+      c.bag_apices.resize(apex_lists);
+      for (std::size_t b = 0; b < apex_lists; ++b)
+        c.bag_apices[b] = r.get_vec_i32();
+      return c;
+    }
+    default:
+      throw SnapshotError("snapshot: unknown certificate family tag " +
+                          std::to_string(tag));
+  }
+}
+
+void encode_tree(Writer& w, const TreeSnapshot& t) {
+  w.put_i32(t.root);
+  w.put_vec_i32(t.parent);
+  w.put_vec_i32(t.parent_edge);
+}
+
+TreeSnapshot decode_tree(Reader& r) {
+  TreeSnapshot t;
+  t.root = r.get_i32();
+  t.parent = r.get_vec_i32();
+  t.parent_edge = r.get_vec_i32();
+  return t;
+}
+
+void encode_cache(Writer& w, const std::vector<CachedShortcut>& cache) {
+  w.put_u64(cache.size());
+  for (const CachedShortcut& entry : cache) {
+    w.put_vec_i32(entry.part_of);
+    w.put_u64(entry.shortcut.edges_of_part.size());
+    for (const auto& edges : entry.shortcut.edges_of_part)
+      w.put_vec_i32(edges);
+  }
+}
+
+std::vector<CachedShortcut> decode_cache(Reader& r) {
+  const std::size_t entries = r.get_count(8);
+  std::vector<CachedShortcut> cache(entries);
+  for (std::size_t i = 0; i < entries; ++i) {
+    cache[i].part_of = r.get_vec_i32();
+    const std::size_t parts = r.get_count(8);
+    cache[i].shortcut.edges_of_part.resize(parts);
+    for (std::size_t p = 0; p < parts; ++p)
+      cache[i].shortcut.edges_of_part[p] = r.get_vec_i32();
+  }
+  return cache;
+}
+
+void append_section(Writer& out, std::uint32_t tag, const Writer& payload) {
+  out.put_u32(tag);
+  out.put_u64(payload.bytes().size());
+  out.put_bytes(payload.bytes());
+  out.put_u64(fnv1a64(payload.bytes()));
+}
+
+void check_vertex_ids(std::span<const VertexId> ids, VertexId n,
+                      const char* what) {
+  for (VertexId v : ids)
+    if (v < 0 || v >= n)
+      throw SnapshotError(std::string("snapshot: ") + what +
+                          " vertex id out of range");
+}
+
+/// Cross-section consistency: every id a section carries must be in range
+/// for the decoded graph (a snapshot whose sections disagree is corrupt —
+/// and anything this function admits is later consumed unchecked by the
+/// builders, so admitting a bad id would be the UB the format contract
+/// forbids).
+void validate_against_graph(const Snapshot& snap) {
+  const VertexId n = snap.graph.num_vertices();
+  const EdgeId m = snap.graph.num_edges();
+  if (!snap.weights.empty() &&
+      snap.weights.size() != static_cast<std::size_t>(m))
+    throw SnapshotError("snapshot: weights count != edge count");
+  if (const auto* t = std::get_if<TreewidthCertificate>(&snap.certificate)) {
+    for (BagId b = 0; b < t->decomposition.num_bags(); ++b)
+      check_vertex_ids(t->decomposition.bag(b), n, "certificate bag");
+  } else if (const auto* a =
+                 std::get_if<ApexCertificate>(&snap.certificate)) {
+    check_vertex_ids(a->apices, n, "certificate apex");
+  } else if (const auto* c =
+                 std::get_if<CliqueSumCertificate>(&snap.certificate)) {
+    const CliqueSumDecomposition& csd = c->decomposition;
+    for (BagId b = 0; b < csd.num_bags(); ++b) {
+      check_vertex_ids(csd.bag_vertices(b), n, "certificate bag");
+      check_vertex_ids(csd.parent_clique(b), n, "certificate clique");
+      for (EdgeId e : csd.bag_edges(b))
+        if (e < 0 || e >= m)
+          throw SnapshotError("snapshot: certificate bag edge out of range");
+    }
+    for (const auto& apices : c->bag_apices)
+      check_vertex_ids(apices, n, "certificate apex");
+  }
+  if (snap.tree) {
+    if (snap.tree->parent.size() != static_cast<std::size_t>(n) ||
+        snap.tree->parent_edge.size() != static_cast<std::size_t>(n))
+      throw SnapshotError("snapshot: tree size != vertex count");
+    for (EdgeId e : snap.tree->parent_edge)
+      if (e != kInvalidEdge && (e < 0 || e >= m))
+        throw SnapshotError("snapshot: tree parent edge out of range");
+  }
+  for (const CachedShortcut& entry : snap.shortcuts) {
+    if (entry.part_of.size() != static_cast<std::size_t>(n))
+      throw SnapshotError("snapshot: cached part map size != vertex count");
+    // Parts are disjoint and non-empty, so a valid dense part id is < n —
+    // which also keeps every later `p + 1` clear of signed overflow.
+    PartId num_parts = 0;
+    for (PartId p : entry.part_of) {
+      if (p < kNoPart || p >= n)
+        throw SnapshotError("snapshot: cached part id out of range");
+      if (p >= num_parts) num_parts = p + 1;
+    }
+    if (entry.shortcut.edges_of_part.size() !=
+        static_cast<std::size_t>(num_parts))
+      throw SnapshotError(
+          "snapshot: cached shortcut part count != partition part count");
+    for (const auto& edges : entry.shortcut.edges_of_part)
+      for (EdgeId e : edges)
+        if (e < 0 || e >= m)
+          throw SnapshotError("snapshot: cached shortcut edge out of range");
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_snapshot(const Snapshot& snap) {
+  std::vector<std::pair<std::uint32_t, Writer>> sections;
+  {
+    Writer w;
+    encode_graph(w, snap.graph);
+    sections.emplace_back(kSectionGraph, std::move(w));
+  }
+  if (!snap.weights.empty()) {
+    Writer w;
+    w.put_u64(snap.weights.size());
+    for (Weight x : snap.weights) w.put_i64(x);
+    sections.emplace_back(kSectionWeights, std::move(w));
+  }
+  {
+    Writer w;
+    encode_certificate(w, snap.certificate);
+    sections.emplace_back(kSectionCertificate, std::move(w));
+  }
+  if (snap.tree) {
+    Writer w;
+    encode_tree(w, *snap.tree);
+    sections.emplace_back(kSectionTree, std::move(w));
+  }
+  if (!snap.shortcuts.empty()) {
+    Writer w;
+    encode_cache(w, snap.shortcuts);
+    sections.emplace_back(kSectionShortcutCache, std::move(w));
+  }
+
+  Writer out;
+  out.put_bytes(kMagic);
+  out.put_u32(kSnapshotVersion);
+  out.put_u32(static_cast<std::uint32_t>(sections.size()));
+  for (const auto& [tag, payload] : sections) append_section(out, tag, payload);
+  return out.bytes();
+}
+
+Snapshot decode_snapshot(std::span<const std::uint8_t> bytes) {
+  Reader frame(bytes, "container");
+  const auto magic = frame.get_bytes(kMagic.size());
+  for (std::size_t i = 0; i < kMagic.size(); ++i)
+    if (magic[i] != kMagic[i])
+      throw SnapshotError("snapshot: bad magic (not a snapshot file)");
+  const std::uint32_t version = frame.get_u32();
+  if (version != kSnapshotVersion)
+    throw SnapshotError("snapshot: unsupported version " +
+                        std::to_string(version) + " (expected " +
+                        std::to_string(kSnapshotVersion) + ")");
+  const std::uint32_t section_count = frame.get_u32();
+
+  Snapshot snap;
+  bool have_graph = false, have_weights = false, have_cert = false,
+       have_tree = false, have_cache = false;
+  for (std::uint32_t s = 0; s < section_count; ++s) {
+    const std::uint32_t tag = frame.get_u32();
+    const std::uint64_t size = frame.get_u64();
+    if (size > frame.remaining())
+      throw SnapshotError("snapshot: truncated section payload");
+    const auto payload = frame.get_bytes(static_cast<std::size_t>(size));
+    const std::uint64_t stored = frame.get_u64();
+    if (fnv1a64(payload) != stored)
+      throw SnapshotError("snapshot: section " + std::to_string(tag) +
+                          " checksum mismatch (corrupt snapshot)");
+    Reader r(payload, "section");
+    // Decomposition/graph constructors validate their own structural
+    // invariants; translate those failures into the snapshot error domain.
+    try {
+      switch (tag) {
+        case kSectionGraph:
+          if (std::exchange(have_graph, true))
+            throw SnapshotError("snapshot: duplicate graph section");
+          snap.graph = decode_graph(r);
+          break;
+        case kSectionWeights: {
+          if (std::exchange(have_weights, true))
+            throw SnapshotError("snapshot: duplicate weights section");
+          const std::size_t count = r.get_count(8);
+          snap.weights.reserve(count);
+          for (std::size_t i = 0; i < count; ++i)
+            snap.weights.push_back(r.get_i64());
+          break;
+        }
+        case kSectionCertificate:
+          if (std::exchange(have_cert, true))
+            throw SnapshotError("snapshot: duplicate certificate section");
+          snap.certificate = decode_certificate(r);
+          break;
+        case kSectionTree:
+          if (std::exchange(have_tree, true))
+            throw SnapshotError("snapshot: duplicate tree section");
+          snap.tree = decode_tree(r);
+          break;
+        case kSectionShortcutCache:
+          if (std::exchange(have_cache, true))
+            throw SnapshotError("snapshot: duplicate cache section");
+          snap.shortcuts = decode_cache(r);
+          break;
+        default:
+          throw SnapshotError("snapshot: unknown section tag " +
+                              std::to_string(tag));
+      }
+    } catch (const SnapshotError&) {
+      throw;
+    } catch (const std::logic_error& e) {
+      throw SnapshotError(std::string("snapshot: invalid section ") +
+                          std::to_string(tag) + ": " + e.what());
+    }
+    r.expect_done();
+  }
+  frame.expect_done();
+  if (!have_graph) throw SnapshotError("snapshot: missing graph section");
+  if (!have_cert) throw SnapshotError("snapshot: missing certificate section");
+  validate_against_graph(snap);
+  return snap;
+}
+
+void write_snapshot(const Snapshot& snap, const std::string& path) {
+  const std::vector<std::uint8_t> bytes = encode_snapshot(snap);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr)
+    throw SnapshotError("snapshot: cannot open '" + path + "' for writing");
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != bytes.size() || !closed)
+    throw SnapshotError("snapshot: short write to '" + path + "'");
+}
+
+Snapshot read_snapshot(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr)
+    throw SnapshotError("snapshot: cannot open '" + path + "' for reading");
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buf[1 << 16];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0)
+    bytes.insert(bytes.end(), buf, buf + got);
+  const bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) throw SnapshotError("snapshot: read error on '" + path + "'");
+  return decode_snapshot(bytes);
+}
+
+}  // namespace mns::io

@@ -1,0 +1,90 @@
+// Versioned binary snapshots: cross-process persistence for everything a
+// congest::Session pays to derive (DESIGN.md §8).
+//
+// The paper's economics are "pay for structure once, reuse it across
+// optimization problems" — a snapshot extends "once" across process
+// boundaries. It captures the network (Graph + per-edge weights), the
+// structural knowledge (StructuralCertificate, all four variants), the
+// session's rooted spanning tree, and the shortcut cache (each cached
+// partition's part_of map plus its built Shortcut), so a restored session
+// starts WARM: the first solve over a snapshotted partition is a cache hit
+// with charged_construction_rounds == 0 and is bit-identical to the
+// in-process warm solve.
+//
+// Format (all integers little-endian, explicitly byte-serialized):
+//
+//   magic "MNSSNAP\0" | u32 version | u32 section_count
+//   section*: u32 tag | u64 payload_bytes | payload | u64 fnv1a64(payload)
+//
+// Sections: 1=graph, 2=weights, 3=certificate, 4=tree, 5=shortcut-cache.
+// Graph and certificate are mandatory; the rest appear when present.
+// Readers verify magic, version, and every section checksum BEFORE parsing
+// a payload, and every decoder is bounds-checked — corruption (truncation,
+// bit flips, wrong version, out-of-range certificate tags) throws
+// SnapshotError, never UB (pinned by tests/test_snapshot.cpp under ASan).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/certificate.hpp"
+#include "core/shortcut.hpp"
+#include "graph/graph.hpp"
+
+namespace mns::io {
+
+/// Typed decode/I-O error: anything wrong with a snapshot file — unreadable,
+/// truncated, checksum mismatch, unsupported version, malformed payload —
+/// surfaces as this exception.
+class SnapshotError : public std::runtime_error {
+ public:
+  explicit SnapshotError(const std::string& what) : std::runtime_error(what) {}
+};
+
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// The session's rooted spanning tree as plain data (rebuilt through the
+/// validating RootedTree constructor on restore).
+struct TreeSnapshot {
+  VertexId root = kInvalidVertex;
+  std::vector<VertexId> parent;      ///< parent[root] == kInvalidVertex
+  std::vector<EdgeId> parent_edge;   ///< graph edge ids, kInvalidEdge at root
+};
+
+/// One shortcut-cache entry: the dense per-vertex part map it was built for
+/// (the cache key's exact guard) and the built shortcut.
+struct CachedShortcut {
+  std::vector<PartId> part_of;
+  Shortcut shortcut;
+};
+
+struct Snapshot {
+  Graph graph;
+  /// Per-edge weights of the instance (empty = unweighted snapshot).
+  std::vector<Weight> weights;
+  StructuralCertificate certificate = greedy_certificate();
+  /// Session rooted tree, if it was built before save.
+  std::optional<TreeSnapshot> tree;
+  /// Cached shortcuts, most-recently-used first (LRU order is preserved
+  /// across save/restore).
+  std::vector<CachedShortcut> shortcuts;
+};
+
+/// Serializes to the versioned, checksummed byte format above.
+[[nodiscard]] std::vector<std::uint8_t> encode_snapshot(const Snapshot& snap);
+
+/// Decodes and cross-validates (weights/tree/cache sizes against the graph,
+/// edge and part ids in range). Throws SnapshotError on any corruption.
+[[nodiscard]] Snapshot decode_snapshot(std::span<const std::uint8_t> bytes);
+
+/// encode + write to `path`; throws SnapshotError on I/O failure.
+void write_snapshot(const Snapshot& snap, const std::string& path);
+
+/// read `path` + decode; throws SnapshotError on I/O failure or corruption.
+[[nodiscard]] Snapshot read_snapshot(const std::string& path);
+
+}  // namespace mns::io

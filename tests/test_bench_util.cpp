@@ -194,7 +194,7 @@ TEST(JsonReport, WrittenFileParsesEndToEnd) {
     bench::JsonReport report("json_contract_tmp");
     report.row().set("family", nasty).set("n", 42).set("ratio", 1.5);
     report.row().set("family", "plain").set("n", 7);
-    report.write();
+    ASSERT_TRUE(report.write());
   }
   std::ifstream in(path);
   ASSERT_TRUE(in.good()) << "report file missing";
@@ -213,6 +213,20 @@ TEST(JsonReport, WrittenFileParsesEndToEnd) {
   std::remove(path.c_str());
 }
 
+TEST(JsonReport, WriteFailureIsReportedNotSwallowed) {
+  // A report that cannot be written must return false so the harness main
+  // can exit nonzero (CI treats a missing BENCH file as a failed run) —
+  // the old behavior only warned to stderr and benches exited 0.
+  bench::JsonReport broken("no_such_dir/report");  // -> BENCH_no_such_dir/...
+  broken.row().set("n", 1);
+  EXPECT_FALSE(broken.write());
+
+  bench::JsonReport ok("write_status_tmp");
+  ok.row().set("n", 1);
+  EXPECT_TRUE(ok.write());
+  std::remove("BENCH_write_status_tmp.json");
+}
+
 TEST(JsonReport, EveryRowRecordsHardwareContext) {
   // BENCH_*.json trajectories are compared across machines: every row must
   // say what hardware it ran on (hardware_concurrency) and, for run rows,
@@ -224,7 +238,7 @@ TEST(JsonReport, EveryRowRecordsHardwareContext) {
     congest::RunReport run;
     run.threads = 3;
     report.row().set("family", "x").set_run(run);
-    report.write();
+    ASSERT_TRUE(report.write());
   }
   std::ifstream in(path);
   ASSERT_TRUE(in.good());
