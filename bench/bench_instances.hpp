@@ -95,6 +95,20 @@ inline std::vector<Weight> dfs_light_weights(const Graph& g, Rng& rng) {
   return w;
 }
 
+/// Uniform-random weights: the shuffled ranks 1..m. Distinct values, so the
+/// MST is unique and Kruskal-verifiable; relative order is that of i.i.d.
+/// uniform draws. Unlike dfs_light_weights nothing is planted — this is the
+/// CAPACITY regime (bench_scale): message volume reflects the family's own
+/// structure, not an adversarial weight pattern (which at n = 2^20 would
+/// multiply traffic ~4x without changing what the scale gate measures).
+inline std::vector<Weight> uniform_weights(const Graph& g, Rng& rng) {
+  std::vector<Weight> w(static_cast<std::size_t>(g.num_edges()));
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    w[static_cast<std::size_t>(e)] = e + 1;
+  std::shuffle(w.begin(), w.end(), rng);
+  return w;
+}
+
 /// The treewidth pathology (the wheel example generalized): a "k-path" band
 /// (vertex i adjacent to i-1..i-k) PLUS a universal hub, recorded with its
 /// width-(k+1) path decomposition (the hub joins every bag). Diameter 2 via

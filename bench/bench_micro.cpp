@@ -130,6 +130,38 @@ void BM_SimulatorFinishRoundSparse(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorFinishRoundSparse)->Arg(1 << 15);
 
+// finish_round's deterministic shard merge at staging widths 1/4/8: every
+// directed edge is staged into its vertex's contiguous shard block (the
+// exact load the vertex engine produces), so the measured cost is the
+// packed-SoA merge + CSR scatter itself, not pool wake-ups or send work.
+void BM_SimulatorFinishRoundMerge(benchmark::State& state) {
+  using namespace mns::congest;
+  Rng rng(7);
+  EmbeddedGraph eg = gen::random_maximal_planar(
+      static_cast<VertexId>(state.range(0)), rng);
+  const Graph& g = eg.graph();
+  const int width = static_cast<int>(state.range(1));
+  Simulator sim(g, ExecutionPolicy{width});
+  const VertexId n = g.num_vertices();
+  for (auto _ : state) {
+    for (int s = 0; s < width; ++s) {
+      const VertexId begin = static_cast<VertexId>(
+          static_cast<long long>(n) * s / width);
+      const VertexId end = static_cast<VertexId>(
+          static_cast<long long>(n) * (s + 1) / width);
+      for (VertexId v = begin; v < end; ++v)
+        for (EdgeId e : g.incident_edges(v))
+          sim.stage_send(s, v, e, Message{0, 0, 1});
+    }
+    sim.finish_round();
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges() * 2);
+}
+BENCHMARK(BM_SimulatorFinishRoundMerge)
+    ->Args({1 << 15, 1})
+    ->Args({1 << 15, 4})
+    ->Args({1 << 15, 8});
+
 void BM_AggregationWheel(benchmark::State& state) {
   using namespace mns::congest;
   const VertexId n = static_cast<VertexId>(state.range(0));

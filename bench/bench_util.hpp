@@ -18,6 +18,10 @@
 #include <utility>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "congest/session.hpp"
 #include "core/shortcut_engine.hpp"
 #include "graph/algorithms.hpp"
@@ -25,6 +29,25 @@
 #include "io/json.hpp"
 
 namespace mns::bench {
+
+/// Peak resident set size of this process, in bytes (getrusage ru_maxrss;
+/// Linux reports KiB, macOS bytes). 0 when the platform has no getrusage.
+/// Monotone over the process lifetime — a row records the high-water mark up
+/// to the moment it was emitted, which is what the DESIGN.md §9 peak-RSS
+/// budgets are stated against.
+[[nodiscard]] inline long long peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<long long>(ru.ru_maxrss);
+#else
+  return static_cast<long long>(ru.ru_maxrss) * 1024;
+#endif
+#else
+  return 0;
+#endif
+}
 
 /// The shared default-configured engine every harness dispatches through.
 inline const ShortcutEngine& engine() { return ShortcutEngine::global(); }
@@ -140,12 +163,17 @@ class JsonReport {
   }
 
   /// Every row opens with the hardware context (the machine's concurrency
-  /// width), so BENCH_*.json trajectories stay comparable across machines —
-  /// a wall_ms regression on a 1-core CI box is not a regression on the
-  /// 16-core baseline box.
+  /// width) and the process's current peak RSS, so BENCH_*.json trajectories
+  /// stay comparable across machines — a wall_ms regression on a 1-core CI
+  /// box is not a regression on the 16-core baseline box — and memory
+  /// regressions are visible in every recorded trajectory, not only in the
+  /// dedicated scale harness. Both keys are volatile for baseline diffs
+  /// (mnsctl diff masks them).
   JsonRow& row() {
     rows_.emplace_back();
-    rows_.back().set("hardware_concurrency", hardware_concurrency());
+    rows_.back()
+        .set("hardware_concurrency", hardware_concurrency())
+        .set("peak_rss_bytes", peak_rss_bytes());
     return rows_.back();
   }
 

@@ -55,10 +55,13 @@ build    restores a session, runs one workload to build + cache the shortcut
          paid; later solves from it charge 0 construction rounds).
 solve    restores a session and runs a registered workload; prints the
          canonical RunReport JSON (io/report_json.hpp).
-inspect  prints a JSON summary of a snapshot's sections.
+inspect  prints a JSON summary of a snapshot's sections, including the
+         estimated in-memory footprint of each (graph/weights/certificate/
+         tree/cache bytes; DESIGN.md §9).
 diff     compares two JSON documents field-by-field. --baseline compares
          only fields present in <a> and skips nondeterministic ones
-         (wall_ms*, wall_time_ms, hardware_concurrency) — the CI bench gate.
+         (wall_ms*, wall_time_ms, hardware_concurrency, peak_rss_bytes) —
+         the CI bench gate.
 baseline strips the nondeterministic fields from a BENCH_*.json, producing
          a committable baseline (rounds/messages only survive).
 )";
@@ -156,7 +159,9 @@ io::Snapshot gen_instance(const std::string& family, long long size,
   if (family == "planar") {
     const int side = size > 0 ? static_cast<int>(size) : 16;
     Rng rng(seed.value_or(static_cast<unsigned>(side)));
-    snap.graph = gen::grid(side, side).graph();
+    // grid_graph streams edges straight into the builder (no embedding
+    // rotations materialized) — same graph, half the generation peak.
+    snap.graph = gen::grid_graph(side, side);
     snap.weights = bench::dfs_light_weights(snap.graph, rng);
     snap.certificate = greedy_certificate();
   } else if (family == "treewidth") {
@@ -273,18 +278,86 @@ int cmd_solve(const Args& args) {
   return 0;
 }
 
+/// Estimated heap bytes of the certificate's payload (the variant's vector
+/// contents; the inline variant storage itself is negligible).
+long long certificate_bytes(const StructuralCertificate& cert) {
+  struct Visitor {
+    long long operator()(const UniformCertificate&) const { return 0; }
+    long long operator()(const TreewidthCertificate& c) const {
+      const TreeDecomposition& td = c.decomposition;
+      long long bytes = static_cast<long long>(td.num_bags()) *
+                        static_cast<long long>(2 * sizeof(BagId));
+      for (BagId b = 0; b < td.num_bags(); ++b)
+        bytes += static_cast<long long>(td.bag(b).size() * sizeof(VertexId)) +
+                 static_cast<long long>(td.children(b).size() * sizeof(BagId));
+      return bytes;
+    }
+    long long operator()(const ApexCertificate& c) const {
+      return static_cast<long long>(c.apices.size() * sizeof(VertexId));
+    }
+    long long operator()(const CliqueSumCertificate& c) const {
+      const CliqueSumDecomposition& d = c.decomposition;
+      long long bytes = static_cast<long long>(d.num_bags()) *
+                        static_cast<long long>(2 * sizeof(BagId));
+      for (BagId b = 0; b < d.num_bags(); ++b)
+        bytes += static_cast<long long>(
+            (d.bag_vertices(b).size() + d.parent_clique(b).size()) *
+                sizeof(VertexId) +
+            d.bag_edges(b).size() * sizeof(EdgeId) +
+            d.children(b).size() * sizeof(BagId));
+      for (const auto& apices : c.bag_apices)
+        bytes += static_cast<long long>(apices.size() * sizeof(VertexId));
+      return bytes;
+    }
+  };
+  return std::visit(Visitor{}, cert);
+}
+
 int cmd_inspect(const Args& args) {
   if (args.positional.empty())
     return usage_error("inspect requires <snapshot>");
   io::Snapshot snap = io::read_snapshot(args.positional[0]);
+
+  // Estimated in-memory footprint of the restored session, section by
+  // section (DESIGN.md §9). Array payloads only — allocator slack and small
+  // struct headers are noise at the scales where this number matters.
+  const long long n = snap.graph.num_vertices();
+  const long long m = snap.graph.num_edges();
+  // CSR graph: Edge records + offsets + two half-edge arrays (2m entries).
+  const long long graph_bytes =
+      m * static_cast<long long>(sizeof(Edge)) +
+      (n + 1) * static_cast<long long>(sizeof(std::size_t)) +
+      2 * m *
+          static_cast<long long>(sizeof(VertexId) + sizeof(EdgeId));
+  const long long weight_bytes =
+      static_cast<long long>(snap.weights.size() * sizeof(Weight));
+  const long long cert_bytes = certificate_bytes(snap.certificate);
+  const long long tree_bytes =
+      snap.tree ? static_cast<long long>(
+                      snap.tree->parent.size() * sizeof(VertexId) +
+                      snap.tree->parent_edge.size() * sizeof(EdgeId))
+                : 0;
+  long long cache_bytes = 0;
+  for (const io::CachedShortcut& cs : snap.shortcuts) {
+    cache_bytes += static_cast<long long>(cs.part_of.size() * sizeof(PartId));
+    for (const auto& part : cs.shortcut.edges_of_part)
+      cache_bytes += static_cast<long long>(part.size() * sizeof(EdgeId));
+  }
+  const long long total_bytes =
+      graph_bytes + weight_bytes + cert_bytes + tree_bytes + cache_bytes;
+
   std::printf(
       "{\"command\": \"inspect\", \"snapshot\": %s, \"version\": %u, "
       "\"vertices\": %d, \"edges\": %d, \"weights\": %zu, "
-      "\"certificate\": %s, \"tree\": %s, \"cached_shortcuts\": %zu}\n",
+      "\"certificate\": %s, \"tree\": %s, \"cached_shortcuts\": %zu, "
+      "\"footprint\": {\"graph_bytes\": %lld, \"weight_bytes\": %lld, "
+      "\"certificate_bytes\": %lld, \"tree_bytes\": %lld, "
+      "\"cache_bytes\": %lld, \"total_bytes\": %lld}}\n",
       io::json_quote(args.positional[0]).c_str(), io::kSnapshotVersion,
       snap.graph.num_vertices(), snap.graph.num_edges(), snap.weights.size(),
       io::json_quote(builder_name_for(snap.certificate)).c_str(),
-      snap.tree ? "true" : "false", snap.shortcuts.size());
+      snap.tree ? "true" : "false", snap.shortcuts.size(), graph_bytes,
+      weight_bytes, cert_bytes, tree_bytes, cache_bytes, total_bytes);
   return 0;
 }
 
@@ -295,7 +368,7 @@ int cmd_inspect(const Args& args) {
 /// deterministic and gated.
 bool is_volatile_key(const std::string& key) {
   return key == "wall_time_ms" || key == "hardware_concurrency" ||
-         key.find("wall_ms") != std::string::npos;
+         key == "peak_rss_bytes" || key.find("wall_ms") != std::string::npos;
 }
 
 std::string scalar_repr(const io::JsonValue& v) { return v.render(); }

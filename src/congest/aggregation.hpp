@@ -8,7 +8,11 @@
 // round count is the isolated part diameter.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
+#include <span>
 #include <utility>
+#include <vector>
 
 #include "congest/simulator.hpp"
 #include "core/partition.hpp"
@@ -50,15 +54,49 @@ class PartwiseAggregator {
     return participations_;
   }
 
+  /// Raw-pointer view of the precomputed CSR machinery (members below),
+  /// handed to aggregate_min's internal VertexProgram.
+  struct SlotTables {
+    const std::size_t* poe_off;
+    const PartId* poe_flat;
+    const std::size_t* pon_off;
+    const PartId* pon_flat;
+    const std::uint32_t* word_off;
+  };
+  [[nodiscard]] SlotTables slot_tables() const noexcept {
+    return {poe_offset_.data(), poe_flat_.data(), pon_offset_.data(),
+            pon_flat_.data(), word_off_.data()};
+  }
+
  private:
   const Graph* g_;
   const Partition* parts_;
-  // Directed-edge-indexed communication structure: for directed edge d
-  // (= 2e + side), the parts that may use it.
-  std::vector<std::vector<PartId>> parts_of_edge_;  // indexed by edge id
-  // Per node: sorted list of parts it participates in.
-  std::vector<std::vector<PartId>> parts_of_node_;
+  // Per-edge / per-node part lists in CSR form (sorted within each range).
+  // Flat arrays instead of vector-of-vectors: at n = 2^20 the m inner
+  // vectors alone cost tens of MB of headers and a heap allocation each —
+  // the DESIGN.md §9 memory model keeps the per-round data path flat.
+  std::vector<std::size_t> poe_offset_;  // size m+1; parts of edge e
+  std::vector<PartId> poe_flat_;
+  std::vector<std::size_t> pon_offset_;  // size n+1; parts of node v
+  std::vector<PartId> pon_flat_;
   std::size_t participations_ = 0;
+
+  // Dirty-word offsets for aggregate_min's packed per-slot bitmasks
+  // (DESIGN.md §9): directed slot d = 2e + side owns one dirty bit per part
+  // of edge e, stored word-aligned in ceil(k/64) uint64 words at
+  // word_off_[d]. Offsets are precomputed here (they depend only on the
+  // partition); the words themselves live in the per-call program so the
+  // aggregator stays read-only during rounds.
+  std::vector<std::uint32_t> word_off_;  // size 2m+1
+
+  [[nodiscard]] std::span<const PartId> parts_of_edge(EdgeId e) const {
+    return {poe_flat_.data() + poe_offset_[static_cast<std::size_t>(e)],
+            poe_flat_.data() + poe_offset_[static_cast<std::size_t>(e) + 1]};
+  }
+  [[nodiscard]] std::span<const PartId> parts_of_node(VertexId v) const {
+    return {pon_flat_.data() + pon_offset_[static_cast<std::size_t>(v)],
+            pon_flat_.data() + pon_offset_[static_cast<std::size_t>(v) + 1]};
+  }
 };
 
 }  // namespace mns::congest

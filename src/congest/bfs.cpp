@@ -36,7 +36,7 @@ struct BfsProgram {
     }
   }
 
-  void receive(VertexId v, std::span<const Delivery> inbox,
+  void receive(VertexId v, Inbox inbox,
                const ShardContext& ctx) {
     if (r.dist[v] != -1) return;
     const Delivery& d = inbox.front();

@@ -101,7 +101,7 @@ struct CappedGreedyProgram {
     if (has_pending(v)) tracker.keep_from_send(v, out.shard());
   }
 
-  void receive(VertexId v, std::span<const Delivery> inbox,
+  void receive(VertexId v, Inbox inbox,
                const ShardContext& ctx) {
     bool wake = false;
     for (const Delivery& d : inbox) {

@@ -24,11 +24,12 @@ void WorkerPool::claim_and_run() {
   // mutex_ is held on entry and exit; released around each task body.
   while (next_task_ < tasks_) {
     const int task = next_task_++;
-    const std::function<void(int)>* job = job_;
+    void* ctx = job_ctx_;
+    const TaskFn job = job_;
     mutex_.unlock();
     std::exception_ptr error;
     try {
-      (*job)(task);
+      job(ctx, task);
     } catch (...) {
       error = std::current_exception();
     }
@@ -51,10 +52,11 @@ void WorkerPool::worker_loop() {
   }
 }
 
-void WorkerPool::run(int tasks, const std::function<void(int)>& fn) {
+void WorkerPool::run(int tasks, void* ctx, TaskFn fn) {
   if (tasks <= 0) return;
   std::unique_lock<std::mutex> lock(mutex_);
-  job_ = &fn;
+  job_ctx_ = ctx;
+  job_ = fn;
   tasks_ = tasks;
   next_task_ = 0;
   finished_ = 0;
@@ -64,6 +66,7 @@ void WorkerPool::run(int tasks, const std::function<void(int)>& fn) {
   claim_and_run();  // the calling thread participates
   done_cv_.wait(lock, [&] { return finished_ == tasks_; });
   job_ = nullptr;
+  job_ctx_ = nullptr;
   if (first_error_) {
     std::exception_ptr error = first_error_;
     first_error_ = nullptr;

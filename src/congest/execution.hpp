@@ -12,9 +12,10 @@
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
-#include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace mns::congest {
@@ -54,11 +55,26 @@ class WorkerPool {
     return static_cast<int>(workers_.size()) + 1;
   }
 
-  /// Blocks until fn(t) ran for every t in [0, tasks). Tasks are claimed
-  /// dynamically; which THREAD runs a task is irrelevant to determinism
-  /// because all engine state is indexed by task (shard) id, never by
-  /// thread identity. Not reentrant.
-  void run(int tasks, const std::function<void(int)>& fn);
+  /// Non-owning type-erased task callback. run() borrows the callable by
+  /// pointer instead of wrapping it in std::function — per-phase dispatch
+  /// performs NO heap allocation, which the steady-state allocation contract
+  /// (DESIGN.md §9) depends on: the engine calls run() twice per round.
+  using TaskFn = void (*)(void* ctx, int task);
+
+  /// Blocks until fn(ctx, t) ran for every t in [0, tasks). Tasks are
+  /// claimed dynamically; which THREAD runs a task is irrelevant to
+  /// determinism because all engine state is indexed by task (shard) id,
+  /// never by thread identity. Not reentrant. The callable behind `ctx`
+  /// must stay alive until run() returns.
+  void run(int tasks, void* ctx, TaskFn fn);
+
+  /// Convenience adapter for lambdas: run(n, [&](int t) { ... }).
+  template <typename Fn>
+  void run(int tasks, Fn&& fn) {
+    using Decayed = std::remove_reference_t<Fn>;
+    run(tasks, const_cast<void*>(static_cast<const void*>(std::addressof(fn))),
+        [](void* ctx, int task) { (*static_cast<Decayed*>(ctx))(task); });
+  }
 
  private:
   void worker_loop();
@@ -68,7 +84,8 @@ class WorkerPool {
   std::mutex mutex_;
   std::condition_variable work_cv_;  ///< workers wait for a new generation
   std::condition_variable done_cv_;  ///< run() waits for completion
-  const std::function<void(int)>* job_ = nullptr;
+  void* job_ctx_ = nullptr;
+  TaskFn job_ = nullptr;
   int tasks_ = 0;
   int next_task_ = 0;
   int finished_ = 0;

@@ -38,7 +38,7 @@ struct ExchangeProgram {
   void send(VertexId v, VertexSender& out) {
     for (EdgeId e : g.incident_edges(v)) out.send(e, Message{0, 0, frag[v]});
   }
-  void receive(VertexId v, std::span<const Delivery> inbox,
+  void receive(VertexId v, Inbox inbox,
                const ShardContext&) {
     recv(v, inbox);
   }
@@ -83,7 +83,7 @@ struct GhsUpcastProgram {
     if (!pending.empty()) tracker.keep_from_send(v, out.shard());
   }
 
-  void receive(VertexId v, std::span<const Delivery> inbox,
+  void receive(VertexId v, Inbox inbox,
                const ShardContext& ctx) {
     bool woke = false;
     for (const Delivery& d : inbox) {
@@ -135,7 +135,7 @@ struct GhsDowncastProgram {
       tracker.keep_from_send(v, out.shard());
   }
 
-  void receive(VertexId v, std::span<const Delivery> inbox,
+  void receive(VertexId v, Inbox inbox,
                const ShardContext& ctx) {
     for (const Delivery& d : inbox)
       to_send[static_cast<std::size_t>(v)].push_back(
@@ -176,7 +176,13 @@ MstResult boruvka_mst(Simulator& sim, const std::vector<Weight>& w,
   std::iota(frag.begin(), frag.end(), 0);
   long long start = sim.rounds();
 
-  // Fragment ids every node knows for each neighbour (refreshed per phase).
+  // Neighbour fragment ids, flat per directed receive slot 2e + side (side
+  // keyed by the receiving endpoint; every exchange writes every slot) —
+  // one reusable array instead of n per-vertex maps (DESIGN.md §9).
+  std::vector<PartId> nbr_frag(2 * static_cast<std::size_t>(g.num_edges()));
+  auto recv_slot = [&g](VertexId v, EdgeId e) {
+    return 2 * static_cast<std::size_t>(e) + (g.edge(e).u == v ? 0u : 1u);
+  };
   while (true) {
     Partition parts(std::vector<PartId>(frag.begin(), frag.end()));
     if (parts.num_parts() == 1) break;
@@ -193,11 +199,10 @@ MstResult boruvka_mst(Simulator& sim, const std::vector<Weight>& w,
     const long long phase_charged_start = out.charged_construction_rounds;
 
     // 1 round: every node tells each neighbour its fragment id.
-    std::vector<std::map<EdgeId, PartId>> nbr_frag(n);
     (void)run_fragment_exchange(
-        sim, frag, [&](VertexId v, std::span<const Delivery> inbox) {
+        sim, frag, [&](VertexId v, Inbox inbox) {
           for (const Delivery& d : inbox)
-            nbr_frag[static_cast<std::size_t>(v)][d.edge] =
+            nbr_frag[recv_slot(v, d.edge)] =
                 static_cast<PartId>(d.msg.value);
         });
 
@@ -205,7 +210,7 @@ MstResult boruvka_mst(Simulator& sim, const std::vector<Weight>& w,
     std::vector<AggValue> initial(n, AggValue{kInf, 0});
     for (VertexId v = 0; v < n; ++v) {
       for (EdgeId e : g.incident_edges(v)) {
-        if (nbr_frag[v][e] == frag[v]) continue;
+        if (nbr_frag[recv_slot(v, e)] == frag[v]) continue;
         AggValue cand{w[e], e};
         if (cand < initial[v]) initial[v] = cand;
       }
@@ -302,7 +307,7 @@ MstResult controlled_ghs_mst(Simulator& sim, const RootedTree& bfs_tree,
     // One round of fragment exchange with neighbours; local candidates.
     std::vector<std::map<PartId, AggValue>> table(n);
     (void)run_fragment_exchange(
-        sim, frag, [&](VertexId v, std::span<const Delivery> inbox) {
+        sim, frag, [&](VertexId v, Inbox inbox) {
           AggValue best{kInf, 0};
           for (const Delivery& d : inbox)
             if (static_cast<PartId>(d.msg.value) != frag[v]) {

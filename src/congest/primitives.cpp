@@ -35,7 +35,7 @@ struct BroadcastProgram {
       sender.send(tree.parent_edge(c), Message{0, 0, out.received[v]});
   }
 
-  void receive(VertexId c, std::span<const Delivery> inbox,
+  void receive(VertexId c, Inbox inbox,
                const ShardContext& ctx) {
     if (has[c]) return;
     has[c] = 1;
@@ -81,7 +81,7 @@ struct ConvergecastProgram {
     sent[v] = 1;
   }
 
-  void receive(VertexId v, std::span<const Delivery> inbox,
+  void receive(VertexId v, Inbox inbox,
                const ShardContext& ctx) {
     for (const Delivery& d : inbox) {
       best[v] = std::min(best[v], d.msg.value);
@@ -126,7 +126,7 @@ struct LeaderProgram {
     for (EdgeId e : g.incident_edges(v)) sender.send(e, Message{0, 0, best[v]});
   }
 
-  void receive(VertexId v, std::span<const Delivery> inbox,
+  void receive(VertexId v, Inbox inbox,
                const ShardContext& ctx) {
     for (const Delivery& d : inbox)
       if (d.msg.value < best[v]) {

@@ -4,7 +4,15 @@
 
 namespace mns::congest {
 
-Simulator::Simulator(const Graph& g, ExecutionPolicy policy) : g_(&g) {
+Simulator::Simulator(const Graph& g, ExecutionPolicy policy)
+    : g_(&g),
+      pending_to_(ArenaAllocator<VertexId>(&arena_)),
+      pending_slot_(ArenaAllocator<std::uint32_t>(&arena_)),
+      pending_msg_(ArenaAllocator<Message>(&arena_)),
+      used_list_(ArenaAllocator<std::uint32_t>(&arena_)),
+      inbox_slot_(ArenaAllocator<std::uint32_t>(&arena_)),
+      inbox_msg_(ArenaAllocator<Message>(&arena_)),
+      frontier_(ArenaAllocator<VertexId>(&arena_)) {
   used_.assign(static_cast<std::size_t>(g.num_edges()) * 2, 0);
   inbox_begin_.assign(g.num_vertices(), 0);
   inbox_count_.assign(g.num_vertices(), 0);
@@ -13,12 +21,12 @@ Simulator::Simulator(const Graph& g, ExecutionPolicy policy) : g_(&g) {
 }
 
 void Simulator::set_execution_policy(ExecutionPolicy policy) {
-  if (!pending_.empty())
+  if (!pending_to_.empty())
     throw std::logic_error(
         "Simulator::set_execution_policy: sends pending; the policy may only "
         "change between rounds");
-  for (const SendShard& shard : shards_)
-    if (!shard.entries.empty())
+  for (int s = 0; s < num_shards_; ++s)
+    if (!shards_[static_cast<std::size_t>(s)].entries.empty())
       throw std::logic_error(
           "Simulator::set_execution_policy: staged sends pending; the policy "
           "may only change between rounds");
@@ -26,7 +34,9 @@ void Simulator::set_execution_policy(ExecutionPolicy policy) {
   const int resolved = policy_.resolved();
   if (resolved != num_shards_) {
     num_shards_ = resolved;
-    shards_.resize(static_cast<std::size_t>(num_shards_));
+    // SendShards own arenas (non-movable), so the block is rebuilt whole;
+    // the old shards were verified empty above.
+    shards_ = std::make_unique<SendShard[]>(static_cast<std::size_t>(resolved));
     pool_.reset();  // rebuilt lazily at the new width
   }
 }
@@ -36,36 +46,50 @@ WorkerPool& Simulator::pool() {
   return *pool_;
 }
 
+Arena::Stats Simulator::arena_stats() const {
+  Arena::Stats total = arena_.stats();
+  for (int s = 0; s < num_shards_; ++s) {
+    const Arena::Stats& st = shards_[static_cast<std::size_t>(s)].arena.stats();
+    total.block_requests += st.block_requests;
+    total.slabs += st.slabs;
+    total.bytes_reserved += st.bytes_reserved;
+  }
+  return total;
+}
+
 void Simulator::send(VertexId from, EdgeId edge, const Message& msg) {
   const Edge& e = g_->edge(edge);
   if (e.u != from && e.v != from)
     throw std::invalid_argument("Simulator::send: from not on edge");
-  const std::size_t dir =
+  const std::size_t slot =
       2 * static_cast<std::size_t>(edge) + (from == e.u ? 0 : 1);
-  if (used_[dir])
+  if (used_[slot])
     throw std::invalid_argument(
         "Simulator::send: directed edge already used this round (CONGEST "
         "capacity violated)");
-  used_[dir] = 1;
-  used_list_.push_back(static_cast<std::uint32_t>(dir));
+  used_[slot] = 1;
+  used_list_.push_back(static_cast<std::uint32_t>(slot));
   VertexId to = (from == e.u) ? e.v : e.u;
   pending_to_.push_back(to);
-  pending_.push_back(Delivery{from, edge, msg});
+  pending_slot_.push_back(static_cast<std::uint32_t>(slot));
+  pending_msg_.push_back(msg);
   ++messages_;
 }
 
 void Simulator::stage_send(int shard, VertexId from, EdgeId edge,
                            const Message& msg) {
-  if (shard < 0 || static_cast<std::size_t>(shard) >= shards_.size())
+  // Validation strictly precedes the buffer write: a throwing call leaves
+  // the shard's arena cursor untouched (DESIGN.md §9).
+  if (shard < 0 || shard >= num_shards_)
     throw std::out_of_range("Simulator::stage_send: shard out of range");
   const Edge& e = g_->edge(edge);
   if (e.u != from && e.v != from)
     throw std::invalid_argument("Simulator::stage_send: from not on edge");
-  const std::uint32_t dir = static_cast<std::uint32_t>(
+  const std::uint32_t slot = static_cast<std::uint32_t>(
       2 * static_cast<std::size_t>(edge) + (from == e.u ? 0 : 1));
   const VertexId to = (from == e.u) ? e.v : e.u;
   shards_[static_cast<std::size_t>(shard)].entries.push_back(
-      StagedSend{dir, to, Delivery{from, edge, msg}});
+      StagedSend{slot, to, msg});
 }
 
 void Simulator::finish_round() {
@@ -77,19 +101,20 @@ void Simulator::finish_round() {
   // after a caught violation. The check runs here, on one thread, in the
   // deterministic merge order.
   const std::size_t used_mark = used_list_.size();
-  for (SendShard& shard : shards_) {
-    for (const StagedSend& s : shard.entries) {
-      if (used_[s.dir]) {
+  for (int sh = 0; sh < num_shards_; ++sh) {
+    for (const StagedSend& s : shards_[static_cast<std::size_t>(sh)].entries) {
+      if (used_[s.slot]) {
         for (std::size_t i = used_mark; i < used_list_.size(); ++i)
           used_[used_list_[i]] = 0;
         used_list_.resize(used_mark);
-        for (SendShard& sh : shards_) sh.entries.clear();
+        for (int k = 0; k < num_shards_; ++k)
+          shards_[static_cast<std::size_t>(k)].entries.clear();
         throw std::invalid_argument(
             "Simulator::finish_round: directed edge already used this round "
             "(CONGEST capacity violated by a staged send)");
       }
-      used_[s.dir] = 1;
-      used_list_.push_back(s.dir);
+      used_[s.slot] = 1;
+      used_list_.push_back(s.slot);
     }
   }
   ++rounds_;
@@ -102,18 +127,20 @@ void Simulator::finish_round() {
   // canonical frontier into each shard, so this concatenation reproduces the
   // sequential send order EXACTLY — inboxes, counters and delivered_to() are
   // bit-identical at any thread count.
-  for (SendShard& shard : shards_) {
+  for (int sh = 0; sh < num_shards_; ++sh) {
+    SendShard& shard = shards_[static_cast<std::size_t>(sh)];
     for (const StagedSend& s : shard.entries) {
       pending_to_.push_back(s.to);
-      pending_.push_back(s.delivery);
+      pending_slot_.push_back(s.slot);
+      pending_msg_.push_back(s.msg);
       ++messages_;
     }
     shard.entries.clear();
   }
-  // Count messages per destination; destinations joining the frontier on
+  // Count messages per destination; destinations join the frontier on
   // their first message. Sort-free CSR: the per-destination counts become
   // contiguous ranges in frontier order.
-  const std::size_t m = pending_.size();
+  const std::size_t m = pending_to_.size();
   for (std::size_t i = 0; i < m; ++i) {
     VertexId to = pending_to_[i];
     if (inbox_count_[to]++ == 0) frontier_.push_back(to);
@@ -124,15 +151,20 @@ void Simulator::finish_round() {
     inbox_cursor_[v] = offset;
     offset += inbox_count_[v];
   }
-  // Scatter into the reused delivery buffer (capacity persists across
+  // Scatter into the reused packed buffers (capacity persists across
   // rounds; resize only adjusts the logical size).
-  inbox_data_.resize(m);
-  for (std::size_t i = 0; i < m; ++i)
-    inbox_data_[inbox_cursor_[pending_to_[i]]++] = pending_[i];
-  pending_.clear();
+  inbox_slot_.resize(m);
+  inbox_msg_.resize(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::uint32_t c = inbox_cursor_[pending_to_[i]]++;
+    inbox_slot_[c] = pending_slot_[i];
+    inbox_msg_[c] = pending_msg_[i];
+  }
   pending_to_.clear();
+  pending_slot_.clear();
+  pending_msg_.clear();
   // Reset CONGEST capacity for the next round: only used entries touched.
-  for (std::uint32_t dir : used_list_) used_[dir] = 0;
+  for (std::uint32_t slot : used_list_) used_[slot] = 0;
   used_list_.clear();
 }
 

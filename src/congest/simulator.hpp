@@ -7,12 +7,20 @@
 // theorem in the paper bounds.
 //
 // The round-turnover path is allocation-free in steady state: all buffers
-// are reused across rounds, inboxes are built CSR-style by per-destination
-// counting (no sorting), and finish_round() touches only the nodes that
-// actually received or sent messages (the active frontier) — O(messages per
-// round), NOT O(n). Algorithms with long sparse tails (BFS, convergecast,
-// pipelined upcasts) simulate millions of rounds without paying for idle
-// nodes.
+// live in a bump arena (arena.hpp; lifetime and budget rules in DESIGN.md §9
+// "Memory model") and are reused across rounds, inboxes are built CSR-style
+// by per-destination counting (no sorting), and finish_round() touches only
+// the nodes that actually received or sent messages (the active frontier) —
+// O(messages per round), NOT O(n). Algorithms with long sparse tails (BFS,
+// convergecast, pipelined upcasts) simulate millions of rounds without
+// paying for idle nodes.
+//
+// Wire format (DESIGN.md §9): a message in flight is 20 bytes — the directed
+// edge slot `2e + side` packed into one uint32 (side 0 = sent by edge(e).u)
+// plus the 16-byte payload — stored in structure-of-arrays form. The sender
+// is NOT stored: it is re-derived from the slot via the graph by the Inbox
+// decoding view, so receive paths still see full Delivery records while
+// finish_round()'s merge streams through cache-line-dense buffers.
 //
 // Thread-parallel execution (DESIGN.md §7 "Parallel execution model"): an
 // ExecutionPolicy{threads} shards the per-round send work across a worker
@@ -25,11 +33,13 @@
 #pragma once
 
 #include <cstdint>
+#include <iterator>
 #include <memory>
 #include <span>
 #include <stdexcept>
 #include <vector>
 
+#include "congest/arena.hpp"
 #include "congest/execution.hpp"
 #include "graph/graph.hpp"
 
@@ -42,15 +52,93 @@ struct Message {
   std::int64_t value = 0;  ///< algorithm-defined (e.g. weight / label)
 };
 
+/// A delivered message as receive paths see it. This is the DECODED form:
+/// on the wire only the directed slot and the payload exist (20 bytes);
+/// `from` is recomputed from slot + graph by the Inbox view.
 struct Delivery {
   VertexId from = kInvalidVertex;
   EdgeId edge = kInvalidEdge;
   Message msg;
 };
 
+/// A vertex's inbox for the round that just finished: a thin decoding view
+/// over the packed slot/payload arrays. Iteration and indexing yield
+/// Delivery BY VALUE (decoded on the fly); `for (const Delivery& d : inbox)`
+/// works unchanged. The raw packed arrays are exposed via slots()/payloads()
+/// for reference decoders and parity tests.
+class Inbox {
+ public:
+  Inbox() = default;
+  Inbox(const Graph* g, const std::uint32_t* slots, const Message* msgs,
+        std::size_t count) noexcept
+      : g_(g), slots_(slots), msgs_(msgs), count_(count) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+
+  /// Decodes delivery i: edge = slot >> 1, from = the endpoint picked by the
+  /// slot's side bit (0 = edge(e).u sent it).
+  [[nodiscard]] Delivery operator[](std::size_t i) const {
+    const std::uint32_t slot = slots_[i];
+    const EdgeId e = static_cast<EdgeId>(slot >> 1);
+    const Edge& ed = g_->edge(e);
+    return Delivery{(slot & 1u) != 0 ? ed.v : ed.u, e, msgs_[i]};
+  }
+  [[nodiscard]] Delivery front() const { return (*this)[0]; }
+
+  class iterator {
+   public:
+    using iterator_category = std::input_iterator_tag;
+    using value_type = Delivery;
+    using difference_type = std::ptrdiff_t;
+    using reference = Delivery;
+    using pointer = void;
+
+    iterator() = default;
+    iterator(const Inbox* box, std::size_t i) noexcept : box_(box), i_(i) {}
+    [[nodiscard]] Delivery operator*() const { return (*box_)[i_]; }
+    iterator& operator++() noexcept {
+      ++i_;
+      return *this;
+    }
+    iterator operator++(int) noexcept {
+      iterator tmp = *this;
+      ++i_;
+      return tmp;
+    }
+    friend bool operator==(const iterator&, const iterator&) = default;
+
+   private:
+    const Inbox* box_ = nullptr;
+    std::size_t i_ = 0;
+  };
+
+  [[nodiscard]] iterator begin() const noexcept { return {this, 0}; }
+  [[nodiscard]] iterator end() const noexcept { return {this, count_}; }
+
+  /// Raw packed directed slots (2e + side), parallel to payloads().
+  [[nodiscard]] std::span<const std::uint32_t> slots() const noexcept {
+    return {slots_, count_};
+  }
+  /// Raw payloads, parallel to slots().
+  [[nodiscard]] std::span<const Message> payloads() const noexcept {
+    return {msgs_, count_};
+  }
+
+ private:
+  const Graph* g_ = nullptr;
+  const std::uint32_t* slots_ = nullptr;
+  const Message* msgs_ = nullptr;
+  std::size_t count_ = 0;
+};
+
 class Simulator {
  public:
   explicit Simulator(const Graph& g, ExecutionPolicy policy = {});
+  // The arena-backed buffers hold pointers into arena_; the simulator is
+  // pinned in place (nothing in the codebase moves one).
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
 
   [[nodiscard]] const Graph& graph() const noexcept { return *g_; }
 
@@ -81,7 +169,8 @@ class Simulator {
   /// engine guarantees a vertex's sends all land in one shard, which by the
   /// capacity rule (slot 2e+side belongs to one endpoint) keeps shards
   /// disjoint. Capacity violations still throw, deterministically, from
-  /// finish_round().
+  /// finish_round(). Validation precedes any buffer write, so a throwing
+  /// call never advances an arena cursor (pinned by the contract tests).
   void stage_send(int shard, VertexId from, EdgeId edge, const Message& msg);
 
   /// Ends the round: delivers queued messages into inboxes. Cost is linear in
@@ -89,17 +178,19 @@ class Simulator {
   /// in the number of nodes.
   void finish_round();
 
-  /// Messages delivered to v in the round that just finished. The span stays
-  /// valid until the next finish_round(). Out-of-range vertices throw
-  /// (always on, consistent with send()'s endpoint validation — inbox_count_
-  /// would otherwise be read out of bounds and an NDEBUG assert could not be
-  /// exercised by the contract tests).
-  [[nodiscard]] std::span<const Delivery> inbox(VertexId v) const {
+  /// Messages delivered to v in the round that just finished, as a decoding
+  /// view over the packed buffers. The view stays valid until the next
+  /// finish_round(). Out-of-range vertices throw (always on, consistent with
+  /// send()'s endpoint validation — inbox_count_ would otherwise be read out
+  /// of bounds and an NDEBUG assert could not be exercised by the contract
+  /// tests).
+  [[nodiscard]] Inbox inbox(VertexId v) const {
     if (v < 0 || static_cast<std::size_t>(v) >= inbox_count_.size())
       throw std::out_of_range("Simulator::inbox: vertex out of range");
     const std::uint32_t count = inbox_count_[v];
     if (count == 0) return {};  // begin may be stale for idle nodes
-    return {inbox_data_.data() + inbox_begin_[v], count};
+    return Inbox(g_, inbox_slot_.data() + inbox_begin_[v],
+                 inbox_msg_.data() + inbox_begin_[v], count);
   }
 
   /// Nodes with a nonempty inbox from the round that just finished, in
@@ -107,74 +198,68 @@ class Simulator {
   /// vertices are O(messages delivered), not O(n). Valid until the next
   /// finish_round().
   [[nodiscard]] std::span<const VertexId> delivered_to() const noexcept {
-    return frontier_;
+    return {frontier_.data(), frontier_.size()};
   }
 
   /// Advances the round counter by `rounds` without communication (used to
-  /// account for idle/waiting rounds in lock-step algorithms).
+  /// account for idle/waiting rounds in lock-step algorithms). Throws on
+  /// negative counts without touching any state (or arena cursor).
   void skip_rounds(long long rounds);
 
   [[nodiscard]] long long rounds() const noexcept { return rounds_; }
   [[nodiscard]] long long messages_sent() const noexcept { return messages_; }
 
+  /// Combined allocation counters of the merge arena and every staging
+  /// shard's private arena — the zero-steady-state-allocation test hook
+  /// (DESIGN.md §9): block_requests must be flat across warmed-up rounds.
+  [[nodiscard]] Arena::Stats arena_stats() const;
+
  private:
   /// One staged send: precomputed directed slot + destination so the merge
-  /// is a straight append with a capacity check.
+  /// is a straight append with a capacity check. 24 bytes (was 40 with the
+  /// unpacked Delivery inside).
   struct StagedSend {
-    std::uint32_t dir;
+    std::uint32_t slot;
     VertexId to;
-    Delivery delivery;
+    Message msg;
   };
-  /// Per-shard private staging buffer. alignas keeps two shards' hot vector
-  /// headers off one cache line (a wall-clock concern only).
+  /// Per-shard private staging buffer with its own arena (worker threads
+  /// touch disjoint shards; see arena.hpp's threading contract). alignas
+  /// keeps two shards' hot state off one cache line (wall-clock only).
   struct alignas(64) SendShard {
-    std::vector<StagedSend> entries;
+    Arena arena;
+    ArenaVector<StagedSend> entries{ArenaAllocator<StagedSend>(&arena)};
   };
 
   const Graph* g_;
   ExecutionPolicy policy_;
   int num_shards_ = 0;  ///< 0 until the constructor applies the policy
-  std::vector<SendShard> shards_;
+  std::unique_ptr<SendShard[]> shards_;
   std::unique_ptr<WorkerPool> pool_;
-  // Pending sends for the current round, in send order.
-  std::vector<VertexId> pending_to_;
-  std::vector<Delivery> pending_;
+  /// Merge arena: backs every per-round buffer below. Touched only by the
+  /// thread driving send()/finish_round(), never by staging workers.
+  Arena arena_;
+  // Pending sends for the current round, in send order (SoA: destination,
+  // packed directed slot, payload).
+  ArenaVector<VertexId> pending_to_;
+  ArenaVector<std::uint32_t> pending_slot_;
+  ArenaVector<Message> pending_msg_;
   // Directed edge used this round (2e + side), with touched-list reset.
   std::vector<char> used_;
-  std::vector<std::uint32_t> used_list_;
-  // Delivered inboxes: per-vertex [begin, begin+count) into inbox_data_.
-  // Only entries of vertices in frontier_ are meaningful; everyone else has
-  // count 0 (maintained incrementally, never rescanned).
+  ArenaVector<std::uint32_t> used_list_;
+  // Delivered inboxes: per-vertex [begin, begin+count) into the packed
+  // slot/payload arrays. Only entries of vertices in frontier_ are
+  // meaningful; everyone else has count 0 (maintained incrementally, never
+  // rescanned).
   std::vector<std::uint32_t> inbox_begin_;
   std::vector<std::uint32_t> inbox_count_;
   std::vector<std::uint32_t> inbox_cursor_;
-  std::vector<Delivery> inbox_data_;
+  ArenaVector<std::uint32_t> inbox_slot_;
+  ArenaVector<Message> inbox_msg_;
   // Nodes with a nonempty inbox from the round that just finished.
-  std::vector<VertexId> frontier_;
+  ArenaVector<VertexId> frontier_;
   long long rounds_ = 0;
   long long messages_ = 0;
 };
-
-/// The round-loop helper — DEPRECATED in favor of the VertexProgram engine
-/// (vertex_program.hpp), which expresses the same lock-step skeleton as
-/// per-vertex hooks the engine can fan out across threads. Kept as the
-/// sequential adapter for one release: existing free-form lambdas keep
-/// working, they just never parallelize. The lock-step skeleton:
-///
-///   while (send())  { finish_round(); receive(); }
-///
-/// `send` queues this round's messages and reports whether the algorithm is
-/// still running (false = quiescent; checked BEFORE the round is counted, so
-/// a message-free final check costs no rounds). `receive` drains inboxes and
-/// updates algorithm state. Returns the number of rounds consumed.
-template <typename SendFn, typename ReceiveFn>
-long long run_round_loop(Simulator& sim, SendFn&& send, ReceiveFn&& receive) {
-  long long start = sim.rounds();
-  while (send()) {
-    sim.finish_round();
-    receive();
-  }
-  return sim.rounds() - start;
-}
 
 }  // namespace mns::congest

@@ -69,7 +69,7 @@ struct BellmanFordProgram {
       out.send(e, Message{0, 0, dist[static_cast<std::size_t>(v)]});
   }
 
-  void receive(VertexId v, std::span<const Delivery> inbox,
+  void receive(VertexId v, Inbox inbox,
                const ShardContext& ctx) {
     for (const Delivery& d : inbox) {
       const Weight cand = d.msg.value + w[static_cast<std::size_t>(d.edge)];

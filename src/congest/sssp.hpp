@@ -3,8 +3,8 @@
 // framework of Haeupler-Li-Zuzic [PODC 2018] (see also Ghaffari-Haeupler on
 // shortcuts for dense-minor-free graphs).
 //
-// exact_sssp(): the lock-step distributed Bellman-Ford baseline on
-// run_round_loop. A node re-broadcasts its distance estimate whenever it
+// exact_sssp(): the lock-step distributed Bellman-Ford baseline on the
+// VertexProgram engine. A node re-broadcasts its distance estimate whenever it
 // improves; at quiescence every edge has been relaxed with final values, so
 // the result is exact. Rounds equal the largest hop count over shortest
 // paths — which adversarial weightings (a light serpentine route through a

@@ -1,6 +1,5 @@
-// The vertex-parallel round engine (DESIGN.md §7): the structured successor
-// of run_round_loop. A VertexProgram expresses one lock-step algorithm as
-// per-vertex hooks —
+// The vertex-parallel round engine (DESIGN.md §7). A VertexProgram
+// expresses one lock-step algorithm as per-vertex hooks —
 //
 //   frontier()              the vertices that act this round (canonical order)
 //   send(v, out)            queue v's messages for this round
@@ -21,13 +20,14 @@
 // merged in end_round() (shard order == frontier order, deterministic), and
 // (c) never branching on shard identity or thread timing.
 //
-// Round accounting matches run_round_loop exactly: an empty frontier is
-// checked BEFORE the round is counted, so quiescence costs no rounds.
+// Round accounting: an empty frontier is checked BEFORE the round is
+// counted, so quiescence costs no rounds.
 #pragma once
 
 #include <span>
 #include <vector>
 
+#include "congest/arena.hpp"
 #include "congest/simulator.hpp"
 
 namespace mns::congest {
@@ -144,11 +144,11 @@ class FrontierTracker {
   /// wake_at_barrier), then clear_flags(); everyone else calls end_round().
   void merge_phases() {
     frontier_list_.clear();
-    send_keep_.for_each([&](std::vector<VertexId>& part) {
+    send_keep_.for_each([&](ArenaVector<VertexId>& part) {
       frontier_list_.insert(frontier_list_.end(), part.begin(), part.end());
       part.clear();
     });
-    recv_wake_.for_each([&](std::vector<VertexId>& part) {
+    recv_wake_.for_each([&](ArenaVector<VertexId>& part) {
       frontier_list_.insert(frontier_list_.end(), part.begin(), part.end());
       part.clear();
     });
@@ -163,7 +163,8 @@ class FrontierTracker {
   }
 
  private:
-  void enqueue(VertexId v, std::vector<VertexId>& out) {
+  template <typename List>
+  void enqueue(VertexId v, List& out) {
     if (!queued_[static_cast<std::size_t>(v)]) {
       queued_[static_cast<std::size_t>(v)] = 1;
       out.push_back(v);
@@ -172,8 +173,11 @@ class FrontierTracker {
 
   std::vector<char> queued_;
   std::vector<VertexId> frontier_list_;
-  PerShard<std::vector<VertexId>> send_keep_;
-  PerShard<std::vector<VertexId>> recv_wake_;
+  // Per-shard wake lists on private arenas (arena.hpp): each worker appends
+  // to its own slot, and once warm the lists stop allocating — part of the
+  // zero-steady-state-allocation contract (DESIGN.md §9).
+  PerShardArenaVec<VertexId> send_keep_;
+  PerShardArenaVec<VertexId> recv_wake_;
 };
 
 namespace detail {

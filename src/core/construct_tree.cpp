@@ -1,23 +1,80 @@
 #include "core/construct_tree.hpp"
 
 #include <algorithm>
-#include <set>
-#include <unordered_set>
+#include <cstdint>
 
 namespace mns {
 
 namespace {
 
-/// Per-set ownership bookkeeping with O(1) amortized queries: (set, vertex)
-/// pairs packed into per-set hash sets.
-struct Owned {
-  std::vector<std::unordered_set<VertexId>> by_set;
-  explicit Owned(std::size_t sets) : by_set(sets) {}
-  bool insert(std::size_t s, VertexId v) { return by_set[s].insert(v).second; }
-  [[nodiscard]] bool contains(std::size_t s, VertexId v) const {
-    return by_set[s].count(v) > 0;
+/// Per-set ownership bookkeeping: (set, vertex) pairs packed into one
+/// insert-only open-addressing table (key = set << 32 | vertex). The greedy
+/// constructors probe this once per climb step at n-scale set counts, so the
+/// node-based per-set hash sets this replaces dominated construction time
+/// (DESIGN.md §9); membership semantics are identical.
+class Owned {
+ public:
+  explicit Owned(std::size_t expected_pairs) {
+    std::size_t cap = 64;
+    while (cap < expected_pairs * 2) cap *= 2;
+    slot_.assign(cap, 0);
+    mask_ = cap - 1;
   }
+
+  /// True iff (s, v) was not yet present (and is now).
+  bool insert(std::size_t s, VertexId v) {
+    const std::uint64_t key = pack(s, v);
+    std::size_t i = probe(key);
+    if (slot_[i] == key) return false;
+    slot_[i] = key;
+    if (++size_ * 2 > slot_.size()) grow();
+    return true;
+  }
+
+  [[nodiscard]] bool contains(std::size_t s, VertexId v) const {
+    return slot_[probe(pack(s, v))] == pack(s, v);
+  }
+
+ private:
+  // Keys are stored biased by +1 so 0 can mark an empty slot.
+  static std::uint64_t pack(std::size_t s, VertexId v) {
+    return (static_cast<std::uint64_t>(s) << 32 |
+            static_cast<std::uint32_t>(v)) +
+           1;
+  }
+  static std::size_t mix(std::uint64_t x) {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return static_cast<std::size_t>(x);
+  }
+  /// Index of `key` if present, else of the empty slot where it belongs.
+  [[nodiscard]] std::size_t probe(std::uint64_t key) const {
+    std::size_t i = mix(key) & mask_;
+    while (slot_[i] != 0 && slot_[i] != key) i = (i + 1) & mask_;
+    return i;
+  }
+  void grow() {
+    std::vector<std::uint64_t> old = std::move(slot_);
+    slot_.assign(old.size() * 2, 0);
+    mask_ = slot_.size() - 1;
+    for (std::uint64_t key : old)
+      if (key != 0) slot_[probe(key)] = key;
+  }
+
+  std::vector<std::uint64_t> slot_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
 };
+
+/// Sum of terminal counts — the Owned sizing hint every constructor starts
+/// from (climbs add more; the table grows geometrically).
+std::size_t total_terminals(
+    const std::vector<std::vector<VertexId>>& terminal_sets) {
+  std::size_t total = 0;
+  for (const auto& ts : terminal_sets) total += ts.size();
+  return total;
+}
 
 }  // namespace
 
@@ -25,7 +82,7 @@ std::vector<TreeEdgeSet> ancestor_climb(
     const RootedTree& tree,
     const std::vector<std::vector<VertexId>>& terminal_sets, int levels) {
   std::vector<TreeEdgeSet> out(terminal_sets.size());
-  Owned owned(terminal_sets.size());
+  Owned owned(total_terminals(terminal_sets));
   for (std::size_t s = 0; s < terminal_sets.size(); ++s) {
     for (VertexId t : terminal_sets[s]) {
       VertexId v = t;
@@ -45,7 +102,7 @@ std::vector<TreeEdgeSet> steiner_subtrees(
     const RootedTree& tree,
     const std::vector<std::vector<VertexId>>& terminal_sets) {
   std::vector<TreeEdgeSet> out(terminal_sets.size());
-  Owned owned(terminal_sets.size());
+  Owned owned(total_terminals(terminal_sets));
   for (std::size_t s = 0; s < terminal_sets.size(); ++s) {
     const auto& ts = terminal_sets[s];
     if (ts.size() <= 1) continue;
@@ -73,7 +130,7 @@ std::vector<TreeEdgeSet> capped_greedy(
   const std::size_t S = terminal_sets.size();
   const int height = tree.height();
   std::vector<TreeEdgeSet> out(S);
-  Owned owned(S);
+  Owned owned(total_terminals(terminal_sets));
   // heads_left[s]: current number of components (terminals merge as heads
   // meet owned territory). Stop climbing at 1.
   std::vector<int> heads_left(S, 0);
@@ -112,34 +169,38 @@ TunedGreedyResult tuned_greedy(
   const int d = std::max(1, tree_diameter(tree));
   TunedGreedyResult best;
   long long best_quality = -1;
+  // Scratch reused across the cap ladder: per-edge load and a stamp array
+  // marking which vertices the current set has touched (distinct-count
+  // without materializing per-set vertex sets).
+  std::vector<int> load(tree.num_vertices());
+  std::vector<std::int64_t> stamp(tree.num_vertices(), -1);
+  std::int64_t mark = 0;
   for (int cap = 1;; cap *= 2) {
     std::vector<TreeEdgeSet> sets = capped_greedy(tree, terminal_sets, cap);
     // Quality from these sets directly: block = components after climb,
     // congestion <= cap (use measured max).
-    std::vector<int> load(tree.num_vertices(), 0);
+    std::fill(load.begin(), load.end(), 0);
     int congestion = 0;
     for (const auto& es : sets)
       for (VertexId v : es) congestion = std::max(congestion, ++load[v]);
-    // Blocks: recount per set via a small DSU-free pass — climbing leaves
-    // each set's acquired edges forming components; count roots = terminals
-    // minus merges is already tracked implicitly, so recompute exactly.
+    // Blocks: climbing leaves each set's acquired edges forming components;
+    // components = |distinct vertices touched| - |edges|.
     int block = 1;
-    {
-      // Component count per set: heads that never merged. Recompute by
-      // building adjacency on the fly is costly; reuse capped_greedy's
-      // accounting by running it again is wasteful — instead compute from
-      // the edge sets: components = |vertices touched| - |edges|.
-      std::vector<std::set<VertexId>> verts(sets.size());
-      for (std::size_t s = 0; s < sets.size(); ++s) {
-        for (VertexId v : sets[s]) {
-          verts[s].insert(v);
-          verts[s].insert(tree.parent(v));
+    for (std::size_t s = 0; s < sets.size(); ++s) {
+      ++mark;
+      int distinct = 0;
+      auto touch = [&](VertexId v) {
+        if (stamp[v] != mark) {
+          stamp[v] = mark;
+          ++distinct;
         }
-        for (VertexId t : terminal_sets[s]) verts[s].insert(t);
-        int comps = static_cast<int>(verts[s].size()) -
-                    static_cast<int>(sets[s].size());
-        block = std::max(block, comps);
+      };
+      for (VertexId v : sets[s]) {
+        touch(v);
+        touch(tree.parent(v));
       }
+      for (VertexId t : terminal_sets[s]) touch(t);
+      block = std::max(block, distinct - static_cast<int>(sets[s].size()));
     }
     long long q = static_cast<long long>(block) * d + congestion;
     if (best_quality < 0 || q < best_quality) {

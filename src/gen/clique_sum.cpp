@@ -88,23 +88,53 @@ CliqueSumResult compose_clique_sum(const std::vector<BagInput>& bags, int k,
         }
   }
 
-  // Union all bag edges in global coordinates.
-  auto build_graph = [&](const std::set<std::pair<VertexId, VertexId>>& drop) {
-    GraphBuilder builder(next_global);
+  // Decide the deletion rollback BEFORE materializing anything: a union-find
+  // over the streamed global edge list answers "still connected?" without
+  // building a graph. The old path built the composed graph, checked
+  // is_connected, and on failure built it a second time — two full
+  // materializations at peak. Streaming the decision keeps exactly one.
+  std::size_t total_bag_edges = 0;
+  for (const BagInput& bi : bags)
+    total_bag_edges += static_cast<std::size_t>(bi.graph.num_edges());
+  if (!dropped.empty()) {
+    std::vector<VertexId> uf(static_cast<std::size_t>(next_global));
+    for (VertexId v = 0; v < next_global; ++v)
+      uf[static_cast<std::size_t>(v)] = v;
+    auto find = [&](VertexId x) {
+      while (uf[static_cast<std::size_t>(x)] != x) {
+        uf[static_cast<std::size_t>(x)] =
+            uf[static_cast<std::size_t>(uf[static_cast<std::size_t>(x)])];
+        x = uf[static_cast<std::size_t>(x)];
+      }
+      return x;
+    };
     for (std::size_t i = 0; i < B; ++i)
       for (EdgeId e = 0; e < bags[i].graph.num_edges(); ++e) {
         VertexId u = local_to_global[i][bags[i].graph.edge(e).u];
         VertexId v = local_to_global[i][bags[i].graph.edge(e).v];
         if (u > v) std::swap(u, v);
-        if (!drop.count({u, v})) builder.add_edge(u, v);
+        if (dropped.count({u, v})) continue;
+        VertexId ru = find(u), rv = find(v);
+        if (ru != rv) uf[static_cast<std::size_t>(ru)] = rv;
       }
-    return builder.build();
-  };
-  Graph graph = build_graph(dropped);
-  if (!is_connected(graph)) {
-    dropped.clear();  // roll back deletions (rare)
-    graph = build_graph(dropped);
+    const VertexId root = find(0);
+    for (VertexId v = 1; v < next_global; ++v)
+      if (find(v) != root) {
+        dropped.clear();  // roll back deletions (rare)
+        break;
+      }
   }
+  // Union all bag edges in global coordinates — a single streamed build.
+  GraphBuilder builder(next_global);
+  builder.reserve_edges(total_bag_edges);
+  for (std::size_t i = 0; i < B; ++i)
+    for (EdgeId e = 0; e < bags[i].graph.num_edges(); ++e) {
+      VertexId u = local_to_global[i][bags[i].graph.edge(e).u];
+      VertexId v = local_to_global[i][bags[i].graph.edge(e).v];
+      if (u > v) std::swap(u, v);
+      if (!dropped.count({u, v})) builder.add_edge(u, v);
+    }
+  Graph graph = builder.build();
 
   // Assemble the decomposition record.
   std::vector<std::vector<VertexId>> bag_vertices(B);

@@ -13,14 +13,20 @@ LkSample random_lk_graph(int num_bags,
 
   std::vector<AlmostEmbeddable> metas;
   std::vector<BagInput> inputs;
-  metas.reserve(num_bags);
+  metas.reserve(static_cast<std::size_t>(num_bags));
+  inputs.reserve(static_cast<std::size_t>(num_bags));
   for (int i = 0; i < num_bags; ++i) {
     metas.push_back(random_almost_embeddable(bag_params, rng));
     const AlmostEmbeddable& ae = metas.back();
     // Glue only on base vertices/edges: apices and vortex internals stay
-    // private to their bag.
+    // private to their bag. Exact-capacity reserve: one singleton per base
+    // vertex plus (for glue_size 2) at most one pair per base edge.
     std::vector<std::vector<VertexId>> cliques;
     const Graph& base_graph = ae.base.graph();
+    cliques.reserve(static_cast<std::size_t>(base_graph.num_vertices()) +
+                    (glue_size >= 2
+                         ? static_cast<std::size_t>(base_graph.num_edges())
+                         : 0));
     for (VertexId v = 0; v < base_graph.num_vertices(); ++v)
       cliques.push_back({v});
     if (glue_size >= 2)
@@ -44,12 +50,16 @@ LkSample random_lk_graph(int num_bags,
       out.global_apices[i].push_back(map[a]);
     for (const VortexSpec& vs : out.bag_meta[i].vortices) {
       VortexSpec g;
+      g.internal_nodes.reserve(vs.internal_nodes.size());
       for (VertexId v : vs.internal_nodes) g.internal_nodes.push_back(map[v]);
+      g.arcs.reserve(vs.arcs.size());
       for (const auto& arc : vs.arcs) {
         std::vector<VertexId> garc;
+        garc.reserve(arc.size());
         for (VertexId v : arc) garc.push_back(map[v]);
         g.arcs.push_back(std::move(garc));
       }
+      g.boundary_cycle.reserve(vs.boundary_cycle.size());
       for (VertexId v : vs.boundary_cycle) g.boundary_cycle.push_back(map[v]);
       out.global_vortices[i].push_back(std::move(g));
     }

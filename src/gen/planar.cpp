@@ -25,28 +25,52 @@ EmbeddedGraph from_neighbor_rotation(
 
 }  // namespace
 
-EmbeddedGraph grid(int rows, int cols) {
+Graph grid_graph(int rows, int cols) {
   if (rows < 1 || cols < 1) throw std::invalid_argument("grid: bad dims");
   const VertexId n = static_cast<VertexId>(rows) * cols;
   auto id = [&](int r, int c) { return static_cast<VertexId>(r * cols + c); };
   GraphBuilder b(n);
+  b.reserve_edges(static_cast<std::size_t>(rows) * (cols - 1) +
+                  static_cast<std::size_t>(rows - 1) * cols);
   for (int r = 0; r < rows; ++r)
     for (int c = 0; c < cols; ++c) {
       if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));
       if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c));
     }
-  Graph g = b.build();
-  // CCW neighbor order (x = c, y = -r): E, N, W, S.
-  std::vector<std::vector<VertexId>> rot(n);
+  return b.build();
+}
+
+EmbeddedGraph grid(int rows, int cols) {
+  Graph g = grid_graph(rows, cols);
+  const VertexId n = g.num_vertices();
+  auto id = [&](int r, int c) { return static_cast<VertexId>(r * cols + c); };
+  // Edge ids without lookups: edges are frozen in (u, v)-sorted order, and
+  // vertex u emits E = {u, u+1} before S = {u, u+cols}, so a prefix count of
+  // emitted edges gives every id in closed form (streamed — no neighbor-id
+  // intermediate and no find_edge pass).
+  std::vector<EdgeId> base(static_cast<std::size_t>(n));
+  EdgeId next = 0;
   for (int r = 0; r < rows; ++r)
     for (int c = 0; c < cols; ++c) {
-      auto& o = rot[id(r, c)];
-      if (c + 1 < cols) o.push_back(id(r, c + 1));  // E
-      if (r - 1 >= 0) o.push_back(id(r - 1, c));    // N
-      if (c - 1 >= 0) o.push_back(id(r, c - 1));    // W
-      if (r + 1 < rows) o.push_back(id(r + 1, c));  // S
+      base[static_cast<std::size_t>(id(r, c))] = next;
+      next += (c + 1 < cols ? 1 : 0) + (r + 1 < rows ? 1 : 0);
     }
-  return from_neighbor_rotation(std::move(g), rot);
+  auto east = [&](int r, int c) { return base[static_cast<std::size_t>(id(r, c))]; };
+  auto south = [&](int r, int c) {
+    return base[static_cast<std::size_t>(id(r, c))] + (c + 1 < cols ? 1 : 0);
+  };
+  // CCW edge order (x = c, y = -r): E, N, W, S.
+  std::vector<std::vector<EdgeId>> rot(static_cast<std::size_t>(n));
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) {
+      auto& o = rot[static_cast<std::size_t>(id(r, c))];
+      o.reserve(static_cast<std::size_t>(g.degree(id(r, c))));
+      if (c + 1 < cols) o.push_back(east(r, c));      // E
+      if (r - 1 >= 0) o.push_back(south(r - 1, c));   // N
+      if (c - 1 >= 0) o.push_back(east(r, c - 1));    // W
+      if (r + 1 < rows) o.push_back(south(r, c));     // S
+    }
+  return EmbeddedGraph(std::move(g), std::move(rot));
 }
 
 EmbeddedGraph triangulated_grid(int rows, int cols) {
@@ -55,6 +79,9 @@ EmbeddedGraph triangulated_grid(int rows, int cols) {
   const VertexId n = static_cast<VertexId>(rows) * cols;
   auto id = [&](int r, int c) { return static_cast<VertexId>(r * cols + c); };
   GraphBuilder b(n);
+  b.reserve_edges(static_cast<std::size_t>(rows) * (cols - 1) +
+                  static_cast<std::size_t>(rows - 1) * cols +
+                  static_cast<std::size_t>(rows - 1) * (cols - 1));
   for (int r = 0; r < rows; ++r)
     for (int c = 0; c < cols; ++c) {
       if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));
@@ -62,19 +89,38 @@ EmbeddedGraph triangulated_grid(int rows, int cols) {
       if (r + 1 < rows && c + 1 < cols) b.add_edge(id(r, c), id(r + 1, c + 1));
     }
   Graph g = b.build();
-  // CCW: E(0°), N(90°), NW(135°), W(180°), S(270°), SE(315°).
-  std::vector<std::vector<VertexId>> rot(n);
+  // Closed-form edge ids, as in grid(): vertex u emits E = {u, u+1}, then
+  // S = {u, u+cols}, then SE = {u, u+cols+1}, already (u, v)-sorted.
+  std::vector<EdgeId> base(static_cast<std::size_t>(n));
+  EdgeId next = 0;
   for (int r = 0; r < rows; ++r)
     for (int c = 0; c < cols; ++c) {
-      auto& o = rot[id(r, c)];
-      if (c + 1 < cols) o.push_back(id(r, c + 1));                    // E
-      if (r - 1 >= 0) o.push_back(id(r - 1, c));                      // N
-      if (r - 1 >= 0 && c - 1 >= 0) o.push_back(id(r - 1, c - 1));    // NW
-      if (c - 1 >= 0) o.push_back(id(r, c - 1));                      // W
-      if (r + 1 < rows) o.push_back(id(r + 1, c));                    // S
-      if (r + 1 < rows && c + 1 < cols) o.push_back(id(r + 1, c + 1));// SE
+      base[static_cast<std::size_t>(id(r, c))] = next;
+      next += (c + 1 < cols ? 1 : 0) + (r + 1 < rows ? 1 : 0) +
+              (r + 1 < rows && c + 1 < cols ? 1 : 0);
     }
-  return from_neighbor_rotation(std::move(g), rot);
+  auto east = [&](int r, int c) { return base[static_cast<std::size_t>(id(r, c))]; };
+  auto south = [&](int r, int c) {
+    return base[static_cast<std::size_t>(id(r, c))] + (c + 1 < cols ? 1 : 0);
+  };
+  auto southeast = [&](int r, int c) {
+    return base[static_cast<std::size_t>(id(r, c))] + (c + 1 < cols ? 1 : 0) +
+           (r + 1 < rows ? 1 : 0);
+  };
+  // CCW: E(0°), N(90°), NW(135°), W(180°), S(270°), SE(315°).
+  std::vector<std::vector<EdgeId>> rot(static_cast<std::size_t>(n));
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) {
+      auto& o = rot[static_cast<std::size_t>(id(r, c))];
+      o.reserve(static_cast<std::size_t>(g.degree(id(r, c))));
+      if (c + 1 < cols) o.push_back(east(r, c));                          // E
+      if (r - 1 >= 0) o.push_back(south(r - 1, c));                       // N
+      if (r - 1 >= 0 && c - 1 >= 0) o.push_back(southeast(r - 1, c - 1)); // NW
+      if (c - 1 >= 0) o.push_back(east(r, c - 1));                        // W
+      if (r + 1 < rows) o.push_back(south(r, c));                         // S
+      if (r + 1 < rows && c + 1 < cols) o.push_back(southeast(r, c));     // SE
+    }
+  return EmbeddedGraph(std::move(g), std::move(rot));
 }
 
 EmbeddedGraph random_maximal_planar(VertexId n, Rng& rng) {
@@ -110,6 +156,7 @@ EmbeddedGraph random_maximal_planar(VertexId n, Rng& rng) {
   }
 
   GraphBuilder builder(n);
+  builder.reserve_edges(static_cast<std::size_t>(n) * 3 - 6);
   for (VertexId v = 0; v < n; ++v)
     for (VertexId w : rot[v])
       if (v < w) builder.add_edge(v, w);

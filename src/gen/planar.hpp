@@ -11,6 +11,14 @@ namespace mns::gen {
 /// rows x cols grid with its planar embedding. Vertex (r, c) = r*cols + c.
 [[nodiscard]] EmbeddedGraph grid(int rows, int cols);
 
+/// The grid's graph alone, streamed straight into a GraphBuilder with an
+/// exact edge reserve — no rotation system, no face tracing. This is the
+/// n = 2^20 scale path (bench_scale, mnsctl's planar family): at a million
+/// vertices the embedding's per-vertex rotation vectors dominate peak-RSS,
+/// and the scale workloads never look at them. Same vertex numbering and
+/// edge set as grid(rows, cols).graph().
+[[nodiscard]] Graph grid_graph(int rows, int cols);
+
 /// Grid plus the (r,c)-(r+1,c+1) diagonals, embedded. All inner faces are
 /// triangles.
 [[nodiscard]] EmbeddedGraph triangulated_grid(int rows, int cols);

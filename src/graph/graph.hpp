@@ -91,6 +91,12 @@ class GraphBuilder {
   /// Duplicate edges are merged at build() time.
   void add_edge(VertexId u, VertexId v);
 
+  /// Pre-sizes the pending edge buffer. Streaming generators that know their
+  /// edge count (grids: exact; clique-sums: an upper bound) call this so
+  /// construction never pays vector-doubling peaks — the point of the
+  /// stream-into-builder paths (DESIGN.md §9).
+  void reserve_edges(std::size_t count) { pending_.reserve(count); }
+
   [[nodiscard]] VertexId num_vertices() const noexcept { return n_; }
 
   /// Freezes into an immutable Graph. The builder may not be reused.

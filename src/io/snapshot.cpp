@@ -154,6 +154,7 @@ Graph decode_graph(Reader& r) {
     throw SnapshotError("snapshot: graph vertex count out of range");
   const std::size_t m = r.get_count(8);
   GraphBuilder b(static_cast<VertexId>(n));
+  b.reserve_edges(m);  // stream into the builder at exact capacity
   for (std::size_t e = 0; e < m; ++e) {
     const VertexId u = r.get_i32();
     const VertexId v = r.get_i32();

@@ -1,8 +1,8 @@
 // Contract tests for the rewritten CONGEST simulator hot path: capacity
-// enforcement, skip_rounds accounting, inbox span validity after
+// enforcement, skip_rounds accounting, inbox view validity after
 // finish_round, frontier (delivered_to) bookkeeping across sparse rounds —
 // the invariants the buffer-reuse/counting-CSR implementation must uphold —
-// plus the run_round_loop round-accounting contract.
+// plus the engine's round-accounting contract (quiescence costs no rounds).
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -10,6 +10,7 @@
 #include <set>
 
 #include "congest/simulator.hpp"
+#include "congest/vertex_program.hpp"
 #include "gen/basic.hpp"
 #include "gen/planar.hpp"
 
@@ -17,6 +18,7 @@ namespace mns {
 namespace {
 
 using congest::Delivery;
+using congest::Inbox;
 using congest::Message;
 using congest::Simulator;
 
@@ -97,7 +99,7 @@ TEST(SimulatorContract, StagedSendsMergeInShardOrder) {
   sim.stage_send(1, 4, g.find_edge(0, 4), Message{0, 0, 40});
   sim.finish_round();
   EXPECT_EQ(sim.messages_sent(), 4);
-  std::span<const Delivery> in = sim.inbox(0);
+  Inbox in = sim.inbox(0);
   ASSERT_EQ(in.size(), 4u);
   for (VertexId i = 0; i < 4; ++i) {
     EXPECT_EQ(in[i].from, i + 1);
@@ -111,7 +113,7 @@ TEST(SimulatorContract, DirectSendsMergeBeforeStagedOnes) {
   sim.stage_send(1, 2, g.find_edge(0, 2), Message{0, 0, 2});
   sim.send(1, g.find_edge(0, 1), Message{0, 0, 1});
   sim.finish_round();
-  std::span<const Delivery> in = sim.inbox(0);
+  Inbox in = sim.inbox(0);
   ASSERT_EQ(in.size(), 2u);
   EXPECT_EQ(in[0].msg.value, 1);  // direct first, then shards in order
   EXPECT_EQ(in[1].msg.value, 2);
@@ -205,7 +207,7 @@ TEST(SimulatorContract, InboxSpanValidAfterFinishRound) {
   for (VertexId leaf = 1; leaf <= 4; ++leaf)
     sim.send(leaf, g.find_edge(0, leaf), Message{leaf, 0, 10 * leaf});
   sim.finish_round();
-  std::span<const Delivery> in = sim.inbox(0);
+  Inbox in = sim.inbox(0);
   ASSERT_EQ(in.size(), 4u);
   // Per-destination order is send order.
   for (VertexId i = 0; i < 4; ++i) {
@@ -293,50 +295,56 @@ TEST(SimulatorContract, SteadyStateBufferReuseOverManyRounds) {
   EXPECT_EQ(sim.messages_sent(), 5000);
 }
 
-TEST(RoundLoopContract, CountsRoundsAndSkipsFinalCheck) {
+// A token relay 0 -> goal expressed as a VertexProgram; the round-accounting
+// tests below used to exercise the (removed) run_round_loop adapter and now
+// pin the same contract on run_vertex_program: quiescence is checked BEFORE
+// a round is counted, so a message-free final check costs no rounds.
+struct RelayProgram {
+  const Graph* g;
+  VertexId goal;
+  VertexId at = 0;
+  std::vector<VertexId> cur{0};
+
+  [[nodiscard]] std::span<const VertexId> frontier() const {
+    return at == goal ? std::span<const VertexId>()
+                      : std::span<const VertexId>(cur);
+  }
+  void send(VertexId v, congest::VertexSender& out) {
+    out.send(g->find_edge(v, v + 1), Message{});
+  }
+  void receive(VertexId v, Inbox, const congest::ShardContext&) { at = v; }
+  void end_round() { cur[0] = at; }
+};
+
+TEST(RoundAccountingContract, CountsRoundsAndSkipsFinalCheck) {
   Graph g = gen::path(6);
   Simulator sim(g);
-  // Relay a token 0 -> 5: five rounds, and the terminating send() check
-  // (returning false) must not consume a round.
-  VertexId at = 0;
-  long long rounds = congest::run_round_loop(
-      sim,
-      [&] {
-        if (at == 5) return false;
-        sim.send(at, g.find_edge(at, at + 1), Message{});
-        return true;
-      },
-      [&] { at = sim.delivered_to().front(); });
-  EXPECT_EQ(at, 5);
+  // Relay a token 0 -> 5: five rounds, and the terminating frontier check
+  // (empty) must not consume a round.
+  RelayProgram prog{&g, 5};
+  long long rounds = congest::run_vertex_program(sim, prog);
+  EXPECT_EQ(prog.at, 5);
   EXPECT_EQ(rounds, 5);
   EXPECT_EQ(sim.rounds(), 5);
 }
 
-TEST(RoundLoopContract, ImmediateQuiescenceCostsNothing) {
+TEST(RoundAccountingContract, ImmediateQuiescenceCostsNothing) {
   Graph g = gen::path(2);
   Simulator sim(g);
-  long long rounds =
-      congest::run_round_loop(sim, [] { return false; }, [] {});
+  RelayProgram prog{&g, 0};  // frontier empty from the start
+  long long rounds = congest::run_vertex_program(sim, prog);
   EXPECT_EQ(rounds, 0);
   EXPECT_EQ(sim.rounds(), 0);
   EXPECT_EQ(sim.messages_sent(), 0);
 }
 
-TEST(RoundLoopContract, ConsecutiveLoopsAccumulateOnTheSimulator) {
+TEST(RoundAccountingContract, ConsecutiveProgramsAccumulateOnTheSimulator) {
   Graph g = gen::path(3);
   Simulator sim(g);
   long long total = 0;
   for (int rep = 0; rep < 3; ++rep) {
-    int sent = 0;
-    long long rounds = congest::run_round_loop(
-        sim,
-        [&] {
-          if (sent >= 2) return false;
-          sim.send(0, g.find_edge(0, 1), Message{});
-          ++sent;
-          return true;
-        },
-        [] {});
+    RelayProgram prog{&g, 2};
+    long long rounds = congest::run_vertex_program(sim, prog);
     EXPECT_EQ(rounds, 2);
     total += rounds;
   }

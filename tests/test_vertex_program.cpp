@@ -22,6 +22,7 @@ namespace {
 
 using congest::Delivery;
 using congest::ExecutionPolicy;
+using congest::Inbox;
 using congest::Message;
 using congest::PerShard;
 using congest::ShardContext;
@@ -97,7 +98,7 @@ struct EchoMinProgram {
     for (EdgeId e : g.incident_edges(v))
       out.send(e, Message{0, 0, best[static_cast<std::size_t>(v)]});
   }
-  void receive(VertexId v, std::span<const Delivery> inbox,
+  void receive(VertexId v, Inbox inbox,
                const ShardContext& ctx) {
     for (const Delivery& d : inbox)
       if (d.msg.value < best[static_cast<std::size_t>(v)]) {
@@ -182,7 +183,7 @@ TEST(VertexProgramEngine, StagedProgramErrorsPropagateToCaller) {
       out.send(g.find_edge(0, v), Message{});
       out.send(g.find_edge(0, v), Message{});  // second use of the same slot
     }
-    void receive(VertexId, std::span<const Delivery>, const ShardContext&) {}
+    void receive(VertexId, Inbox, const ShardContext&) {}
     void end_round() { done = true; }
   };
   Simulator sim(g, ExecutionPolicy{4});
