@@ -1,0 +1,208 @@
+// E19 (the serving thesis, DESIGN.md §10): sustained query throughput over
+// ONE shared SolverCore. An open-loop synthetic load generator materializes
+// the whole arrival queue up front — a mixed batch of MST / min-cut /
+// k-source approx-SSSP requests, repeated — and worker pools of width 1, 2
+// and 4 drain it, each worker driving its own SolveHandle against the same
+// warm core. Reported per family x width:
+//
+//   deterministic (baseline-gated via mnsctl diff --baseline):
+//     requests, rounds_total, messages_total, cache_hits, cache_misses,
+//     charged_total (must be 0 post-warm-up), parity ("yes" iff every
+//     concurrent RunReport is bit-identical to the sequential reference)
+//   volatile (masked by the diff):
+//     qps, p50_wall_ms, p99_wall_ms
+//
+// Exits nonzero on any parity violation or nonzero post-warm-up charge, so
+// CI catches a broken cache discipline even before the baseline diff runs.
+//
+// Set MNS_BENCH_SMOKE=1 to run the smallest instance per family (CI; the
+// committed bench/baselines/serve.json is the smoke trajectory).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "congest/solver_core.hpp"
+#include "gen/apex.hpp"
+#include "gen/clique_sum.hpp"
+#include "gen/ktree.hpp"
+#include "gen/planar.hpp"
+#include "gen/weights.hpp"
+#include "io/report_json.hpp"
+#include "serve/query_server.hpp"
+
+using namespace mns;
+
+namespace {
+
+struct Instance {
+  std::string family;
+  Graph graph;
+  StructuralCertificate cert;
+};
+
+std::vector<Instance> instances(bool smoke) {
+  std::vector<Instance> out;
+  Rng rng(71);
+  {
+    const int side = smoke ? 16 : 32;
+    out.push_back({"planar", gen::grid(side, side).graph(),
+                   greedy_certificate()});
+  }
+  {
+    const VertexId n = smoke ? 256 : 1024;
+    gen::KTreeResult kt = gen::random_ktree(n, 3, rng);
+    out.push_back({"treewidth", kt.graph,
+                   treewidth_certificate(kt.decomposition)});
+  }
+  {
+    const int side = smoke ? 16 : 32;
+    gen::ApexResult ar =
+        gen::add_apices(gen::grid(side, side).graph(), 1, 0.1, rng);
+    out.push_back({"apex", ar.graph, apex_certificate(ar.apices)});
+  }
+  {
+    Graph bag = gen::triangulated_grid(4, 4).graph();
+    std::vector<gen::BagInput> inputs;
+    for (int i = 0; i < (smoke ? 5 : 16); ++i)
+      inputs.push_back({bag, gen::default_glue_cliques(bag, 2)});
+    gen::CliqueSumResult cs = gen::compose_clique_sum(inputs, 2, 0.0, rng);
+    out.push_back({"cliquesum", cs.graph,
+                   cliquesum_certificate(cs.decomposition)});
+  }
+  return out;
+}
+
+/// The load mix: k spread-out SSSP sources (the server batches them onto one
+/// shared partition), an MST and a min cut, repeated `repeat` times.
+std::vector<serve::Request> load(const Graph& g, const std::vector<Weight>& w,
+                                 int repeat) {
+  std::vector<serve::Request> unit;
+  serve::Request mst;
+  mst.workload = "mst";
+  mst.params.weights = w;
+  unit.push_back(mst);
+  serve::Request cut;
+  cut.workload = "mincut";
+  cut.params.weights = w;
+  cut.params.num_trees = 4;
+  unit.push_back(cut);
+  const VertexId n = g.num_vertices();
+  const VertexId stride = n / 8 + 1;
+  for (VertexId src = 0; src < n; src += stride) {
+    serve::Request sssp;
+    sssp.workload = "sssp.approx";
+    sssp.params.weights = w;
+    sssp.params.source = src;
+    unit.push_back(sssp);
+  }
+  std::vector<serve::Request> out;
+  out.reserve(unit.size() * static_cast<std::size_t>(repeat));
+  for (int r = 0; r < repeat; ++r)
+    out.insert(out.end(), unit.begin(), unit.end());
+  return out;
+}
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  std::sort(sorted.begin(), sorted.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = std::getenv("MNS_BENCH_SMOKE") != nullptr;
+  const int repeat = smoke ? 2 : 8;
+  bench::JsonReport report("serve");
+  bench::header("E19: concurrent serving over one shared SolverCore");
+  std::printf("%-10s %8s %8s %9s %12s %10s %8s %10s %10s %7s\n", "family", "n",
+              "workers", "requests", "rounds", "hits", "builds", "qps",
+              "p99_ms", "parity");
+  bool ok = true;
+
+  for (Instance& inst : instances(smoke)) {
+    Rng wrng(73);
+    std::vector<Weight> w = gen::unique_random_weights(inst.graph, wrng);
+    std::vector<serve::Request> batch = load(inst.graph, w, repeat);
+
+    congest::CoreConfig cc;
+    cc.tree = center_tree_factory(1);
+    auto core = std::make_shared<const congest::SolverCore>(
+        inst.graph, inst.cert, std::move(cc));
+
+    // Warm-then-serve discipline: the first sequential pass pays every
+    // construction once; the second is the steady-state reference every
+    // concurrent width must bit-match.
+    serve::QueryServer warmer(core);
+    (void)warmer.warm(batch);
+    std::vector<serve::Response> ref = warmer.warm(batch);
+
+    for (int width : {1, 2, 4}) {
+      serve::ServerConfig cfg;
+      cfg.workers = width;
+      serve::QueryServer srv(core, cfg);
+      const auto t0 = std::chrono::steady_clock::now();
+      std::vector<serve::Response> got = srv.serve(batch);
+      const double serve_ms = std::chrono::duration<double, std::milli>(
+                                  std::chrono::steady_clock::now() - t0)
+                                  .count();
+
+      long long rounds = 0, messages = 0, hits = 0, builds = 0, charged = 0;
+      std::vector<double> lat;
+      lat.reserve(got.size());
+      bool parity = got.size() == ref.size();
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        if (!got[i].ok() ||
+            !io::run_reports_identical(got[i].report, ref[i].report))
+          parity = false;
+        rounds += got[i].report.rounds;
+        messages += got[i].report.messages;
+        hits += got[i].report.cache_hits;
+        builds += got[i].report.cache_misses;
+        charged += got[i].report.charged_construction_rounds;
+        lat.push_back(got[i].report.wall_ms);
+      }
+      if (!parity || charged != 0) ok = false;
+      const double qps =
+          serve_ms > 0.0
+              ? static_cast<double>(got.size()) * 1000.0 / serve_ms
+              : 0.0;
+      const double p50 = percentile(lat, 0.50);
+      const double p99 = percentile(lat, 0.99);
+
+      std::printf("%-10s %8d %8d %9zu %12lld %10lld %8lld %10.1f %10.3f %7s\n",
+                  inst.family.c_str(), inst.graph.num_vertices(), width,
+                  got.size(), rounds, hits, builds, qps, p99,
+                  parity ? "yes" : "NO");
+      report.row()
+          .set("family", inst.family)
+          .set("n", static_cast<long long>(inst.graph.num_vertices()))
+          .set("workers", width)
+          .set("requests", got.size())
+          .set("rounds_total", rounds)
+          .set("messages_total", messages)
+          .set("cache_hits", hits)
+          .set("cache_misses", builds)
+          .set("charged_total", charged)
+          .set("parity", parity ? "yes" : "no")
+          .set("qps", qps)
+          .set("p50_wall_ms", p50)
+          .set("p99_wall_ms", p99);
+    }
+  }
+
+  const bool wrote = report.write();
+  if (!ok) {
+    std::fprintf(stderr,
+                 "bench_serve: parity violation or nonzero post-warm-up "
+                 "charge\n");
+    return 1;
+  }
+  return wrote ? 0 : 1;
+}

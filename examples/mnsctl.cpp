@@ -16,6 +16,8 @@
 //   mnsctl baseline BENCH_session.json -o bench/baselines/session.json
 //
 // Exit codes: 0 ok, 1 drift / verification failure, 2 usage or I/O error.
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -33,6 +35,7 @@
 #include "io/json.hpp"
 #include "io/report_json.hpp"
 #include "io/snapshot.hpp"
+#include "serve/query_server.hpp"
 
 using namespace mns;
 
@@ -43,7 +46,10 @@ usage:
   mnsctl gen --family <planar|treewidth|apex|cliquesum> [--size N] [--seed S]
              -o <snapshot>
   mnsctl build <snapshot> [--workload W] [--threads T] [-o <snapshot>]
-  mnsctl solve <snapshot> --workload W [--threads T] [--cold] [-o report.json]
+  mnsctl solve <snapshot> --workload W [--threads T] [--repeat K] [--cold]
+               [-o report.json]
+  mnsctl serve <snapshot> [--workload W] [--workers N] [--requests K]
+               [--threads T] [-o responses.json]
   mnsctl inspect <snapshot>
   mnsctl diff [--baseline] <a.json> <b.json>
   mnsctl baseline <in.json> -o <out.json>
@@ -54,14 +60,21 @@ build    restores a session, runs one workload to build + cache the shortcut
          structure, and re-saves the WARMED snapshot (construction is now
          paid; later solves from it charge 0 construction rounds).
 solve    restores a session and runs a registered workload; prints the
-         canonical RunReport JSON (io/report_json.hpp).
+         canonical RunReport JSON (io/report_json.hpp). --repeat K runs the
+         workload K times through the same session (later runs hit the
+         cache) and emits one wrapper document with all K reports.
+serve    restores the snapshot into one shared SolverCore and fans K
+         requests across N concurrent workers (serve::QueryServer,
+         DESIGN.md §10); emits one response JSON line per request in
+         request order (each tagged {"request": i, ...}), then a summary
+         line with throughput (qps) and latency percentiles.
 inspect  prints a JSON summary of a snapshot's sections, including the
          estimated in-memory footprint of each (graph/weights/certificate/
          tree/cache bytes; DESIGN.md §9).
 diff     compares two JSON documents field-by-field. --baseline compares
          only fields present in <a> and skips nondeterministic ones
-         (wall_ms*, wall_time_ms, hardware_concurrency, peak_rss_bytes) —
-         the CI bench gate.
+         (wall_ms*, wall_time_ms, hardware_concurrency, peak_rss_bytes,
+         qps) — the CI bench gate.
 baseline strips the nondeterministic fields from a BENCH_*.json, producing
          a committable baseline (rounds/messages only survive).
 )";
@@ -81,6 +94,9 @@ struct Args {
   long long size = 0;
   std::optional<unsigned> seed;
   int threads = 0;
+  long long repeat = 1;
+  int workers = 1;
+  long long requests = 8;
   bool cold = false;
   bool baseline = false;
 };
@@ -135,6 +151,18 @@ bool parse_args(int argc, char** argv, int first, Args& out) {
       if (!parse_number("--threads", value("--threads"), -1, 4096, t))
         return false;
       out.threads = static_cast<int>(t);
+    } else if (a == "--repeat") {
+      if (!parse_number("--repeat", value("--repeat"), 1, 1 << 20, out.repeat))
+        return false;
+    } else if (a == "--workers") {
+      long long n = 0;
+      if (!parse_number("--workers", value("--workers"), 1, 4096, n))
+        return false;
+      out.workers = static_cast<int>(n);
+    } else if (a == "--requests") {
+      if (!parse_number("--requests", value("--requests"), 1, 1 << 20,
+                        out.requests))
+        return false;
     } else if (a == "--cold") {
       out.cold = true;
     } else if (a == "--baseline") {
@@ -262,8 +290,23 @@ int cmd_solve(const Args& args) {
   congest::SolveOptions opt;
   opt.threads = args.threads;
   opt.use_cache = !args.cold;
-  congest::RunReport report = session.solve(args.workload, params, opt);
-  const std::string json = io::run_report_to_json(report);
+  std::string json;
+  if (args.repeat <= 1) {
+    json = io::run_report_to_json(session.solve(args.workload, params, opt));
+  } else {
+    // K repeats through ONE session: the first run may build, the rest hit
+    // the cache. The wrapper records the exercised knobs alongside all K
+    // canonical reports.
+    json = "{\"command\": \"solve\", \"workload\": " +
+           io::json_quote(args.workload) +
+           ", \"threads\": " + std::to_string(args.threads) +
+           ", \"repeat\": " + std::to_string(args.repeat) + ", \"reports\": [";
+    for (long long k = 0; k < args.repeat; ++k) {
+      if (k) json += ", ";
+      json += io::run_report_to_json(session.solve(args.workload, params, opt));
+    }
+    json += "]}";
+  }
   if (args.output.empty()) {
     std::printf("%s\n", json.c_str());
     return 0;
@@ -276,6 +319,101 @@ int cmd_solve(const Args& args) {
     return 2;
   }
   return 0;
+}
+
+// ------------------------------------------------------------------ serve --
+
+int cmd_serve(const Args& args) {
+  if (args.positional.empty()) return usage_error("serve requires <snapshot>");
+  const std::string workload =
+      args.workload.empty() ? "sssp.approx" : args.workload;
+
+  io::Snapshot snap = io::read_snapshot(args.positional[0]);
+  std::vector<Weight> weights = snap.weights;
+  serve::ServerConfig cfg;
+  cfg.workers = args.workers;
+  auto core = congest::SolverCore::restore(std::move(snap), cfg.core);
+  serve::QueryServer server(core, cfg);
+
+  const Graph& g = server.core().graph();
+  congest::Session::WorkloadParams params =
+      default_params(g, std::move(weights));
+  std::vector<serve::Request> batch;
+  batch.reserve(static_cast<std::size_t>(args.requests));
+  const VertexId stride =
+      g.num_vertices() / static_cast<VertexId>(
+                             std::min<long long>(args.requests, 64)) +
+      1;
+  for (long long i = 0; i < args.requests; ++i) {
+    serve::Request r;
+    r.workload = workload;
+    r.params = params;
+    r.params.source =
+        static_cast<VertexId>((static_cast<long long>(stride) * i) %
+                              g.num_vertices());
+    r.options.threads = args.threads;
+    batch.push_back(std::move(r));
+  }
+
+  std::ofstream file;
+  if (!args.output.empty()) {
+    file.open(args.output);
+    if (!file.good()) {
+      std::fprintf(stderr, "mnsctl: cannot write '%s'\n", args.output.c_str());
+      return 2;
+    }
+  }
+  std::ostream* out = args.output.empty() ? nullptr : &file;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<serve::Response> responses = server.serve(batch);
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+  // Emit in REQUEST order (serve() indexes responses by request, but
+  // completion order is scheduling-dependent), tagging each line with its
+  // request index so consumers can join responses back to requests.
+  long long errors = 0;
+  std::vector<double> lat;
+  lat.reserve(responses.size());
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    const serve::Response& r = responses[i];
+    const std::string body = serve::response_to_json(r);
+    const std::string line =
+        "{\"request\": " + std::to_string(i) + ", " + body.substr(1);
+    if (out != nullptr)
+      *out << line << '\n';
+    else
+      std::printf("%s\n", line.c_str());
+    if (!r.ok()) ++errors;
+    lat.push_back(r.report.wall_ms);
+  }
+  std::sort(lat.begin(), lat.end());
+  auto pct = [&](double p) {
+    if (lat.empty()) return 0.0;
+    const auto idx = static_cast<std::size_t>(
+        p * static_cast<double>(lat.size() - 1) + 0.5);
+    return lat[std::min(idx, lat.size() - 1)];
+  };
+  const double qps =
+      wall_ms > 0.0
+          ? static_cast<double>(responses.size()) * 1000.0 / wall_ms
+          : 0.0;
+  std::printf(
+      "{\"command\": \"serve\", \"workload\": %s, \"workers\": %d, "
+      "\"requests\": %zu, \"errors\": %lld, \"qps\": %.1f, "
+      "\"p50_wall_ms\": %.3f, \"p99_wall_ms\": %.3f}\n",
+      io::json_quote(workload).c_str(), args.workers, responses.size(),
+      errors, qps, pct(0.50), pct(0.99));
+  if (out != nullptr) {
+    file.close();
+    if (!file) {
+      std::fprintf(stderr, "mnsctl: write error on '%s'\n",
+                   args.output.c_str());
+      return 2;
+    }
+  }
+  return errors == 0 ? 0 : 1;
 }
 
 /// Estimated heap bytes of the certificate's payload (the variant's vector
@@ -368,7 +506,8 @@ int cmd_inspect(const Args& args) {
 /// deterministic and gated.
 bool is_volatile_key(const std::string& key) {
   return key == "wall_time_ms" || key == "hardware_concurrency" ||
-         key == "peak_rss_bytes" || key.find("wall_ms") != std::string::npos;
+         key == "peak_rss_bytes" || key == "qps" ||
+         key.find("wall_ms") != std::string::npos;
 }
 
 std::string scalar_repr(const io::JsonValue& v) { return v.render(); }
@@ -529,6 +668,7 @@ int main(int argc, char** argv) {
     if (cmd == "gen") return cmd_gen(args);
     if (cmd == "build") return cmd_build(args);
     if (cmd == "solve") return cmd_solve(args);
+    if (cmd == "serve") return cmd_serve(args);
     if (cmd == "inspect") return cmd_inspect(args);
     if (cmd == "diff") return cmd_diff(args);
     if (cmd == "baseline") return cmd_baseline(args);

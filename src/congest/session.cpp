@@ -1,183 +1,67 @@
 #include "congest/session.hpp"
 
-#include <algorithm>
-#include <chrono>
 #include <utility>
 
-#include "io/fnv.hpp"
 #include "io/snapshot.hpp"
 
 namespace mns::congest {
 
-// -------------------------------------------------------- payload accessors
+namespace {
 
-const MstPayload& RunReport::mst() const {
-  const auto* p = std::get_if<MstPayload>(&payload);
-  require(p != nullptr, "RunReport: not an MST payload");
-  return *p;
-}
-const MinCutPayload& RunReport::min_cut() const {
-  const auto* p = std::get_if<MinCutPayload>(&payload);
-  require(p != nullptr, "RunReport: not a min-cut payload");
-  return *p;
-}
-const SsspPayload& RunReport::sssp() const {
-  const auto* p = std::get_if<SsspPayload>(&payload);
-  require(p != nullptr, "RunReport: not an SSSP payload");
-  return *p;
-}
-const BfsPayload& RunReport::bfs() const {
-  const auto* p = std::get_if<BfsPayload>(&payload);
-  require(p != nullptr, "RunReport: not a BFS payload");
-  return *p;
-}
-const AggregatePayload& RunReport::aggregate() const {
-  const auto* p = std::get_if<AggregatePayload>(&payload);
-  require(p != nullptr, "RunReport: not an aggregation payload");
-  return *p;
+CoreConfig core_config(const SessionConfig& config) {
+  CoreConfig cc;
+  cc.tree = config.tree;
+  cc.engine = config.engine;
+  cc.cache_capacity = config.cache_capacity;
+  return cc;
 }
 
-// ----------------------------------------------------------------- session
+}  // namespace
 
 Session::Session(Graph g, StructuralCertificate certificate,
                  SessionConfig config)
-    : g_(std::move(g)),
-      config_execution_(config.execution),
-      sim_(g_, config.execution),
-      cert_(std::move(certificate)),
-      tree_factory_(config.tree ? std::move(config.tree)
-                                : center_tree_factory()),
-      engine_(config.engine != nullptr ? config.engine
-                                       : &ShortcutEngine::global()),
-      cache_capacity_(std::max<std::size_t>(1, config.cache_capacity)) {
+    : core_(std::make_shared<const SolverCore>(
+          std::move(g), std::move(certificate), core_config(config))),
+      handle_(core_, config.execution) {
   register_builtin_workloads();
 }
 
-const RootedTree& Session::tree() {
-  if (!tree_) tree_.emplace(tree_factory_(g_));
-  return *tree_;
+Session::Session(std::shared_ptr<const SolverCore> core, SessionConfig config)
+    : core_(std::move(core)), handle_(core_, config.execution) {
+  register_builtin_workloads();
+}
+
+void Session::swap_core(StructuralCertificate cert, TreeFactory tree) {
+  CoreConfig cc;
+  cc.tree = std::move(tree);
+  cc.engine = &core_->engine();
+  cc.cache_capacity = core_->cache_capacity();
+  core_ = std::make_shared<const SolverCore>(core_->graph_ptr(),
+                                             std::move(cert), std::move(cc));
+  handle_.rebind(core_);
 }
 
 void Session::set_certificate(StructuralCertificate cert) {
-  cert_ = std::move(cert);
-  ++epoch_;
-  clear_cache();
+  swap_core(std::move(cert), core_->tree_factory());
 }
 
 void Session::set_tree_factory(TreeFactory tree) {
-  tree_factory_ = tree ? std::move(tree) : center_tree_factory();
-  tree_.reset();
-  ++epoch_;
-  clear_cache();
-}
-
-std::size_t Session::cache_size() const noexcept { return lru_.size(); }
-
-void Session::clear_cache() {
-  lru_.clear();
-  cache_index_.clear();
-}
-
-std::uint64_t Session::fingerprint(PartId num_parts,
-                                   std::span<const PartId> part_of) const {
-  io::Fnv64 h;
-  h.mix_u64(epoch_);
-  h.mix_u64(static_cast<std::uint64_t>(num_parts));
-  for (PartId p : part_of)
-    h.mix_u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(p)));
-  return h.value();
-}
-
-std::uint64_t Session::fingerprint(const Partition& parts) const {
-  return fingerprint(parts.num_parts(), parts.part_of_all());
-}
-
-void Session::cache_insert(std::uint64_t key, std::vector<PartId> part_of,
-                           std::shared_ptr<const Shortcut> shortcut) {
-  while (lru_.size() >= cache_capacity_) {
-    const CacheEntry& victim = lru_.back();
-    auto idx = cache_index_.find(victim.key);
-    if (idx != cache_index_.end()) {
-      auto& slots = idx->second;
-      slots.erase(std::remove_if(slots.begin(), slots.end(),
-                                 [&](auto it) { return &*it == &victim; }),
-                  slots.end());
-      if (slots.empty()) cache_index_.erase(idx);
-    }
-    lru_.pop_back();
-  }
-  lru_.push_front(CacheEntry{key, std::move(part_of), std::move(shortcut)});
-  cache_index_[key].push_back(lru_.begin());
-}
-
-SourcedShortcut Session::shortcut_for(const Partition& parts, bool use_cache) {
-  const std::uint64_t key = use_cache ? fingerprint(parts) : 0;
-  if (use_cache) {
-    auto idx = cache_index_.find(key);
-    if (idx != cache_index_.end()) {
-      auto span = parts.part_of_all();
-      for (auto it : idx->second) {
-        if (it->part_of.size() == span.size() &&
-            std::equal(span.begin(), span.end(), it->part_of.begin())) {
-          ++hits_;
-          lru_.splice(lru_.begin(), lru_, it);  // refresh LRU position
-          return SourcedShortcut{it->shortcut, /*fresh=*/false};
-        }
-      }
-    }
-  }
-  ++misses_;
-  auto built = std::make_shared<const Shortcut>(
-      engine_->build_shortcut(g_, tree(), parts, cert_));
-  if (use_cache) {
-    auto span = parts.part_of_all();
-    cache_insert(key, std::vector<PartId>(span.begin(), span.end()), built);
-  }
-  return SourcedShortcut{std::move(built), /*fresh=*/true};
-}
-
-ShortcutSource Session::make_source(const SolveOptions& opt) {
-  if (!opt.use_shortcuts) return empty_shortcut_source();
-  return [this, use_cache = opt.use_cache,
-          charge = opt.charge_construction](const Graph& g,
-                                            const Partition& parts) {
-    require(&g == &this->g_, "Session: shortcut requested for foreign graph");
-    SourcedShortcut s = this->shortcut_for(parts, use_cache);
-    if (!charge) s.fresh = false;  // ablation: never charge construction
-    return s;
-  };
-}
-
-BuildResult Session::analyze(const Partition& parts) {
-  BuildResult out = engine_->build(g_, tree(), parts, cert_);
-  // Seed the cache so a following solve over the same partition hits
-  // (counter-neutral: analysis is not query traffic).
-  const std::uint64_t key = fingerprint(parts);
-  auto idx = cache_index_.find(key);
-  auto span = parts.part_of_all();
-  if (idx != cache_index_.end())
-    for (auto it : idx->second)
-      if (it->part_of.size() == span.size() &&
-          std::equal(span.begin(), span.end(), it->part_of.begin())) {
-        lru_.splice(lru_.begin(), lru_, it);  // already cached: keep it hot
-        return out;
-      }
-  cache_insert(key, std::vector<PartId>(span.begin(), span.end()),
-               std::make_shared<const Shortcut>(out.shortcut));
-  return out;
+  swap_core(core_->certificate(),
+            tree ? std::move(tree) : center_tree_factory());
 }
 
 // ------------------------------------------------ persistence (DESIGN.md §8)
 
 void Session::save(const std::string& path, std::vector<Weight> weights) {
   require(weights.empty() ||
-              weights.size() == static_cast<std::size_t>(g_.num_edges()),
+              weights.size() ==
+                  static_cast<std::size_t>(core_->graph().num_edges()),
           "Session::save: weights count != edge count");
   io::Snapshot snap;
-  snap.graph = g_;
+  snap.graph = core_->graph();
   snap.weights = std::move(weights);
-  snap.certificate = cert_;
-  const RootedTree& t = tree();  // force-build: restore must never re-derive
+  snap.certificate = core_->certificate();
+  const RootedTree& t = core_->tree();  // force-build: restore never re-derives
   io::TreeSnapshot ts;
   ts.root = t.root();
   const VertexId n = t.num_vertices();
@@ -188,169 +72,17 @@ void Session::save(const std::string& path, std::vector<Weight> weights) {
     ts.parent_edge.push_back(t.parent_edge(v));
   }
   snap.tree = std::move(ts);
-  snap.shortcuts.reserve(lru_.size());
-  for (const CacheEntry& entry : lru_)  // front = MRU; order is preserved
-    snap.shortcuts.push_back(io::CachedShortcut{entry.part_of, *entry.shortcut});
+  snap.shortcuts = core_->export_cache();  // MRU first; order is preserved
   io::write_snapshot(snap, path);
 }
 
 Session Session::restore(io::Snapshot snapshot, SessionConfig config) {
-  return Session(RestoreTag{}, std::move(snapshot), std::move(config));
+  auto core = SolverCore::restore(std::move(snapshot), core_config(config));
+  return Session(std::move(core), std::move(config));
 }
 
 Session Session::restore(const std::string& path, SessionConfig config) {
-  return Session(RestoreTag{}, io::read_snapshot(path), std::move(config));
-}
-
-Session::Session(RestoreTag, io::Snapshot&& snapshot, SessionConfig&& config)
-    : Session(std::move(snapshot.graph), std::move(snapshot.certificate),
-              std::move(config)) {
-  const VertexId n = g_.num_vertices();
-  if (snapshot.tree) {
-    io::TreeSnapshot& ts = *snapshot.tree;
-    if (ts.parent.size() != static_cast<std::size_t>(n))
-      throw io::SnapshotError("snapshot: tree size != vertex count");
-    tree_.emplace(ts.root, std::move(ts.parent), std::move(ts.parent_edge));
-  }
-  // Re-key every cached shortcut under THIS session's epoch, inserting
-  // LRU-first so the front of the list ends up the snapshot's MRU entry.
-  for (auto it = snapshot.shortcuts.rbegin(); it != snapshot.shortcuts.rend();
-       ++it) {
-    if (it->part_of.size() != static_cast<std::size_t>(n))
-      throw io::SnapshotError("snapshot: cached part map size != vertex count");
-    PartId num_parts = 0;
-    for (PartId p : it->part_of) {
-      // decode_snapshot validates this too; re-check here so a
-      // caller-constructed Snapshot cannot smuggle ids past the cache
-      // (p < n also keeps p + 1 clear of signed overflow).
-      if (p < kNoPart || p >= n)
-        throw io::SnapshotError("snapshot: cached part id out of range");
-      if (p >= num_parts) num_parts = static_cast<PartId>(p + 1);
-    }
-    const std::uint64_t key = fingerprint(num_parts, it->part_of);
-    cache_insert(key, std::move(it->part_of),
-                 std::make_shared<const Shortcut>(std::move(it->shortcut)));
-  }
-}
-
-template <typename Body>
-RunReport Session::run(const char* workload, const SolveOptions& opt,
-                       Body&& body) {
-  // Apply this solve's execution policy before anything is staged: 0 keeps
-  // the session default, -1 asks for hardware_concurrency, N pins N shards.
-  ExecutionPolicy policy = config_execution_;
-  if (opt.threads > 0) policy.threads = opt.threads;
-  if (opt.threads < 0) policy.threads = 0;  // resolve to hardware width
-  if (policy.resolved() != sim_.num_shards()) sim_.set_execution_policy(policy);
-  const auto start_clock = std::chrono::steady_clock::now();
-  const long long start_rounds = sim_.rounds();
-  const long long start_messages = sim_.messages_sent();
-  const long long start_hits = hits_;
-  const long long start_misses = misses_;
-  RunReport r;
-  r.workload = workload;
-  r.threads = sim_.num_shards();
-  body(r);
-  r.rounds = sim_.rounds() - start_rounds;
-  r.messages = sim_.messages_sent() - start_messages;
-  r.cache_hits = hits_ - start_hits;
-  r.cache_misses = misses_ - start_misses;
-  r.wall_ms = std::chrono::duration<double, std::milli>(
-                  std::chrono::steady_clock::now() - start_clock)
-                  .count();
-  return r;
-}
-
-RunReport Session::solve(const Mst& q, const SolveOptions& opt) {
-  return run("mst", opt, [&](RunReport& r) {
-    MstOptions mopt;
-    mopt.source = make_source(opt);
-    mopt.stop_at_fragment_size = q.stop_at_fragment_size;
-    mopt.trace = opt.trace;
-    MstResult res = boruvka_mst(sim_, q.weights, mopt);
-    r.charged_construction_rounds = res.charged_construction_rounds;
-    r.phases = res.phases;
-    r.aggregations = res.aggregations;
-    r.payload = MstPayload{std::move(res.edges), std::move(res.fragment_of)};
-  });
-}
-
-RunReport Session::solve(const GhsMst& q, const SolveOptions& opt) {
-  return run("mst.ghs", opt, [&](RunReport& r) {
-    // GHS is shortcut-free: nothing to cache or charge; only the trace
-    // stream applies.
-    MstResult res = controlled_ghs_mst(sim_, tree(), q.weights, opt.trace);
-    r.phases = res.phases;
-    r.aggregations = res.aggregations;
-    r.payload = MstPayload{std::move(res.edges), std::move(res.fragment_of)};
-  });
-}
-
-RunReport Session::solve(const MinCut& q, const SolveOptions& opt) {
-  return run("mincut", opt, [&](RunReport& r) {
-    MinCutOptions copt;
-    copt.source = make_source(opt);
-    copt.num_trees = q.num_trees;
-    copt.two_respecting = q.two_respecting;
-    copt.trace = opt.trace;
-    MinCutResult res = approx_min_cut(sim_, q.weights, copt);
-    r.charged_construction_rounds = res.charged_construction_rounds;
-    r.phases = res.trees;
-    r.aggregations = res.aggregations;
-    r.payload = MinCutPayload{res.value, res.trees};
-  });
-}
-
-RunReport Session::solve(const ExactSssp& q, const SolveOptions& opt) {
-  return run("sssp.exact", opt, [&](RunReport& r) {
-    (void)opt;  // Bellman-Ford is shortcut-free
-    SsspResult res = exact_sssp(sim_, q.weights, q.source);
-    r.phases = res.phases;
-    r.payload = SsspPayload{std::move(res.dist), res.jumps};
-  });
-}
-
-RunReport Session::solve(const ApproxSssp& q, const SolveOptions& opt) {
-  return run("sssp.approx", opt, [&](RunReport& r) {
-    ApproxSsspOptions sopt;
-    sopt.source = make_source(opt);
-    sopt.epsilon = q.epsilon;
-    sopt.num_seeds = q.num_seeds;
-    sopt.bf_rounds_per_cycle = q.bf_rounds_per_cycle;
-    sopt.repartition_growth = q.repartition_growth;
-    sopt.voronoi_hop_cap = q.voronoi_hop_cap;
-    sopt.wavefront_seeds = q.wavefront_seeds;
-    sopt.trace = opt.trace;
-    SsspResult res = approx_sssp(sim_, q.weights, q.source, sopt);
-    r.charged_construction_rounds = res.charged_construction_rounds;
-    r.phases = res.phases;
-    r.aggregations = res.jumps;
-    r.payload = SsspPayload{std::move(res.dist), res.jumps};
-  });
-}
-
-RunReport Session::solve(const Bfs& q, const SolveOptions& opt) {
-  return run("bfs", opt, [&](RunReport& r) {
-    (void)opt;  // flooding needs no shortcuts
-    DistributedBfsResult res = distributed_bfs(sim_, q.root);
-    r.phases = 1;
-    r.payload = BfsPayload{std::move(res.dist), std::move(res.parent),
-                           std::move(res.parent_edge)};
-  });
-}
-
-RunReport Session::solve(const Aggregate& q, const SolveOptions& opt) {
-  return run("aggregate", opt, [&](RunReport& r) {
-    require(static_cast<VertexId>(q.values.size()) == g_.num_vertices(),
-            "Session: aggregate values size mismatch");
-    SourcedShortcut s = make_source(opt)(g_, q.parts);
-    PartwiseAggregator agg(g_, q.parts, *s.shortcut);
-    AggregationResult res = agg.aggregate_min(sim_, q.values);
-    r.phases = 1;
-    r.aggregations = 1;
-    if (s.fresh) r.charged_construction_rounds = res.rounds;
-    r.payload = AggregatePayload{std::move(res.min_of_part)};
-  });
+  return restore(io::read_snapshot(path), std::move(config));
 }
 
 // ---------------------------------------------------------------- registry

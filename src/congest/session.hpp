@@ -4,10 +4,7 @@
 // shortcut, dispatched from a StructuralCertificate) accelerates EVERY
 // part-wise optimization problem on the network: MST, min-cut, SSSP
 // [Haeupler-Li-Zuzic PODC 2018; Ghaffari-Haeupler]. A Session is that thesis
-// as an API: it owns the network (Graph + Simulator), the structural
-// knowledge (certificate + spanning-tree factory + ShortcutEngine), and a
-// partition-fingerprint-keyed LRU cache of built shortcuts, and serves every
-// workload through one entry point:
+// as an API: it serves every workload through one entry point:
 //
 //   Session s(graph, apex_certificate({hub}));
 //   RunReport mst  = s.solve(Mst{weights});
@@ -18,181 +15,40 @@
 // batches, an MST -> min-cut -> SSSP pipeline on the same network — stop
 // re-paying ShortcutEngine::build_shortcut: the cache serves the built
 // shortcut back, and the construction-round charge is applied once per
-// distinct partition (DESIGN.md §2, §5). Measured rounds are identical
-// between cached and cold runs; only wall time and charged construction
-// drop. Every run returns the same RunReport telemetry (rounds, messages,
-// charges, cache hits/misses, per-phase RoundTrace) with a problem-specific
-// payload, and a name-keyed workload registry (mirroring ShortcutEngine's
-// builder registry) lets harnesses select workloads by string.
+// distinct partition (DESIGN.md §2, §5).
+//
+// Since the SolverCore/SolveHandle split (DESIGN.md §10 "Serving
+// architecture"), Session is a thin compatibility facade over the two
+// layers that actually own the state:
+//
+//   SolverCore  (solver_core.hpp)  the immutable, shareable half: graph,
+//                                  certificate, rooted tree, shortcut cache
+//                                  behind a read-mostly concurrency discipline
+//   SolveHandle (solve_handle.hpp) the cheap per-request half: Simulator,
+//                                  arenas, execution policy, per-request
+//                                  cache accounting, workload registry
+//
+// One Session = one core + one default handle, single-threaded semantics
+// preserved exactly. Code that wants concurrent queries over one warm core
+// shares the Session's core_ptr() across many SolveHandles — or uses
+// serve::QueryServer (src/serve/query_server.hpp), which does that fan-out
+// over a WorkerPool.
 #pragma once
 
 #include <cstdint>
-#include <list>
-#include <map>
 #include <memory>
-#include <optional>
-#include <span>
 #include <string>
 #include <string_view>
-#include <variant>
 #include <vector>
 
-#include "congest/aggregation.hpp"
-#include "congest/bfs.hpp"
-#include "congest/mincut.hpp"
-#include "congest/mst.hpp"
-#include "congest/simulator.hpp"
-#include "congest/sssp.hpp"
-#include "core/certificate.hpp"
-#include "core/shortcut_engine.hpp"
+#include "congest/solve_handle.hpp"
+#include "congest/solver_core.hpp"
 
 namespace mns::io {
 struct Snapshot;  // io/snapshot.hpp
 }
 
 namespace mns::congest {
-
-// ---------------------------------------------------------------- workloads
-
-/// Distributed MST (Boruvka over shortcut-backed aggregations).
-struct Mst {
-  std::vector<Weight> weights;
-  /// Stop once every fragment has at least this many vertices; 0 = full MST.
-  VertexId stop_at_fragment_size = 0;
-};
-
-/// The O~(D + sqrt(n)) controlled-GHS MST baseline over the session tree.
-struct GhsMst {
-  std::vector<Weight> weights;
-};
-
-/// (2+eps)/(1+eps) min cut via greedy tree packing.
-struct MinCut {
-  std::vector<Weight> weights;
-  int num_trees = 8;
-  bool two_respecting = false;
-};
-
-/// Exact lock-step Bellman-Ford SSSP (the no-shortcut baseline).
-struct ExactSssp {
-  std::vector<Weight> weights;
-  VertexId source = 0;
-};
-
-/// (1+eps)-approximate shortcut-accelerated SSSP.
-struct ApproxSssp {
-  std::vector<Weight> weights;
-  VertexId source = 0;
-  double epsilon = 0.25;
-  VertexId num_seeds = 0;        ///< 0 = ceil(sqrt(n))
-  int bf_rounds_per_cycle = 8;
-  double repartition_growth = 0.5;
-  int voronoi_hop_cap = 0;       ///< 0 = auto
-  /// false = source-independent cells: identical partitions across a k-source
-  /// batch, so the session cache pays construction once (DESIGN.md §5).
-  bool wavefront_seeds = true;
-};
-
-/// Distributed BFS tree construction by flooding (the O(D) primitive).
-struct Bfs {
-  VertexId root = 0;
-};
-
-/// One part-wise min aggregation over an explicit partition (Definition 9) —
-/// the primitive every workload above is built from. Repeated aggregations
-/// over the same partition (e.g. periodic per-zone sensor queries) hit the
-/// shortcut cache.
-struct Aggregate {
-  Partition parts;
-  std::vector<AggValue> values;
-};
-
-// ----------------------------------------------------------------- payloads
-
-struct MstPayload {
-  std::vector<EdgeId> edges;
-  std::vector<PartId> fragment_of;
-};
-struct MinCutPayload {
-  Weight value = 0;
-  int trees = 0;
-};
-struct SsspPayload {
-  std::vector<Weight> dist;
-  long long jumps = 0;
-};
-struct BfsPayload {
-  std::vector<int> dist;
-  std::vector<VertexId> parent;
-  std::vector<EdgeId> parent_edge;
-};
-struct AggregatePayload {
-  std::vector<AggValue> min_of_part;
-};
-
-// --------------------------------------------------------------- run report
-
-/// Uniform telemetry for every solve(): what the run cost and what the cache
-/// did, plus the problem-specific payload.
-struct RunReport {
-  std::string workload;  ///< registry name ("mst", "sssp.approx", ...)
-  long long rounds = 0;    ///< measured communication rounds of this run
-  long long messages = 0;  ///< messages sent during this run
-  /// Worker threads the round engine fanned this run over (DESIGN.md §7).
-  /// Purely a wall-clock knob: every other field of the report is
-  /// bit-identical across thread counts (pinned by the test_session parity
-  /// sweep and bench_parallel_scaling).
-  int threads = 1;
-  /// Substitution charges for constructions paid by this run (DESIGN.md §2);
-  /// cache hits re-pay nothing, so warm runs charge less than cold ones.
-  long long charged_construction_rounds = 0;
-  int phases = 0;              ///< Boruvka phases / packing trees / scale phases
-  long long aggregations = 0;  ///< part-wise aggregations performed
-  long long cache_hits = 0;    ///< shortcut-cache hits during this run
-  long long cache_misses = 0;  ///< misses (constructions) during this run
-  double wall_ms = 0.0;        ///< wall-clock time of the run
-
-  std::variant<std::monostate, MstPayload, MinCutPayload, SsspPayload,
-               BfsPayload, AggregatePayload>
-      payload;
-
-  /// Measured + charged: the round count comparisons should quote.
-  [[nodiscard]] long long total_rounds() const {
-    return rounds + charged_construction_rounds;
-  }
-
-  // Checked payload accessors (throw InvariantViolation on the wrong kind).
-  [[nodiscard]] const MstPayload& mst() const;
-  [[nodiscard]] const MinCutPayload& min_cut() const;
-  [[nodiscard]] const SsspPayload& sssp() const;
-  [[nodiscard]] const BfsPayload& bfs() const;
-  [[nodiscard]] const AggregatePayload& aggregate() const;
-};
-
-// ------------------------------------------------------------------ session
-
-/// Per-solve knobs shared by every workload (the one place the old
-/// per-algorithm provider/charge_construction fields collapsed into).
-struct SolveOptions {
-  /// false = flooding baseline: empty shortcuts, nothing constructed or
-  /// charged (replaces the old empty_shortcut_provider +
-  /// charge_construction=false pairing).
-  bool use_shortcuts = true;
-  /// false = cold run: bypass the cache, build every shortcut fresh (every
-  /// build counts as a miss). Benches use this as the uncached baseline.
-  bool use_cache = true;
-  /// false = do not charge construction substitutions at all (ablations).
-  bool charge_construction = true;
-  /// Per-phase telemetry stream (Boruvka phase / packing tree / scale phase
-  /// / GHS phase). Workloads with no phase structure (ExactSssp, Bfs,
-  /// single-shot Aggregate) emit nothing.
-  RoundTraceHook trace;
-  /// Worker threads for this solve: 0 = the session default
-  /// (SessionConfig::execution), 1 = sequential, N = fan each round phase
-  /// over N shards, -1 = hardware_concurrency. Never changes results — only
-  /// wall clock (DESIGN.md §7).
-  int threads = 0;
-};
 
 struct SessionConfig {
   /// Roots the session spanning tree (built ONCE, reused by every build);
@@ -210,14 +66,20 @@ struct SessionConfig {
 
 class Session {
  public:
-  /// Parameter bundle for string dispatch: the union of every built-in
-  /// workload's knobs, defaulted like the typed structs (defined below).
-  struct WorkloadParams;
+  /// Parameter bundle for string dispatch (historically nested here; now the
+  /// namespace-scope congest::WorkloadParams shared with SolveHandle).
+  using WorkloadParams = ::mns::congest::WorkloadParams;
 
   /// Takes ownership of the network. The certificate is the session's
   /// structural knowledge; every shortcut dispatches through it.
   explicit Session(Graph g,
                    StructuralCertificate certificate = greedy_certificate(),
+                   SessionConfig config = {});
+
+  /// Wraps an existing shared core (serving path): the session becomes one
+  /// more client of `core`. Only `config.execution` applies — the core
+  /// already fixed tree/engine/capacity at its own construction.
+  explicit Session(std::shared_ptr<const SolverCore> core,
                    SessionConfig config = {});
 
   Session(const Session&) = delete;
@@ -234,7 +96,7 @@ class Session {
   void save(const std::string& path, std::vector<Weight> weights = {});
 
   /// Rebuilds a session from a snapshot. Epoch-correct: restored shortcuts
-  /// land in the LRU cache keyed with the new session's partition
+  /// land in the LRU cache keyed with the new core's partition
   /// fingerprints, so the first solve over a snapshotted partition is a
   /// cache HIT — bit-identical to the in-process warm solve and with
   /// charged_construction_rounds == 0 (pinned by tests/test_snapshot.cpp
@@ -246,17 +108,31 @@ class Session {
   [[nodiscard]] static Session restore(const std::string& path,
                                        SessionConfig config = {});
 
-  // -- the uniform solve surface --
-  [[nodiscard]] RunReport solve(const Mst& q, const SolveOptions& opt = {});
-  [[nodiscard]] RunReport solve(const GhsMst& q, const SolveOptions& opt = {});
-  [[nodiscard]] RunReport solve(const MinCut& q, const SolveOptions& opt = {});
+  // -- the uniform solve surface (delegates to the default handle) --
+  [[nodiscard]] RunReport solve(const Mst& q, const SolveOptions& opt = {}) {
+    return handle_.solve(q, opt);
+  }
+  [[nodiscard]] RunReport solve(const GhsMst& q, const SolveOptions& opt = {}) {
+    return handle_.solve(q, opt);
+  }
+  [[nodiscard]] RunReport solve(const MinCut& q, const SolveOptions& opt = {}) {
+    return handle_.solve(q, opt);
+  }
   [[nodiscard]] RunReport solve(const ExactSssp& q,
-                                const SolveOptions& opt = {});
+                                const SolveOptions& opt = {}) {
+    return handle_.solve(q, opt);
+  }
   [[nodiscard]] RunReport solve(const ApproxSssp& q,
-                                const SolveOptions& opt = {});
-  [[nodiscard]] RunReport solve(const Bfs& q, const SolveOptions& opt = {});
+                                const SolveOptions& opt = {}) {
+    return handle_.solve(q, opt);
+  }
+  [[nodiscard]] RunReport solve(const Bfs& q, const SolveOptions& opt = {}) {
+    return handle_.solve(q, opt);
+  }
   [[nodiscard]] RunReport solve(const Aggregate& q,
-                                const SolveOptions& opt = {});
+                                const SolveOptions& opt = {}) {
+    return handle_.solve(q, opt);
+  }
 
   // -- the name-keyed workload registry (mirrors ShortcutEngine's builders) --
 
@@ -276,13 +152,20 @@ class Session {
   [[nodiscard]] std::vector<std::string> workload_names() const;
 
   // -- owned state --
-  [[nodiscard]] const Graph& graph() const noexcept { return g_; }
-  [[nodiscard]] Simulator& simulator() noexcept { return sim_; }
+  [[nodiscard]] const Graph& graph() const noexcept { return core_->graph(); }
+  [[nodiscard]] Simulator& simulator() noexcept { return handle_.simulator(); }
   [[nodiscard]] const StructuralCertificate& certificate() const noexcept {
-    return cert_;
+    return core_->certificate();
   }
-  /// Swaps the structural knowledge; invalidates every cached shortcut (the
-  /// cache key includes the certificate epoch).
+  /// The shared half: hand this to other SolveHandles (or a QueryServer) to
+  /// serve concurrent queries over this session's warm state.
+  [[nodiscard]] const std::shared_ptr<const SolverCore>& core_ptr()
+      const noexcept {
+    return handle_.core_ptr();
+  }
+
+  /// Swaps the structural knowledge; invalidates every cached shortcut (a
+  /// NEW core is built over the SAME graph, so the simulator stays valid).
   void set_certificate(StructuralCertificate cert);
   /// Swaps the tree factory; rebuilds the session tree lazily and
   /// invalidates the cache (shortcuts are tree-restricted).
@@ -290,81 +173,38 @@ class Session {
   /// The session spanning tree (built on first use, then reused by every
   /// shortcut construction — unlike bare engine providers, which re-root
   /// per invocation).
-  [[nodiscard]] const RootedTree& tree();
+  [[nodiscard]] const RootedTree& tree() const { return core_->tree(); }
 
   /// Builds, validates, AND measures the current certificate's shortcut for
   /// `parts` (quality metrics for analysis/benches); the built shortcut is
   /// inserted into the cache, so a following solve(Aggregate{parts,...})
   /// hits.
-  [[nodiscard]] BuildResult analyze(const Partition& parts);
+  [[nodiscard]] BuildResult analyze(const Partition& parts) const {
+    return core_->analyze(parts);
+  }
 
   // -- cache introspection --
-  [[nodiscard]] std::size_t cache_size() const noexcept;
-  [[nodiscard]] long long cache_hits() const noexcept { return hits_; }
-  [[nodiscard]] long long cache_misses() const noexcept { return misses_; }
-  void clear_cache();
+  [[nodiscard]] std::size_t cache_size() const noexcept {
+    return core_->cache_size();
+  }
+  [[nodiscard]] long long cache_hits() const noexcept {
+    return handle_.cache_hits();
+  }
+  [[nodiscard]] long long cache_misses() const noexcept {
+    return handle_.cache_misses();
+  }
+  void clear_cache() { core_->clear_cache(); }
 
  private:
-  struct CacheEntry {
-    std::uint64_t key = 0;             ///< fingerprint(epoch, part_of)
-    std::vector<PartId> part_of;       ///< exact guard against hash collisions
-    std::shared_ptr<const Shortcut> shortcut;
-  };
-
-  /// Restore path: delegate to the main constructor, then install the
-  /// snapshotted tree and re-key the cached shortcuts under this session's
-  /// epoch.
-  struct RestoreTag {};
-  Session(RestoreTag, io::Snapshot&& snapshot, SessionConfig&& config);
-
-  [[nodiscard]] SourcedShortcut shortcut_for(const Partition& parts,
-                                             bool use_cache);
-  [[nodiscard]] ShortcutSource make_source(const SolveOptions& opt);
-  [[nodiscard]] std::uint64_t fingerprint(PartId num_parts,
-                                          std::span<const PartId> part_of)
-      const;
-  [[nodiscard]] std::uint64_t fingerprint(const Partition& parts) const;
-  void cache_insert(std::uint64_t key, std::vector<PartId> part_of,
-                    std::shared_ptr<const Shortcut> shortcut);
   void register_builtin_workloads();
+  /// set_certificate/set_tree_factory: swap structural knowledge by building
+  /// a NEW core over the SAME graph object and rebinding the handle (the
+  /// old epoch-bump-and-flush, expressed as core replacement).
+  void swap_core(StructuralCertificate cert, TreeFactory tree);
 
-  /// Runs `body` between telemetry snapshots and assembles the RunReport;
-  /// applies the solve's execution policy (threads) to the simulator first.
-  template <typename Body>
-  RunReport run(const char* workload, const SolveOptions& opt, Body&& body);
-
-  Graph g_;
-  ExecutionPolicy config_execution_;  ///< session-default thread policy
-  Simulator sim_;
-  StructuralCertificate cert_;
-  TreeFactory tree_factory_;
-  const ShortcutEngine* engine_;
-  std::optional<RootedTree> tree_;
-  std::size_t cache_capacity_;
-  /// Bumped on set_certificate/set_tree_factory: stale entries can never be
-  /// served because the fingerprint folds the epoch in.
-  std::uint64_t epoch_ = 0;
-  std::list<CacheEntry> lru_;  ///< front = most recently used
-  std::map<std::uint64_t, std::vector<std::list<CacheEntry>::iterator>>
-      cache_index_;
-  long long hits_ = 0;
-  long long misses_ = 0;
+  std::shared_ptr<const SolverCore> core_;
+  SolveHandle handle_;
   std::map<std::string, WorkloadFn, std::less<>> workloads_;
-};
-
-/// Parameter bundle for name-keyed dispatch (see Session::solve(name, ...)).
-struct Session::WorkloadParams {
-  std::vector<Weight> weights;
-  VertexId source = 0;  ///< SSSP source / BFS root
-  VertexId stop_at_fragment_size = 0;
-  int num_trees = 8;
-  bool two_respecting = false;
-  double epsilon = 0.25;
-  VertexId num_seeds = 0;
-  int bf_rounds_per_cycle = 8;
-  double repartition_growth = 0.5;
-  int voronoi_hop_cap = 0;
-  bool wavefront_seeds = true;
 };
 
 }  // namespace mns::congest

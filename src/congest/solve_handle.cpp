@@ -1,0 +1,262 @@
+#include "congest/solve_handle.hpp"
+
+#include <chrono>
+#include <utility>
+
+namespace mns::congest {
+
+// -------------------------------------------------------- payload accessors
+
+const MstPayload& RunReport::mst() const {
+  const auto* p = std::get_if<MstPayload>(&payload);
+  require(p != nullptr, "RunReport: not an MST payload");
+  return *p;
+}
+const MinCutPayload& RunReport::min_cut() const {
+  const auto* p = std::get_if<MinCutPayload>(&payload);
+  require(p != nullptr, "RunReport: not a min-cut payload");
+  return *p;
+}
+const SsspPayload& RunReport::sssp() const {
+  const auto* p = std::get_if<SsspPayload>(&payload);
+  require(p != nullptr, "RunReport: not an SSSP payload");
+  return *p;
+}
+const BfsPayload& RunReport::bfs() const {
+  const auto* p = std::get_if<BfsPayload>(&payload);
+  require(p != nullptr, "RunReport: not a BFS payload");
+  return *p;
+}
+const AggregatePayload& RunReport::aggregate() const {
+  const auto* p = std::get_if<AggregatePayload>(&payload);
+  require(p != nullptr, "RunReport: not an aggregation payload");
+  return *p;
+}
+
+// ------------------------------------------------------------- solve handle
+
+SolveHandle::SolveHandle(std::shared_ptr<const SolverCore> core,
+                         ExecutionPolicy execution)
+    : core_((require(core != nullptr, "SolveHandle: null core"),
+             std::move(core))),
+      default_execution_(execution),
+      sim_(core_->graph(), execution) {
+  register_builtin_workloads();
+}
+
+void SolveHandle::rebind(std::shared_ptr<const SolverCore> core) {
+  require(core != nullptr, "SolveHandle: null core");
+  // The simulator holds a reference into the current graph; a rebind may
+  // swap structural knowledge (certificate/tree/cache) but never the
+  // network itself.
+  require(core->graph_ptr().get() == core_->graph_ptr().get(),
+          "SolveHandle: rebind must keep the same graph");
+  core_ = std::move(core);
+}
+
+ShortcutSource SolveHandle::make_source(const SolveOptions& opt) {
+  if (!opt.use_shortcuts) return empty_shortcut_source();
+  return [this, use_cache = opt.use_cache,
+          charge = opt.charge_construction](const Graph& g,
+                                            const Partition& parts) {
+    require(&g == &core_->graph(),
+            "SolveHandle: shortcut requested for foreign graph");
+    SolverCore::Acquired a = core_->acquire(parts, use_cache);
+    if (a.hit)
+      ++hits_;
+    else
+      ++misses_;
+    SourcedShortcut s{std::move(a.shortcut), a.fresh};
+    if (!charge) s.fresh = false;  // ablation: never charge construction
+    return s;
+  };
+}
+
+template <typename Body>
+RunReport SolveHandle::run(const char* workload, const SolveOptions& opt,
+                           Body&& body) {
+  // Apply this solve's execution policy before anything is staged: 0 keeps
+  // the handle default, -1 asks for hardware_concurrency, N pins N shards.
+  ExecutionPolicy policy = default_execution_;
+  if (opt.threads > 0) policy.threads = opt.threads;
+  if (opt.threads < 0) policy.threads = 0;  // resolve to hardware width
+  if (policy.resolved() != sim_.num_shards()) sim_.set_execution_policy(policy);
+  const auto start_clock = std::chrono::steady_clock::now();
+  const long long start_rounds = sim_.rounds();
+  const long long start_messages = sim_.messages_sent();
+  const long long start_hits = hits_;
+  const long long start_misses = misses_;
+  RunReport r;
+  r.workload = workload;
+  r.threads = sim_.num_shards();
+  body(r);
+  r.rounds = sim_.rounds() - start_rounds;
+  r.messages = sim_.messages_sent() - start_messages;
+  r.cache_hits = hits_ - start_hits;
+  r.cache_misses = misses_ - start_misses;
+  r.wall_ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - start_clock)
+                  .count();
+  return r;
+}
+
+RunReport SolveHandle::solve(const Mst& q, const SolveOptions& opt) {
+  return run("mst", opt, [&](RunReport& r) {
+    MstOptions mopt;
+    mopt.source = make_source(opt);
+    mopt.stop_at_fragment_size = q.stop_at_fragment_size;
+    mopt.trace = opt.trace;
+    MstResult res = boruvka_mst(sim_, q.weights, mopt);
+    r.charged_construction_rounds = res.charged_construction_rounds;
+    r.phases = res.phases;
+    r.aggregations = res.aggregations;
+    r.payload = MstPayload{std::move(res.edges), std::move(res.fragment_of)};
+  });
+}
+
+RunReport SolveHandle::solve(const GhsMst& q, const SolveOptions& opt) {
+  return run("mst.ghs", opt, [&](RunReport& r) {
+    // GHS is shortcut-free: nothing to cache or charge; only the trace
+    // stream applies.
+    MstResult res = controlled_ghs_mst(sim_, core_->tree(), q.weights,
+                                       opt.trace);
+    r.phases = res.phases;
+    r.aggregations = res.aggregations;
+    r.payload = MstPayload{std::move(res.edges), std::move(res.fragment_of)};
+  });
+}
+
+RunReport SolveHandle::solve(const MinCut& q, const SolveOptions& opt) {
+  return run("mincut", opt, [&](RunReport& r) {
+    MinCutOptions copt;
+    copt.source = make_source(opt);
+    copt.num_trees = q.num_trees;
+    copt.two_respecting = q.two_respecting;
+    copt.trace = opt.trace;
+    MinCutResult res = approx_min_cut(sim_, q.weights, copt);
+    r.charged_construction_rounds = res.charged_construction_rounds;
+    r.phases = res.trees;
+    r.aggregations = res.aggregations;
+    r.payload = MinCutPayload{res.value, res.trees};
+  });
+}
+
+RunReport SolveHandle::solve(const ExactSssp& q, const SolveOptions& opt) {
+  return run("sssp.exact", opt, [&](RunReport& r) {
+    (void)opt;  // Bellman-Ford is shortcut-free
+    SsspResult res = exact_sssp(sim_, q.weights, q.source);
+    r.phases = res.phases;
+    r.payload = SsspPayload{std::move(res.dist), res.jumps};
+  });
+}
+
+RunReport SolveHandle::solve(const ApproxSssp& q, const SolveOptions& opt) {
+  return run("sssp.approx", opt, [&](RunReport& r) {
+    ApproxSsspOptions sopt;
+    sopt.source = make_source(opt);
+    sopt.epsilon = q.epsilon;
+    sopt.num_seeds = q.num_seeds;
+    sopt.bf_rounds_per_cycle = q.bf_rounds_per_cycle;
+    sopt.repartition_growth = q.repartition_growth;
+    sopt.voronoi_hop_cap = q.voronoi_hop_cap;
+    sopt.wavefront_seeds = q.wavefront_seeds;
+    sopt.trace = opt.trace;
+    SsspResult res = approx_sssp(sim_, q.weights, q.source, sopt);
+    r.charged_construction_rounds = res.charged_construction_rounds;
+    r.phases = res.phases;
+    r.aggregations = res.jumps;
+    r.payload = SsspPayload{std::move(res.dist), res.jumps};
+  });
+}
+
+RunReport SolveHandle::solve(const Bfs& q, const SolveOptions& opt) {
+  return run("bfs", opt, [&](RunReport& r) {
+    (void)opt;  // flooding needs no shortcuts
+    DistributedBfsResult res = distributed_bfs(sim_, q.root);
+    r.phases = 1;
+    r.payload = BfsPayload{std::move(res.dist), std::move(res.parent),
+                           std::move(res.parent_edge)};
+  });
+}
+
+RunReport SolveHandle::solve(const Aggregate& q, const SolveOptions& opt) {
+  return run("aggregate", opt, [&](RunReport& r) {
+    require(static_cast<VertexId>(q.values.size()) ==
+                core_->graph().num_vertices(),
+            "SolveHandle: aggregate values size mismatch");
+    SourcedShortcut s = make_source(opt)(core_->graph(), q.parts);
+    PartwiseAggregator agg(core_->graph(), q.parts, *s.shortcut);
+    AggregationResult res = agg.aggregate_min(sim_, q.values);
+    r.phases = 1;
+    r.aggregations = 1;
+    if (s.fresh) r.charged_construction_rounds = res.rounds;
+    r.payload = AggregatePayload{std::move(res.min_of_part)};
+  });
+}
+
+// ---------------------------------------------------------------- registry
+
+void SolveHandle::register_workload(std::string name, WorkloadFn fn) {
+  require(!name.empty(), "SolveHandle: empty workload name");
+  require(static_cast<bool>(fn), "SolveHandle: null workload");
+  auto [it, inserted] = workloads_.emplace(std::move(name), std::move(fn));
+  if (!inserted)
+    throw InvariantViolation("SolveHandle: duplicate workload '" + it->first +
+                             "'");
+}
+
+bool SolveHandle::has_workload(std::string_view name) const {
+  return workloads_.find(name) != workloads_.end();
+}
+
+std::vector<std::string> SolveHandle::workload_names() const {
+  std::vector<std::string> names;
+  names.reserve(workloads_.size());
+  for (const auto& [name, fn] : workloads_) names.push_back(name);
+  return names;
+}
+
+RunReport SolveHandle::solve(std::string_view workload,
+                             const WorkloadParams& params,
+                             const SolveOptions& opt) {
+  auto it = workloads_.find(workload);
+  if (it == workloads_.end())
+    throw InvariantViolation("SolveHandle: unknown workload '" +
+                             std::string(workload) + "'");
+  RunReport r = it->second(*this, params, opt);
+  r.workload = std::string(workload);
+  return r;
+}
+
+void SolveHandle::register_builtin_workloads() {
+  register_workload("mst", [](SolveHandle& h, const WorkloadParams& p,
+                              const SolveOptions& o) {
+    return h.solve(Mst{p.weights, p.stop_at_fragment_size}, o);
+  });
+  register_workload("mst.ghs", [](SolveHandle& h, const WorkloadParams& p,
+                                  const SolveOptions& o) {
+    return h.solve(GhsMst{p.weights}, o);
+  });
+  register_workload("mincut", [](SolveHandle& h, const WorkloadParams& p,
+                                 const SolveOptions& o) {
+    return h.solve(MinCut{p.weights, p.num_trees, p.two_respecting}, o);
+  });
+  register_workload("sssp.exact", [](SolveHandle& h, const WorkloadParams& p,
+                                     const SolveOptions& o) {
+    return h.solve(ExactSssp{p.weights, p.source}, o);
+  });
+  register_workload("sssp.approx", [](SolveHandle& h, const WorkloadParams& p,
+                                      const SolveOptions& o) {
+    return h.solve(
+        ApproxSssp{p.weights, p.source, p.epsilon, p.num_seeds,
+                   p.bf_rounds_per_cycle, p.repartition_growth,
+                   p.voronoi_hop_cap, p.wavefront_seeds},
+        o);
+  });
+  register_workload("bfs", [](SolveHandle& h, const WorkloadParams& p,
+                              const SolveOptions& o) {
+    return h.solve(Bfs{p.source}, o);
+  });
+}
+
+}  // namespace mns::congest

@@ -1,0 +1,212 @@
+#include "congest/solver_core.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "io/fnv.hpp"
+#include "io/snapshot.hpp"
+
+namespace mns::congest {
+
+SolverCore::SolverCore(Graph g, StructuralCertificate certificate,
+                       CoreConfig config)
+    : SolverCore(std::make_shared<const Graph>(std::move(g)),
+                 std::move(certificate), std::move(config)) {}
+
+SolverCore::SolverCore(std::shared_ptr<const Graph> g,
+                       StructuralCertificate certificate, CoreConfig config)
+    : g_(std::move(g)),
+      cert_(std::move(certificate)),
+      tree_factory_(config.tree ? std::move(config.tree)
+                                : center_tree_factory()),
+      engine_(config.engine != nullptr ? config.engine
+                                       : &ShortcutEngine::global()),
+      cache_capacity_(std::max<std::size_t>(1, config.cache_capacity)) {
+  require(g_ != nullptr, "SolverCore: null graph");
+}
+
+const RootedTree& SolverCore::tree() const {
+  std::call_once(tree_once_, [&] { tree_.emplace(tree_factory_(*g_)); });
+  return *tree_;
+}
+
+std::uint64_t SolverCore::fingerprint(PartId num_parts,
+                                      std::span<const PartId> part_of) const {
+  io::Fnv64 h;
+  h.mix_u64(static_cast<std::uint64_t>(num_parts));
+  for (PartId p : part_of)
+    h.mix_u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(p)));
+  return h.value();
+}
+
+void SolverCore::insert_locked(std::uint64_t key, std::vector<PartId> part_of,
+                               std::shared_ptr<const Shortcut> shortcut) const {
+  // Insert-once: a racing builder of the same partition refreshes the
+  // resident entry instead of storing a duplicate (the builds are
+  // deterministic, so the kept shortcut equals the dropped one).
+  auto idx = index_.find(key);
+  if (idx != index_.end()) {
+    for (auto it : idx->second) {
+      if (it->part_of.size() == part_of.size() &&
+          std::equal(part_of.begin(), part_of.end(), it->part_of.begin())) {
+        it->last_use.store(next_use(), std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+  while (entries_.size() >= cache_capacity_) {
+    // Exact LRU: evict the entry with the smallest use stamp. The stamps
+    // come from one atomic clock, so the eviction order is the total hit
+    // order even when the hits raced on the shared-locked path.
+    auto victim = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it)
+      if (it->last_use.load(std::memory_order_relaxed) <
+          victim->last_use.load(std::memory_order_relaxed))
+        victim = it;
+    auto vidx = index_.find(victim->key);
+    if (vidx != index_.end()) {
+      auto& slots = vidx->second;
+      slots.erase(std::remove(slots.begin(), slots.end(), victim),
+                  slots.end());
+      if (slots.empty()) index_.erase(vidx);
+    }
+    entries_.erase(victim);
+  }
+  entries_.emplace_front(key, std::move(part_of), std::move(shortcut),
+                         next_use());
+  index_[key].push_back(entries_.begin());
+}
+
+SolverCore::Acquired SolverCore::acquire(const Partition& parts,
+                                         bool use_cache) const {
+  if (use_cache) {
+    const std::uint64_t key = fingerprint(parts.num_parts(),
+                                          parts.part_of_all());
+    {
+      std::shared_lock<std::shared_mutex> lock(cache_mutex_);
+      auto idx = index_.find(key);
+      if (idx != index_.end()) {
+        auto span = parts.part_of_all();
+        for (auto it : idx->second) {
+          if (it->part_of.size() == span.size() &&
+              std::equal(span.begin(), span.end(), it->part_of.begin())) {
+            it->last_use.store(next_use(), std::memory_order_relaxed);
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            return Acquired{it->shortcut, /*fresh=*/false, /*hit=*/true};
+          }
+        }
+      }
+    }
+    // Miss: build OUTSIDE any lock (constructions are the expensive part and
+    // must not serialize concurrent requests), then insert once.
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    auto built = std::make_shared<const Shortcut>(
+        engine_->build_shortcut(*g_, tree(), parts, cert_));
+    auto span = parts.part_of_all();
+    {
+      std::unique_lock<std::shared_mutex> lock(cache_mutex_);
+      insert_locked(key, std::vector<PartId>(span.begin(), span.end()), built);
+    }
+    return Acquired{std::move(built), /*fresh=*/true, /*hit=*/false};
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  auto built = std::make_shared<const Shortcut>(
+      engine_->build_shortcut(*g_, tree(), parts, cert_));
+  return Acquired{std::move(built), /*fresh=*/true, /*hit=*/false};
+}
+
+BuildResult SolverCore::analyze(const Partition& parts) const {
+  BuildResult out = engine_->build(*g_, tree(), parts, cert_);
+  // Seed the cache so a following solve over the same partition hits
+  // (counter-neutral: analysis is not query traffic).
+  auto span = parts.part_of_all();
+  const std::uint64_t key = fingerprint(parts.num_parts(), span);
+  std::unique_lock<std::shared_mutex> lock(cache_mutex_);
+  insert_locked(key, std::vector<PartId>(span.begin(), span.end()),
+                std::make_shared<const Shortcut>(out.shortcut));
+  return out;
+}
+
+SolverCore::CacheStats SolverCore::cache_stats() const noexcept {
+  CacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.entries = cache_size();
+  s.capacity = cache_capacity_;
+  return s;
+}
+
+std::size_t SolverCore::cache_size() const noexcept {
+  std::shared_lock<std::shared_mutex> lock(cache_mutex_);
+  return entries_.size();
+}
+
+void SolverCore::clear_cache() const {
+  std::unique_lock<std::shared_mutex> lock(cache_mutex_);
+  entries_.clear();
+  index_.clear();
+}
+
+std::vector<io::CachedShortcut> SolverCore::export_cache() const {
+  std::shared_lock<std::shared_mutex> lock(cache_mutex_);
+  std::vector<const CacheEntry*> order;
+  order.reserve(entries_.size());
+  for (const CacheEntry& e : entries_) order.push_back(&e);
+  // MRU first == descending use stamp (stamps are unique: one atomic clock).
+  std::sort(order.begin(), order.end(),
+            [](const CacheEntry* a, const CacheEntry* b) {
+              return a->last_use.load(std::memory_order_relaxed) >
+                     b->last_use.load(std::memory_order_relaxed);
+            });
+  std::vector<io::CachedShortcut> out;
+  out.reserve(order.size());
+  for (const CacheEntry* e : order)
+    out.push_back(io::CachedShortcut{e->part_of, *e->shortcut});
+  return out;
+}
+
+void SolverCore::seed_cache(std::vector<PartId> part_of,
+                            std::shared_ptr<const Shortcut> shortcut) const {
+  PartId num_parts = 0;
+  for (PartId p : part_of)
+    if (p >= num_parts) num_parts = static_cast<PartId>(p + 1);
+  const std::uint64_t key = fingerprint(num_parts, part_of);
+  std::unique_lock<std::shared_mutex> lock(cache_mutex_);
+  insert_locked(key, std::move(part_of), std::move(shortcut));
+}
+
+std::shared_ptr<const SolverCore> SolverCore::restore(io::Snapshot&& snapshot,
+                                                      CoreConfig config) {
+  auto core = std::make_shared<SolverCore>(std::move(snapshot.graph),
+                                           std::move(snapshot.certificate),
+                                           std::move(config));
+  const VertexId n = core->graph().num_vertices();
+  if (snapshot.tree) {
+    io::TreeSnapshot& ts = *snapshot.tree;
+    if (ts.parent.size() != static_cast<std::size_t>(n))
+      throw io::SnapshotError("snapshot: tree size != vertex count");
+    std::call_once(core->tree_once_, [&] {
+      core->tree_.emplace(ts.root, std::move(ts.parent),
+                          std::move(ts.parent_edge));
+    });
+  }
+  // Re-key every cached shortcut under THIS core's partition fingerprints,
+  // seeding LRU-first so the snapshot's MRU entry ends up most recent.
+  for (auto it = snapshot.shortcuts.rbegin(); it != snapshot.shortcuts.rend();
+       ++it) {
+    if (it->part_of.size() != static_cast<std::size_t>(n))
+      throw io::SnapshotError("snapshot: cached part map size != vertex count");
+    for (PartId p : it->part_of) {
+      // decode_snapshot validates this too; re-check here so a
+      // caller-constructed Snapshot cannot smuggle ids past the cache
+      // (p < n also keeps p + 1 clear of signed overflow in seed_cache).
+      if (p < kNoPart || p >= n)
+        throw io::SnapshotError("snapshot: cached part id out of range");
+    }
+    core->seed_cache(std::move(it->part_of),
+                     std::make_shared<const Shortcut>(std::move(it->shortcut)));
+  }
+  return core;
+}
+
+}  // namespace mns::congest

@@ -1,0 +1,289 @@
+// serve::QueryServer contract tests (DESIGN.md §10): N worker threads
+// solving {mst, sssp.approx, mincut} concurrently against ONE shared
+// SolverCore must produce RunReports bit-identical (io::run_reports_identical)
+// to the same queries run sequentially, with charged_construction_rounds == 0
+// for every post-warm-up request — on every certificate family, at worker
+// widths {2, 4, 8}. The TSan job runs this file under `-L parallel`, so the
+// core's read-mostly cache discipline (shared-locked lookups, build outside
+// the lock, atomic LRU stamps) is exercised under a real race detector.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "congest/session.hpp"
+#include "gen/apex.hpp"
+#include "gen/basic.hpp"
+#include "gen/clique_sum.hpp"
+#include "gen/ktree.hpp"
+#include "gen/planar.hpp"
+#include "gen/weights.hpp"
+#include "io/report_json.hpp"
+#include "serve/query_server.hpp"
+
+namespace mns {
+namespace {
+
+using congest::SolverCore;
+using serve::QueryServer;
+using serve::Request;
+using serve::Response;
+using serve::ServerConfig;
+
+struct FamilyCase {
+  std::string name;
+  Graph graph;
+  StructuralCertificate cert;
+};
+
+// One instance per certificate family (greedy / treewidth / apex /
+// clique-sum) — small enough for the TSan matrix, large enough that every
+// workload runs multiple shortcut-backed phases.
+std::vector<FamilyCase> serve_families() {
+  std::vector<FamilyCase> out;
+  Rng rng(41);
+  out.push_back({"grid", gen::grid(7, 7).graph(), greedy_certificate()});
+  {
+    gen::KTreeResult kt = gen::random_ktree(60, 3, rng);
+    out.push_back({"ktree3", kt.graph, treewidth_certificate(kt.decomposition)});
+  }
+  {
+    gen::ApexResult ar = gen::add_apices(gen::grid(6, 6).graph(), 1, 0.2, rng);
+    out.push_back({"grid+apex", ar.graph, apex_certificate(ar.apices)});
+  }
+  {
+    Graph bag = gen::triangulated_grid(3, 3).graph();
+    std::vector<gen::BagInput> inputs;
+    for (int i = 0; i < 3; ++i)
+      inputs.push_back({bag, gen::default_glue_cliques(bag, 2)});
+    gen::CliqueSumResult cs = gen::compose_clique_sum(inputs, 2, 0.0, rng);
+    out.push_back({"cliquesum", cs.graph, cliquesum_certificate(cs.decomposition)});
+  }
+  return out;
+}
+
+// The serving mix: an MST, a min cut, and a k-source ApproxSssp batch (the
+// server normalizes these to shared-partition solves).
+std::vector<Request> mixed_batch(const Graph& g,
+                                 const std::vector<Weight>& w) {
+  std::vector<Request> batch;
+  Request mst;
+  mst.workload = "mst";
+  mst.params.weights = w;
+  batch.push_back(mst);
+  Request cut;
+  cut.workload = "mincut";
+  cut.params.weights = w;
+  cut.params.num_trees = 4;
+  batch.push_back(cut);
+  const VertexId n = g.num_vertices();
+  for (VertexId src = 0; src < n; src += n / 4 + 1) {
+    Request sssp;
+    sssp.workload = "sssp.approx";
+    sssp.params.weights = w;
+    sssp.params.source = src;
+    batch.push_back(sssp);
+  }
+  // Repeat the whole mix so the steady state (every request a cache hit) is
+  // part of the batch itself, not just of a second call.
+  std::vector<Request> twice = batch;
+  twice.insert(twice.end(), batch.begin(), batch.end());
+  return twice;
+}
+
+TEST(ServeParity, ConcurrentWidthsBitIdenticalToSequentialOnEveryFamily) {
+  for (FamilyCase& fam : serve_families()) {
+    SCOPED_TRACE(fam.name);
+    Rng wrng(43);
+    std::vector<Weight> w = gen::unique_random_weights(fam.graph, wrng);
+    std::vector<Request> batch = mixed_batch(fam.graph, w);
+
+    auto core = std::make_shared<const SolverCore>(fam.graph, fam.cert);
+    QueryServer warmer(core);
+    // First sequential pass constructs every distinct shortcut the mix
+    // needs; the second is the post-warm-up sequential reference.
+    (void)warmer.warm(batch);
+    std::vector<Response> ref = warmer.warm(batch);
+    for (const Response& r : ref) {
+      ASSERT_TRUE(r.ok()) << r.error;
+      EXPECT_EQ(r.report.charged_construction_rounds, 0);
+      EXPECT_EQ(r.report.cache_misses, 0);
+    }
+
+    for (int width : {2, 4, 8}) {
+      SCOPED_TRACE("width=" + std::to_string(width));
+      ServerConfig cfg;
+      cfg.workers = width;
+      QueryServer srv(core, cfg);
+      std::vector<Response> got = srv.serve(batch);
+      ASSERT_EQ(got.size(), ref.size());
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        ASSERT_TRUE(got[i].ok()) << got[i].error;
+        // Bit-identical to sequential: every deterministic field including
+        // the full payload (wall_ms is the one field allowed to differ).
+        EXPECT_TRUE(io::run_reports_identical(got[i].report, ref[i].report))
+            << "request " << i << " (" << batch[i].workload << ") diverged:\n"
+            << io::run_report_to_json(got[i].report) << "\n"
+            << io::run_report_to_json(ref[i].report);
+        EXPECT_EQ(got[i].report.charged_construction_rounds, 0);
+      }
+    }
+  }
+}
+
+TEST(ServeBatching, SharedPartitionSsspBatchHitsOneShortcut) {
+  Graph g = gen::grid(7, 7).graph();
+  Rng wrng(47);
+  std::vector<Weight> w = gen::unique_random_weights(g, wrng);
+  auto core = std::make_shared<const SolverCore>(g, greedy_certificate());
+
+  std::vector<Request> batch;
+  for (VertexId src : {VertexId{0}, VertexId{12}, VertexId{30}, VertexId{48}}) {
+    Request r;
+    r.workload = "sssp.approx";
+    r.params.weights = w;
+    r.params.source = src;
+    r.params.wavefront_seeds = true;  // the server must normalize this away
+    batch.push_back(r);
+  }
+
+  ServerConfig cfg;
+  cfg.workers = 2;
+  QueryServer srv(core, cfg);
+  std::vector<Response> first = srv.warm(batch);
+  ASSERT_TRUE(first[0].ok()) << first[0].error;
+  // Source-independent cells: after request 0 built the batch's partitions,
+  // every OTHER source reuses them — zero further constructions.
+  for (std::size_t i = 1; i < first.size(); ++i) {
+    ASSERT_TRUE(first[i].ok()) << first[i].error;
+    EXPECT_EQ(first[i].report.cache_misses, 0) << "source " << i;
+    EXPECT_EQ(first[i].report.charged_construction_rounds, 0);
+    EXPECT_GT(first[i].report.cache_hits, 0);
+  }
+  EXPECT_EQ(srv.requests_served(), static_cast<long long>(batch.size()));
+}
+
+TEST(ServeSharing, SessionWarmedCoreServesHitsToEveryWorker) {
+  Graph g = gen::grid(7, 7).graph();
+  Rng wrng(53);
+  std::vector<Weight> w = gen::unique_random_weights(g, wrng);
+  // Warm through the FACADE, serve through the server: one core, two
+  // surfaces, shared cache.
+  congest::Session session(g, greedy_certificate());
+  (void)session.solve(congest::Mst{w});
+  ServerConfig cfg;
+  cfg.workers = 4;
+  QueryServer srv(session.core_ptr(), cfg);
+  Request mst;
+  mst.workload = "mst";
+  mst.params.weights = w;
+  std::vector<Response> got = srv.serve(std::vector<Request>(8, mst));
+  for (const Response& r : got) {
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(r.report.cache_misses, 0);
+    EXPECT_EQ(r.report.charged_construction_rounds, 0);
+  }
+}
+
+TEST(ServeErrors, BadRequestsReportErrorsWithoutPoisoningTheBatch) {
+  Graph g = gen::grid(6, 6).graph();
+  Rng wrng(59);
+  std::vector<Weight> w = gen::unique_random_weights(g, wrng);
+  auto core = std::make_shared<const SolverCore>(g, greedy_certificate());
+  ServerConfig cfg;
+  cfg.workers = 2;
+  QueryServer srv(core, cfg);
+
+  std::vector<Request> batch;
+  Request good;
+  good.workload = "mst";
+  good.params.weights = w;
+  // Warm first so the two good requests are both steady-state (comparable).
+  (void)srv.warm({good});
+  batch.push_back(good);
+  Request unknown;
+  unknown.workload = "no-such-workload";
+  batch.push_back(unknown);
+  Request bad_weights;
+  bad_weights.workload = "mst";
+  bad_weights.params.weights = {1, 2, 3};  // wrong count
+  batch.push_back(bad_weights);
+  batch.push_back(good);
+
+  std::vector<Response> got = srv.serve(batch);
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_TRUE(got[0].ok()) << got[0].error;
+  EXPECT_FALSE(got[1].ok());
+  EXPECT_NE(got[1].error.find("no-such-workload"), std::string::npos);
+  EXPECT_FALSE(got[2].ok());
+  EXPECT_TRUE(got[3].ok()) << got[3].error;
+  EXPECT_TRUE(io::run_reports_identical(got[0].report, got[3].report));
+  // JSON wrapping keeps status and document together.
+  EXPECT_NE(serve::response_to_json(got[0]).find("\"ok\":true"),
+            std::string::npos);
+  EXPECT_NE(serve::response_to_json(got[1]).find("\"ok\":false"),
+            std::string::npos);
+}
+
+TEST(ServeSnapshot, FromSnapshotServesWarmBitIdenticalReports) {
+  Graph g = gen::grid(7, 7).graph();
+  Rng wrng(61);
+  std::vector<Weight> w = gen::unique_random_weights(g, wrng);
+  std::vector<Request> batch = mixed_batch(g, w);
+
+  const std::string path = ::testing::TempDir() + "serve_snapshot.mns";
+  std::vector<Response> ref;
+  {
+    auto core = std::make_shared<const SolverCore>(g, greedy_certificate());
+    QueryServer srv(core);
+    (void)srv.warm(batch);
+    ref = srv.warm(batch);
+    congest::Session session(core);
+    session.save(path, w);
+  }
+
+  ServerConfig cfg;
+  cfg.workers = 4;
+  QueryServer restored = QueryServer::from_snapshot(path, cfg);
+  std::vector<Response> got = restored.serve(batch);
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_TRUE(got[i].ok()) << got[i].error;
+    EXPECT_TRUE(io::run_reports_identical(got[i].report, ref[i].report))
+        << "request " << i;
+    // The snapshot shipped the warm cache: nothing is ever rebuilt.
+    EXPECT_EQ(got[i].report.charged_construction_rounds, 0);
+    EXPECT_EQ(got[i].report.cache_misses, 0);
+  }
+  std::remove(path.c_str());
+}
+
+// The streaming sink fires once per request, serialized, with the final
+// response object.
+TEST(ServeStreaming, SinkReceivesEveryResponseExactlyOnce) {
+  Graph g = gen::grid(6, 6).graph();
+  Rng wrng(67);
+  std::vector<Weight> w = gen::unique_random_weights(g, wrng);
+  auto core = std::make_shared<const SolverCore>(g, greedy_certificate());
+  ServerConfig cfg;
+  cfg.workers = 4;
+  QueryServer srv(core, cfg);
+  Request mst;
+  mst.workload = "mst";
+  mst.params.weights = w;
+  std::vector<Request> batch(6, mst);
+  std::vector<int> seen(batch.size(), 0);
+  std::vector<Response> got =
+      srv.serve(batch, [&](std::size_t i, const Response& r) {
+        seen[i] += 1;
+        EXPECT_TRUE(r.ok()) << r.error;
+      });
+  for (std::size_t i = 0; i < seen.size(); ++i)
+    EXPECT_EQ(seen[i], 1) << "request " << i;
+  ASSERT_EQ(got.size(), batch.size());
+}
+
+}  // namespace
+}  // namespace mns
