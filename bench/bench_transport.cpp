@@ -1,0 +1,214 @@
+// E20 (the transport thesis, DESIGN.md §11): the CONGEST protocols run over
+// REAL acked datagram delivery — two socket-wired lock-step replicas — with
+// rounds, messages and full payloads bit-identical to the single-process
+// reference, clean AND under seeded drop/dup/reorder fault injection.
+//
+// Per family x workload {mst, sssp.approx} x mode {clean, faulted}:
+//
+//   deterministic (baseline-gated via mnsctl diff --baseline):
+//     rounds, messages, rounds_exchanged, wire_records (canonical cut-edge
+//     traffic), parity ("yes" iff BOTH ranks' RunReports bit-match the
+//     sequential reference)
+//   volatile (masked by the diff):
+//     wall_ms, datagrams_sent/received, acks_sent, retransmits, faults_*
+//
+// Exits nonzero on any parity violation, so CI catches a transport that
+// changes measured results even before the baseline diff runs.
+//
+// Set MNS_BENCH_SMOKE=1 to run the smallest instance per family (CI; the
+// committed bench/baselines/transport.json is the smoke trajectory).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "gen/apex.hpp"
+#include "gen/clique_sum.hpp"
+#include "gen/ktree.hpp"
+#include "gen/planar.hpp"
+#include "gen/weights.hpp"
+#include "io/report_json.hpp"
+#include "transport/loopback.hpp"
+
+using namespace mns;
+
+namespace {
+
+struct Instance {
+  std::string family;
+  Graph graph;
+  StructuralCertificate cert;
+};
+
+std::vector<Instance> instances(bool smoke) {
+  std::vector<Instance> out;
+  Rng rng(79);
+  {
+    const int side = smoke ? 8 : 24;
+    out.push_back(
+        {"planar", gen::grid(side, side).graph(), greedy_certificate()});
+  }
+  {
+    const VertexId n = smoke ? 96 : 512;
+    gen::KTreeResult kt = gen::random_ktree(n, 3, rng);
+    out.push_back(
+        {"treewidth", kt.graph, treewidth_certificate(kt.decomposition)});
+  }
+  {
+    const int side = smoke ? 7 : 20;
+    gen::ApexResult ar =
+        gen::add_apices(gen::grid(side, side).graph(), 1, 0.1, rng);
+    out.push_back({"apex", ar.graph, apex_certificate(ar.apices)});
+  }
+  {
+    Graph bag = gen::triangulated_grid(3, 3).graph();
+    std::vector<gen::BagInput> inputs;
+    for (int i = 0; i < (smoke ? 3 : 10); ++i)
+      inputs.push_back({bag, gen::default_glue_cliques(bag, 2)});
+    gen::CliqueSumResult cs = gen::compose_clique_sum(inputs, 2, 0.0, rng);
+    out.push_back(
+        {"cliquesum", cs.graph, cliquesum_certificate(cs.decomposition)});
+  }
+  return out;
+}
+
+struct DistResult {
+  std::vector<congest::RunReport> reports;  ///< per rank
+  std::vector<transport::TransportStats> stats;
+  double wall_ms = 0.0;
+  std::string error;
+};
+
+DistResult distributed_solve(const Instance& inst, const std::string& workload,
+                             const congest::WorkloadParams& params, int ranks,
+                             const transport::FaultConfig& faults) {
+  DistResult out;
+  auto cluster = transport::make_loopback_cluster(
+      inst.graph, ranks, transport::SocketTransportConfig{}, faults);
+  out.reports.resize(static_cast<std::size_t>(ranks));
+  std::vector<std::string> errors(static_cast<std::size_t>(ranks));
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        congest::Session session = bench::make_session(inst.graph, inst.cert);
+        session.set_transport(cluster[static_cast<std::size_t>(r)].get());
+        out.reports[static_cast<std::size_t>(r)] =
+            session.solve(workload, params, congest::SolveOptions{});
+        session.set_transport(nullptr);
+        cluster[static_cast<std::size_t>(r)]->shutdown();
+      } catch (const std::exception& e) {
+        errors[static_cast<std::size_t>(r)] = e.what();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  out.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  for (int r = 0; r < ranks; ++r) {
+    if (!errors[static_cast<std::size_t>(r)].empty())
+      out.error = "rank " + std::to_string(r) + ": " +
+                  errors[static_cast<std::size_t>(r)];
+    out.stats.push_back(cluster[static_cast<std::size_t>(r)]->stats());
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = std::getenv("MNS_BENCH_SMOKE") != nullptr;
+  constexpr int kRanks = 2;
+  transport::FaultConfig faulted;
+  faulted.seed = 99;
+  faulted.drop_rate = 0.15;
+  faulted.dup_rate = 0.05;
+  faulted.reorder_rate = 0.05;
+
+  bench::JsonReport report("transport");
+  bench::header("E20: socket transport parity (2 lock-step ranks over UDP)");
+  std::printf("%-10s %7s %-12s %-7s %9s %10s %8s %9s %8s %7s\n", "family",
+              "n", "workload", "mode", "rounds", "messages", "wire", "dgrams",
+              "retrans", "parity");
+  bool ok = true;
+
+  for (Instance& inst : instances(smoke)) {
+    Rng wrng(83);
+    congest::WorkloadParams params;
+    params.weights = gen::unique_random_weights(inst.graph, wrng);
+    for (const char* workload : {"mst", "sssp.approx"}) {
+      congest::Session ref_session =
+          bench::make_session(inst.graph, inst.cert);
+      const congest::RunReport ref =
+          ref_session.solve(workload, params, congest::SolveOptions{});
+      for (const bool with_faults : {false, true}) {
+        const char* mode = with_faults ? "faulted" : "clean";
+        DistResult dist = distributed_solve(
+            inst, workload, params, kRanks,
+            with_faults ? faulted : transport::FaultConfig{});
+        bool parity = dist.error.empty();
+        if (!dist.error.empty())
+          std::fprintf(stderr, "bench_transport: %s/%s/%s: %s\n",
+                       inst.family.c_str(), workload, mode,
+                       dist.error.c_str());
+        for (const congest::RunReport& r : dist.reports)
+          if (!io::run_reports_identical(r, ref)) parity = false;
+        if (!parity) ok = false;
+
+        transport::TransportStats total;
+        for (const transport::TransportStats& st : dist.stats) {
+          total.rounds_exchanged =
+              std::max(total.rounds_exchanged, st.rounds_exchanged);
+          total.wire_records += st.wire_records;
+          total.datagrams_sent += st.datagrams_sent;
+          total.datagrams_received += st.datagrams_received;
+          total.acks_sent += st.acks_sent;
+          total.retransmits += st.retransmits;
+          total.faults_dropped += st.faults_dropped;
+          total.faults_duplicated += st.faults_duplicated;
+          total.faults_held += st.faults_held;
+        }
+        std::printf(
+            "%-10s %7d %-12s %-7s %9lld %10lld %8lld %9lld %8lld %7s\n",
+            inst.family.c_str(), inst.graph.num_vertices(), workload, mode,
+            ref.rounds, ref.messages, total.wire_records,
+            total.datagrams_sent, total.retransmits, parity ? "yes" : "NO");
+        report.row()
+            .set("family", inst.family)
+            .set("n", static_cast<long long>(inst.graph.num_vertices()))
+            .set("workload", workload)
+            .set("mode", mode)
+            .set("ranks", kRanks)
+            .set("rounds", ref.rounds)
+            .set("messages", ref.messages)
+            .set("rounds_exchanged", total.rounds_exchanged)
+            .set("wire_records", total.wire_records)
+            .set("parity", parity ? "yes" : "no")
+            .set("wall_ms", dist.wall_ms)
+            .set("datagrams_sent", total.datagrams_sent)
+            .set("datagrams_received", total.datagrams_received)
+            .set("acks_sent", total.acks_sent)
+            .set("retransmits", total.retransmits)
+            .set("faults_dropped", total.faults_dropped)
+            .set("faults_duplicated", total.faults_duplicated)
+            .set("faults_held", total.faults_held);
+      }
+    }
+  }
+
+  const bool wrote = report.write();
+  if (!ok) {
+    std::fprintf(stderr,
+                 "bench_transport: PARITY VIOLATION — a socket-backed run "
+                 "diverged from the single-process reference\n");
+    return 1;
+  }
+  return wrote ? 0 : 1;
+}

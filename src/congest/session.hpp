@@ -154,6 +154,11 @@ class Session {
   // -- owned state --
   [[nodiscard]] const Graph& graph() const noexcept { return core_->graph(); }
   [[nodiscard]] Simulator& simulator() noexcept { return handle_.simulator(); }
+  /// Installs a message transport on the default handle's round engine
+  /// (non-owning; DESIGN.md §11 "Transport layer").
+  void set_transport(transport::Transport* transport) {
+    handle_.set_transport(transport);
+  }
   [[nodiscard]] const StructuralCertificate& certificate() const noexcept {
     return core_->certificate();
   }

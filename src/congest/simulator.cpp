@@ -1,8 +1,25 @@
 #include "congest/simulator.hpp"
 
 #include <stdexcept>
+#include <string>
+
+#include "transport/transport.hpp"
 
 namespace mns::congest {
+
+namespace {
+
+/// Endpoint-violation text with the offending ids: contract tests assert the
+/// `from` vertex and edge id appear verbatim, so misdirected sends are
+/// debuggable from the what() string alone.
+std::string endpoint_violation(const char* fn, VertexId from, EdgeId edge,
+                               const Edge& e) {
+  return std::string(fn) + ": from vertex " + std::to_string(from) +
+         " is not an endpoint of edge " + std::to_string(edge) + " (" +
+         std::to_string(e.u) + ", " + std::to_string(e.v) + ")";
+}
+
+}  // namespace
 
 Simulator::Simulator(const Graph& g, ExecutionPolicy policy)
     : g_(&g),
@@ -41,6 +58,19 @@ void Simulator::set_execution_policy(ExecutionPolicy policy) {
   }
 }
 
+void Simulator::set_transport(transport::Transport* transport) {
+  if (!pending_to_.empty())
+    throw std::logic_error(
+        "Simulator::set_transport: sends pending; the transport may only "
+        "change between rounds");
+  for (int s = 0; s < num_shards_; ++s)
+    if (!shards_[static_cast<std::size_t>(s)].entries.empty())
+      throw std::logic_error(
+          "Simulator::set_transport: staged sends pending; the transport may "
+          "only change between rounds");
+  transport_ = transport;
+}
+
 WorkerPool& Simulator::pool() {
   if (!pool_) pool_ = std::make_unique<WorkerPool>(num_shards_);
   return *pool_;
@@ -60,7 +90,8 @@ Arena::Stats Simulator::arena_stats() const {
 void Simulator::send(VertexId from, EdgeId edge, const Message& msg) {
   const Edge& e = g_->edge(edge);
   if (e.u != from && e.v != from)
-    throw std::invalid_argument("Simulator::send: from not on edge");
+    throw std::invalid_argument(
+        endpoint_violation("Simulator::send", from, edge, e));
   const std::size_t slot =
       2 * static_cast<std::size_t>(edge) + (from == e.u ? 0 : 1);
   if (used_[slot])
@@ -84,7 +115,8 @@ void Simulator::stage_send(int shard, VertexId from, EdgeId edge,
     throw std::out_of_range("Simulator::stage_send: shard out of range");
   const Edge& e = g_->edge(edge);
   if (e.u != from && e.v != from)
-    throw std::invalid_argument("Simulator::stage_send: from not on edge");
+    throw std::invalid_argument(
+        endpoint_violation("Simulator::stage_send", from, edge, e));
   const std::uint32_t slot = static_cast<std::uint32_t>(
       2 * static_cast<std::size_t>(edge) + (from == e.u ? 0 : 1));
   const VertexId to = (from == e.u) ? e.v : e.u;
@@ -136,6 +168,18 @@ void Simulator::finish_round() {
       ++messages_;
     }
     shard.entries.clear();
+  }
+  // Transport seam (DESIGN.md §11): the canonical merged batch is complete;
+  // let the transport block for remote delivery and substitute authoritative
+  // payload bytes before anything is scattered into inboxes. A throw here
+  // poisons the round (documented on finish_round()).
+  if (transport_ != nullptr) {
+    transport::RoundTraffic traffic;
+    traffic.round = rounds_;
+    traffic.to = {pending_to_.data(), pending_to_.size()};
+    traffic.slot = {pending_slot_.data(), pending_slot_.size()};
+    traffic.payload = {pending_msg_.data(), pending_msg_.size()};
+    transport_->exchange(traffic);
   }
   // Count messages per destination; destinations join the frontier on
   // their first message. Sort-free CSR: the per-destination counts become

@@ -212,6 +212,13 @@ class SolveHandle {
   [[nodiscard]] const Graph& graph() const noexcept { return core_->graph(); }
   [[nodiscard]] Simulator& simulator() noexcept { return sim_; }
 
+  /// Installs a message transport on the round engine (non-owning; must
+  /// outlive the handle or be detached with nullptr — DESIGN.md §11). Every
+  /// subsequent solve's rounds exchange through it.
+  void set_transport(transport::Transport* transport) {
+    sim_.set_transport(transport);
+  }
+
   /// Points the handle at a different core over the SAME graph object
   /// (Session::set_certificate swaps structural knowledge this way without
   /// invalidating the simulator). Throws if the graph differs.

@@ -1,0 +1,29 @@
+// transport::make_loopback_cluster — N SocketTransports wired to each other
+// over 127.0.0.1 UDP sockets in ONE process (DESIGN.md §11).
+//
+// This is the test/bench harness for the socket stack: each returned
+// transport is a fully real SocketTransport (seq/ack/retransmit, fences,
+// the lot) bound to its own ephemeral UDP port; only the process boundary
+// is missing. Drive each rank from its own thread — exchange() blocks on
+// peer fences, so single-threaded lock-step driving would deadlock.
+//
+// With an active FaultConfig every rank's OUTBOUND datagrams pass through
+// an independent FaultInjectingTransport seeded from (faults.seed, rank).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "transport/fault_injection.hpp"
+#include "transport/socket_transport.hpp"
+
+namespace mns::transport {
+
+/// Binds `ranks` UDP sockets on 127.0.0.1, exchanges the port table, and
+/// returns one SocketTransport per rank (index = rank). `config.rank` and
+/// `config.ranks` are overwritten; the remaining knobs apply to every rank.
+std::vector<std::unique_ptr<SocketTransport>> make_loopback_cluster(
+    const Graph& graph, int ranks, SocketTransportConfig config = {},
+    const FaultConfig& faults = {});
+
+}  // namespace mns::transport

@@ -1,0 +1,462 @@
+#include "transport/socket_transport.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "transport/fault_injection.hpp"
+
+namespace mns::transport {
+
+namespace {
+
+// Wire format (little-endian, fixed 24-byte header):
+//   u32 magic 'MNS1' | u8 type | u8 from_rank | u16 count | u64 seq |
+//   i64 round (DATA/FENCE: round, CTRL: tag, ACK: 0)
+// DATA body: count * 20-byte records {u32 slot, i32 tag, i32 aux, i64 value}
+// CTRL body: one u64 value. ACK: seq = cumulative ack, no body.
+constexpr std::uint32_t kMagic = 0x314e534d;  // "MNS1"
+constexpr std::uint8_t kData = 1;
+constexpr std::uint8_t kFence = 2;
+constexpr std::uint8_t kAck = 3;
+constexpr std::uint8_t kCtrl = 4;
+constexpr std::size_t kHeaderBytes = 24;
+constexpr std::size_t kRecordBytes = 20;
+/// 24 + 64*20 = 1304 bytes, under UdpTransport::kMaxDatagramBytes.
+constexpr std::size_t kMaxRecordsPerDatagram = 64;
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t x) {
+  out.push_back(static_cast<std::uint8_t>(x & 0xffu));
+  out.push_back(static_cast<std::uint8_t>(x >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t x) {
+  for (int b = 0; b < 4; ++b)
+    out.push_back(static_cast<std::uint8_t>((x >> (8 * b)) & 0xffu));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t x) {
+  for (int b = 0; b < 8; ++b)
+    out.push_back(static_cast<std::uint8_t>((x >> (8 * b)) & 0xffu));
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t x = 0;
+  for (int b = 3; b >= 0; --b) x = (x << 8) | p[b];
+  return x;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t x = 0;
+  for (int b = 7; b >= 0; --b) x = (x << 8) | p[b];
+  return x;
+}
+
+void put_record(std::vector<std::uint8_t>& out, std::uint32_t slot,
+                const congest::Message& m) {
+  put_u32(out, slot);
+  put_u32(out, static_cast<std::uint32_t>(m.tag));
+  put_u32(out, static_cast<std::uint32_t>(m.aux));
+  put_u64(out, static_cast<std::uint64_t>(m.value));
+}
+
+std::vector<std::uint8_t> build_packet(std::uint8_t type, int from_rank,
+                                       std::uint16_t count, std::uint64_t seq,
+                                       std::int64_t round,
+                                       std::vector<std::uint8_t> body) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes + body.size());
+  put_u32(out, kMagic);
+  out.push_back(type);
+  out.push_back(static_cast<std::uint8_t>(from_rank));
+  put_u16(out, count);
+  put_u64(out, seq);
+  put_u64(out, static_cast<std::uint64_t>(round));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+}  // namespace
+
+SocketTransport::SocketTransport(const Graph& graph,
+                                 SocketTransportConfig config,
+                                 std::unique_ptr<DatagramTransport> net)
+    : g_(&graph), config_(config), net_(std::move(net)) {
+  if (config_.ranks < 1 || config_.rank < 0 || config_.rank >= config_.ranks)
+    throw TransportError("SocketTransport: rank " +
+                         std::to_string(config_.rank) + " not in [0, " +
+                         std::to_string(config_.ranks) + ")");
+  if (config_.ranks > 1 && net_ == nullptr)
+    throw TransportError("SocketTransport: null datagram transport");
+  if (config_.window < 1 || config_.initial_timeout_ms < 1 ||
+      config_.max_timeout_ms < config_.initial_timeout_ms ||
+      config_.stall_timeout_ms < config_.max_timeout_ms)
+    throw TransportError("SocketTransport: bad window/timeout configuration");
+  const long long n = graph.num_vertices();
+  range_begin_.resize(static_cast<std::size_t>(config_.ranks) + 1);
+  for (int r = 0; r <= config_.ranks; ++r)
+    range_begin_[static_cast<std::size_t>(r)] =
+        static_cast<VertexId>(n * r / config_.ranks);
+  links_.resize(static_cast<std::size_t>(config_.ranks));
+}
+
+SocketTransport::~SocketTransport() = default;
+
+TransportStats SocketTransport::stats() const {
+  TransportStats out = stats_;
+  if (const auto* faults =
+          dynamic_cast<const FaultInjectingTransport*>(net_.get())) {
+    out.faults_dropped = faults->dropped();
+    out.faults_duplicated = faults->duplicated();
+    out.faults_held = faults->held();
+  }
+  return out;
+}
+
+int SocketTransport::owner(VertexId v) const noexcept {
+  for (int r = 1; r < config_.ranks; ++r)
+    if (v < range_begin_[static_cast<std::size_t>(r)]) return r - 1;
+  return config_.ranks - 1;
+}
+
+std::int64_t SocketTransport::now_ms() const {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SocketTransport::transmit(int peer, SentPacket& packet) {
+  net_->send(peer, packet.bytes);
+  ++stats_.datagrams_sent;
+  packet.deadline_ms = now_ms() + packet.timeout_ms;
+}
+
+void SocketTransport::pump(int peer) {
+  Link& link = links_[static_cast<std::size_t>(peer)];
+  while (link.inflight.size() < static_cast<std::size_t>(config_.window) &&
+         !link.queued.empty()) {
+    SentPacket packet = std::move(link.queued.front());
+    link.queued.pop_front();
+    transmit(peer, packet);
+    link.inflight.push_back(std::move(packet));
+  }
+}
+
+void SocketTransport::send_reliable(int peer, std::uint8_t type,
+                                    std::int64_t round,
+                                    std::vector<std::uint8_t> body,
+                                    std::uint16_t count) {
+  Link& link = links_[static_cast<std::size_t>(peer)];
+  SentPacket packet;
+  packet.seq = link.next_seq++;
+  packet.timeout_ms = config_.initial_timeout_ms;
+  packet.deadline_ms = 0;
+  packet.bytes = build_packet(type, config_.rank, count, packet.seq, round,
+                              std::move(body));
+  if (link.inflight.size() < static_cast<std::size_t>(config_.window)) {
+    transmit(peer, packet);
+    link.inflight.push_back(std::move(packet));
+  } else {
+    link.queued.push_back(std::move(packet));
+  }
+}
+
+void SocketTransport::send_ack(int peer) {
+  const Link& link = links_[static_cast<std::size_t>(peer)];
+  net_->send(peer, build_packet(kAck, config_.rank, 0,
+                                link.next_expected - 1, 0, {}));
+  ++stats_.datagrams_sent;
+  ++stats_.acks_sent;
+}
+
+void SocketTransport::retransmit_due() {
+  const std::int64_t now = now_ms();
+  for (int p = 0; p < config_.ranks; ++p) {
+    if (p == config_.rank) continue;
+    for (SentPacket& packet : links_[static_cast<std::size_t>(p)].inflight) {
+      if (now < packet.deadline_ms) continue;
+      packet.timeout_ms = std::min(packet.timeout_ms * 2,
+                                   config_.max_timeout_ms);
+      transmit(p, packet);
+      ++stats_.retransmits;
+    }
+  }
+}
+
+void SocketTransport::handle_datagram(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kHeaderBytes) return;  // malformed: drop
+  if (get_u32(bytes.data()) != kMagic) return;
+  const std::uint8_t type = bytes[4];
+  const int from = bytes[5];
+  const std::uint16_t count = get_u16(bytes.data() + 6);
+  const std::uint64_t seq = get_u64(bytes.data() + 8);
+  const auto round = static_cast<std::int64_t>(get_u64(bytes.data() + 16));
+  if (from == config_.rank || from >= config_.ranks) return;
+  Link& link = links_[static_cast<std::size_t>(from)];
+
+  if (type == kAck) {
+    while (!link.inflight.empty() && link.inflight.front().seq <= seq)
+      link.inflight.pop_front();
+    link.cum_acked = std::max(link.cum_acked, seq);
+    pump(from);
+    return;
+  }
+  if (type != kData && type != kFence && type != kCtrl) return;
+
+  // Reliable path: dedup / in-order delivery / out-of-order buffering.
+  if (seq < link.next_expected) {
+    send_ack(from);  // duplicate (retransmit race or injected dup)
+    return;
+  }
+  Inbound in;
+  in.type = type;
+  in.round = round;
+  const std::uint8_t* body = bytes.data() + kHeaderBytes;
+  const std::size_t body_len = bytes.size() - kHeaderBytes;
+  if (type == kData) {
+    if (body_len < static_cast<std::size_t>(count) * kRecordBytes) return;
+    in.slots.reserve(count);
+    in.payloads.reserve(count);
+    for (std::uint16_t i = 0; i < count; ++i) {
+      const std::uint8_t* rec = body + static_cast<std::size_t>(i) *
+                                           kRecordBytes;
+      in.slots.push_back(get_u32(rec));
+      congest::Message m;
+      m.tag = static_cast<std::int32_t>(get_u32(rec + 4));
+      m.aux = static_cast<std::int32_t>(get_u32(rec + 8));
+      m.value = static_cast<std::int64_t>(get_u64(rec + 12));
+      in.payloads.push_back(m);
+    }
+  } else if (type == kCtrl) {
+    if (body_len < 8) return;
+    in.ctrl_value = get_u64(body);
+  }
+  if (seq == link.next_expected) {
+    link.ready.push_back(std::move(in));
+    ++link.next_expected;
+    auto it = link.out_of_order.find(link.next_expected);
+    while (it != link.out_of_order.end()) {
+      link.ready.push_back(std::move(it->second));
+      link.out_of_order.erase(it);
+      ++link.next_expected;
+      it = link.out_of_order.find(link.next_expected);
+    }
+  } else {
+    link.out_of_order.emplace(seq, std::move(in));
+  }
+  send_ack(from);
+}
+
+bool SocketTransport::poll_once() {
+  // Wait at most until the earliest retransmit deadline (clamped to a small
+  // cap so stall detection stays responsive).
+  const std::int64_t now = now_ms();
+  std::int64_t wait = 5;
+  for (int p = 0; p < config_.ranks; ++p) {
+    if (p == config_.rank) continue;
+    const Link& link = links_[static_cast<std::size_t>(p)];
+    if (!link.inflight.empty())
+      wait = std::min(wait, link.inflight.front().deadline_ms - now);
+  }
+  wait = std::max<std::int64_t>(wait, 0);
+  const bool got = net_->receive(recv_buf_, static_cast<int>(wait));
+  if (got) {
+    ++stats_.datagrams_received;
+    last_receipt_ms_ = now_ms();
+    handle_datagram(recv_buf_);
+    // Drain whatever else is already queued on the socket without waiting.
+    while (net_->receive(recv_buf_, 0)) {
+      ++stats_.datagrams_received;
+      handle_datagram(recv_buf_);
+    }
+  }
+  retransmit_due();
+  return got;
+}
+
+void SocketTransport::exchange(const RoundTraffic& traffic) {
+  ++stats_.rounds_exchanged;
+  if (config_.ranks <= 1) return;
+  const std::int64_t round = traffic.round;
+
+  // Classify the canonical batch: entries whose sender this rank owns and
+  // whose receiver it does not become wire records; the mirror-image
+  // entries become the expected inbound set (slot -> batch index).
+  struct Expected {
+    std::uint32_t slot;
+    std::size_t index;
+    bool written;
+  };
+  std::vector<Expected> expected;
+  std::vector<std::vector<std::uint8_t>> body(
+      static_cast<std::size_t>(config_.ranks));
+  std::vector<std::uint16_t> body_count(
+      static_cast<std::size_t>(config_.ranks), 0);
+  for (std::size_t i = 0; i < traffic.size(); ++i) {
+    const std::uint32_t slot = traffic.slot[i];
+    const Edge& ed = g_->edge(static_cast<EdgeId>(slot >> 1));
+    const VertexId from = (slot & 1u) != 0 ? ed.v : ed.u;
+    const int sender_owner = owner(from);
+    const int receiver_owner = owner(traffic.to[i]);
+    if (sender_owner == receiver_owner) continue;  // shard-local
+    if (sender_owner == config_.rank) {
+      auto& b = body[static_cast<std::size_t>(receiver_owner)];
+      put_record(b, slot, traffic.payload[i]);
+      ++stats_.wire_records;
+      if (++body_count[static_cast<std::size_t>(receiver_owner)] ==
+          kMaxRecordsPerDatagram) {
+        send_reliable(receiver_owner, kData, round, std::move(b),
+                      kMaxRecordsPerDatagram);
+        b.clear();
+        body_count[static_cast<std::size_t>(receiver_owner)] = 0;
+      }
+    } else if (receiver_owner == config_.rank) {
+      expected.push_back(Expected{slot, i, false});
+    }
+    // Third-party traffic (neither endpoint owned here) stays a local
+    // replica computation; the owning pair exchanges it themselves.
+  }
+  for (int p = 0; p < config_.ranks; ++p) {
+    if (p == config_.rank) continue;
+    if (body_count[static_cast<std::size_t>(p)] > 0)
+      send_reliable(p, kData, round,
+                    std::move(body[static_cast<std::size_t>(p)]),
+                    body_count[static_cast<std::size_t>(p)]);
+    // The fence travels after all data on the ordered link: receiving it
+    // proves the peer's round is complete. Sent every round — it IS the
+    // lock-step barrier.
+    send_reliable(p, kFence, round, {}, 0);
+  }
+  std::sort(expected.begin(), expected.end(),
+            [](const Expected& a, const Expected& b) {
+              return a.slot < b.slot;
+            });
+
+  std::vector<char> fenced(static_cast<std::size_t>(config_.ranks), 0);
+  fenced[static_cast<std::size_t>(config_.rank)] = 1;
+  std::size_t matched = 0;
+  last_receipt_ms_ = now_ms();
+  for (;;) {
+    bool all_fenced = true;
+    for (int p = 0; p < config_.ranks; ++p) {
+      if (fenced[static_cast<std::size_t>(p)] != 0) continue;
+      auto& ready = links_[static_cast<std::size_t>(p)].ready;
+      while (!ready.empty()) {
+        Inbound& in = ready.front();
+        if (in.type == kCtrl) break;  // a later all_gather's traffic
+        if (in.round != round)
+          throw TransportError(
+              "SocketTransport rank " + std::to_string(config_.rank) +
+              ": peer " + std::to_string(p) + " sent round " +
+              std::to_string(in.round) + " traffic inside round " +
+              std::to_string(round) + " (replica divergence)");
+        if (in.type == kFence) {
+          fenced[static_cast<std::size_t>(p)] = 1;
+          ready.pop_front();
+          break;
+        }
+        for (std::size_t j = 0; j < in.slots.size(); ++j) {
+          const std::uint32_t slot = in.slots[j];
+          auto it = std::lower_bound(
+              expected.begin(), expected.end(), slot,
+              [](const Expected& e, std::uint32_t s) { return e.slot < s; });
+          if (it == expected.end() || it->slot != slot || it->written)
+            throw TransportError(
+                "SocketTransport rank " + std::to_string(config_.rank) +
+                ": peer " + std::to_string(p) +
+                " delivered unexpected slot " + std::to_string(slot) +
+                " in round " + std::to_string(round) +
+                " (replica divergence)");
+          // The authoritative substitution: this inbox payload now comes
+          // from the wire, not from local computation.
+          traffic.payload[it->index] = in.payloads[j];
+          it->written = true;
+          ++matched;
+        }
+        ready.pop_front();
+      }
+      if (fenced[static_cast<std::size_t>(p)] == 0) all_fenced = false;
+    }
+    if (all_fenced) break;
+    if (!poll_once() &&
+        now_ms() - last_receipt_ms_ > config_.stall_timeout_ms)
+      throw TransportError("SocketTransport rank " +
+                           std::to_string(config_.rank) +
+                           ": no datagrams for " +
+                           std::to_string(config_.stall_timeout_ms) +
+                           "ms awaiting round " + std::to_string(round) +
+                           " (peer lost?)");
+  }
+  if (matched != expected.size())
+    throw TransportError(
+        "SocketTransport rank " + std::to_string(config_.rank) + ": round " +
+        std::to_string(round) + " fenced with " + std::to_string(matched) +
+        " of " + std::to_string(expected.size()) +
+        " expected records delivered (replica divergence)");
+}
+
+std::vector<std::uint64_t> SocketTransport::all_gather(std::uint64_t tag,
+                                                       std::uint64_t value) {
+  std::vector<std::uint64_t> values(static_cast<std::size_t>(config_.ranks),
+                                    0);
+  values[static_cast<std::size_t>(config_.rank)] = value;
+  if (config_.ranks <= 1) return values;
+  for (int p = 0; p < config_.ranks; ++p) {
+    if (p == config_.rank) continue;
+    std::vector<std::uint8_t> body;
+    put_u64(body, value);
+    send_reliable(p, kCtrl, static_cast<std::int64_t>(tag), std::move(body),
+                  1);
+  }
+  std::vector<char> got(static_cast<std::size_t>(config_.ranks), 0);
+  got[static_cast<std::size_t>(config_.rank)] = 1;
+  last_receipt_ms_ = now_ms();
+  for (;;) {
+    bool all = true;
+    for (int p = 0; p < config_.ranks; ++p) {
+      if (got[static_cast<std::size_t>(p)] != 0) continue;
+      auto& ready = links_[static_cast<std::size_t>(p)].ready;
+      if (!ready.empty()) {
+        Inbound& in = ready.front();
+        if (in.type != kCtrl)
+          throw TransportError(
+              "SocketTransport rank " + std::to_string(config_.rank) +
+              ": peer " + std::to_string(p) +
+              " sent round traffic inside all_gather (phase divergence)");
+        if (in.round != static_cast<std::int64_t>(tag))
+          throw TransportError(
+              "SocketTransport rank " + std::to_string(config_.rank) +
+              ": all_gather tag mismatch with peer " + std::to_string(p));
+        values[static_cast<std::size_t>(p)] = in.ctrl_value;
+        got[static_cast<std::size_t>(p)] = 1;
+        ready.pop_front();
+        continue;
+      }
+      all = false;
+    }
+    if (all) break;
+    if (!poll_once() &&
+        now_ms() - last_receipt_ms_ > config_.stall_timeout_ms)
+      throw TransportError("SocketTransport rank " +
+                           std::to_string(config_.rank) +
+                           ": all_gather stalled (peer lost?)");
+  }
+  return values;
+}
+
+void SocketTransport::shutdown(int grace_ms) {
+  if (config_.ranks <= 1 || net_ == nullptr) return;
+  // Keep servicing retransmits (re-ACK dups, resend our unacked tail) until
+  // the cluster has been silent for the grace period: a peer whose final
+  // ACK was dropped can then finish its barrier instead of stalling.
+  last_receipt_ms_ = now_ms();
+  while (now_ms() - last_receipt_ms_ < grace_ms) (void)poll_once();
+}
+
+}  // namespace mns::transport

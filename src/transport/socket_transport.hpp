@@ -1,0 +1,142 @@
+// transport::SocketTransport — sequence-numbered, acknowledged,
+// retransmitting datagram delivery for the CONGEST round engine
+// (DESIGN.md §11 "Transport layer").
+//
+// Reliability discipline (per ordered peer pair, both directions):
+//   * every DATA / FENCE / CTRL packet carries a link-local sequence number
+//     (seq 1, 2, ...); the receiver delivers strictly in order, buffers
+//     out-of-order arrivals, and answers every reliable packet with a
+//     cumulative ACK;
+//   * the sender keeps at most `window` unacked packets in flight (excess
+//     is queued and pumped as ACKs arrive) and retransmits a packet whose
+//     ACK is overdue, with exponential backoff from initial_timeout_ms to
+//     max_timeout_ms;
+//   * duplicates (retransmit races, injected faults) are detected by seq
+//     and re-ACKed, never re-delivered.
+//
+// Round-barrier protocol: exchange(R) sends this rank's authoritative
+// cut-edge records for round R (DATA packets, batched), then a FENCE(R) to
+// EVERY peer — also when there is no data, so the fence doubles as the
+// lock-step barrier. Because links are reliable and ordered, receiving
+// FENCE(R) from a peer proves all of that peer's round-R records arrived.
+// The call returns once every peer's fence arrived and every expected
+// record was substituted into the round's payload buffer; a record whose
+// slot matches nothing this replica computed (or arrives twice) is replica
+// divergence and throws TransportError.
+//
+// The vertex-range partition: rank r owns the contiguous range
+// [n*r/ranks, n*(r+1)/ranks). A message is wire traffic iff its sender's
+// owner differs from its receiver's owner; the sender's owner transmits,
+// the receiver's owner substitutes the wire bytes into its inbox buffer
+// (transport.hpp documents the replicated-computation model this slots
+// into).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "transport/datagram.hpp"
+#include "transport/transport.hpp"
+
+namespace mns::transport {
+
+struct SocketTransportConfig {
+  int rank = 0;
+  int ranks = 1;
+  /// Per-peer unacked-packet cap; excess packets queue until ACKs arrive.
+  int window = 64;
+  /// First retransmit fires after this long without an ACK ...
+  int initial_timeout_ms = 2;
+  /// ... doubling per retransmit up to this ceiling.
+  int max_timeout_ms = 256;
+  /// No datagram received for this long while a barrier is incomplete =>
+  /// the peer is gone; throw instead of wedging the round loop.
+  int stall_timeout_ms = 30000;
+};
+
+class SocketTransport final : public Transport {
+ public:
+  /// `graph` re-derives each packed slot's sender endpoint and must equal
+  /// every peer's graph (replicated construction from one seed/snapshot).
+  SocketTransport(const Graph& graph, SocketTransportConfig config,
+                  std::unique_ptr<DatagramTransport> net);
+  ~SocketTransport() override;
+
+  void exchange(const RoundTraffic& traffic) override;
+  /// Includes the faults_* counters when the datagram layer is a
+  /// FaultInjectingTransport.
+  [[nodiscard]] TransportStats stats() const override;
+
+  [[nodiscard]] int rank() const noexcept { return config_.rank; }
+  [[nodiscard]] int ranks() const noexcept { return config_.ranks; }
+  /// The rank owning vertex v under the contiguous range partition.
+  [[nodiscard]] int owner(VertexId v) const noexcept;
+
+  /// Reliable small-value all-gather over the same links, used OUTSIDE the
+  /// round loop: the pre-solve handshake, RunReport digest aggregation at
+  /// rank 0, and the shutdown barrier. Tags must be distinct per gather and
+  /// issued in the same order on every rank. Returns all ranks' values,
+  /// indexed by rank.
+  std::vector<std::uint64_t> all_gather(std::uint64_t tag,
+                                        std::uint64_t value);
+
+  /// Post-barrier linger: keeps re-ACKing peer retransmits until the link
+  /// has been silent for `grace_ms`, so a peer whose final ACK was lost can
+  /// finish instead of stalling. Call after the last all_gather, before
+  /// destruction.
+  void shutdown(int grace_ms = 100);
+
+ private:
+  struct SentPacket {
+    std::uint64_t seq;
+    std::vector<std::uint8_t> bytes;
+    std::int64_t deadline_ms;  ///< steady-clock ms of the next retransmit
+    int timeout_ms;
+  };
+  /// One delivered (in-order) reliable packet awaiting consumption.
+  struct Inbound {
+    std::uint8_t type;
+    std::int64_t round;  ///< DATA/FENCE round; CTRL tag
+    std::vector<std::uint32_t> slots;
+    std::vector<congest::Message> payloads;
+    std::uint64_t ctrl_value = 0;
+  };
+  struct Link {
+    // send side
+    std::uint64_t next_seq = 1;
+    std::uint64_t cum_acked = 0;
+    std::deque<SentPacket> inflight;
+    std::deque<SentPacket> queued;  ///< built + seq'd, awaiting window space
+    // receive side
+    std::uint64_t next_expected = 1;
+    std::map<std::uint64_t, Inbound> out_of_order;
+    std::deque<Inbound> ready;  ///< in-order, not yet consumed
+  };
+
+  void send_reliable(int peer, std::uint8_t type, std::int64_t round,
+                     std::vector<std::uint8_t> body, std::uint16_t count);
+  void transmit(int peer, SentPacket& packet);
+  void pump(int peer);
+  void send_ack(int peer);
+  void retransmit_due();
+  /// Waits up to the next retransmit deadline for one datagram and folds it
+  /// into the link state. Returns true if anything was received.
+  bool poll_once();
+  void handle_datagram(std::span<const std::uint8_t> bytes);
+  [[nodiscard]] std::int64_t now_ms() const;
+
+  const Graph* g_;
+  SocketTransportConfig config_;
+  std::unique_ptr<DatagramTransport> net_;
+  std::vector<VertexId> range_begin_;  ///< ranks+1 ownership boundaries
+  std::vector<Link> links_;            ///< indexed by rank (self unused)
+  std::vector<std::uint8_t> recv_buf_;
+  std::int64_t last_receipt_ms_ = 0;
+  TransportStats stats_;
+};
+
+}  // namespace mns::transport

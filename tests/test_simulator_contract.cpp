@@ -37,6 +37,31 @@ TEST(SimulatorContract, CapacityViolationThrows) {
   EXPECT_EQ(sim.messages_sent(), 3);
 }
 
+TEST(SimulatorContract, EndpointViolationNamesVertexAndEdge) {
+  // The what() string must identify WHICH send was misdirected — the `from`
+  // vertex and the edge id appear verbatim, for both the sequential and the
+  // staged path (debuggability contract of Simulator::send/stage_send).
+  Graph g = gen::path(3);
+  Simulator sim(g);
+  const EdgeId e = g.find_edge(1, 2);
+  const auto assert_ids_in_what = [&](const auto& call) {
+    try {
+      call();
+      FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& ex) {
+      const std::string what = ex.what();
+      EXPECT_NE(what.find("vertex 0"), std::string::npos) << what;
+      EXPECT_NE(what.find("edge " + std::to_string(e)), std::string::npos)
+          << what;
+    }
+  };
+  assert_ids_in_what([&] { sim.send(0, e, Message{}); });
+  assert_ids_in_what([&] { sim.stage_send(0, 0, e, Message{}); });
+  // A throwing call stages nothing: the next round is clean.
+  sim.finish_round();
+  EXPECT_EQ(sim.messages_sent(), 0);
+}
+
 TEST(SimulatorContract, InboxOutOfRangeIsCaught) {
   // inbox(v) validates v like send() validates endpoints: indexing
   // inbox_count_ with a bogus id must throw, not read out of bounds.

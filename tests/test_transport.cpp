@@ -1,0 +1,334 @@
+// Transport-seam contract tests (DESIGN.md §11 "Transport layer").
+//
+// The acceptance bar: running the CONGEST workloads over REAL sockets — two
+// ranks exchanging cut-edge records via seq/ack/retransmit UDP delivery —
+// must produce RunReports bit-identical (io::run_reports_identical) to the
+// single-process reference, on every certificate family, for mst and
+// sssp.approx, including under seeded drop/dup/reorder fault injection.
+//
+// Each loopback rank runs on its own thread (exchange() blocks on peer
+// fences); the `parallel` ctest label puts this file in the TSan job, so
+// the transport's cross-thread behavior — all sharing goes through the
+// kernel's UDP sockets, nothing through memory — runs under a race
+// detector too.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "congest/session.hpp"
+#include "gen/apex.hpp"
+#include "gen/basic.hpp"
+#include "gen/clique_sum.hpp"
+#include "gen/ktree.hpp"
+#include "gen/planar.hpp"
+#include "gen/weights.hpp"
+#include "io/report_json.hpp"
+#include "serve/query_server.hpp"
+#include "transport/loopback.hpp"
+
+namespace mns {
+namespace {
+
+using congest::RunReport;
+using congest::Session;
+using congest::SolveOptions;
+using congest::WorkloadParams;
+using transport::FaultConfig;
+using transport::InProcessTransport;
+using transport::SocketTransport;
+using transport::SocketTransportConfig;
+using transport::TransportStats;
+
+struct FamilyCase {
+  std::string name;
+  Graph graph;
+  StructuralCertificate cert;
+};
+
+// One instance per certificate family, sized so mst and sssp.approx both
+// run several shortcut-backed phases without making the fault-injection
+// matrix slow.
+std::vector<FamilyCase> transport_families() {
+  std::vector<FamilyCase> out;
+  Rng rng(41);
+  out.push_back({"grid", gen::grid(7, 7).graph(), greedy_certificate()});
+  {
+    gen::KTreeResult kt = gen::random_ktree(60, 3, rng);
+    out.push_back(
+        {"ktree3", kt.graph, treewidth_certificate(kt.decomposition)});
+  }
+  {
+    gen::ApexResult ar = gen::add_apices(gen::grid(6, 6).graph(), 1, 0.2, rng);
+    out.push_back({"grid+apex", ar.graph, apex_certificate(ar.apices)});
+  }
+  {
+    Graph bag = gen::triangulated_grid(3, 3).graph();
+    std::vector<gen::BagInput> inputs;
+    for (int i = 0; i < 3; ++i)
+      inputs.push_back({bag, gen::default_glue_cliques(bag, 2)});
+    gen::CliqueSumResult cs = gen::compose_clique_sum(inputs, 2, 0.0, rng);
+    out.push_back(
+        {"cliquesum", cs.graph, cliquesum_certificate(cs.decomposition)});
+  }
+  return out;
+}
+
+WorkloadParams params_for(const Graph& g, Rng& wrng) {
+  WorkloadParams p;
+  p.weights = gen::unique_random_weights(g, wrng);
+  return p;
+}
+
+RunReport reference_solve(const FamilyCase& fam, const std::string& workload,
+                          const WorkloadParams& params) {
+  Session session(fam.graph, fam.cert);
+  return session.solve(workload, params, SolveOptions{});
+}
+
+/// Runs `workload` on `ranks` lock-step replicas wired by a loopback socket
+/// cluster (one thread per rank) and returns every rank's report.
+/// Exceptions inside a rank thread surface as test failures via `errors`.
+std::vector<RunReport> distributed_solve(
+    const FamilyCase& fam, const std::string& workload,
+    const WorkloadParams& params, int ranks, const FaultConfig& faults,
+    std::vector<TransportStats>* stats_out = nullptr) {
+  auto cluster = transport::make_loopback_cluster(fam.graph, ranks,
+                                                  SocketTransportConfig{},
+                                                  faults);
+  std::vector<RunReport> reports(static_cast<std::size_t>(ranks));
+  std::vector<std::string> errors(static_cast<std::size_t>(ranks));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        Session session(fam.graph, fam.cert);
+        session.set_transport(cluster[static_cast<std::size_t>(r)].get());
+        reports[static_cast<std::size_t>(r)] =
+            session.solve(workload, params, SolveOptions{});
+        session.set_transport(nullptr);
+        cluster[static_cast<std::size_t>(r)]->shutdown();
+      } catch (const std::exception& e) {
+        errors[static_cast<std::size_t>(r)] = e.what();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int r = 0; r < ranks; ++r)
+    EXPECT_TRUE(errors[static_cast<std::size_t>(r)].empty())
+        << "rank " << r << ": " << errors[static_cast<std::size_t>(r)];
+  if (stats_out != nullptr) {
+    stats_out->clear();
+    for (int r = 0; r < ranks; ++r)
+      stats_out->push_back(cluster[static_cast<std::size_t>(r)]->stats());
+  }
+  return reports;
+}
+
+// ------------------------------------------------------------- in-process --
+
+TEST(TransportInProcess, InstalledTransportIsByteIdenticalToNone) {
+  for (FamilyCase& fam : transport_families()) {
+    SCOPED_TRACE(fam.name);
+    Rng wrng(43);
+    WorkloadParams params = params_for(fam.graph, wrng);
+    for (const char* workload : {"mst", "sssp.approx"}) {
+      SCOPED_TRACE(workload);
+      RunReport ref = reference_solve(fam, workload, params);
+
+      Session session(fam.graph, fam.cert);
+      InProcessTransport transport;
+      session.set_transport(&transport);
+      RunReport got = session.solve(workload, params, SolveOptions{});
+      EXPECT_TRUE(io::run_reports_identical(got, ref))
+          << io::run_report_to_json(got) << "\n"
+          << io::run_report_to_json(ref);
+      // Every finish_round() of the solve went through the seam.
+      EXPECT_GT(transport.stats().rounds_exchanged, 0);
+    }
+  }
+}
+
+// -------------------------------------------------------- loopback parity --
+
+TEST(TransportParity, TwoSocketRanksBitIdenticalOnEveryFamily) {
+  for (FamilyCase& fam : transport_families()) {
+    SCOPED_TRACE(fam.name);
+    Rng wrng(43);
+    WorkloadParams params = params_for(fam.graph, wrng);
+    for (const char* workload : {"mst", "sssp.approx"}) {
+      SCOPED_TRACE(workload);
+      RunReport ref = reference_solve(fam, workload, params);
+      std::vector<TransportStats> stats;
+      std::vector<RunReport> reports =
+          distributed_solve(fam, workload, params, 2, FaultConfig{}, &stats);
+      for (std::size_t r = 0; r < reports.size(); ++r) {
+        EXPECT_TRUE(io::run_reports_identical(reports[r], ref))
+            << "rank " << r << " diverged:\n"
+            << io::run_report_to_json(reports[r]) << "\n"
+            << io::run_report_to_json(ref);
+      }
+      // The network was load-bearing: deterministic transport counters
+      // agree across ranks and real cut-edge records flowed.
+      ASSERT_EQ(stats.size(), 2u);
+      EXPECT_EQ(stats[0].rounds_exchanged, stats[1].rounds_exchanged);
+      EXPECT_GT(stats[0].rounds_exchanged, 0);
+      EXPECT_GT(stats[0].wire_records + stats[1].wire_records, 0);
+    }
+  }
+}
+
+TEST(TransportParity, FourSocketRanksBitIdenticalOnGrid) {
+  FamilyCase fam{"grid", gen::grid(7, 7).graph(), greedy_certificate()};
+  Rng wrng(43);
+  WorkloadParams params = params_for(fam.graph, wrng);
+  for (const char* workload : {"mst", "sssp.approx"}) {
+    SCOPED_TRACE(workload);
+    RunReport ref = reference_solve(fam, workload, params);
+    std::vector<RunReport> reports =
+        distributed_solve(fam, workload, params, 4, FaultConfig{});
+    for (std::size_t r = 0; r < reports.size(); ++r)
+      EXPECT_TRUE(io::run_reports_identical(reports[r], ref)) << "rank " << r;
+  }
+}
+
+// -------------------------------------------------------- fault injection --
+
+TEST(TransportFaults, SeededDropDupReorderConvergesToIdenticalReports) {
+  FaultConfig faults;
+  faults.seed = 99;
+  faults.drop_rate = 0.15;  // >= the 10% the acceptance criteria demand
+  faults.dup_rate = 0.05;
+  faults.reorder_rate = 0.05;
+  for (FamilyCase& fam : transport_families()) {
+    SCOPED_TRACE(fam.name);
+    Rng wrng(43);
+    WorkloadParams params = params_for(fam.graph, wrng);
+    for (const char* workload : {"mst", "sssp.approx"}) {
+      SCOPED_TRACE(workload);
+      RunReport ref = reference_solve(fam, workload, params);
+      std::vector<TransportStats> stats;
+      std::vector<RunReport> reports =
+          distributed_solve(fam, workload, params, 2, faults, &stats);
+      for (std::size_t r = 0; r < reports.size(); ++r)
+        EXPECT_TRUE(io::run_reports_identical(reports[r], ref))
+            << "rank " << r << " diverged under faults:\n"
+            << io::run_report_to_json(reports[r]) << "\n"
+            << io::run_report_to_json(ref);
+      for (std::size_t r = 0; r < stats.size(); ++r) {
+        SCOPED_TRACE("rank " + std::to_string(r));
+        const TransportStats& st = stats[r];
+        // The adversary actually fired...
+        EXPECT_GT(st.faults_dropped, 0);
+        // ...every lost reliable packet was recovered by retransmission...
+        EXPECT_GT(st.retransmits, 0);
+        // ...and recovery stayed bounded: a fixed allowance per injected
+        // fault (each drop/hold needs ~1 retransmit, backoff may add a
+        // few), not a retransmit storm.
+        EXPECT_LE(st.retransmits,
+                  100 + 10 * (st.faults_dropped + st.faults_held +
+                              st.faults_duplicated));
+      }
+    }
+  }
+}
+
+// ------------------------------------------------- serving over transport --
+
+TEST(TransportServe, QueryServerRanksBitIdenticalToLocalServer) {
+  FamilyCase fam{"grid", gen::grid(7, 7).graph(), greedy_certificate()};
+  Rng wrng(47);
+  std::vector<Weight> w = gen::unique_random_weights(fam.graph, wrng);
+
+  std::vector<serve::Request> batch;
+  {
+    serve::Request mst;
+    mst.workload = "mst";
+    mst.params.weights = w;
+    batch.push_back(mst);
+    for (VertexId src : {0, 24}) {
+      serve::Request sssp;
+      sssp.workload = "sssp.approx";
+      sssp.params.weights = w;
+      sssp.params.source = src;
+      batch.push_back(sssp);
+    }
+  }
+
+  // Local reference server: warm pass builds, second pass is the reference.
+  auto ref_core =
+      std::make_shared<const congest::SolverCore>(fam.graph, fam.cert);
+  serve::QueryServer ref_server(ref_core);
+  (void)ref_server.warm(batch);
+  std::vector<serve::Response> ref = ref_server.warm(batch);
+  for (const serve::Response& r : ref) ASSERT_TRUE(r.ok()) << r.error;
+
+  // Two transport-backed QueryServers, one per rank, both serving the SAME
+  // batch sequence (warm + measured pass) in lock-step.
+  auto cluster = transport::make_loopback_cluster(fam.graph, 2);
+  std::vector<std::vector<serve::Response>> got(2);
+  std::vector<std::string> errors(2);
+  std::vector<std::thread> threads;
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        auto core =
+            std::make_shared<const congest::SolverCore>(fam.graph, fam.cert);
+        serve::ServerConfig cfg;
+        cfg.workers = 1;
+        cfg.transport = cluster[static_cast<std::size_t>(r)].get();
+        serve::QueryServer server(core, cfg);
+        (void)server.warm(batch);
+        got[static_cast<std::size_t>(r)] = server.warm(batch);
+        cluster[static_cast<std::size_t>(r)]->shutdown();
+      } catch (const std::exception& e) {
+        errors[static_cast<std::size_t>(r)] = e.what();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int r = 0; r < 2; ++r) {
+    SCOPED_TRACE("rank " + std::to_string(r));
+    ASSERT_TRUE(errors[static_cast<std::size_t>(r)].empty())
+        << errors[static_cast<std::size_t>(r)];
+    const auto& responses = got[static_cast<std::size_t>(r)];
+    ASSERT_EQ(responses.size(), ref.size());
+    for (std::size_t i = 0; i < responses.size(); ++i) {
+      ASSERT_TRUE(responses[i].ok()) << responses[i].error;
+      EXPECT_TRUE(
+          io::run_reports_identical(responses[i].report, ref[i].report))
+          << "request " << i;
+    }
+  }
+}
+
+TEST(TransportServe, TransportRequiresSingleWorker) {
+  Graph g = gen::grid(3, 3).graph();
+  auto core = std::make_shared<const congest::SolverCore>(
+      g, greedy_certificate());
+  InProcessTransport transport;
+  serve::ServerConfig cfg;
+  cfg.workers = 2;
+  cfg.transport = &transport;
+  EXPECT_THROW(serve::QueryServer(core, cfg), InvariantViolation);
+}
+
+// ------------------------------------------------------------- lifecycle --
+
+TEST(TransportLifecycle, SetTransportWithPendingSendsThrows) {
+  Graph g = gen::path(3);
+  congest::Simulator sim(g);
+  InProcessTransport transport;
+  sim.set_transport(&transport);  // between rounds: fine
+  sim.send(0, g.find_edge(0, 1), congest::Message{});
+  EXPECT_THROW(sim.set_transport(nullptr), std::logic_error);
+  sim.finish_round();
+  sim.set_transport(nullptr);  // drained: fine again
+  EXPECT_EQ(transport.stats().rounds_exchanged, 1);
+}
+
+}  // namespace
+}  // namespace mns
