@@ -1,0 +1,342 @@
+// E21 — incremental updates vs. rebuild under graph churn (DESIGN.md §12).
+//
+// The paper's economy is "pay for structure once"; this harness pins that
+// the payment SURVIVES churn. Each family runs one warm Session through a
+// deterministic update schedule — heavy-edge re-weighting, a light-weight
+// swap, an edge remove/re-insert toggle, and a vertex add/remove episode —
+// and after every update solves the same workloads twice: on the warm
+// session (incremental update()) and on a freshly rebuilt Session over the
+// post-update graph (the rebuild straw man). Verified per update:
+//
+//   * payloads are identical to the rebuild oracle (MST edge set + weight +
+//     fragments, exact SSSP distances, aggregate minima) — incremental
+//     maintenance changes COST, never answers;
+//   * a partial-cover probe partition placed away from the edit zone stays
+//     a cache HIT with charged_construction_rounds == 0 across structural
+//     edits (its entry MIGRATED live, entries_kept >= 1);
+//   * over the schedule the warm session pays strictly fewer shortcut
+//     builds and strictly fewer charged construction rounds than rebuilds.
+//
+// Families: planar grid, treewidth hubbed k-path, apex grid, clique-sum
+// apexed chain — the four certificate pipelines. MNS_BENCH_SMOKE=1 shrinks
+// the instances (CI); the schedule itself never shrinks, so every update
+// path stays gated. Emits BENCH_churn.json (baseline: bench/baselines/
+// churn.json).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_instances.hpp"
+#include "bench_util.hpp"
+#include "core/partition.hpp"
+#include "gen/apex.hpp"
+#include "gen/planar.hpp"
+#include "graph/delta.hpp"
+
+namespace {
+
+using namespace mns;
+using congest::RunReport;
+
+struct ChurnInstance {
+  std::string family;
+  Graph graph;
+  std::vector<Weight> weights;
+  StructuralCertificate cert;
+  std::vector<PartId> probe_part_of;  ///< partial cover, away from the edits
+  VertexId toggle_u = kInvalidVertex;  ///< the remove/re-insert edge
+  VertexId toggle_v = kInvalidVertex;
+};
+
+/// Row-0 arcs of a grid-shaped id range: connected within the row, covering
+/// nothing the update schedule touches (edits live in the LAST row / bag).
+std::vector<PartId> row0_probe(VertexId n, VertexId row_len) {
+  const Partition p = ring_sectors(n, 0, row_len, 2);
+  return std::vector<PartId>(p.part_of_all().begin(), p.part_of_all().end());
+}
+
+ChurnInstance planar_instance(bool smoke) {
+  const int side = smoke ? 8 : 16;
+  ChurnInstance inst;
+  inst.family = "planar";
+  inst.graph = gen::grid_graph(side, side);
+  Rng rng(static_cast<unsigned>(side));
+  inst.weights = bench::dfs_light_weights(inst.graph, rng);
+  inst.cert = greedy_certificate();
+  inst.probe_part_of = row0_probe(inst.graph.num_vertices(), side);
+  inst.toggle_u = static_cast<VertexId>((side - 1) * side + side - 2);
+  inst.toggle_v = inst.toggle_u + 1;  // last-row horizontal edge
+  return inst;
+}
+
+ChurnInstance treewidth_instance(bool smoke) {
+  const VertexId n = smoke ? 96 : 192;
+  ChurnInstance inst;
+  inst.family = "treewidth";
+  bench::HubbedKPath kt = bench::hubbed_kpath(n, 3);
+  inst.graph = std::move(kt.graph);
+  Rng rng(static_cast<unsigned>(n));
+  inst.weights = bench::spine_light_weights(inst.graph, n, rng);
+  inst.cert = treewidth_certificate(std::move(kt.decomposition));
+  inst.probe_part_of = row0_probe(inst.graph.num_vertices(), 16);
+  inst.toggle_u = n - 3;  // band edge (gap 2): heavy, in every bag with n-1
+  inst.toggle_v = n - 1;
+  return inst;
+}
+
+ChurnInstance apex_instance(bool smoke) {
+  const int side = smoke ? 8 : 12;
+  bench::GridApexInstance gi =
+      bench::grid_apex_instance(side, side, static_cast<unsigned>(100 + side));
+  ChurnInstance inst;
+  inst.family = "apex";
+  inst.graph = std::move(gi.graph);
+  inst.weights = std::move(gi.weights);
+  inst.cert = apex_certificate(gi.apices);
+  inst.probe_part_of = row0_probe(inst.graph.num_vertices(), side);
+  inst.toggle_u = static_cast<VertexId>((side - 1) * side + side - 2);
+  inst.toggle_v = inst.toggle_u + 1;
+  return inst;
+}
+
+ChurnInstance cliquesum_instance(bool smoke) {
+  const int bags = smoke ? 2 : 3;
+  Rng rng(static_cast<unsigned>(bags));
+  bench::ApexChain chain = bench::apexed_chain_cliquesum(bags, rng);
+  ChurnInstance inst;
+  inst.family = "cliquesum";
+  inst.cert = bench::apex_chain_certificate(chain);
+  // Toggle the heaviest in-bag edge of the LAST bag (never bag 0, where the
+  // probe lives) — endpoints are stable across the edge-only updates.
+  const CliqueSumDecomposition& d = chain.decomposition;
+  const BagId last = d.num_bags() - 1;
+  EdgeId pick = kInvalidEdge;
+  for (const EdgeId e : d.bag_edges(last))
+    if (pick == kInvalidEdge || chain.weights[e] > chain.weights[pick])
+      pick = e;
+  inst.toggle_u = chain.graph.edge(pick).u;
+  inst.toggle_v = chain.graph.edge(pick).v;
+  inst.graph = std::move(chain.graph);
+  inst.weights = std::move(chain.weights);
+  inst.probe_part_of = row0_probe(inst.graph.num_vertices(), 16);
+  return inst;
+}
+
+std::vector<congest::AggValue> ramp_values(VertexId n) {
+  std::vector<congest::AggValue> v(static_cast<std::size_t>(n));
+  for (VertexId i = 0; i < n; ++i)
+    v[static_cast<std::size_t>(i)] = {(7 * i) % 101, i};
+  return v;
+}
+
+/// Carries the probe's part map across a structural update, exactly as the
+/// core migrated its cached entry (same maps, so the solve still hits).
+std::vector<PartId> remap_probe(const std::vector<PartId>& part_of,
+                                const congest::UpdateStats& stats,
+                                VertexId new_n) {
+  std::vector<PartId> out(static_cast<std::size_t>(new_n), kNoPart);
+  for (std::size_t v = 0; v < part_of.size(); ++v) {
+    const VertexId nv = stats.vertex_map[v];
+    if (nv != kInvalidVertex) out[static_cast<std::size_t>(nv)] = part_of[v];
+  }
+  return out;
+}
+
+struct MstSummary {
+  std::vector<EdgeId> sorted_edges;
+  std::vector<PartId> fragment_of;
+  Weight total = 0;
+};
+
+MstSummary summarize_mst(const RunReport& r, const std::vector<Weight>& w) {
+  MstSummary s;
+  s.sorted_edges = r.mst().edges;
+  std::sort(s.sorted_edges.begin(), s.sorted_edges.end());
+  s.fragment_of = r.mst().fragment_of;
+  for (const EdgeId e : s.sorted_edges)
+    s.total += w[static_cast<std::size_t>(e)];
+  return s;
+}
+
+bool run_family(bench::JsonReport& report, ChurnInstance inst) {
+  constexpr int kUpdates = 6;
+  const unsigned tree_seed = 1;
+  congest::Session warm =
+      bench::make_session(inst.graph, inst.cert, tree_seed);
+  std::vector<Weight> weights = inst.weights;
+  std::vector<PartId> probe = inst.probe_part_of;
+
+  // Warm-up (excluded from the tallies): pay construction once, as a
+  // long-lived session already has by the time churn arrives.
+  (void)warm.solve(congest::Mst{weights});
+  (void)warm.solve(congest::Aggregate{Partition(probe),
+                                      ramp_values(warm.graph().num_vertices())});
+
+  long long warm_builds = 0, warm_charged = 0, warm_rounds = 0,
+            warm_messages = 0;
+  long long rb_builds = 0, rb_charged = 0, rb_rounds = 0, rb_messages = 0;
+  long long kept_total = 0, invalidated_total = 0, subpaths_total = 0;
+  bool ok = true;
+  VertexId churn_vertex = kInvalidVertex;  // the u=4 addition, removed at u=5
+
+  for (int u = 0; u < kUpdates; ++u) {
+    UpdateBatch batch;
+    if (u == 0 || u == 3) {
+      // Re-weight the 4 heaviest edges to fresh, larger, distinct values:
+      // every comparison Boruvka/SSSP ever makes is unchanged, so the warm
+      // session's cached fragment partitions stay exact hits.
+      std::vector<EdgeId> ids(weights.size());
+      std::iota(ids.begin(), ids.end(), 0);
+      std::sort(ids.begin(), ids.end(), [&](EdgeId a, EdgeId b) {
+        return weights[static_cast<std::size_t>(a)] >
+               weights[static_cast<std::size_t>(b)];
+      });
+      const Weight top = weights[static_cast<std::size_t>(ids[0])];
+      for (int i = 0; i < 4 && i < static_cast<int>(ids.size()); ++i)
+        batch.weight_changes.push_back({ids[static_cast<std::size_t>(i)],
+                                        top + 1 + i});
+    } else if (u == 1) {
+      // Swap the two lightest weights: an honest payload-changing edit (the
+      // distance profile moves; fragment evolution may too).
+      EdgeId lo = 0, lo2 = 1;
+      if (weights[1] < weights[0]) std::swap(lo, lo2);
+      for (EdgeId e = 2; e < static_cast<EdgeId>(weights.size()); ++e) {
+        if (weights[static_cast<std::size_t>(e)] <
+            weights[static_cast<std::size_t>(lo)]) {
+          lo2 = lo;
+          lo = e;
+        } else if (weights[static_cast<std::size_t>(e)] <
+                   weights[static_cast<std::size_t>(lo2)]) {
+          lo2 = e;
+        }
+      }
+      batch.weight_changes.push_back(
+          {lo, weights[static_cast<std::size_t>(lo2)]});
+      batch.weight_changes.push_back(
+          {lo2, weights[static_cast<std::size_t>(lo)]});
+    } else if (u == 2) {
+      batch.remove_edges.push_back(
+          warm.graph().find_edge(inst.toggle_u, inst.toggle_v));
+    } else if (u == 4) {
+      // Re-insert the toggled edge AND attach one new vertex to its
+      // endpoints — a compound structural batch.
+      const Weight heavy =
+          *std::max_element(weights.begin(), weights.end()) + 10;
+      const VertexId ext = warm.graph().num_vertices();  // the new vertex
+      batch.insert_edges.push_back({inst.toggle_u, inst.toggle_v, heavy});
+      batch.insert_edges.push_back({inst.toggle_u, ext, heavy + 1});
+      batch.insert_edges.push_back({inst.toggle_v, ext, heavy + 2});
+      batch.add_vertices = 1;
+    } else {  // u == 5
+      batch.remove_vertices.push_back(churn_vertex);
+    }
+
+    const congest::UpdateStats stats = warm.update(batch, &weights);
+    if (batch.structural()) {
+      kept_total += static_cast<long long>(stats.entries_kept);
+      invalidated_total += static_cast<long long>(stats.entries_invalidated);
+      subpaths_total += static_cast<long long>(stats.subpaths_rebuilt);
+      // The probe lives away from every edit: its entry must migrate.
+      ok = ok && stats.entries_kept >= 1;
+      probe = remap_probe(probe, stats, warm.graph().num_vertices());
+    }
+    if (u == 4) churn_vertex = warm.graph().num_vertices() - 1;
+
+    // The rebuild straw man: a cold Session over the post-update graph with
+    // the post-update certificate — what churn costs WITHOUT update().
+    congest::Session rebuild =
+        bench::make_session(warm.graph(), warm.certificate(), tree_seed);
+
+    const VertexId n = warm.graph().num_vertices();
+    const std::vector<congest::AggValue> values = ramp_values(n);
+    RunReport w_mst = warm.solve(congest::Mst{weights});
+    RunReport r_mst = rebuild.solve(congest::Mst{weights});
+    RunReport w_agg = warm.solve(congest::Aggregate{Partition(probe), values});
+    RunReport r_agg = rebuild.solve(congest::Aggregate{Partition(probe),
+                                                       values});
+    RunReport w_sp = warm.solve(congest::ExactSssp{weights, 0});
+    RunReport r_sp = rebuild.solve(congest::ExactSssp{weights, 0});
+
+    // Bit-identical answers: cost may differ, results never.
+    const MstSummary wm = summarize_mst(w_mst, weights);
+    const MstSummary rm = summarize_mst(r_mst, weights);
+    const bool identical = wm.sorted_edges == rm.sorted_edges &&
+                           wm.fragment_of == rm.fragment_of &&
+                           wm.total == rm.total &&
+                           w_sp.sssp().dist == r_sp.sssp().dist &&
+                           w_agg.aggregate().min_of_part ==
+                               r_agg.aggregate().min_of_part;
+    // The surviving probe entry serves for free, even right after a
+    // structural edit (u == 0: the whole warm MST is hits too).
+    const bool probe_free = w_agg.cache_hits == 1 &&
+                            w_agg.charged_construction_rounds == 0;
+    const bool weight_only_free =
+        u != 0 || (w_mst.charged_construction_rounds == 0 &&
+                   w_mst.cache_misses == 0);
+    ok = ok && identical && probe_free && weight_only_free;
+
+    for (const RunReport* r : {&w_mst, &w_agg, &w_sp}) {
+      warm_builds += r->cache_misses;
+      warm_charged += r->charged_construction_rounds;
+      warm_rounds += r->rounds;
+      warm_messages += r->messages;
+    }
+    for (const RunReport* r : {&r_mst, &r_agg, &r_sp}) {
+      rb_builds += r->cache_misses;
+      rb_charged += r->charged_construction_rounds;
+      rb_rounds += r->rounds;
+      rb_messages += r->messages;
+    }
+  }
+
+  // The point of the harness: churn without re-paying construction.
+  ok = ok && warm_builds < rb_builds && warm_charged < rb_charged &&
+       kept_total > 0;
+
+  std::printf(
+      "%-10s n=%5d  updates=%d  builds %lld vs %lld  charged %lld vs %lld  "
+      "kept=%lld invalidated=%lld subpaths=%lld  %s\n",
+      inst.family.c_str(), warm.graph().num_vertices(), kUpdates, warm_builds,
+      rb_builds, warm_charged, rb_charged, kept_total, invalidated_total,
+      subpaths_total, ok ? "verified" : "FAILED");
+  report.row()
+      .set("family", inst.family)
+      .set("n", static_cast<long long>(warm.graph().num_vertices()))
+      .set("updates", static_cast<long long>(kUpdates))
+      .set("warm_builds", warm_builds)
+      .set("rebuild_builds", rb_builds)
+      .set("warm_charged_rounds", warm_charged)
+      .set("rebuild_charged_rounds", rb_charged)
+      .set("warm_rounds", warm_rounds)
+      .set("rebuild_rounds", rb_rounds)
+      .set("warm_messages", warm_messages)
+      .set("rebuild_messages", rb_messages)
+      .set("entries_kept", kept_total)
+      .set("entries_invalidated", invalidated_total)
+      .set("subpaths_rebuilt", subpaths_total)
+      .set("verified", ok ? "yes" : "no");
+  return ok;
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = std::getenv("MNS_BENCH_SMOKE") != nullptr;
+  bench::header("E21: incremental updates vs rebuild under churn");
+  bench::JsonReport report("churn");
+  bool all_ok = true;
+  all_ok = run_family(report, planar_instance(smoke)) && all_ok;
+  all_ok = run_family(report, treewidth_instance(smoke)) && all_ok;
+  all_ok = run_family(report, apex_instance(smoke)) && all_ok;
+  all_ok = run_family(report, cliquesum_instance(smoke)) && all_ok;
+  std::printf("\n%s\n",
+              all_ok ? "all families: warm update beats rebuild, answers "
+                       "oracle-identical"
+                     : "FAILURE: see rows above");
+  const bool written = report.write();
+  return all_ok && written ? 0 : 1;
+}

@@ -54,6 +54,7 @@ usage:
   mnsctl gen --family <planar|treewidth|apex|cliquesum> [--size N] [--seed S]
              -o <snapshot>
   mnsctl build <snapshot> [--workload W] [--threads T] [-o <snapshot>]
+  mnsctl update <snapshot> --batch <edits.json> [-o <snapshot>]
   mnsctl solve <snapshot> --workload W [--threads T] [--repeat K] [--cold]
                [-o report.json]
   mnsctl serve <snapshot> [--workload W] [--workers N] [--requests K]
@@ -70,6 +71,14 @@ gen      builds a seeded family instance (graph + adversarial weights +
 build    restores a session, runs one workload to build + cache the shortcut
          structure, and re-saves the WARMED snapshot (construction is now
          paid; later solves from it charge 0 construction rounds).
+update   applies a JSON edit batch to a warmed snapshot INCREMENTALLY
+         (DESIGN.md §12): weight-only edits keep every cached shortcut,
+         structural edits migrate clean entries and re-hang only broken
+         tree subpaths; the updated snapshot is re-saved. The batch file is
+         an object with any of: "set_weight": [{"u","v","weight"}],
+         "insert_edges": [{"u","v","weight"?}], "remove_edges":
+         [{"u","v"}], "remove_vertices": [id...], "add_vertices": N
+         (insert endpoints >= n address the batch's new vertices).
 solve    restores a session and runs a registered workload; prints the
          canonical RunReport JSON (io/report_json.hpp). --repeat K runs the
          workload K times through the same session (later runs hit the
@@ -87,9 +96,10 @@ dist     restores the snapshot in N OS processes (rank 0 = this one, ranks
          single-process `mnsctl solve` report via `mnsctl diff --baseline`.
          --drop-rate/--dup-rate/--reorder-rate inject seeded faults into
          every rank's outbound datagrams.
-inspect  prints a JSON summary of a snapshot's sections, including the
-         estimated in-memory footprint of each (graph/weights/certificate/
-         tree/cache bytes; DESIGN.md §9).
+inspect  prints a JSON summary of a snapshot's sections: file version,
+         update history (v2), per-entry cache fingerprints in MRU order,
+         and the estimated in-memory footprint of each section
+         (graph/weights/certificate/tree/cache bytes; DESIGN.md §9).
 diff     compares two JSON documents field-by-field. --baseline compares
          only fields present in <a> and skips nondeterministic ones
          (wall_ms*, wall_time_ms, hardware_concurrency, peak_rss_bytes,
@@ -111,6 +121,7 @@ struct Args {
   std::string family;
   std::string workload;
   std::string output;
+  std::string batch;
   long long size = 0;
   std::optional<unsigned> seed;
   int threads = 0;
@@ -177,6 +188,10 @@ bool parse_args(int argc, char** argv, int first, Args& out) {
       const char* v = value("-o");
       if (v == nullptr) return false;
       out.output = v;
+    } else if (a == "--batch") {
+      const char* v = value("--batch");
+      if (v == nullptr) return false;
+      out.batch = v;
     } else if (a == "--size") {
       if (!parse_number("--size", value("--size"), 1, 1 << 24, out.size))
         return false;
@@ -334,6 +349,126 @@ int cmd_build(const Args& args) {
       "\"cached_shortcuts\": %zu, \"snapshot\": %s}\n",
       io::json_quote(workload).c_str(), report.charged_construction_rounds,
       report.rounds, session.cache_size(), io::json_quote(out).c_str());
+  return 0;
+}
+
+// ------------------------------------------------------------------ update --
+
+io::JsonValue parse_file(const std::string& path);  // defined with diff below
+
+/// Endpoint-addressed edge lookup: batch files name edges {u, v}, never raw
+/// edge ids (ids are an artifact of CSR order and change across updates).
+EdgeId resolve_edge(const Graph& g, long long u, long long v,
+                    const char* what) {
+  if (u < 0 || u >= g.num_vertices() || v < 0 || v >= g.num_vertices())
+    throw std::invalid_argument(std::string("update: ") + what +
+                                " endpoint out of range");
+  const EdgeId e = g.find_edge(static_cast<VertexId>(u),
+                               static_cast<VertexId>(v));
+  if (e == kInvalidEdge)
+    throw std::invalid_argument(std::string("update: ") + what + " edge {" +
+                                std::to_string(u) + ", " + std::to_string(v) +
+                                "} not in the graph");
+  return e;
+}
+
+long long batch_int(const io::JsonValue& obj, const char* key,
+                    const char* what, bool required, long long fallback) {
+  const io::JsonValue* v = obj.find(key);
+  if (v == nullptr) {
+    if (required)
+      throw std::invalid_argument(std::string("update: ") + what +
+                                  " entry is missing '" + key + "'");
+    return fallback;
+  }
+  if (v->kind != io::JsonValue::Kind::kNumber)
+    throw std::invalid_argument(std::string("update: ") + what + " '" + key +
+                                "' must be a number");
+  return static_cast<long long>(v->number);
+}
+
+const std::vector<io::JsonValue>& batch_array(const io::JsonValue& v,
+                                              const std::string& key) {
+  if (v.kind != io::JsonValue::Kind::kArray)
+    throw std::invalid_argument("update: '" + key + "' must be an array");
+  return v.items;
+}
+
+/// Parses the documented edit-batch schema against the CURRENT graph.
+UpdateBatch parse_batch(const io::JsonValue& doc, const Graph& g) {
+  if (doc.kind != io::JsonValue::Kind::kObject)
+    throw std::invalid_argument("update: batch document must be an object");
+  UpdateBatch batch;
+  for (const auto& [key, value] : doc.members) {
+    if (key == "set_weight") {
+      for (const io::JsonValue& item : batch_array(value, key))
+        batch.weight_changes.push_back(WeightChange{
+            resolve_edge(g, batch_int(item, "u", "set_weight", true, 0),
+                         batch_int(item, "v", "set_weight", true, 0),
+                         "set_weight"),
+            static_cast<Weight>(
+                batch_int(item, "weight", "set_weight", true, 0))});
+    } else if (key == "insert_edges") {
+      // Endpoints live in the extended old id space: >= n addresses the
+      // batch's own new vertices, so no graph-side validation here
+      // (apply_delta bounds-checks against n + add_vertices).
+      for (const io::JsonValue& item : batch_array(value, key))
+        batch.insert_edges.push_back(EdgeInsert{
+            static_cast<VertexId>(
+                batch_int(item, "u", "insert_edges", true, 0)),
+            static_cast<VertexId>(
+                batch_int(item, "v", "insert_edges", true, 0)),
+            static_cast<Weight>(
+                batch_int(item, "weight", "insert_edges", false, 1))});
+    } else if (key == "remove_edges") {
+      for (const io::JsonValue& item : batch_array(value, key))
+        batch.remove_edges.push_back(
+            resolve_edge(g, batch_int(item, "u", "remove_edges", true, 0),
+                         batch_int(item, "v", "remove_edges", true, 0),
+                         "remove_edges"));
+    } else if (key == "remove_vertices") {
+      for (const io::JsonValue& item : batch_array(value, key)) {
+        if (item.kind != io::JsonValue::Kind::kNumber)
+          throw std::invalid_argument(
+              "update: 'remove_vertices' entries must be numbers");
+        batch.remove_vertices.push_back(
+            static_cast<VertexId>(item.number));
+      }
+    } else if (key == "add_vertices") {
+      if (value.kind != io::JsonValue::Kind::kNumber)
+        throw std::invalid_argument("update: 'add_vertices' must be a number");
+      batch.add_vertices = static_cast<VertexId>(value.number);
+    } else {
+      throw std::invalid_argument("update: unknown batch key '" + key + "'");
+    }
+  }
+  return batch;
+}
+
+int cmd_update(const Args& args) {
+  if (args.positional.empty()) return usage_error("update requires <snapshot>");
+  if (args.batch.empty())
+    return usage_error("update requires --batch <edits.json>");
+  const std::string& path = args.positional[0];
+  const std::string out = args.output.empty() ? path : args.output;
+
+  io::Snapshot snap = io::read_snapshot(path);
+  std::vector<Weight> weights = snap.weights;
+  congest::Session session = congest::Session::restore(std::move(snap));
+  const UpdateBatch batch = parse_batch(parse_file(args.batch),
+                                        session.graph());
+
+  const congest::UpdateStats stats = session.update(batch, &weights);
+  session.save(out, std::move(weights));
+  std::printf(
+      "{\"command\": \"update\", \"snapshot\": %s, \"structural\": %s, "
+      "\"vertices\": %d, \"edges\": %d, \"entries_kept\": %zu, "
+      "\"entries_invalidated\": %zu, \"subpaths_rebuilt\": %zu, "
+      "\"cached_shortcuts\": %zu}\n",
+      io::json_quote(out).c_str(), stats.structural ? "true" : "false",
+      session.graph().num_vertices(), session.graph().num_edges(),
+      stats.entries_kept, stats.entries_invalidated, stats.subpaths_rebuilt,
+      session.cache_size());
   return 0;
 }
 
@@ -727,18 +862,58 @@ int cmd_inspect(const Args& args) {
   const long long total_bytes =
       graph_bytes + weight_bytes + cert_bytes + tree_bytes + cache_bytes;
 
-  std::printf(
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
       "{\"command\": \"inspect\", \"snapshot\": %s, \"version\": %u, "
       "\"vertices\": %d, \"edges\": %d, \"weights\": %zu, "
-      "\"certificate\": %s, \"tree\": %s, \"cached_shortcuts\": %zu, "
-      "\"footprint\": {\"graph_bytes\": %lld, \"weight_bytes\": %lld, "
-      "\"certificate_bytes\": %lld, \"tree_bytes\": %lld, "
-      "\"cache_bytes\": %lld, \"total_bytes\": %lld}}\n",
-      io::json_quote(args.positional[0]).c_str(), io::kSnapshotVersion,
+      "\"certificate\": %s, \"tree\": %s, \"cached_shortcuts\": %zu",
+      io::json_quote(args.positional[0]).c_str(), snap.version,
       snap.graph.num_vertices(), snap.graph.num_edges(), snap.weights.size(),
       io::json_quote(builder_name_for(snap.certificate)).c_str(),
-      snap.tree ? "true" : "false", snap.shortcuts.size(), graph_bytes,
-      weight_bytes, cert_bytes, tree_bytes, cache_bytes, total_bytes);
+      snap.tree ? "true" : "false", snap.shortcuts.size());
+  std::string json = buf;
+  if (snap.history.any()) {
+    std::snprintf(buf, sizeof buf,
+                  ", \"history\": {\"updates_applied\": %llu, "
+                  "\"entries_kept\": %llu, \"entries_invalidated\": %llu, "
+                  "\"subpaths_rebuilt\": %llu}",
+                  static_cast<unsigned long long>(snap.history.updates_applied),
+                  static_cast<unsigned long long>(snap.history.entries_kept),
+                  static_cast<unsigned long long>(
+                      snap.history.entries_invalidated),
+                  static_cast<unsigned long long>(
+                      snap.history.subpaths_rebuilt));
+    json += buf;
+  }
+  // Per-entry cache identity, MRU first: the SAME fingerprint the restored
+  // core will key the entry under (seed_cache derives num_parts the same
+  // way), so operators can correlate snapshots with live cache behavior.
+  json += ", \"cache_entries\": [";
+  for (std::size_t i = 0; i < snap.shortcuts.size(); ++i) {
+    const io::CachedShortcut& cs = snap.shortcuts[i];
+    PartId num_parts = 0;
+    for (const PartId p : cs.part_of)
+      num_parts = std::max(num_parts, static_cast<PartId>(p + 1));
+    const std::uint64_t fp = congest::SolverCore::partition_fingerprint(
+        num_parts, cs.part_of);
+    std::snprintf(buf, sizeof buf,
+                  "%s{\"mru_rank\": %zu, \"num_parts\": %d, "
+                  "\"fingerprint\": \"0x%016llx\"}",
+                  i ? ", " : "", i, num_parts,
+                  static_cast<unsigned long long>(fp));
+    json += buf;
+  }
+  json += "]";
+  std::snprintf(
+      buf, sizeof buf,
+      ", \"footprint\": {\"graph_bytes\": %lld, \"weight_bytes\": %lld, "
+      "\"certificate_bytes\": %lld, \"tree_bytes\": %lld, "
+      "\"cache_bytes\": %lld, \"total_bytes\": %lld}}",
+      graph_bytes, weight_bytes, cert_bytes, tree_bytes, cache_bytes,
+      total_bytes);
+  json += buf;
+  std::printf("%s\n", json.c_str());
   return 0;
 }
 
@@ -923,6 +1098,7 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "gen") return cmd_gen(args);
     if (cmd == "build") return cmd_build(args);
+    if (cmd == "update") return cmd_update(args);
     if (cmd == "solve") return cmd_solve(args);
     if (cmd == "serve") return cmd_serve(args);
     if (cmd == "dist") return cmd_dist(args);

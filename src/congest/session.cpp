@@ -22,12 +22,15 @@ Session::Session(Graph g, StructuralCertificate certificate,
                  SessionConfig config)
     : core_(std::make_shared<const SolverCore>(
           std::move(g), std::move(certificate), core_config(config))),
-      handle_(core_, config.execution) {
+      execution_(config.execution),
+      handle_(std::make_unique<SolveHandle>(core_, execution_)) {
   register_builtin_workloads();
 }
 
 Session::Session(std::shared_ptr<const SolverCore> core, SessionConfig config)
-    : core_(std::move(core)), handle_(core_, config.execution) {
+    : core_(std::move(core)),
+      execution_(config.execution),
+      handle_(std::make_unique<SolveHandle>(core_, execution_)) {
   register_builtin_workloads();
 }
 
@@ -38,7 +41,7 @@ void Session::swap_core(StructuralCertificate cert, TreeFactory tree) {
   cc.cache_capacity = core_->cache_capacity();
   core_ = std::make_shared<const SolverCore>(core_->graph_ptr(),
                                              std::move(cert), std::move(cc));
-  handle_.rebind(core_);
+  handle_->rebind(core_);
 }
 
 void Session::set_certificate(StructuralCertificate cert) {
@@ -73,7 +76,43 @@ void Session::save(const std::string& path, std::vector<Weight> weights) {
   }
   snap.tree = std::move(ts);
   snap.shortcuts = core_->export_cache();  // MRU first; order is preserved
+  snap.history = core_->history();  // all-zero history keeps the file at v1
   io::write_snapshot(snap, path);
+}
+
+// ----------------------------------------- incremental updates (DESIGN.md §12)
+
+UpdateStats Session::update(const UpdateBatch& batch,
+                            std::vector<Weight>* weights) {
+  require(weights == nullptr || weights->empty() ||
+              weights->size() ==
+                  static_cast<std::size_t>(core_->graph().num_edges()),
+          "Session::update: weights count != edge count");
+  UpdateStats stats;
+  if (!batch.structural()) {
+    // Weight-only fast path: no builder or tree factory ever consumes
+    // weights, so the core (and with it every cache entry) stays live.
+    if (weights != nullptr && !weights->empty())
+      apply_weight_changes(batch, *weights);
+    else if (!batch.weight_changes.empty())
+      throw UpdateError(
+          "Session::update: weight changes need a weights vector to land in");
+    core_->note_weight_update();
+    stats.entries_kept = core_->cache_size();
+    return stats;
+  }
+  // Build the successor state fully before installing any of it, so a
+  // throwing batch leaves the session untouched.
+  std::shared_ptr<const SolverCore> next = core_->update(batch, stats);
+  const bool carry = weights != nullptr && !weights->empty();
+  if (carry)
+    *weights = remap_weights(core_->graph(), next->graph(), stats.vertex_map,
+                             stats.edge_map, batch, std::move(*weights));
+  core_ = std::move(next);
+  // The graph object changed, so the old handle's simulator references are
+  // void: recreate the default handle (drops any installed transport).
+  handle_ = std::make_unique<SolveHandle>(core_, execution_);
+  return stats;
 }
 
 Session Session::restore(io::Snapshot snapshot, SessionConfig config) {

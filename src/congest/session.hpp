@@ -33,6 +33,12 @@
 // shares the Session's core_ptr() across many SolveHandles — or uses
 // serve::QueryServer (src/serve/query_server.hpp), which does that fan-out
 // over a WorkerPool.
+//
+// Sessions also survive graph churn without re-paying construction:
+// update() applies an UpdateBatch incrementally — weight-only batches touch
+// nothing structural, structural batches replace the core with a successor
+// that migrates every clean cache entry live and re-hangs only broken tree
+// subpaths (DESIGN.md §12 "Incremental updates").
 #pragma once
 
 #include <cstdint>
@@ -108,30 +114,53 @@ class Session {
   [[nodiscard]] static Session restore(const std::string& path,
                                        SessionConfig config = {});
 
+  // -- incremental updates (DESIGN.md §12) --
+
+  /// Applies an edit batch to the live session, doing the minimum
+  /// structural work instead of a rebuild:
+  ///
+  ///   * weight-only batch — applied to `*weights` in place; NO structural
+  ///     object moves (builders never consume weights), so every cache entry
+  ///     stays live and subsequent solves still hit with
+  ///     charged_construction_rounds == 0.
+  ///   * structural batch — the core is replaced by SolverCore::update's
+  ///     successor: certificate remapped, broken tree subpaths re-hung,
+  ///     clean cache entries migrated live, dirty ones dropped. `*weights`
+  ///     (if non-empty) is carried across the id remap. The default handle
+  ///     is recreated over the new graph, which resets the per-session
+  ///     hit/miss counters and DETACHES any installed transport.
+  ///
+  /// `weights` may be null or empty when the caller keeps no edge weights.
+  /// Returns what happened (entries kept/invalidated, subpaths rebuilt, id
+  /// maps for carrying external side data). Throws UpdateError on batches
+  /// the structures cannot absorb; the session is unchanged in that case.
+  UpdateStats update(const UpdateBatch& batch,
+                     std::vector<Weight>* weights = nullptr);
+
   // -- the uniform solve surface (delegates to the default handle) --
   [[nodiscard]] RunReport solve(const Mst& q, const SolveOptions& opt = {}) {
-    return handle_.solve(q, opt);
+    return handle_->solve(q, opt);
   }
   [[nodiscard]] RunReport solve(const GhsMst& q, const SolveOptions& opt = {}) {
-    return handle_.solve(q, opt);
+    return handle_->solve(q, opt);
   }
   [[nodiscard]] RunReport solve(const MinCut& q, const SolveOptions& opt = {}) {
-    return handle_.solve(q, opt);
+    return handle_->solve(q, opt);
   }
   [[nodiscard]] RunReport solve(const ExactSssp& q,
                                 const SolveOptions& opt = {}) {
-    return handle_.solve(q, opt);
+    return handle_->solve(q, opt);
   }
   [[nodiscard]] RunReport solve(const ApproxSssp& q,
                                 const SolveOptions& opt = {}) {
-    return handle_.solve(q, opt);
+    return handle_->solve(q, opt);
   }
   [[nodiscard]] RunReport solve(const Bfs& q, const SolveOptions& opt = {}) {
-    return handle_.solve(q, opt);
+    return handle_->solve(q, opt);
   }
   [[nodiscard]] RunReport solve(const Aggregate& q,
                                 const SolveOptions& opt = {}) {
-    return handle_.solve(q, opt);
+    return handle_->solve(q, opt);
   }
 
   // -- the name-keyed workload registry (mirrors ShortcutEngine's builders) --
@@ -153,11 +182,11 @@ class Session {
 
   // -- owned state --
   [[nodiscard]] const Graph& graph() const noexcept { return core_->graph(); }
-  [[nodiscard]] Simulator& simulator() noexcept { return handle_.simulator(); }
+  [[nodiscard]] Simulator& simulator() noexcept { return handle_->simulator(); }
   /// Installs a message transport on the default handle's round engine
   /// (non-owning; DESIGN.md §11 "Transport layer").
   void set_transport(transport::Transport* transport) {
-    handle_.set_transport(transport);
+    handle_->set_transport(transport);
   }
   [[nodiscard]] const StructuralCertificate& certificate() const noexcept {
     return core_->certificate();
@@ -166,7 +195,7 @@ class Session {
   /// serve concurrent queries over this session's warm state.
   [[nodiscard]] const std::shared_ptr<const SolverCore>& core_ptr()
       const noexcept {
-    return handle_.core_ptr();
+    return handle_->core_ptr();
   }
 
   /// Swaps the structural knowledge; invalidates every cached shortcut (a
@@ -193,10 +222,13 @@ class Session {
     return core_->cache_size();
   }
   [[nodiscard]] long long cache_hits() const noexcept {
-    return handle_.cache_hits();
+    return handle_->cache_hits();
   }
   [[nodiscard]] long long cache_misses() const noexcept {
-    return handle_.cache_misses();
+    return handle_->cache_misses();
+  }
+  [[nodiscard]] long long cache_evictions() const noexcept {
+    return handle_->cache_evictions();
   }
   void clear_cache() { core_->clear_cache(); }
 
@@ -208,7 +240,12 @@ class Session {
   void swap_core(StructuralCertificate cert, TreeFactory tree);
 
   std::shared_ptr<const SolverCore> core_;
-  SolveHandle handle_;
+  /// The per-solve execution policy, kept so update() can recreate the
+  /// default handle over a successor graph.
+  ExecutionPolicy execution_;
+  /// unique_ptr (not a member object): a structural update() replaces the
+  /// graph, and SolveHandle::rebind only accepts same-graph swaps.
+  std::unique_ptr<SolveHandle> handle_;
   std::map<std::string, WorkloadFn, std::less<>> workloads_;
 };
 

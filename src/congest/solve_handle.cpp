@@ -66,6 +66,7 @@ ShortcutSource SolveHandle::make_source(const SolveOptions& opt) {
       ++hits_;
     else
       ++misses_;
+    evictions_ += static_cast<long long>(a.evictions);
     SourcedShortcut s{std::move(a.shortcut), a.fresh};
     if (!charge) s.fresh = false;  // ablation: never charge construction
     return s;
@@ -86,6 +87,7 @@ RunReport SolveHandle::run(const char* workload, const SolveOptions& opt,
   const long long start_messages = sim_.messages_sent();
   const long long start_hits = hits_;
   const long long start_misses = misses_;
+  const long long start_evictions = evictions_;
   RunReport r;
   r.workload = workload;
   r.threads = sim_.num_shards();
@@ -94,6 +96,7 @@ RunReport SolveHandle::run(const char* workload, const SolveOptions& opt,
   r.messages = sim_.messages_sent() - start_messages;
   r.cache_hits = hits_ - start_hits;
   r.cache_misses = misses_ - start_misses;
+  r.cache_evictions = evictions_ - start_evictions;
   r.wall_ms = std::chrono::duration<double, std::milli>(
                   std::chrono::steady_clock::now() - start_clock)
                   .count();

@@ -134,6 +134,9 @@ struct RunReport {
   long long aggregations = 0;  ///< part-wise aggregations performed
   long long cache_hits = 0;    ///< shortcut-cache hits during this run
   long long cache_misses = 0;  ///< misses (constructions) during this run
+  /// Cache entries this run's inserts LRU-evicted (churn pressure signal:
+  /// nonzero means the working set outgrew the cache capacity).
+  long long cache_evictions = 0;
   double wall_ms = 0.0;        ///< wall-clock time of the run
 
   std::variant<std::monostate, MstPayload, MinCutPayload, SsspPayload,
@@ -256,6 +259,9 @@ class SolveHandle {
   // -- per-handle cache accounting (what RunReports delta against) --
   [[nodiscard]] long long cache_hits() const noexcept { return hits_; }
   [[nodiscard]] long long cache_misses() const noexcept { return misses_; }
+  [[nodiscard]] long long cache_evictions() const noexcept {
+    return evictions_;
+  }
 
  private:
   [[nodiscard]] ShortcutSource make_source(const SolveOptions& opt);
@@ -271,6 +277,7 @@ class SolveHandle {
   Simulator sim_;
   long long hits_ = 0;
   long long misses_ = 0;
+  long long evictions_ = 0;
   std::map<std::string, WorkloadFn, std::less<>> workloads_;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "core/incremental.hpp"
 #include "io/fnv.hpp"
 #include "io/snapshot.hpp"
 
@@ -30,8 +31,8 @@ const RootedTree& SolverCore::tree() const {
   return *tree_;
 }
 
-std::uint64_t SolverCore::fingerprint(PartId num_parts,
-                                      std::span<const PartId> part_of) const {
+std::uint64_t SolverCore::partition_fingerprint(
+    PartId num_parts, std::span<const PartId> part_of) {
   io::Fnv64 h;
   h.mix_u64(static_cast<std::uint64_t>(num_parts));
   for (PartId p : part_of)
@@ -39,8 +40,9 @@ std::uint64_t SolverCore::fingerprint(PartId num_parts,
   return h.value();
 }
 
-void SolverCore::insert_locked(std::uint64_t key, std::vector<PartId> part_of,
-                               std::shared_ptr<const Shortcut> shortcut) const {
+std::size_t SolverCore::insert_locked(
+    std::uint64_t key, std::vector<PartId> part_of,
+    std::shared_ptr<const Shortcut> shortcut) const {
   // Insert-once: a racing builder of the same partition refreshes the
   // resident entry instead of storing a duplicate (the builds are
   // deterministic, so the kept shortcut equals the dropped one).
@@ -50,10 +52,11 @@ void SolverCore::insert_locked(std::uint64_t key, std::vector<PartId> part_of,
       if (it->part_of.size() == part_of.size() &&
           std::equal(part_of.begin(), part_of.end(), it->part_of.begin())) {
         it->last_use.store(next_use(), std::memory_order_relaxed);
-        return;
+        return 0;
       }
     }
   }
+  std::size_t evicted = 0;
   while (entries_.size() >= cache_capacity_) {
     // Exact LRU: evict the entry with the smallest use stamp. The stamps
     // come from one atomic clock, so the eviction order is the total hit
@@ -71,10 +74,14 @@ void SolverCore::insert_locked(std::uint64_t key, std::vector<PartId> part_of,
       if (slots.empty()) index_.erase(vidx);
     }
     entries_.erase(victim);
+    ++evicted;
   }
   entries_.emplace_front(key, std::move(part_of), std::move(shortcut),
                          next_use());
   index_[key].push_back(entries_.begin());
+  evictions_.fetch_add(static_cast<long long>(evicted),
+                       std::memory_order_relaxed);
+  return evicted;
 }
 
 SolverCore::Acquired SolverCore::acquire(const Partition& parts,
@@ -103,11 +110,13 @@ SolverCore::Acquired SolverCore::acquire(const Partition& parts,
     auto built = std::make_shared<const Shortcut>(
         engine_->build_shortcut(*g_, tree(), parts, cert_));
     auto span = parts.part_of_all();
+    std::size_t evicted = 0;
     {
       std::unique_lock<std::shared_mutex> lock(cache_mutex_);
-      insert_locked(key, std::vector<PartId>(span.begin(), span.end()), built);
+      evicted = insert_locked(
+          key, std::vector<PartId>(span.begin(), span.end()), built);
     }
-    return Acquired{std::move(built), /*fresh=*/true, /*hit=*/false};
+    return Acquired{std::move(built), /*fresh=*/true, /*hit=*/false, evicted};
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
   auto built = std::make_shared<const Shortcut>(
@@ -122,8 +131,8 @@ BuildResult SolverCore::analyze(const Partition& parts) const {
   auto span = parts.part_of_all();
   const std::uint64_t key = fingerprint(parts.num_parts(), span);
   std::unique_lock<std::shared_mutex> lock(cache_mutex_);
-  insert_locked(key, std::vector<PartId>(span.begin(), span.end()),
-                std::make_shared<const Shortcut>(out.shortcut));
+  (void)insert_locked(key, std::vector<PartId>(span.begin(), span.end()),
+                      std::make_shared<const Shortcut>(out.shortcut));
   return out;
 }
 
@@ -131,9 +140,16 @@ SolverCore::CacheStats SolverCore::cache_stats() const noexcept {
   CacheStats s;
   s.hits = hits_.load(std::memory_order_relaxed);
   s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
   s.entries = cache_size();
   s.capacity = cache_capacity_;
   return s;
+}
+
+UpdateHistory SolverCore::history() const noexcept {
+  UpdateHistory h = history_;
+  h.updates_applied += weight_updates_.load(std::memory_order_relaxed);
+  return h;
 }
 
 std::size_t SolverCore::cache_size() const noexcept {
@@ -172,7 +188,118 @@ void SolverCore::seed_cache(std::vector<PartId> part_of,
     if (p >= num_parts) num_parts = static_cast<PartId>(p + 1);
   const std::uint64_t key = fingerprint(num_parts, part_of);
   std::unique_lock<std::shared_mutex> lock(cache_mutex_);
-  insert_locked(key, std::move(part_of), std::move(shortcut));
+  (void)insert_locked(key, std::move(part_of), std::move(shortcut));
+}
+
+std::shared_ptr<const SolverCore> SolverCore::update(const UpdateBatch& batch,
+                                                     UpdateStats& stats) const {
+  require(batch.structural(),
+          "SolverCore::update: weight-only batches need no new core");
+  GraphDelta delta = apply_delta(*g_, batch);
+  StructuralCertificate cert =
+      update_certificate(cert_, *g_, delta.graph, delta, batch);
+
+  // Dirty test works in OLD vertex ids (cached part_of lives there): a
+  // removed vertex, or a surviving vertex that is structurally touched.
+  const VertexId old_n = g_->num_vertices();
+  std::vector<char> touched_old(static_cast<std::size_t>(old_n), 0);
+  for (VertexId v = 0; v < old_n; ++v) {
+    const VertexId nv = delta.vertex_map[static_cast<std::size_t>(v)];
+    touched_old[static_cast<std::size_t>(v)] =
+        nv == kInvalidVertex ? char{1}
+                             : delta.touched[static_cast<std::size_t>(nv)];
+  }
+
+  CoreConfig cfg;
+  cfg.tree = tree_factory_;
+  cfg.engine = engine_;
+  cfg.cache_capacity = cache_capacity_;
+  auto core = std::make_shared<SolverCore>(
+      std::make_shared<const Graph>(std::move(delta.graph)), std::move(cert),
+      std::move(cfg));
+  const VertexId new_n = core->graph().num_vertices();
+
+  stats.structural = true;
+  stats.subpaths_rebuilt = 0;
+  // Patch the spanning tree only if this core ever built one; a cold core
+  // stays cold (the successor's factory builds fresh on first use).
+  if (tree_.has_value()) {
+    TreePatch patch = patch_tree(*tree_, core->graph(), delta);
+    stats.subpaths_rebuilt = patch.subpaths_rebuilt;
+    std::call_once(core->tree_once_, [&] {
+      core->tree_.emplace(patch.root, std::move(patch.parent),
+                          std::move(patch.parent_edge));
+    });
+  }
+
+  // Migrate surviving cache entries, LRU-first so relative recency carries
+  // over. An entry is dirty iff its partition contains a touched vertex or
+  // its shortcut lost an edge; everything else stays live as-is (remapped
+  // ids) — no epoch-wide flush.
+  stats.entries_kept = 0;
+  stats.entries_invalidated = 0;
+  {
+    std::shared_lock<std::shared_mutex> lock(cache_mutex_);
+    std::vector<const CacheEntry*> order;
+    order.reserve(entries_.size());
+    for (const CacheEntry& e : entries_) order.push_back(&e);
+    std::sort(order.begin(), order.end(),
+              [](const CacheEntry* a, const CacheEntry* b) {
+                return a->last_use.load(std::memory_order_relaxed) <
+                       b->last_use.load(std::memory_order_relaxed);
+              });
+    for (const CacheEntry* e : order) {
+      bool dirty = false;
+      for (VertexId v = 0; v < old_n && !dirty; ++v)
+        dirty = touched_old[static_cast<std::size_t>(v)] &&
+                e->part_of[static_cast<std::size_t>(v)] != kNoPart;
+      for (const auto& part_edges : e->shortcut->edges_of_part)
+        for (EdgeId pe : part_edges) {
+          if (dirty) break;
+          dirty = delta.edge_map[static_cast<std::size_t>(pe)] == kInvalidEdge;
+        }
+      if (dirty) {
+        ++stats.entries_invalidated;
+        continue;
+      }
+      std::vector<PartId> part_of(static_cast<std::size_t>(new_n), kNoPart);
+      for (VertexId v = 0; v < old_n; ++v) {
+        const VertexId nv = delta.vertex_map[static_cast<std::size_t>(v)];
+        if (nv != kInvalidVertex)
+          part_of[static_cast<std::size_t>(nv)] =
+              e->part_of[static_cast<std::size_t>(v)];
+      }
+      auto shortcut = std::make_shared<Shortcut>();
+      shortcut->edges_of_part.reserve(e->shortcut->edges_of_part.size());
+      for (const auto& part_edges : e->shortcut->edges_of_part) {
+        std::vector<EdgeId> mapped;
+        mapped.reserve(part_edges.size());
+        for (EdgeId pe : part_edges)
+          mapped.push_back(delta.edge_map[static_cast<std::size_t>(pe)]);
+        shortcut->edges_of_part.push_back(std::move(mapped));
+      }
+      core->seed_cache(std::move(part_of),
+                       std::shared_ptr<const Shortcut>(std::move(shortcut)));
+      ++stats.entries_kept;
+    }
+  }
+
+  stats.vertex_map = std::move(delta.vertex_map);
+  stats.edge_map = std::move(delta.edge_map);
+
+  // Lifetime counters and churn telemetry carry into the successor.
+  core->hits_.store(hits_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  core->misses_.store(misses_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  core->evictions_.store(evictions_.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+  core->history_ = history();
+  core->history_.updates_applied += 1;
+  core->history_.entries_kept += stats.entries_kept;
+  core->history_.entries_invalidated += stats.entries_invalidated;
+  core->history_.subpaths_rebuilt += stats.subpaths_rebuilt;
+  return core;
 }
 
 std::shared_ptr<const SolverCore> SolverCore::restore(io::Snapshot&& snapshot,
@@ -206,6 +333,7 @@ std::shared_ptr<const SolverCore> SolverCore::restore(io::Snapshot&& snapshot,
     core->seed_cache(std::move(it->part_of),
                      std::make_shared<const Shortcut>(std::move(it->shortcut)));
   }
+  core->history_ = snapshot.history;
   return core;
 }
 

@@ -48,6 +48,7 @@
 
 #include "core/certificate.hpp"
 #include "core/shortcut_engine.hpp"
+#include "graph/delta.hpp"
 
 namespace mns::io {
 struct Snapshot;         // io/snapshot.hpp
@@ -55,6 +56,19 @@ struct CachedShortcut;   // io/snapshot.hpp
 }  // namespace mns::io
 
 namespace mns::congest {
+
+/// What one structural update() did to the cached state (DESIGN.md §12).
+/// The id maps let callers carry per-edge side data (weights) and remembered
+/// vertex ids across the update; both are empty for weight-only batches
+/// (which change no ids at all).
+struct UpdateStats {
+  std::size_t entries_kept = 0;         ///< cache entries that survived live
+  std::size_t entries_invalidated = 0;  ///< entries dropped as dirty
+  std::size_t subpaths_rebuilt = 0;     ///< re-hung rooted-tree subpaths
+  bool structural = false;              ///< false: weight-only, nothing moved
+  std::vector<VertexId> vertex_map;     ///< old id -> new id (structural only)
+  std::vector<EdgeId> edge_map;         ///< old id -> new id (structural only)
+};
 
 /// Construction-time knobs of a SolverCore (the immutable subset of the old
 /// SessionConfig: everything except the per-request execution policy).
@@ -89,6 +103,27 @@ class SolverCore {
   [[nodiscard]] static std::shared_ptr<const SolverCore> restore(
       io::Snapshot&& snapshot, CoreConfig config = {});
 
+  /// Incremental update (DESIGN.md §12): applies a STRUCTURAL batch and
+  /// returns the successor core over the post-update graph, doing the
+  /// minimum work — the spanning tree (if already built) is patched by
+  /// re-hanging only broken subpaths, the certificate is remapped, and
+  /// every cache entry whose partition avoids the touched vertices and
+  /// whose shortcut lost no edge MIGRATES live (ids remapped, LRU order
+  /// preserved) so it stays a hit with zero construction charge. Dirty
+  /// entries are dropped; nothing else is flushed. Weight-only batches must
+  /// not come here (they need no new core — see Session::update). Call only
+  /// while no handle is mid-solve, like clear_cache. Throws UpdateError on
+  /// batches the structures cannot absorb.
+  [[nodiscard]] std::shared_ptr<const SolverCore> update(
+      const UpdateBatch& batch, UpdateStats& stats) const;
+
+  /// Cumulative churn telemetry (persisted in snapshot v2).
+  [[nodiscard]] UpdateHistory history() const noexcept;
+  /// Records a weight-only update (no structural work, nothing invalidated).
+  void note_weight_update() const noexcept {
+    weight_updates_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   SolverCore(const SolverCore&) = delete;
   SolverCore& operator=(const SolverCore&) = delete;
 
@@ -119,6 +154,7 @@ class SolverCore {
     std::shared_ptr<const Shortcut> shortcut;
     bool fresh = true;  ///< freshly constructed: the caller pays the charge
     bool hit = false;   ///< served from cache
+    std::size_t evictions = 0;  ///< entries this acquire's insert evicted
   };
   /// use_cache == false bypasses the cache entirely (every build is a miss,
   /// nothing is inserted) — the benches' cold baseline.
@@ -134,6 +170,7 @@ class SolverCore {
   struct CacheStats {
     long long hits = 0;    ///< acquires served from cache, core lifetime
     long long misses = 0;  ///< acquires that built (cached or bypass)
+    long long evictions = 0;  ///< entries LRU-evicted under capacity pressure
     std::size_t entries = 0;
     std::size_t capacity = 0;
   };
@@ -144,6 +181,9 @@ class SolverCore {
   }
   [[nodiscard]] long long cache_misses() const noexcept {
     return misses_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] long long cache_evictions() const noexcept {
+    return evictions_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::size_t cache_capacity() const noexcept {
     return cache_capacity_;
@@ -159,6 +199,12 @@ class SolverCore {
   /// Call in LRU-to-MRU order so use stamps reproduce the snapshot order.
   void seed_cache(std::vector<PartId> part_of,
                   std::shared_ptr<const Shortcut> shortcut) const;
+
+  /// The cache key: FNV-1a over num_parts then every part id, in vertex
+  /// order — sensitive to any relabeling or permutation of part_of. Public
+  /// and static so tools (mnsctl inspect) and tests can pin golden values.
+  [[nodiscard]] static std::uint64_t partition_fingerprint(
+      PartId num_parts, std::span<const PartId> part_of);
 
  private:
   struct CacheEntry {
@@ -177,13 +223,16 @@ class SolverCore {
   };
 
   [[nodiscard]] std::uint64_t fingerprint(
-      PartId num_parts, std::span<const PartId> part_of) const;
+      PartId num_parts, std::span<const PartId> part_of) const {
+    return partition_fingerprint(num_parts, part_of);
+  }
   [[nodiscard]] std::uint64_t next_use() const {
     return use_clock_.fetch_add(1, std::memory_order_relaxed) + 1;
   }
   /// Dedupe-probe + evict + insert; cache_mutex_ must be held exclusively.
-  void insert_locked(std::uint64_t key, std::vector<PartId> part_of,
-                     std::shared_ptr<const Shortcut> shortcut) const;
+  /// Returns the number of entries evicted to make room.
+  std::size_t insert_locked(std::uint64_t key, std::vector<PartId> part_of,
+                            std::shared_ptr<const Shortcut> shortcut) const;
 
   std::shared_ptr<const Graph> g_;
   StructuralCertificate cert_;
@@ -201,6 +250,13 @@ class SolverCore {
   mutable std::atomic<std::uint64_t> use_clock_{0};
   mutable std::atomic<long long> hits_{0};
   mutable std::atomic<long long> misses_{0};
+  mutable std::atomic<long long> evictions_{0};
+
+  /// Structural-update telemetry, written before the core is shared
+  /// (update()/restore() on the successor core); weight-only updates bump
+  /// the atomic counter on the live core.
+  UpdateHistory history_{};
+  mutable std::atomic<std::uint64_t> weight_updates_{0};
 };
 
 }  // namespace mns::congest

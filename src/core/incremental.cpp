@@ -1,0 +1,367 @@
+#include "core/incremental.hpp"
+
+#include <algorithm>
+#include <span>
+#include <string>
+
+namespace mns {
+namespace {
+
+[[noreturn]] void bad(const std::string& what) { throw UpdateError(what); }
+
+[[nodiscard]] bool contains(std::span<const VertexId> sorted, VertexId v) {
+  return std::binary_search(sorted.begin(), sorted.end(), v);
+}
+
+}  // namespace
+
+TreePatch patch_tree(const RootedTree& tree, const Graph& new_g,
+                     const GraphDelta& delta) {
+  const VertexId old_n = tree.num_vertices();
+  const VertexId new_n = new_g.num_vertices();
+  require(static_cast<std::size_t>(old_n) == delta.vertex_map.size(),
+          "patch_tree: delta does not match the tree's graph");
+  if (new_n == 0) bad("patch_tree: update removes every vertex");
+
+  TreePatch patch;
+  patch.parent.assign(static_cast<std::size_t>(new_n), kInvalidVertex);
+  patch.parent_edge.assign(static_cast<std::size_t>(new_n), kInvalidEdge);
+  std::vector<char> broken(static_cast<std::size_t>(new_n), 0);
+
+  patch.root = kInvalidVertex;
+  for (VertexId v = 0; v < old_n; ++v) {
+    const VertexId nv = delta.vertex_map[static_cast<std::size_t>(v)];
+    if (nv == kInvalidVertex) continue;
+    if (v == tree.root()) {
+      patch.root = nv;
+      continue;
+    }
+    const EdgeId pe = tree.parent_edge(v);
+    if (pe == kInvalidEdge)
+      bad("patch_tree: tree carries no edge bindings");
+    const VertexId np =
+        delta.vertex_map[static_cast<std::size_t>(tree.parent(v))];
+    const EdgeId ne = delta.edge_map[static_cast<std::size_t>(pe)];
+    if (np == kInvalidVertex || ne == kInvalidEdge) {
+      broken[static_cast<std::size_t>(nv)] = 1;
+    } else {
+      patch.parent[static_cast<std::size_t>(nv)] = np;
+      patch.parent_edge[static_cast<std::size_t>(nv)] = ne;
+    }
+  }
+  // Vertices with no link and no designated root are broken: the added
+  // vertices, plus survivors whose parent vertex/edge vanished (marked
+  // above).
+  for (VertexId nv = 0; nv < new_n; ++nv)
+    if (nv != patch.root &&
+        patch.parent[static_cast<std::size_t>(nv)] == kInvalidVertex)
+      broken[static_cast<std::size_t>(nv)] = 1;
+
+  // If the root itself was removed, promote the smallest broken vertex; its
+  // chain already points nowhere, so no reversal is needed for it.
+  if (patch.root == kInvalidVertex) {
+    for (VertexId nv = 0; nv < new_n; ++nv)
+      if (broken[static_cast<std::size_t>(nv)]) {
+        patch.root = nv;
+        broken[static_cast<std::size_t>(nv)] = 0;
+        break;
+      }
+    require(patch.root != kInvalidVertex, "patch_tree: no root candidate");
+  }
+
+  // state: 0 = unresolved, 1 = attached to the root, 2 = dangling (its
+  // parent chain ends at a broken vertex).
+  std::vector<char> state(static_cast<std::size_t>(new_n), 0);
+  std::vector<VertexId> chain;
+  auto resolve_states = [&] {
+    std::fill(state.begin(), state.end(), char{0});
+    state[static_cast<std::size_t>(patch.root)] = 1;
+    for (VertexId nv = 0; nv < new_n; ++nv)
+      if (broken[static_cast<std::size_t>(nv)])
+        state[static_cast<std::size_t>(nv)] = 2;
+    for (VertexId nv = 0; nv < new_n; ++nv) {
+      if (state[static_cast<std::size_t>(nv)] != 0) continue;
+      chain.clear();
+      VertexId cur = nv;
+      while (state[static_cast<std::size_t>(cur)] == 0) {
+        chain.push_back(cur);
+        cur = patch.parent[static_cast<std::size_t>(cur)];
+      }
+      const char s = state[static_cast<std::size_t>(cur)];
+      for (VertexId x : chain) state[static_cast<std::size_t>(x)] = s;
+    }
+  };
+  resolve_states();
+
+  // Re-hang one dangling subpath per round: pick the smallest dangling
+  // vertex x with an attached neighbor y and reverse the parent path from x
+  // up to its broken head, grafting the whole component below y.
+  for (;;) {
+    VertexId x = kInvalidVertex, y = kInvalidVertex;
+    EdgeId xy = kInvalidEdge;
+    bool any_dangling = false;
+    for (VertexId nv = 0; nv < new_n && x == kInvalidVertex; ++nv) {
+      if (state[static_cast<std::size_t>(nv)] != 2) continue;
+      any_dangling = true;
+      auto nbrs = new_g.neighbors(nv);
+      auto eids = new_g.incident_edges(nv);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        if (state[static_cast<std::size_t>(nbrs[i])] == 1) {
+          x = nv;
+          y = nbrs[i];
+          xy = eids[i];
+          break;
+        }
+      }
+    }
+    if (!any_dangling) break;
+    if (x == kInvalidVertex)
+      bad("patch_tree: update disconnects the graph; no spanning tree exists");
+
+    VertexId cur = x, np = y;
+    EdgeId ne = xy;
+    for (;;) {
+      const VertexId old_parent = patch.parent[static_cast<std::size_t>(cur)];
+      const EdgeId old_edge = patch.parent_edge[static_cast<std::size_t>(cur)];
+      patch.parent[static_cast<std::size_t>(cur)] = np;
+      patch.parent_edge[static_cast<std::size_t>(cur)] = ne;
+      if (broken[static_cast<std::size_t>(cur)]) {
+        broken[static_cast<std::size_t>(cur)] = 0;
+        break;
+      }
+      np = cur;
+      ne = old_edge;
+      cur = old_parent;
+    }
+    ++patch.subpaths_rebuilt;
+    resolve_states();
+  }
+  return patch;
+}
+
+namespace {
+
+// Shared by the treewidth and clique-sum paths: the inserted-edge endpoints
+// live in the extended old id space ([old_n, old_n + add) = added vertices).
+struct ExtendedIds {
+  VertexId old_n = 0;
+  VertexId survivors = 0;
+  const GraphDelta* delta = nullptr;
+
+  [[nodiscard]] bool is_new(VertexId v) const { return v >= old_n; }
+  [[nodiscard]] VertexId to_new(VertexId v) const {
+    return is_new(v) ? survivors + (v - old_n)
+                     : delta->vertex_map[static_cast<std::size_t>(v)];
+  }
+};
+
+[[nodiscard]] ExtendedIds make_extended(const Graph& old_g,
+                                        const GraphDelta& delta) {
+  ExtendedIds ext{old_g.num_vertices(), 0, &delta};
+  for (VertexId v = 0; v < ext.old_n; ++v)
+    if (delta.vertex_map[static_cast<std::size_t>(v)] != kInvalidVertex)
+      ++ext.survivors;
+  return ext;
+}
+
+// Old neighbors (extended old ids) each added vertex gains from the batch;
+// rejects edges between two added vertices.
+[[nodiscard]] std::vector<std::vector<VertexId>> added_vertex_neighbors(
+    const ExtendedIds& ext, const UpdateBatch& batch) {
+  std::vector<std::vector<VertexId>> nbrs(
+      static_cast<std::size_t>(batch.add_vertices));
+  for (const EdgeInsert& ins : batch.insert_edges) {
+    const bool nu = ext.is_new(ins.u), nv = ext.is_new(ins.v);
+    if (nu && nv)
+      bad("update_certificate: an edge between two added vertices is not "
+          "supported; supply a new certificate");
+    if (nu) nbrs[static_cast<std::size_t>(ins.u - ext.old_n)].push_back(ins.v);
+    if (nv) nbrs[static_cast<std::size_t>(ins.v - ext.old_n)].push_back(ins.u);
+  }
+  for (std::size_t i = 0; i < nbrs.size(); ++i)
+    if (nbrs[i].empty())
+      bad("update_certificate: an added vertex has no inserted edges");
+  return nbrs;
+}
+
+[[nodiscard]] StructuralCertificate update_treewidth(
+    const TreewidthCertificate& cert, const Graph& old_g,
+    const GraphDelta& delta, const UpdateBatch& batch) {
+  const TreeDecomposition& td = cert.decomposition;
+  const ExtendedIds ext = make_extended(old_g, delta);
+
+  std::vector<std::vector<VertexId>> bags(
+      static_cast<std::size_t>(td.num_bags()));
+  std::vector<BagId> parent(static_cast<std::size_t>(td.num_bags()));
+  for (BagId b = 0; b < td.num_bags(); ++b) {
+    parent[static_cast<std::size_t>(b)] = td.parent(b);
+    for (VertexId v : td.bag(b)) {
+      VertexId nv = delta.vertex_map[static_cast<std::size_t>(v)];
+      if (nv != kInvalidVertex)
+        bags[static_cast<std::size_t>(b)].push_back(nv);
+    }
+  }
+
+  // Every inserted edge between existing vertices must already be covered.
+  for (const EdgeInsert& ins : batch.insert_edges) {
+    if (ext.is_new(ins.u) || ext.is_new(ins.v)) continue;
+    bool covered = false;
+    for (BagId b : td.bags_containing(ins.u))
+      if (contains(td.bag(b), ins.v)) {
+        covered = true;
+        break;
+      }
+    if (!covered)
+      bad("update_certificate: inserted edge is not covered by any bag of "
+          "the treewidth certificate; supply a new certificate");
+  }
+
+  // Each added vertex gets a fresh bag {w} ∪ N(w) under a bag that already
+  // holds all of N(w) — the only extension that preserves the axioms.
+  const auto added = added_vertex_neighbors(ext, batch);
+  for (std::size_t i = 0; i < added.size(); ++i) {
+    BagId host = kInvalidBag;
+    for (BagId b : td.bags_containing(added[i][0])) {
+      bool all = true;
+      for (VertexId u : added[i]) all = all && contains(td.bag(b), u);
+      if (all) {
+        host = b;
+        break;
+      }
+    }
+    if (host == kInvalidBag)
+      bad("update_certificate: an added vertex's neighbors share no bag of "
+          "the treewidth certificate; supply a new certificate");
+    std::vector<VertexId> bag{ext.to_new(
+        static_cast<VertexId>(ext.old_n + static_cast<VertexId>(i)))};
+    for (VertexId u : added[i]) bag.push_back(ext.to_new(u));
+    bags.push_back(std::move(bag));
+    parent.push_back(host);
+  }
+  return treewidth_certificate(
+      TreeDecomposition(std::move(bags), std::move(parent)));
+}
+
+[[nodiscard]] StructuralCertificate update_cliquesum(
+    const CliqueSumCertificate& cert, const Graph& old_g, const Graph& new_g,
+    const GraphDelta& delta, const UpdateBatch& batch) {
+  const CliqueSumDecomposition& csd = cert.decomposition;
+  const ExtendedIds ext = make_extended(old_g, delta);
+
+  std::vector<std::vector<VertexId>> bag_vertices(
+      static_cast<std::size_t>(csd.num_bags()));
+  std::vector<std::vector<EdgeId>> bag_edges(
+      static_cast<std::size_t>(csd.num_bags()));
+  std::vector<BagId> parent(static_cast<std::size_t>(csd.num_bags()));
+  std::vector<std::vector<VertexId>> parent_clique(
+      static_cast<std::size_t>(csd.num_bags()));
+  for (BagId b = 0; b < csd.num_bags(); ++b) {
+    parent[static_cast<std::size_t>(b)] = csd.parent(b);
+    for (VertexId v : csd.bag_vertices(b)) {
+      VertexId nv = delta.vertex_map[static_cast<std::size_t>(v)];
+      if (nv != kInvalidVertex)
+        bag_vertices[static_cast<std::size_t>(b)].push_back(nv);
+    }
+    for (EdgeId e : csd.bag_edges(b)) {
+      EdgeId ne = delta.edge_map[static_cast<std::size_t>(e)];
+      if (ne != kInvalidEdge)
+        bag_edges[static_cast<std::size_t>(b)].push_back(ne);
+    }
+    for (VertexId v : csd.parent_clique(b)) {
+      VertexId nv = delta.vertex_map[static_cast<std::size_t>(v)];
+      if (nv != kInvalidVertex)
+        parent_clique[static_cast<std::size_t>(b)].push_back(nv);
+    }
+  }
+
+  // Bag edges partition E (Definition 8): each inserted edge between
+  // existing vertices is assigned to the first bag holding both endpoints.
+  for (const EdgeInsert& ins : batch.insert_edges) {
+    if (ext.is_new(ins.u) || ext.is_new(ins.v)) continue;
+    BagId host = kInvalidBag;
+    for (BagId b = 0; b < csd.num_bags() && host == kInvalidBag; ++b)
+      if (contains(csd.bag_vertices(b), ins.u) &&
+          contains(csd.bag_vertices(b), ins.v))
+        host = b;
+    if (host == kInvalidBag)
+      bad("update_certificate: inserted edge is not covered by any bag of "
+          "the clique-sum certificate; supply a new certificate");
+    const EdgeId ne = new_g.find_edge(ext.to_new(ins.u), ext.to_new(ins.v));
+    require(ne != kInvalidEdge, "update_certificate: inserted edge missing");
+    bag_edges[static_cast<std::size_t>(host)].push_back(ne);
+  }
+
+  // Each added vertex becomes a fresh leaf bag glued along its neighbor set.
+  const auto added = added_vertex_neighbors(ext, batch);
+  for (std::size_t i = 0; i < added.size(); ++i) {
+    BagId host = kInvalidBag;
+    for (BagId b = 0; b < csd.num_bags() && host == kInvalidBag; ++b) {
+      bool all = true;
+      for (VertexId u : added[i]) all = all && contains(csd.bag_vertices(b), u);
+      if (all) host = b;
+    }
+    if (host == kInvalidBag)
+      bad("update_certificate: an added vertex's neighbors share no bag of "
+          "the clique-sum certificate; supply a new certificate");
+    const VertexId w =
+        ext.to_new(static_cast<VertexId>(ext.old_n + static_cast<VertexId>(i)));
+    std::vector<VertexId> verts{w};
+    std::vector<VertexId> clique;
+    std::vector<EdgeId> edges;
+    for (VertexId u : added[i]) {
+      verts.push_back(ext.to_new(u));
+      clique.push_back(ext.to_new(u));
+      const EdgeId ne = new_g.find_edge(w, ext.to_new(u));
+      require(ne != kInvalidEdge, "update_certificate: inserted edge missing");
+      edges.push_back(ne);
+    }
+    bag_vertices.push_back(std::move(verts));
+    bag_edges.push_back(std::move(edges));
+    parent.push_back(host);
+    parent_clique.push_back(std::move(clique));
+  }
+
+  CliqueSumCertificate out = cert;
+  out.decomposition = CliqueSumDecomposition(
+      std::move(bag_vertices), std::move(bag_edges), std::move(parent),
+      std::move(parent_clique));
+  // bag_apices is indexed by ORIGINAL bag id; remap and pad for new bags.
+  for (auto& apices : out.bag_apices) {
+    std::vector<VertexId> mapped;
+    for (VertexId v : apices) {
+      VertexId nv = delta.vertex_map[static_cast<std::size_t>(v)];
+      if (nv != kInvalidVertex) mapped.push_back(nv);
+    }
+    apices = std::move(mapped);
+  }
+  if (!out.bag_apices.empty())
+    out.bag_apices.resize(
+        static_cast<std::size_t>(out.decomposition.num_bags()));
+  return out;
+}
+
+}  // namespace
+
+StructuralCertificate update_certificate(const StructuralCertificate& cert,
+                                         const Graph& old_g,
+                                         const Graph& new_g,
+                                         const GraphDelta& delta,
+                                         const UpdateBatch& batch) {
+  if (std::holds_alternative<UniformCertificate>(cert)) return cert;
+  if (const auto* tw = std::get_if<TreewidthCertificate>(&cert))
+    return update_treewidth(*tw, old_g, delta, batch);
+  if (const auto* ap = std::get_if<ApexCertificate>(&cert)) {
+    ApexCertificate out = *ap;
+    std::vector<VertexId> mapped;
+    for (VertexId v : out.apices) {
+      VertexId nv = delta.vertex_map[static_cast<std::size_t>(v)];
+      if (nv != kInvalidVertex) mapped.push_back(nv);
+    }
+    out.apices = std::move(mapped);
+    return out;
+  }
+  return update_cliquesum(std::get<CliqueSumCertificate>(cert), old_g, new_g,
+                          delta, batch);
+}
+
+}  // namespace mns

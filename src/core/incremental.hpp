@@ -1,0 +1,51 @@
+// Incremental maintenance of the session's structural objects under graph
+// churn (DESIGN.md §12): patch the rooted spanning tree by re-hanging only
+// the subpaths an edit actually broke, and carry a StructuralCertificate
+// across a delta by remapping ids and extending bags for inserted material.
+//
+// Both functions are pure: they read the old object + the GraphDelta and
+// produce the patched object for the post-update graph. Edits the
+// certificate cannot absorb locally (an inserted edge no bag covers, an
+// added vertex whose neighbors share no bag) throw UpdateError — the caller
+// should then build a fresh Session with a new certificate.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/certificate.hpp"
+#include "graph/delta.hpp"
+#include "graph/rooted_tree.hpp"
+
+namespace mns {
+
+/// Parent arrays of the patched tree plus the number of re-hung subpaths
+/// (each broken chain re-attached through one edge reversal, and each added
+/// vertex's attachment, counts as one).
+struct TreePatch {
+  VertexId root = kInvalidVertex;
+  std::vector<VertexId> parent;
+  std::vector<EdgeId> parent_edge;
+  std::size_t subpaths_rebuilt = 0;
+};
+
+/// Patches `tree` (spanning the pre-update graph) onto `new_g`: surviving
+/// parent links are remapped in place; vertices whose parent vertex or
+/// parent edge was removed — and all added vertices — are re-attached by
+/// reversing the path to the nearest still-attached neighbor. Requires the
+/// tree to carry edge bindings. Throws UpdateError if `new_g` is
+/// disconnected (no spanning tree exists) or empty.
+[[nodiscard]] TreePatch patch_tree(const RootedTree& tree, const Graph& new_g,
+                                   const GraphDelta& delta);
+
+/// Carries `cert` across the delta. Uniform certificates pass through;
+/// decomposition-backed certificates are remapped (removed vertices/edges
+/// dropped from bags) and extended: an inserted edge must be covered by an
+/// existing bag, and an added vertex gets a fresh bag under a bag containing
+/// all its (existing) neighbors. Throws UpdateError when no such bag exists
+/// or an inserted edge joins two added vertices.
+[[nodiscard]] StructuralCertificate update_certificate(
+    const StructuralCertificate& cert, const Graph& old_g, const Graph& new_g,
+    const GraphDelta& delta, const UpdateBatch& batch);
+
+}  // namespace mns

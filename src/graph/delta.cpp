@@ -1,0 +1,156 @@
+#include "graph/delta.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace mns {
+namespace {
+
+[[noreturn]] void bad(const std::string& what) { throw UpdateError(what); }
+
+}  // namespace
+
+GraphDelta apply_delta(const Graph& g, const UpdateBatch& batch) {
+  const VertexId n = g.num_vertices();
+  const EdgeId m = g.num_edges();
+  if (batch.add_vertices < 0) bad("apply_delta: negative add_vertices");
+
+  std::vector<char> vertex_removed(static_cast<std::size_t>(n), 0);
+  for (VertexId v : batch.remove_vertices) {
+    if (v < 0 || v >= n) bad("apply_delta: remove_vertices id out of range");
+    vertex_removed[static_cast<std::size_t>(v)] = 1;
+  }
+  std::vector<char> edge_removed(static_cast<std::size_t>(m), 0);
+  for (EdgeId e : batch.remove_edges) {
+    if (e < 0 || e >= m) bad("apply_delta: remove_edges id out of range");
+    edge_removed[static_cast<std::size_t>(e)] = 1;
+  }
+  // Edges incident to a removed vertex go with it.
+  for (EdgeId e = 0; e < m; ++e) {
+    const Edge& ed = g.edge(e);
+    if (vertex_removed[static_cast<std::size_t>(ed.u)] ||
+        vertex_removed[static_cast<std::size_t>(ed.v)])
+      edge_removed[static_cast<std::size_t>(e)] = 1;
+  }
+
+  GraphDelta delta;
+  delta.vertex_map.assign(static_cast<std::size_t>(n), kInvalidVertex);
+  VertexId next = 0;
+  for (VertexId v = 0; v < n; ++v)
+    if (!vertex_removed[static_cast<std::size_t>(v)])
+      delta.vertex_map[static_cast<std::size_t>(v)] = next++;
+  const VertexId survivors = next;
+  const VertexId new_n = survivors + batch.add_vertices;
+  // Extended old id space: old id n + i addresses the i-th added vertex.
+  auto map_extended = [&](VertexId v) -> VertexId {
+    if (v < 0 || v >= n + batch.add_vertices)
+      bad("apply_delta: insert_edges endpoint out of range");
+    if (v >= n) return survivors + (v - n);
+    VertexId nv = delta.vertex_map[static_cast<std::size_t>(v)];
+    if (nv == kInvalidVertex)
+      bad("apply_delta: insert_edges endpoint was removed");
+    return nv;
+  };
+
+  EdgeId surviving_edges = 0;
+  for (EdgeId e = 0; e < m; ++e)
+    if (!edge_removed[static_cast<std::size_t>(e)]) ++surviving_edges;
+
+  GraphBuilder b(new_n);
+  b.reserve_edges(static_cast<std::size_t>(surviving_edges) +
+                  batch.insert_edges.size());
+  for (EdgeId e = 0; e < m; ++e) {
+    if (edge_removed[static_cast<std::size_t>(e)]) continue;
+    const Edge& ed = g.edge(e);
+    b.add_edge(delta.vertex_map[static_cast<std::size_t>(ed.u)],
+               delta.vertex_map[static_cast<std::size_t>(ed.v)]);
+  }
+  for (const EdgeInsert& ins : batch.insert_edges)
+    b.add_edge(map_extended(ins.u), map_extended(ins.v));
+  delta.graph = b.build();
+
+  // The builder merges duplicates silently; an insert colliding with a
+  // surviving edge (or another insert) would desynchronise edge ids and
+  // weights, so reject it.
+  if (delta.graph.num_edges() !=
+      surviving_edges + static_cast<EdgeId>(batch.insert_edges.size()))
+    bad("apply_delta: inserted edge duplicates an existing edge");
+
+  delta.edge_map.assign(static_cast<std::size_t>(m), kInvalidEdge);
+  for (EdgeId e = 0; e < m; ++e) {
+    if (edge_removed[static_cast<std::size_t>(e)]) continue;
+    const Edge& ed = g.edge(e);
+    delta.edge_map[static_cast<std::size_t>(e)] = delta.graph.find_edge(
+        delta.vertex_map[static_cast<std::size_t>(ed.u)],
+        delta.vertex_map[static_cast<std::size_t>(ed.v)]);
+  }
+
+  delta.touched.assign(static_cast<std::size_t>(new_n), 0);
+  auto touch_old = [&](VertexId v) {
+    VertexId nv = delta.vertex_map[static_cast<std::size_t>(v)];
+    if (nv != kInvalidVertex) delta.touched[static_cast<std::size_t>(nv)] = 1;
+  };
+  for (EdgeId e = 0; e < m; ++e) {
+    if (!edge_removed[static_cast<std::size_t>(e)]) continue;
+    touch_old(g.edge(e).u);
+    touch_old(g.edge(e).v);
+  }
+  for (const EdgeInsert& ins : batch.insert_edges) {
+    delta.touched[static_cast<std::size_t>(map_extended(ins.u))] = 1;
+    delta.touched[static_cast<std::size_t>(map_extended(ins.v))] = 1;
+  }
+  for (VertexId i = 0; i < batch.add_vertices; ++i)
+    delta.touched[static_cast<std::size_t>(survivors + i)] = 1;
+  return delta;
+}
+
+std::vector<Weight> remap_weights(const Graph& old_g, const Graph& new_g,
+                                  const GraphDelta& delta,
+                                  const UpdateBatch& batch,
+                                  std::vector<Weight> weights) {
+  return remap_weights(old_g, new_g, delta.vertex_map, delta.edge_map, batch,
+                       std::move(weights));
+}
+
+std::vector<Weight> remap_weights(const Graph& old_g, const Graph& new_g,
+                                  std::span<const VertexId> vertex_map,
+                                  std::span<const EdgeId> edge_map,
+                                  const UpdateBatch& batch,
+                                  std::vector<Weight> weights) {
+  if (weights.size() != static_cast<std::size_t>(old_g.num_edges()))
+    bad("remap_weights: weights not parallel to the old edge list");
+  apply_weight_changes(batch, weights);
+
+  std::vector<Weight> out(static_cast<std::size_t>(new_g.num_edges()), 0);
+  for (EdgeId e = 0; e < old_g.num_edges(); ++e) {
+    EdgeId ne = edge_map[static_cast<std::size_t>(e)];
+    if (ne != kInvalidEdge)
+      out[static_cast<std::size_t>(ne)] = weights[static_cast<std::size_t>(e)];
+  }
+  const VertexId old_n = old_g.num_vertices();
+  VertexId survivors = 0;
+  for (VertexId v = 0; v < old_n; ++v)
+    if (vertex_map[static_cast<std::size_t>(v)] != kInvalidVertex) ++survivors;
+  auto map_extended = [&](VertexId v) -> VertexId {
+    return v >= old_n ? survivors + (v - old_n)
+                      : vertex_map[static_cast<std::size_t>(v)];
+  };
+  for (const EdgeInsert& ins : batch.insert_edges) {
+    EdgeId ne = new_g.find_edge(map_extended(ins.u), map_extended(ins.v));
+    require(ne != kInvalidEdge, "remap_weights: inserted edge not found");
+    out[static_cast<std::size_t>(ne)] = ins.weight;
+  }
+  return out;
+}
+
+void apply_weight_changes(const UpdateBatch& batch,
+                          std::vector<Weight>& weights) {
+  for (const WeightChange& wc : batch.weight_changes) {
+    if (wc.edge < 0 ||
+        static_cast<std::size_t>(wc.edge) >= weights.size())
+      bad("apply_weight_changes: edge id out of range");
+    weights[static_cast<std::size_t>(wc.edge)] = wc.weight;
+  }
+}
+
+}  // namespace mns

@@ -1,0 +1,123 @@
+// Edit batches against an immutable Graph, and the delta bookkeeping that
+// lets higher layers (tree patching, certificate maintenance, the SolverCore
+// shortcut cache) do the *minimum* structural work per update instead of a
+// full rebuild (DESIGN.md §12).
+//
+// A Graph is frozen CSR, so a structural edit necessarily produces a NEW
+// Graph object — but apply_delta also produces old→new id maps and the set
+// of structurally touched vertices, which is exactly what incremental
+// invalidation needs: a cached shortcut survives an update iff none of its
+// part vertices are touched and none of its edges were deleted.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace mns {
+
+/// Re-weight one surviving edge (addressed by its pre-batch edge id).
+struct WeightChange {
+  EdgeId edge = kInvalidEdge;
+  Weight weight = 0;
+};
+
+/// Insert undirected edge {u, v}. Endpoints live in the *extended* old id
+/// space: ids in [0, old_n) are existing vertices, ids in
+/// [old_n, old_n + add_vertices) address the batch's new vertices.
+struct EdgeInsert {
+  VertexId u = kInvalidVertex;
+  VertexId v = kInvalidVertex;
+  Weight weight = 1;
+};
+
+/// One atomic group of graph edits. Weight changes are applied first (they
+/// are non-structural); then edge/vertex removals, then vertex additions,
+/// then edge insertions.
+struct UpdateBatch {
+  std::vector<WeightChange> weight_changes;
+  std::vector<EdgeInsert> insert_edges;
+  std::vector<EdgeId> remove_edges;      // pre-batch edge ids
+  std::vector<VertexId> remove_vertices; // incident edges are removed too
+  VertexId add_vertices = 0;             // appended after surviving vertices
+
+  /// True if the batch changes the vertex or edge *set* (anything beyond
+  /// weight changes).
+  [[nodiscard]] bool structural() const noexcept {
+    return !insert_edges.empty() || !remove_edges.empty() ||
+           !remove_vertices.empty() || add_vertices > 0;
+  }
+  [[nodiscard]] bool empty() const noexcept {
+    return weight_changes.empty() && !structural();
+  }
+};
+
+/// Result of applying a structural UpdateBatch: the post-batch graph plus
+/// the old→new id maps (kInvalidVertex / kInvalidEdge for removed ids) and
+/// the set of structurally touched vertices in NEW ids — endpoints of
+/// inserted or removed edges, plus every new vertex. Weight-only changes
+/// touch nothing.
+struct GraphDelta {
+  Graph graph;
+  std::vector<VertexId> vertex_map; // old id -> new id
+  std::vector<EdgeId> edge_map;     // old id -> new id
+  std::vector<char> touched;        // indexed by NEW vertex id
+};
+
+/// Typed error for update batches that cannot be applied (unknown ids,
+/// duplicate inserts, edits the certificate cannot absorb, edits that
+/// disconnect the graph).
+class UpdateError : public std::invalid_argument {
+ public:
+  explicit UpdateError(const std::string& what)
+      : std::invalid_argument(what) {}
+};
+
+/// Applies a structural batch to `g`. Throws UpdateError on out-of-range
+/// ids, inserts of already-present (or doubly-inserted) edges, and edges
+/// referencing removed vertices. Surviving vertices keep their relative
+/// order; new vertices are appended.
+[[nodiscard]] GraphDelta apply_delta(const Graph& g, const UpdateBatch& batch);
+
+/// Carries `weights` (parallel to the OLD graph's edges) across a delta:
+/// applies batch.weight_changes, drops removed edges, remaps survivors, and
+/// assigns each inserted edge its batch weight. Returns a vector parallel to
+/// `new_g.edges()`.
+[[nodiscard]] std::vector<Weight> remap_weights(const Graph& old_g,
+                                                const Graph& new_g,
+                                                const GraphDelta& delta,
+                                                const UpdateBatch& batch,
+                                                std::vector<Weight> weights);
+
+/// Same, from bare id maps (what congest::UpdateStats carries once the
+/// GraphDelta itself has been consumed by SolverCore::update).
+[[nodiscard]] std::vector<Weight> remap_weights(
+    const Graph& old_g, const Graph& new_g,
+    std::span<const VertexId> vertex_map, std::span<const EdgeId> edge_map,
+    const UpdateBatch& batch, std::vector<Weight> weights);
+
+/// Applies only the weight changes of `batch` to `weights` in place (the
+/// whole story for non-structural batches). Throws UpdateError on
+/// out-of-range edge ids.
+void apply_weight_changes(const UpdateBatch& batch,
+                          std::vector<Weight>& weights);
+
+/// Cumulative churn telemetry carried by a SolverCore across update()
+/// generations and persisted in snapshot v2 (DESIGN.md §8, §12).
+struct UpdateHistory {
+  std::uint64_t updates_applied = 0;
+  std::uint64_t entries_kept = 0;
+  std::uint64_t entries_invalidated = 0;
+  std::uint64_t subpaths_rebuilt = 0;
+
+  [[nodiscard]] bool any() const noexcept {
+    return updates_applied != 0 || entries_kept != 0 ||
+           entries_invalidated != 0 || subpaths_rebuilt != 0;
+  }
+  friend bool operator==(const UpdateHistory&, const UpdateHistory&) = default;
+};
+
+}  // namespace mns

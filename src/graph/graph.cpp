@@ -19,14 +19,14 @@ EdgeId Graph::find_edge(VertexId u, VertexId v) const {
 }
 
 GraphBuilder::GraphBuilder(VertexId n) : n_(n) {
-  if (n < 0) throw std::invalid_argument("GraphBuilder: negative vertex count");
+  if (n < 0) throw GraphError("GraphBuilder: negative vertex count");
 }
 
 void GraphBuilder::add_edge(VertexId u, VertexId v) {
   if (u < 0 || u >= n_ || v < 0 || v >= n_)
-    throw std::invalid_argument("GraphBuilder::add_edge: vertex out of range");
+    throw GraphError("GraphBuilder::add_edge: vertex out of range");
   if (u == v)
-    throw std::invalid_argument("GraphBuilder::add_edge: self-loop rejected");
+    throw GraphError("GraphBuilder::add_edge: self-loop rejected");
   if (u > v) std::swap(u, v);
   pending_.push_back({u, v});
 }

@@ -8,12 +8,23 @@
 #pragma once
 
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "graph/types.hpp"
 
 namespace mns {
+
+/// Typed error for malformed graph construction input (self-loops,
+/// out-of-range endpoints, negative vertex counts). Derives from
+/// std::invalid_argument — and therefore std::logic_error — so the snapshot
+/// decoder's logic_error→SnapshotError translation keeps covering it.
+class GraphError : public std::invalid_argument {
+ public:
+  explicit GraphError(const std::string& what) : std::invalid_argument(what) {}
+};
 
 /// An undirected edge as an ordered pair (u < v after normalization).
 struct Edge {
@@ -87,8 +98,8 @@ class GraphBuilder {
   /// Creates a builder for a graph with `n` vertices (n >= 0).
   explicit GraphBuilder(VertexId n);
 
-  /// Adds undirected edge {u, v}. Throws on self-loops or out-of-range ids.
-  /// Duplicate edges are merged at build() time.
+  /// Adds undirected edge {u, v}. Throws GraphError on self-loops or
+  /// out-of-range ids. Duplicate edges are merged at build() time.
   void add_edge(VertexId u, VertexId v);
 
   /// Pre-sizes the pending edge buffer. Streaming generators that know their

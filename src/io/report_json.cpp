@@ -105,6 +105,7 @@ std::string run_report_to_json(const RunReport& r) {
   field(out, "aggregations", json_number(r.aggregations));
   field(out, "cache_hits", json_number(r.cache_hits));
   field(out, "cache_misses", json_number(r.cache_misses));
+  field(out, "cache_evictions", json_number(r.cache_evictions));
   field(out, "wall_ms", json_number(r.wall_ms));
   field(out, "payload", payload_json(r));
   out += '}';
@@ -116,7 +117,8 @@ bool run_reports_identical(const RunReport& a, const RunReport& b) {
       a.messages != b.messages || a.threads != b.threads ||
       a.charged_construction_rounds != b.charged_construction_rounds ||
       a.phases != b.phases || a.aggregations != b.aggregations ||
-      a.cache_hits != b.cache_hits || a.cache_misses != b.cache_misses)
+      a.cache_hits != b.cache_hits || a.cache_misses != b.cache_misses ||
+      a.cache_evictions != b.cache_evictions)
     return false;
   // Full payload content (the digest comparison in JSON is the same check
   // modulo FNV collisions; here we have the real data, so compare exactly).

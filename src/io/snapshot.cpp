@@ -19,6 +19,7 @@ enum SectionTag : std::uint32_t {
   kSectionCertificate = 3,
   kSectionTree = 4,
   kSectionShortcutCache = 5,
+  kSectionUpdateHistory = 6,  // v2+
 };
 
 enum CertTag : std::uint32_t {
@@ -412,10 +413,20 @@ std::vector<std::uint8_t> encode_snapshot(const Snapshot& snap) {
     encode_cache(w, snap.shortcuts);
     sections.emplace_back(kSectionShortcutCache, std::move(w));
   }
+  if (snap.history.any()) {
+    Writer w;
+    w.put_u64(snap.history.updates_applied);
+    w.put_u64(snap.history.entries_kept);
+    w.put_u64(snap.history.entries_invalidated);
+    w.put_u64(snap.history.subpaths_rebuilt);
+    sections.emplace_back(kSectionUpdateHistory, std::move(w));
+  }
 
   Writer out;
   out.put_bytes(kMagic);
-  out.put_u32(kSnapshotVersion);
+  // Oldest version that can represent the content: only the update-history
+  // section needs v2, so pre-churn snapshots stay byte-identical to v1.
+  out.put_u32(snap.history.any() ? kSnapshotVersion : 1u);
   out.put_u32(static_cast<std::uint32_t>(sections.size()));
   for (const auto& [tag, payload] : sections) append_section(out, tag, payload);
   return out.bytes();
@@ -428,15 +439,16 @@ Snapshot decode_snapshot(std::span<const std::uint8_t> bytes) {
     if (magic[i] != kMagic[i])
       throw SnapshotError("snapshot: bad magic (not a snapshot file)");
   const std::uint32_t version = frame.get_u32();
-  if (version != kSnapshotVersion)
+  if (version < 1 || version > kSnapshotVersion)
     throw SnapshotError("snapshot: unsupported version " +
-                        std::to_string(version) + " (expected " +
+                        std::to_string(version) + " (this build reads 1.." +
                         std::to_string(kSnapshotVersion) + ")");
   const std::uint32_t section_count = frame.get_u32();
 
   Snapshot snap;
+  snap.version = version;
   bool have_graph = false, have_weights = false, have_cert = false,
-       have_tree = false, have_cache = false;
+       have_tree = false, have_cache = false, have_history = false;
   for (std::uint32_t s = 0; s < section_count; ++s) {
     const std::uint32_t tag = frame.get_u32();
     const std::uint64_t size = frame.get_u64();
@@ -480,6 +492,17 @@ Snapshot decode_snapshot(std::span<const std::uint8_t> bytes) {
           if (std::exchange(have_cache, true))
             throw SnapshotError("snapshot: duplicate cache section");
           snap.shortcuts = decode_cache(r);
+          break;
+        case kSectionUpdateHistory:
+          if (version < 2)
+            throw SnapshotError(
+                "snapshot: update-history section in a v1 file");
+          if (std::exchange(have_history, true))
+            throw SnapshotError("snapshot: duplicate update-history section");
+          snap.history.updates_applied = r.get_u64();
+          snap.history.entries_kept = r.get_u64();
+          snap.history.entries_invalidated = r.get_u64();
+          snap.history.subpaths_rebuilt = r.get_u64();
           break;
         default:
           throw SnapshotError("snapshot: unknown section tag " +

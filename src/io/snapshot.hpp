@@ -16,8 +16,13 @@
 //   magic "MNSSNAP\0" | u32 version | u32 section_count
 //   section*: u32 tag | u64 payload_bytes | payload | u64 fnv1a64(payload)
 //
-// Sections: 1=graph, 2=weights, 3=certificate, 4=tree, 5=shortcut-cache.
-// Graph and certificate are mandatory; the rest appear when present.
+// Sections: 1=graph, 2=weights, 3=certificate, 4=tree, 5=shortcut-cache,
+// 6=update-history (v2 only; DESIGN.md §12). Graph and certificate are
+// mandatory; the rest appear when present. Version policy (DESIGN.md §8):
+// the writer emits the OLDEST version that can represent the content — v1
+// unless update history is present, so pre-churn snapshots stay byte-stable
+// — and readers accept every version up to kSnapshotVersion, rejecting
+// v2-only sections in a file stamped v1.
 // Readers verify magic, version, and every section checksum BEFORE parsing
 // a payload, and every decoder is bounds-checked — corruption (truncation,
 // bit flips, wrong version, out-of-range certificate tags) throws
@@ -33,6 +38,7 @@
 
 #include "core/certificate.hpp"
 #include "core/shortcut.hpp"
+#include "graph/delta.hpp"
 #include "graph/graph.hpp"
 
 namespace mns::io {
@@ -45,7 +51,10 @@ class SnapshotError : public std::runtime_error {
   explicit SnapshotError(const std::string& what) : std::runtime_error(what) {}
 };
 
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+/// Newest version this build reads AND the version stamped on snapshots
+/// that need v2 content (update history); content representable in v1 is
+/// still written as v1 so existing snapshots round-trip byte-identically.
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 /// The session's rooted spanning tree as plain data (rebuilt through the
 /// validating RootedTree constructor on restore).
@@ -72,6 +81,12 @@ struct Snapshot {
   /// Cached shortcuts, most-recently-used first (LRU order is preserved
   /// across save/restore).
   std::vector<CachedShortcut> shortcuts;
+  /// Cumulative incremental-update telemetry (DESIGN.md §12). All-zero
+  /// history is omitted on encode (and forces no version bump).
+  UpdateHistory history{};
+  /// Version of the file this snapshot was decoded from (encode ignores it;
+  /// the writer picks the oldest version that fits the content).
+  std::uint32_t version = kSnapshotVersion;
 };
 
 /// Serializes to the versioned, checksummed byte format above.

@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <numeric>
 #include <set>
+#include <string>
+#include <type_traits>
 
 #include "graph/algorithms.hpp"
 #include "graph/graph.hpp"
@@ -58,6 +60,24 @@ TEST(GraphBuilder, RejectsOutOfRange) {
 
 TEST(GraphBuilder, RejectsNegativeVertexCount) {
   EXPECT_THROW(GraphBuilder(-1), std::invalid_argument);
+}
+
+TEST(GraphBuilder, ThrowsTypedGraphError) {
+  // The typed error is the catchable contract (mnsctl and the update layer
+  // distinguish construction failures from generic invalid_argument); it
+  // remains AN invalid_argument so existing catch sites keep working.
+  static_assert(std::is_base_of_v<std::invalid_argument, GraphError>);
+  GraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(1, 1), GraphError);
+  EXPECT_THROW(b.add_edge(0, 3), GraphError);
+  EXPECT_THROW(b.add_edge(-1, 0), GraphError);
+  EXPECT_THROW(GraphBuilder(-1), GraphError);
+  try {
+    b.add_edge(2, 5);
+    FAIL() << "out-of-range add_edge did not throw";
+  } catch (const GraphError& e) {
+    EXPECT_NE(std::string(e.what()).find("add_edge"), std::string::npos);
+  }
 }
 
 TEST(GraphBuilder, MergesParallelEdges) {

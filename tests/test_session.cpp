@@ -19,6 +19,7 @@
 #include "gen/planar.hpp"
 #include "gen/weights.hpp"
 #include "graph/algorithms.hpp"
+#include "io/report_json.hpp"
 
 namespace mns {
 namespace {
@@ -355,6 +356,62 @@ TEST(SessionRegistry, CustomWorkloadsCompose) {
   RunReport rep = s.solve("audit", params);
   EXPECT_EQ(rep.workload, "audit");
   EXPECT_GE(rep.min_cut().value, 1);
+}
+
+TEST(SessionCache, EvictionCounterSurfacesChurnPressure) {
+  Graph g = gen::grid(8, 8).graph();
+  Rng rng(29);
+  Partition a = voronoi_partition(g, 3, rng);
+  Partition b = voronoi_partition(g, 5, rng);
+  Partition c = voronoi_partition(g, 7, rng);
+  congest::SessionConfig cfg;
+  cfg.cache_capacity = 2;
+  Session s(g, greedy_certificate(), std::move(cfg));
+  RunReport first = s.solve(congest::Aggregate{a, ramp_values(64)});
+  EXPECT_EQ(first.cache_evictions, 0);
+  (void)s.solve(congest::Aggregate{b, ramp_values(64)});
+  RunReport third = s.solve(congest::Aggregate{c, ramp_values(64)});
+  EXPECT_EQ(third.cache_evictions, 1);  // this run's insert pushed `a` out
+  EXPECT_EQ(s.cache_evictions(), 1);
+  EXPECT_EQ(s.core_ptr()->cache_stats().evictions, 1);
+  // The counter is part of the canonical report JSON (mnsctl solve output,
+  // baseline diffs).
+  EXPECT_NE(io::run_report_to_json(third).find("\"cache_evictions\": 1"),
+            std::string::npos);
+  // A hit run evicts nothing.
+  RunReport again_c = s.solve(congest::Aggregate{c, ramp_values(64)});
+  EXPECT_EQ(again_c.cache_hits, 1);
+  EXPECT_EQ(again_c.cache_evictions, 0);
+  EXPECT_EQ(s.cache_evictions(), 1);
+}
+
+// --- partition fingerprints (the cache key, DESIGN.md §5) -----------------
+
+TEST(PartitionFingerprint, GoldenValuesAreStable) {
+  // Pinned FNV-1a values: a silent change to the fingerprint recipe would
+  // orphan every snapshot's cache section (restore re-keys by fingerprint),
+  // so the recipe is part of the persistence contract.
+  const std::vector<PartId> parts{0, 0, 1, 1, kNoPart};
+  EXPECT_EQ(congest::SolverCore::partition_fingerprint(2, parts),
+            0xa69512bc3d6648bfULL);
+  const std::vector<PartId> single{0};
+  EXPECT_EQ(congest::SolverCore::partition_fingerprint(1, single),
+            0x392209f14dea4c24ULL);
+}
+
+TEST(PartitionFingerprint, SensitiveToEveryInput) {
+  const std::vector<PartId> base{0, 0, 1, 1, kNoPart};
+  const std::uint64_t key = congest::SolverCore::partition_fingerprint(2, base);
+  // num_parts is mixed in even when part_of is unchanged.
+  EXPECT_NE(congest::SolverCore::partition_fingerprint(3, base), key);
+  // Moving a vertex between parts, relabeling the parts, or covering a
+  // previously uncovered vertex all re-key (no false cache hits).
+  const std::vector<PartId> permuted{0, 1, 0, 1, kNoPart};
+  EXPECT_NE(congest::SolverCore::partition_fingerprint(2, permuted), key);
+  const std::vector<PartId> relabeled{1, 1, 0, 0, kNoPart};
+  EXPECT_NE(congest::SolverCore::partition_fingerprint(2, relabeled), key);
+  const std::vector<PartId> covered{0, 0, 1, 1, 1};
+  EXPECT_NE(congest::SolverCore::partition_fingerprint(2, covered), key);
 }
 
 TEST(SessionReport, PayloadAccessorsAreChecked) {
