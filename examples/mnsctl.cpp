@@ -55,8 +55,8 @@ usage:
              -o <snapshot>
   mnsctl build <snapshot> [--workload W] [--threads T] [-o <snapshot>]
   mnsctl update <snapshot> --batch <edits.json> [-o <snapshot>]
-  mnsctl solve <snapshot> --workload W [--threads T] [--repeat K] [--cold]
-               [-o report.json]
+  mnsctl solve <snapshot> --workload W [--partition <workload|ldd>]
+               [--threads T] [--repeat K] [--cold] [-o report.json]
   mnsctl serve <snapshot> [--workload W] [--workers N] [--requests K]
                [--threads T] [-o responses.json]
   mnsctl dist <snapshot> --workload W [--ranks N] [--threads T]
@@ -83,6 +83,9 @@ solve    restores a session and runs a registered workload; prints the
          canonical RunReport JSON (io/report_json.hpp). --repeat K runs the
          workload K times through the same session (later runs hit the
          cache) and emits one wrapper document with all K reports.
+         --partition ldd makes shortcut-backed workloads draw from the
+         core's low-diameter decomposition (ONE cached shortcut shared by
+         mst/mincut/sssp.approx; repeats charge 0 construction rounds).
 serve    restores the snapshot into one shared SolverCore and fans K
          requests across N concurrent workers (serve::QueryServer,
          DESIGN.md §10); emits one response JSON line per request in
@@ -109,8 +112,27 @@ baseline strips the nondeterministic fields from a BENCH_*.json, producing
          a committable baseline (rounds/messages only survive).
 )";
 
+/// One space-separated line of the registered workload names, derived from
+/// the registry itself (congest::builtin_workload_names()) so the usage text
+/// can never go stale against the Session catalogue.
+std::string workload_catalogue() {
+  std::string out;
+  for (const std::string& name : congest::builtin_workload_names()) {
+    if (!out.empty()) out += ' ';
+    out += name;
+  }
+  return out;
+}
+
+const std::string& usage_text() {
+  static const std::string text = std::string(kUsage) +
+                                  "registered workloads (--workload): " +
+                                  workload_catalogue() + "\n";
+  return text;
+}
+
 int usage_error(const char* msg) {
-  std::fprintf(stderr, "mnsctl: %s\n%s", msg, kUsage);
+  std::fprintf(stderr, "mnsctl: %s\n%s", msg, usage_text().c_str());
   return 2;
 }
 
@@ -128,6 +150,7 @@ struct Args {
   long long repeat = 1;
   int workers = 1;
   long long requests = 8;
+  std::string partition = "workload";
   bool cold = false;
   bool baseline = false;
   int ranks = 2;
@@ -237,6 +260,16 @@ bool parse_args(int argc, char** argv, int first, Args& out) {
       if (!parse_number("--fault-seed", value("--fault-seed"), 1,
                         0x7fffffffffffffffLL, out.fault_seed))
         return false;
+    } else if (a == "--partition") {
+      const char* v = value("--partition");
+      if (v == nullptr) return false;
+      if (std::strcmp(v, "workload") != 0 && std::strcmp(v, "ldd") != 0) {
+        std::fprintf(stderr,
+                     "mnsctl: --partition: invalid value '%s' (workload|ldd)\n",
+                     v);
+        return false;
+      }
+      out.partition = v;
     } else if (a == "--cold") {
       out.cold = true;
     } else if (a == "--baseline") {
@@ -475,6 +508,13 @@ int cmd_update(const Args& args) {
 int cmd_solve(const Args& args) {
   if (args.positional.empty()) return usage_error("solve requires <snapshot>");
   if (args.workload.empty()) return usage_error("solve requires --workload");
+  // Name check BEFORE the snapshot is read: a typo'd workload fails fast
+  // with the registered catalogue, not after seconds of restore work.
+  const std::vector<std::string>& names = congest::builtin_workload_names();
+  if (std::find(names.begin(), names.end(), args.workload) == names.end()) {
+    const std::string msg = "unknown workload '" + args.workload + "'";
+    return usage_error(msg.c_str());
+  }
 
   io::Snapshot snap = io::read_snapshot(args.positional[0]);
   std::vector<Weight> weights = snap.weights;
@@ -484,6 +524,8 @@ int cmd_solve(const Args& args) {
   congest::SolveOptions opt;
   opt.threads = args.threads;
   opt.use_cache = !args.cold;
+  if (args.partition == "ldd")
+    opt.partition = congest::PartitionSource::kLdd;
   std::string json;
   if (args.repeat <= 1) {
     json = io::run_report_to_json(session.solve(args.workload, params, opt));

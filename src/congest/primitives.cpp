@@ -53,7 +53,11 @@ struct BroadcastProgram {
 };
 
 /// Leaves-to-root min: a node reports to its parent once every child
-/// reported; the ready list is the frontier.
+/// reported; the ready list is the frontier. kSum switches the combine to
+/// addition (convergecast_sum: subtree totals instead of minima).
+enum class ConvergecastOp { kMin, kSum };
+
+template <ConvergecastOp Op>
 struct ConvergecastProgram {
   const RootedTree& tree;
   std::vector<int> waiting;
@@ -84,7 +88,10 @@ struct ConvergecastProgram {
   void receive(VertexId v, Inbox inbox,
                const ShardContext& ctx) {
     for (const Delivery& d : inbox) {
-      best[v] = std::min(best[v], d.msg.value);
+      if constexpr (Op == ConvergecastOp::kMin)
+        best[v] = std::min(best[v], d.msg.value);
+      else
+        best[v] += d.msg.value;
       --waiting[v];
     }
     if (v != tree.root() && !sent[v] && waiting[v] == 0)
@@ -163,10 +170,23 @@ ConvergecastResult convergecast_min(Simulator& sim, const RootedTree& tree,
   const VertexId n = tree.num_vertices();
   require(static_cast<VertexId>(values.size()) == n,
           "convergecast_min: size mismatch");
-  ConvergecastProgram prog(sim, tree, values);
+  ConvergecastProgram<ConvergecastOp::kMin> prog(sim, tree, values);
   long long rounds = run_vertex_program(sim, prog);
   ConvergecastResult out;
   out.min_at_root = prog.best[tree.root()];
+  out.rounds = rounds;
+  return out;
+}
+
+ConvergecastSumResult convergecast_sum(Simulator& sim, const RootedTree& tree,
+                                       const std::vector<std::int64_t>& values) {
+  const VertexId n = tree.num_vertices();
+  require(static_cast<VertexId>(values.size()) == n,
+          "convergecast_sum: size mismatch");
+  ConvergecastProgram<ConvergecastOp::kSum> prog(sim, tree, values);
+  long long rounds = run_vertex_program(sim, prog);
+  ConvergecastSumResult out;
+  out.sum_at_root = prog.best[tree.root()];
   out.rounds = rounds;
   return out;
 }

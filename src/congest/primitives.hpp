@@ -28,6 +28,16 @@ struct ConvergecastResult {
     Simulator& sim, const RootedTree& tree,
     const std::vector<std::int64_t>& values);
 
+/// Convergecast: the SUM of all `values` flows to the root (O(height)
+/// rounds) — each node reports its subtree total once every child reported.
+struct ConvergecastSumResult {
+  std::int64_t sum_at_root = 0;
+  long long rounds = 0;
+};
+[[nodiscard]] ConvergecastSumResult convergecast_sum(
+    Simulator& sim, const RootedTree& tree,
+    const std::vector<std::int64_t>& values);
+
 /// Leader election by min-id flooding on the raw graph: every node ends up
 /// knowing the smallest vertex id; rounds = eccentricity-ish (O(D)).
 struct LeaderResult {

@@ -13,6 +13,7 @@ CoreConfig core_config(const SessionConfig& config) {
   cc.tree = config.tree;
   cc.engine = config.engine;
   cc.cache_capacity = config.cache_capacity;
+  cc.ldd = config.ldd;
   return cc;
 }
 
@@ -186,6 +187,15 @@ void Session::register_builtin_workloads() {
   register_workload("bfs", [](Session& s, const WorkloadParams& p,
                               const SolveOptions& o) {
     return s.solve(Bfs{p.source}, o);
+  });
+  register_workload("mis", [](Session& s, const WorkloadParams& p,
+                              const SolveOptions& o) {
+    return s.solve(Mis{p.seed}, o);
+  });
+  register_workload("domset", [](Session& s, const WorkloadParams& p,
+                                 const SolveOptions& o) {
+    (void)p;  // span greedy has no parameter knobs
+    return s.solve(DominatingSet{}, o);
   });
 }
 

@@ -65,6 +65,9 @@ struct SessionConfig {
   const ShortcutEngine* engine = nullptr;
   /// Max cached shortcuts before LRU eviction.
   std::size_t cache_capacity = 64;
+  /// Knobs for the core's low-diameter decomposition (the kLdd partition
+  /// source — core/ldd.hpp).
+  LddOptions ldd;
   /// Default execution policy for every solve (overridable per solve via
   /// SolveOptions::threads).
   ExecutionPolicy execution;
@@ -158,6 +161,13 @@ class Session {
   [[nodiscard]] RunReport solve(const Bfs& q, const SolveOptions& opt = {}) {
     return handle_->solve(q, opt);
   }
+  [[nodiscard]] RunReport solve(const Mis& q, const SolveOptions& opt = {}) {
+    return handle_->solve(q, opt);
+  }
+  [[nodiscard]] RunReport solve(const DominatingSet& q,
+                                const SolveOptions& opt = {}) {
+    return handle_->solve(q, opt);
+  }
   [[nodiscard]] RunReport solve(const Aggregate& q,
                                 const SolveOptions& opt = {}) {
     return handle_->solve(q, opt);
@@ -165,8 +175,9 @@ class Session {
 
   // -- the name-keyed workload registry (mirrors ShortcutEngine's builders) --
 
-  /// Runs the named workload ("mst", "mst.ghs", "mincut", "sssp.exact",
-  /// "sssp.approx", "bfs"). Throws InvariantViolation on unknown names.
+  /// Runs the named workload (builtin_workload_names(): "bfs", "domset",
+  /// "mincut", "mis", "mst", "mst.ghs", "sssp.approx", "sssp.exact").
+  /// Throws InvariantViolation naming the offender on unknown names.
   [[nodiscard]] RunReport solve(std::string_view workload,
                                 const WorkloadParams& params,
                                 const SolveOptions& opt = {});

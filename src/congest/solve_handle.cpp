@@ -1,9 +1,54 @@
 #include "congest/solve_handle.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
+#include "congest/dominating_set.hpp"
+#include "congest/mis.hpp"
+
 namespace mns::congest {
+
+namespace {
+
+/// Projects the LDD shortcut onto a workload partition (DESIGN.md §13):
+/// H_p = union of the cluster edge sets H_c over every LDD cluster c that
+/// intersects p, sorted and deduped. Any H is correctness-safe for part-wise
+/// aggregation (the empty source is the flooding baseline), so projection
+/// trades per-partition construction for reuse of ONE cached shortcut.
+/// Identical partitions short-circuit to the base shortcut itself.
+std::shared_ptr<const Shortcut> project_ldd_shortcut(
+    std::shared_ptr<const Shortcut> base, const Partition& cells,
+    const Partition& parts) {
+  const std::span<const PartId> cell_of = cells.part_of_all();
+  const std::span<const PartId> part_of = parts.part_of_all();
+  if (cells.num_parts() == parts.num_parts() &&
+      std::equal(cell_of.begin(), cell_of.end(), part_of.begin(),
+                 part_of.end()))
+    return base;
+  // (target part, cell) incidence pairs, deduped by sort.
+  std::vector<std::pair<PartId, PartId>> inc;
+  for (std::size_t v = 0; v < part_of.size(); ++v)
+    if (part_of[v] != kNoPart) inc.emplace_back(part_of[v], cell_of[v]);
+  std::sort(inc.begin(), inc.end());
+  inc.erase(std::unique(inc.begin(), inc.end()), inc.end());
+  auto out = std::make_shared<Shortcut>();
+  out->edges_of_part.resize(static_cast<std::size_t>(parts.num_parts()));
+  for (std::size_t i = 0; i < inc.size();) {
+    const PartId p = inc[i].first;
+    std::vector<EdgeId>& hp = out->edges_of_part[static_cast<std::size_t>(p)];
+    for (; i < inc.size() && inc[i].first == p; ++i) {
+      const std::vector<EdgeId>& hc =
+          base->edges_of_part[static_cast<std::size_t>(inc[i].second)];
+      hp.insert(hp.end(), hc.begin(), hc.end());
+    }
+    std::sort(hp.begin(), hp.end());
+    hp.erase(std::unique(hp.begin(), hp.end()), hp.end());
+  }
+  return out;
+}
+
+}  // namespace
 
 // -------------------------------------------------------- payload accessors
 
@@ -32,6 +77,16 @@ const AggregatePayload& RunReport::aggregate() const {
   require(p != nullptr, "RunReport: not an aggregation payload");
   return *p;
 }
+const MisPayload& RunReport::mis() const {
+  const auto* p = std::get_if<MisPayload>(&payload);
+  require(p != nullptr, "RunReport: not a MIS payload");
+  return *p;
+}
+const DomsetPayload& RunReport::domset() const {
+  const auto* p = std::get_if<DomsetPayload>(&payload);
+  require(p != nullptr, "RunReport: not a dominating-set payload");
+  return *p;
+}
 
 // ------------------------------------------------------------- solve handle
 
@@ -56,6 +111,30 @@ void SolveHandle::rebind(std::shared_ptr<const SolverCore> core) {
 
 ShortcutSource SolveHandle::make_source(const SolveOptions& opt) {
   if (!opt.use_shortcuts) return empty_shortcut_source();
+  if (opt.partition == PartitionSource::kLdd) {
+    // LDD provenance: every request resolves to the SAME cache entry (the
+    // core LDD's shortcut), projected locally onto whatever partition the
+    // workload aggregates over. Only the underlying construction is ever
+    // charged — the projection is local bookkeeping, not communication.
+    return [this, use_cache = opt.use_cache,
+            charge = opt.charge_construction](const Graph& g,
+                                              const Partition& parts) {
+      require(&g == &core_->graph(),
+              "SolveHandle: shortcut requested for foreign graph");
+      const LddDecomposition& ldd = core_->ldd();
+      SolverCore::Acquired a = core_->acquire(ldd.parts, use_cache);
+      if (a.hit)
+        ++hits_;
+      else
+        ++misses_;
+      evictions_ += static_cast<long long>(a.evictions);
+      SourcedShortcut s{
+          project_ldd_shortcut(std::move(a.shortcut), ldd.parts, parts),
+          a.fresh};
+      if (!charge) s.fresh = false;
+      return s;
+    };
+  }
   return [this, use_cache = opt.use_cache,
           charge = opt.charge_construction](const Graph& g,
                                             const Partition& parts) {
@@ -164,6 +243,9 @@ RunReport SolveHandle::solve(const ApproxSssp& q, const SolveOptions& opt) {
     sopt.voronoi_hop_cap = q.voronoi_hop_cap;
     sopt.wavefront_seeds = q.wavefront_seeds;
     sopt.trace = opt.trace;
+    // LDD provenance pins the cells themselves: one fixed clustering, never
+    // repartitioned, so every run over this core is the same cache entry.
+    if (opt.partition == PartitionSource::kLdd) sopt.fixed_cells = &core_->ldd();
     SsspResult res = approx_sssp(sim_, q.weights, q.source, sopt);
     r.charged_construction_rounds = res.charged_construction_rounds;
     r.phases = res.phases;
@@ -179,6 +261,29 @@ RunReport SolveHandle::solve(const Bfs& q, const SolveOptions& opt) {
     r.phases = 1;
     r.payload = BfsPayload{std::move(res.dist), std::move(res.parent),
                            std::move(res.parent_edge)};
+  });
+}
+
+RunReport SolveHandle::solve(const Mis& q, const SolveOptions& opt) {
+  return run("mis", opt, [&](RunReport& r) {
+    MisOptions mopt;
+    mopt.seed = q.seed;
+    mopt.trace = opt.trace;
+    MisResult res = luby_mis(sim_, mopt);
+    r.phases = res.phases;
+    r.payload = MisPayload{std::move(res.in_mis), res.size};
+  });
+}
+
+RunReport SolveHandle::solve(const DominatingSet& q, const SolveOptions& opt) {
+  return run("domset", opt, [&](RunReport& r) {
+    (void)q;  // span greedy has no knobs beyond the trace
+    DominatingSetOptions dopt;
+    dopt.trace = opt.trace;
+    DominatingSetResult res =
+        span_greedy_dominating_set(sim_, core_->tree(), dopt);
+    r.phases = res.phases;
+    r.payload = DomsetPayload{std::move(res.in_set), res.size};
   });
 }
 
@@ -260,6 +365,22 @@ void SolveHandle::register_builtin_workloads() {
                               const SolveOptions& o) {
     return h.solve(Bfs{p.source}, o);
   });
+  register_workload("mis", [](SolveHandle& h, const WorkloadParams& p,
+                              const SolveOptions& o) {
+    return h.solve(Mis{p.seed}, o);
+  });
+  register_workload("domset", [](SolveHandle& h, const WorkloadParams& p,
+                                 const SolveOptions& o) {
+    (void)p;  // span greedy has no parameter knobs
+    return h.solve(DominatingSet{}, o);
+  });
+}
+
+const std::vector<std::string>& builtin_workload_names() {
+  static const std::vector<std::string> names = {
+      "bfs",         "domset", "mincut",     "mis",
+      "mst",         "mst.ghs", "sssp.approx", "sssp.exact"};
+  return names;
 }
 
 }  // namespace mns::congest

@@ -82,6 +82,18 @@ struct Bfs {
   VertexId root = 0;
 };
 
+/// Luby-style randomized-priority maximal independent set (congest/mis.hpp).
+/// Priorities are pure hashes of (seed, phase, vertex): rounds, messages and
+/// membership are bit-identical at every thread width and across transports.
+struct Mis {
+  std::uint64_t seed = 1;
+};
+
+/// Parallel span-greedy dominating set (congest/dominating_set.hpp): the
+/// distance-2 span maxima join each phase; |D| is convergecast to the core
+/// tree root.
+struct DominatingSet {};
+
 /// One part-wise min aggregation over an explicit partition (Definition 9) —
 /// the primitive every workload above is built from. Repeated aggregations
 /// over the same partition (e.g. periodic per-zone sensor queries) hit the
@@ -113,6 +125,14 @@ struct BfsPayload {
 struct AggregatePayload {
   std::vector<AggValue> min_of_part;
 };
+struct MisPayload {
+  std::vector<char> in_mis;  ///< 1 iff the vertex is in the MIS
+  VertexId size = 0;
+};
+struct DomsetPayload {
+  std::vector<char> in_set;  ///< 1 iff the vertex joined the dominating set
+  VertexId size = 0;         ///< |D| as summed at the tree root
+};
 
 // --------------------------------------------------------------- run report
 
@@ -140,7 +160,7 @@ struct RunReport {
   double wall_ms = 0.0;        ///< wall-clock time of the run
 
   std::variant<std::monostate, MstPayload, MinCutPayload, SsspPayload,
-               BfsPayload, AggregatePayload>
+               BfsPayload, AggregatePayload, MisPayload, DomsetPayload>
       payload;
 
   /// Measured + charged: the round count comparisons should quote.
@@ -154,9 +174,22 @@ struct RunReport {
   [[nodiscard]] const SsspPayload& sssp() const;
   [[nodiscard]] const BfsPayload& bfs() const;
   [[nodiscard]] const AggregatePayload& aggregate() const;
+  [[nodiscard]] const MisPayload& mis() const;
+  [[nodiscard]] const DomsetPayload& domset() const;
 };
 
 // ------------------------------------------------------------ solve options
+
+/// Where the shortcuts a solve aggregates over come from (DESIGN.md §13).
+enum class PartitionSource {
+  /// The workload's own partitions (Boruvka fragments, Voronoi cells, ...).
+  kWorkload,
+  /// The core's low-diameter decomposition: ONE weight-independent
+  /// clustering whose shortcut is built (and cached) once, then projected
+  /// onto whatever partition the workload aggregates over. Repeated solves —
+  /// across workloads and weight vectors — share that single cache entry.
+  kLdd,
+};
 
 /// Per-solve knobs shared by every workload.
 struct SolveOptions {
@@ -176,6 +209,11 @@ struct SolveOptions {
   /// N = fan each round phase over N shards, -1 = hardware_concurrency.
   /// Never changes results — only wall clock (DESIGN.md §7).
   int threads = 0;
+  /// Shortcut provenance (DESIGN.md §13). kLdd makes shortcut-backed
+  /// workloads aggregate over projections of the core LDD's cached
+  /// shortcut; sssp.approx additionally pins its cells to the LDD clusters
+  /// (never repartitions). Ignored by shortcut-free workloads.
+  PartitionSource partition = PartitionSource::kWorkload;
 };
 
 /// Parameter bundle for string dispatch: the union of every built-in
@@ -193,7 +231,12 @@ struct WorkloadParams {
   double repartition_growth = 0.5;
   int voronoi_hop_cap = 0;
   bool wavefront_seeds = true;
+  std::uint64_t seed = 1;  ///< MIS priority seed
 };
+
+/// The names register_builtin_workloads() installs, sorted — the single
+/// source of truth tools (mnsctl usage) and tests quote.
+[[nodiscard]] const std::vector<std::string>& builtin_workload_names();
 
 // ------------------------------------------------------------- solve handle
 
@@ -236,13 +279,17 @@ class SolveHandle {
   [[nodiscard]] RunReport solve(const ApproxSssp& q,
                                 const SolveOptions& opt = {});
   [[nodiscard]] RunReport solve(const Bfs& q, const SolveOptions& opt = {});
+  [[nodiscard]] RunReport solve(const Mis& q, const SolveOptions& opt = {});
+  [[nodiscard]] RunReport solve(const DominatingSet& q,
+                                const SolveOptions& opt = {});
   [[nodiscard]] RunReport solve(const Aggregate& q,
                                 const SolveOptions& opt = {});
 
   // -- the name-keyed workload registry --
 
-  /// Runs the named workload ("mst", "mst.ghs", "mincut", "sssp.exact",
-  /// "sssp.approx", "bfs"). Throws InvariantViolation on unknown names.
+  /// Runs the named workload (builtin_workload_names(): "bfs", "domset",
+  /// "mincut", "mis", "mst", "mst.ghs", "sssp.approx", "sssp.exact").
+  /// Throws InvariantViolation naming the offender on unknown names.
   [[nodiscard]] RunReport solve(std::string_view workload,
                                 const WorkloadParams& params,
                                 const SolveOptions& opt = {});

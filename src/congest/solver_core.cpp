@@ -22,13 +22,19 @@ SolverCore::SolverCore(std::shared_ptr<const Graph> g,
                                 : center_tree_factory()),
       engine_(config.engine != nullptr ? config.engine
                                        : &ShortcutEngine::global()),
-      cache_capacity_(std::max<std::size_t>(1, config.cache_capacity)) {
+      cache_capacity_(std::max<std::size_t>(1, config.cache_capacity)),
+      ldd_options_(config.ldd) {
   require(g_ != nullptr, "SolverCore: null graph");
 }
 
 const RootedTree& SolverCore::tree() const {
   std::call_once(tree_once_, [&] { tree_.emplace(tree_factory_(*g_)); });
   return *tree_;
+}
+
+const LddDecomposition& SolverCore::ldd() const {
+  std::call_once(ldd_once_, [&] { ldd_.emplace(ldd_decompose(*g_, ldd_options_)); });
+  return *ldd_;
 }
 
 std::uint64_t SolverCore::partition_fingerprint(
@@ -214,6 +220,7 @@ std::shared_ptr<const SolverCore> SolverCore::update(const UpdateBatch& batch,
   cfg.tree = tree_factory_;
   cfg.engine = engine_;
   cfg.cache_capacity = cache_capacity_;
+  cfg.ldd = ldd_options_;
   auto core = std::make_shared<SolverCore>(
       std::make_shared<const Graph>(std::move(delta.graph)), std::move(cert),
       std::move(cfg));

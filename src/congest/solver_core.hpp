@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "core/certificate.hpp"
+#include "core/ldd.hpp"
 #include "core/shortcut_engine.hpp"
 #include "graph/delta.hpp"
 
@@ -81,6 +82,9 @@ struct CoreConfig {
   const ShortcutEngine* engine = nullptr;
   /// Max cached shortcuts before LRU eviction.
   std::size_t cache_capacity = 64;
+  /// Knobs for the core's low-diameter decomposition (built ONCE, on first
+  /// use via ldd(); weight-independent, so it survives weight updates).
+  LddOptions ldd;
 };
 
 class SolverCore {
@@ -144,6 +148,15 @@ class SolverCore {
   /// The core spanning tree, built on first use (std::call_once — safe to
   /// race) and immutable afterwards.
   [[nodiscard]] const RootedTree& tree() const;
+  /// The core's low-diameter decomposition (core/ldd.hpp), built on first
+  /// use (std::call_once) and immutable afterwards. Weight-independent: one
+  /// decomposition per core serves every workload that asks for
+  /// PartitionSource::kLdd, so its shortcut is ONE cache entry shared by all
+  /// of them.
+  [[nodiscard]] const LddDecomposition& ldd() const;
+  [[nodiscard]] const LddOptions& ldd_options() const noexcept {
+    return ldd_options_;
+  }
 
   // -- the read-mostly shortcut acquisition path ---------------------------
 
@@ -239,9 +252,12 @@ class SolverCore {
   TreeFactory tree_factory_;
   const ShortcutEngine* engine_;
   std::size_t cache_capacity_;
+  LddOptions ldd_options_;
 
   mutable std::once_flag tree_once_;
   mutable std::optional<RootedTree> tree_;
+  mutable std::once_flag ldd_once_;
+  mutable std::optional<LddDecomposition> ldd_;
 
   mutable std::shared_mutex cache_mutex_;
   mutable std::list<CacheEntry> entries_;

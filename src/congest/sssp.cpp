@@ -285,6 +285,25 @@ SsspResult approx_sssp(Simulator& sim, const std::vector<Weight>& w,
   auto rebuild_partition = [&] {
     emit_phase_trace();
     ++out.phases;
+    if (options.fixed_cells != nullptr) {
+      // Pinned LDD cells (DESIGN.md §13): one weight-independent clustering
+      // for the whole run. cdist = forest distance to the cluster center
+      // under w2 — still a real path length (u -> center -> v), so the
+      // never-undershoot invariant and exactness-at-quiescence carry over.
+      const LddDecomposition& ldd = *options.fixed_cells;
+      require(ldd.parts.part_of_all().size() == static_cast<std::size_t>(n),
+              "approx_sssp: fixed cells sized for a different graph");
+      parts = std::make_unique<Partition>(ldd.parts);
+      parts_raw = parts.get();
+      SourcedShortcut sc = options.source(g, *parts);
+      agg = std::make_unique<PartwiseAggregator>(g, *parts, *sc.shortcut);
+      cdist = ldd_forest_distances(ldd, g, w2);
+      part_dirty.assign(static_cast<std::size_t>(parts->num_parts()), 1);
+      // A distributed ball growing settles in radius-many BFS rounds.
+      if (sc.fresh) out.charged_construction_rounds += ldd.radius + 1;
+      reached_at_partition = reached;
+      return;
+    }
     std::vector<char> is_seed(n, 0);
     std::vector<VertexId> seeds;
     if (options.wavefront_seeds) {
@@ -367,6 +386,7 @@ SsspResult approx_sssp(Simulator& sim, const std::vector<Weight>& w,
 
   auto need_repartition = [&] {
     if (!parts) return true;
+    if (options.fixed_cells != nullptr) return false;  // cells are pinned
     if (static_cast<double>(reached - reached_at_partition) >
         options.repartition_growth * static_cast<double>(n))
       return true;

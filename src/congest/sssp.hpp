@@ -47,6 +47,7 @@
 
 #include "congest/shortcut_source.hpp"
 #include "congest/simulator.hpp"
+#include "core/ldd.hpp"
 #include "graph/algorithms.hpp"
 
 namespace mns::congest {
@@ -100,6 +101,15 @@ struct ApproxSsspOptions {
   /// so a Session's shortcut cache serves k-source query batches with one
   /// construction (DESIGN.md §5).
   bool wavefront_seeds = true;
+  /// Non-null: pin the cells to this low-diameter decomposition for the
+  /// whole run (the kLdd partition source, DESIGN.md §13). The cells never
+  /// repartition; cdist becomes the LDD forest distance to the cluster
+  /// center under the rounded weights (real path lengths, so estimates
+  /// still never undershoot), and a fresh construction charges radius + 1
+  /// rounds — once per core, since every run resolves to the same cached
+  /// shortcut. Overrides wavefront_seeds/num_seeds/voronoi_hop_cap. Must
+  /// outlive the call.
+  const LddDecomposition* fixed_cells = nullptr;
   /// Optional per-scale-phase telemetry (stage = "scale-phase").
   RoundTraceHook trace;
 };

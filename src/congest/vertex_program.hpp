@@ -206,34 +206,44 @@ void for_each_sharded(Simulator& sim, std::span<const VertexId> items,
 
 }  // namespace detail
 
-/// Drives a VertexProgram to quiescence: while the frontier is nonempty,
-/// fan send() over it, turn the round over, fan receive() over the
-/// delivered vertices, then let the program merge at the end_round()
-/// barrier. Returns rounds consumed (quiescence itself costs none).
+/// Runs exactly ONE round of the program (or none, if the frontier is
+/// empty): fan send() over the frontier, turn the round over, fan receive()
+/// over the delivered vertices, then let the program merge at the
+/// end_round() barrier. Returns the rounds consumed (0 or 1). The
+/// single-step form of run_vertex_program, for drivers that interleave
+/// phase-granular bookkeeping (traces, convergence probes) between rounds.
+template <typename Program>
+long long run_vertex_program_round(Simulator& sim, Program& prog) {
+  const std::span<const VertexId> frontier = prog.frontier();
+  if (frontier.empty()) return 0;
+  const int shards = sim.num_shards();
+  detail::for_each_sharded(
+      sim, frontier,
+      [&](int shard, bool direct, std::span<const VertexId> block) {
+        VertexSender out(sim, shard, direct);
+        for (VertexId v : block) {
+          out.set_vertex(v);
+          prog.send(v, out);
+        }
+      });
+  sim.finish_round();
+  detail::for_each_sharded(
+      sim, sim.delivered_to(),
+      [&](int shard, bool, std::span<const VertexId> block) {
+        const ShardContext ctx{shard, shards};
+        for (VertexId v : block) prog.receive(v, sim.inbox(v), ctx);
+      });
+  prog.end_round();
+  return 1;
+}
+
+/// Drives a VertexProgram to quiescence: one round at a time while the
+/// frontier is nonempty. Returns rounds consumed (quiescence itself costs
+/// none).
 template <typename Program>
 long long run_vertex_program(Simulator& sim, Program& prog) {
   const long long start = sim.rounds();
-  const int shards = sim.num_shards();
-  for (;;) {
-    const std::span<const VertexId> frontier = prog.frontier();
-    if (frontier.empty()) break;
-    detail::for_each_sharded(
-        sim, frontier,
-        [&](int shard, bool direct, std::span<const VertexId> block) {
-          VertexSender out(sim, shard, direct);
-          for (VertexId v : block) {
-            out.set_vertex(v);
-            prog.send(v, out);
-          }
-        });
-    sim.finish_round();
-    detail::for_each_sharded(
-        sim, sim.delivered_to(),
-        [&](int shard, bool, std::span<const VertexId> block) {
-          const ShardContext ctx{shard, shards};
-          for (VertexId v : block) prog.receive(v, sim.inbox(v), ctx);
-        });
-    prog.end_round();
+  while (run_vertex_program_round(sim, prog) != 0) {
   }
   return sim.rounds() - start;
 }

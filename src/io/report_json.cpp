@@ -30,6 +30,12 @@ std::uint64_t digest_int(const std::vector<int>& v) {
   return h.value();
 }
 
+std::uint64_t digest_membership(const std::vector<char>& v) {
+  Fnv64 h;
+  for (char x : v) h.mix_i64(x != 0 ? 1 : 0);
+  return h.value();
+}
+
 std::uint64_t digest_agg(const std::vector<congest::AggValue>& v) {
   Fnv64 h;
   for (const congest::AggValue& x : v) {
@@ -83,6 +89,20 @@ std::string payload_json(const RunReport& r) {
     field(out, "num_parts", json_number(
         static_cast<long long>(agg->min_of_part.size())));
     field(out, "min_fnv", json_quote(hex64(digest_agg(agg->min_of_part))));
+  } else if (const auto* mis = std::get_if<congest::MisPayload>(&r.payload)) {
+    field(out, "kind", json_quote("mis"), true);
+    field(out, "num_vertices", json_number(
+        static_cast<long long>(mis->in_mis.size())));
+    field(out, "size", json_number(static_cast<long long>(mis->size)));
+    field(out, "members_fnv",
+          json_quote(hex64(digest_membership(mis->in_mis))));
+  } else if (const auto* ds = std::get_if<congest::DomsetPayload>(&r.payload)) {
+    field(out, "kind", json_quote("domset"), true);
+    field(out, "num_vertices", json_number(
+        static_cast<long long>(ds->in_set.size())));
+    field(out, "size", json_number(static_cast<long long>(ds->size)));
+    field(out, "members_fnv",
+          json_quote(hex64(digest_membership(ds->in_set))));
   } else {
     field(out, "kind", json_quote("none"), true);
   }
@@ -146,6 +166,14 @@ bool run_reports_identical(const RunReport& a, const RunReport& b) {
     for (std::size_t i = 0; i < aa->min_of_part.size(); ++i)
       if (aa->min_of_part[i] != ba.min_of_part[i]) return false;
     return true;
+  }
+  if (const auto* ai = std::get_if<congest::MisPayload>(&a.payload)) {
+    const auto& bi = std::get<congest::MisPayload>(b.payload);
+    return ai->in_mis == bi.in_mis && ai->size == bi.size;
+  }
+  if (const auto* ad = std::get_if<congest::DomsetPayload>(&a.payload)) {
+    const auto& bd = std::get<congest::DomsetPayload>(b.payload);
+    return ad->in_set == bd.in_set && ad->size == bd.size;
   }
   return true;  // both monostate
 }

@@ -62,6 +62,8 @@ TEST(MnsctlCli, MalformedInvocationsPrintUsageAndExit2) {
       "baseline",                    // baseline without <in.json>
       "baseline a.json",             // baseline without -o
       "solve --bogus-flag x.mns",    // unknown flag
+      "solve x.mns --workload nosuch",  // unregistered workload name
+      "solve x.mns --workload mis --partition bogus",  // bad partition source
   };
   for (const std::string& args : malformed) {
     SCOPED_TRACE("mnsctl " + args);
@@ -69,6 +71,15 @@ TEST(MnsctlCli, MalformedInvocationsPrintUsageAndExit2) {
     EXPECT_EQ(r.exit_code, 2) << r.output;
     EXPECT_NE(r.output.find("usage:"), std::string::npos) << r.output;
   }
+  // The usage block is generated from the registry: a typo'd workload gets
+  // the actual catalogue, not a stale hardcoded list.
+  const CliResult bad = run_mnsctl("solve x.mns --workload nosuch");
+  EXPECT_NE(bad.output.find("unknown workload 'nosuch'"), std::string::npos)
+      << bad.output;
+  EXPECT_NE(bad.output.find("registered workloads"), std::string::npos)
+      << bad.output;
+  EXPECT_NE(bad.output.find("domset"), std::string::npos) << bad.output;
+  EXPECT_NE(bad.output.find("mis"), std::string::npos) << bad.output;
 }
 
 TEST(MnsctlCli, WellFormedGenSolveDiffRoundTripExitsZero) {
@@ -88,6 +99,15 @@ TEST(MnsctlCli, WellFormedGenSolveDiffRoundTripExitsZero) {
   CliResult diff =
       run_mnsctl("diff --baseline " + dir + "/a.json " + dir + "/a.json");
   EXPECT_EQ(diff.exit_code, 0) << diff.output;
+  // The new workloads ride the same snapshot: mis happy path, and an
+  // LDD-partition mst whose report lands in the canonical JSON shape.
+  CliResult mis = run_mnsctl("solve " + snap + " --workload mis");
+  EXPECT_EQ(mis.exit_code, 0) << mis.output;
+  EXPECT_NE(mis.output.find("\"kind\": \"mis\""), std::string::npos)
+      << mis.output;
+  CliResult ldd = run_mnsctl("solve " + snap +
+                             " --workload mst --partition ldd --repeat 2");
+  EXPECT_EQ(ldd.exit_code, 0) << ldd.output;
 }
 
 }  // namespace
